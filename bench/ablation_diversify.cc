@@ -1,0 +1,141 @@
+// Ablation study (google-benchmark) for the diversification side:
+// ST_Rel+Div vs the greedy baseline across photo-set sizes and summary
+// sizes, plus the cost of the index/bounds construction itself.
+
+#include <map>
+#include <memory>
+
+#include "benchmark/benchmark.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "core/diversify/greedy_baseline.h"
+#include "core/diversify/st_rel_div.h"
+#include "core/street_photos.h"
+#include "network/network_builder.h"
+
+namespace soi {
+namespace {
+
+// A synthetic single-street world with n photos: 40% in point clusters
+// (near-duplicates), the rest spread along the street.
+StreetPhotos MakeStreetPhotos(int64_t n) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({0.01, 0});
+  SOI_CHECK(builder.AddStreet("Bench Street", {a, b}).ok());
+  static RoadNetwork* network =
+      new RoadNetwork(std::move(builder).Build().ValueOrDie());
+
+  Rng rng(99 + static_cast<uint64_t>(n));
+  std::vector<Photo> photos;
+  photos.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Photo photo;
+    if (i % 5 < 2) {
+      double cx = 0.002 + 0.002 * (i % 3);
+      photo.position =
+          Point{cx + rng.Normal(0, 0.00003), rng.Normal(0, 0.00003)};
+      photo.keywords =
+          KeywordSet({static_cast<KeywordId>(i % 3), 100, 101});
+    } else {
+      photo.position = Point{rng.UniformDouble(0, 0.01),
+                             rng.UniformDouble(-0.0004, 0.0004)};
+      std::vector<KeywordId> tags;
+      int64_t count = rng.UniformInt(2, 6);
+      for (int64_t t = 0; t < count; ++t) {
+        tags.push_back(static_cast<KeywordId>(rng.UniformInt(0, 60)));
+      }
+      photo.keywords = KeywordSet(std::move(tags));
+    }
+    photos.push_back(std::move(photo));
+  }
+  static std::map<int64_t, std::vector<Photo>>* photo_store =
+      new std::map<int64_t, std::vector<Photo>>();
+  (*photo_store)[n] = std::move(photos);
+  return ExtractStreetPhotosBruteForce(*network, 0, (*photo_store)[n],
+                                       0.0005);
+}
+
+StreetPhotos& CachedStreetPhotos(int64_t n) {
+  static std::map<int64_t, std::unique_ptr<StreetPhotos>>* cache =
+      new std::map<int64_t, std::unique_ptr<StreetPhotos>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n,
+                        std::make_unique<StreetPhotos>(MakeStreetPhotos(n)))
+             .first;
+  }
+  return *it->second;
+}
+
+DiversifyParams BaseParams(int32_t k) {
+  DiversifyParams params;
+  params.k = k;
+  params.lambda = 0.5;
+  params.w = 0.5;
+  params.rho = 0.0001;
+  return params;
+}
+
+void BM_GreedyBaseline(benchmark::State& state) {
+  StreetPhotos& sp = CachedStreetPhotos(state.range(0));
+  DiversifyParams params = BaseParams(static_cast<int32_t>(state.range(1)));
+  PhotoScorer scorer(sp, params.rho);
+  for (auto _ : state) {
+    DiversifyResult result = GreedyBaselineSelect(scorer, params);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GreedyBaseline)
+    ->ArgsProduct({{500, 2000, 8000}, {10, 20}})
+    ->ArgNames({"photos", "k"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StRelDiv(benchmark::State& state) {
+  StreetPhotos& sp = CachedStreetPhotos(state.range(0));
+  DiversifyParams params = BaseParams(static_cast<int32_t>(state.range(1)));
+  PhotoScorer scorer(sp, params.rho);
+  PhotoGridIndex index(params.rho / 2, sp.photos);
+  CellBoundsCalculator bounds(sp, index);
+  for (auto _ : state) {
+    DiversifyResult result = StRelDivSelect(scorer, bounds, params);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_StRelDiv)
+    ->ArgsProduct({{500, 2000, 8000}, {10, 20}})
+    ->ArgNames({"photos", "k"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IndexAndBoundsConstruction(benchmark::State& state) {
+  StreetPhotos& sp = CachedStreetPhotos(state.range(0));
+  DiversifyParams params = BaseParams(20);
+  for (auto _ : state) {
+    PhotoGridIndex index(params.rho / 2, sp.photos);
+    CellBoundsCalculator bounds(sp, index);
+    benchmark::DoNotOptimize(bounds);
+  }
+}
+BENCHMARK(BM_IndexAndBoundsConstruction)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScorerConstruction(benchmark::State& state) {
+  StreetPhotos& sp = CachedStreetPhotos(state.range(0));
+  for (auto _ : state) {
+    PhotoScorer scorer(sp, 0.0001);
+    benchmark::DoNotOptimize(scorer);
+  }
+}
+BENCHMARK(BM_ScorerConstruction)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace soi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+#include "bench_util.h"
+
+#include "common/stopwatch.h"
+
+namespace soi {
+namespace bench_util {
+
+std::vector<std::unique_ptr<CityContext>> LoadCities(
+    const BenchOptions& options, double cell_size) {
+  std::vector<std::unique_ptr<CityContext>> cities;
+  for (const CityProfile& profile : AllCityProfiles(options.scale)) {
+    bool wanted = false;
+    for (const std::string& name : options.cities) {
+      if (name == profile.name) wanted = true;
+    }
+    if (!wanted) continue;
+    auto context = std::make_unique<CityContext>();
+    context->profile = profile;
+    std::cerr << "[bench] generating " << profile.name << " (scale="
+              << options.scale << ", target_segments="
+              << profile.target_segments << ", target_pois="
+              << profile.target_pois << ")...\n";
+    auto dataset = GenerateCity(profile);
+    SOI_CHECK(dataset.ok()) << dataset.status().ToString();
+    context->dataset = std::move(dataset).ValueOrDie();
+    Stopwatch timer;
+    context->indexes = BuildIndexes(context->dataset, cell_size);
+    context->index_build_seconds = timer.ElapsedSeconds();
+    cities.push_back(std::move(context));
+  }
+  SOI_CHECK(!cities.empty()) << "no city matched --cities";
+  return cities;
+}
+
+KeywordSet AccumulatedQueryKeywords(const Dataset& dataset, int count) {
+  static const char* kTable4Keywords[] = {"religion", "education", "food",
+                                          "services"};
+  SOI_CHECK(count >= 1 && count <= 4);
+  std::vector<KeywordId> ids;
+  for (int i = 0; i < count; ++i) {
+    KeywordId id = dataset.vocabulary.Find(kTable4Keywords[i]);
+    SOI_CHECK(id != kInvalidKeyword)
+        << "dataset lacks keyword " << kTable4Keywords[i];
+    ids.push_back(id);
+  }
+  return KeywordSet(std::move(ids));
+}
+
+}  // namespace bench_util
+}  // namespace soi

@@ -1,0 +1,109 @@
+// Extension study: visual features in the diversification criteria (the
+// paper's future work). For the top SOI of each city, sweeps the visual
+// weight v and reports (a) the visual redundancy of the selected summary
+// (mean pairwise descriptor distance — higher is better), (b) the paper's
+// spatio-textual objective (to show how little it is sacrificed), and
+// (c) ST_Rel+Div vs BL runtime with the visual component enabled.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/diversify/greedy_baseline.h"
+#include "core/diversify/st_rel_div.h"
+#include "core/soi_algorithm.h"
+#include "core/street_photos.h"
+#include "eval/table_printer.h"
+
+namespace soi {
+namespace {
+
+double MeanVisualDiversity(const PhotoScorer& scorer,
+                           const std::vector<PhotoId>& set) {
+  if (set.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < set.size(); ++i) {
+    for (size_t j = i + 1; j < set.size(); ++j) {
+      sum += scorer.VisualDiv(set[i], set[j]);
+    }
+  }
+  return sum * 2.0 / (static_cast<double>(set.size()) * (set.size() - 1));
+}
+
+int Run(int argc, char** argv) {
+  bench_util::BenchOptions options =
+      bench_util::ParseBenchOptions(argc, argv);
+  auto cities = bench_util::LoadCities(options);
+  double eps = 0.0005;
+
+  for (const auto& city : cities) {
+    const Dataset& dataset = city->dataset;
+    SoiQuery query;
+    query.keywords = KeywordSet({dataset.vocabulary.Find("shop")});
+    query.k = 1;
+    query.eps = eps;
+    EpsAugmentedMaps maps(city->indexes->segment_cells, eps);
+    SoiAlgorithm algorithm(dataset.network, city->indexes->poi_grid,
+                           city->indexes->global_index);
+    StreetId top = algorithm.TopK(query, maps).streets[0].street;
+    StreetPhotos sp = ExtractStreetPhotos(dataset.network, top,
+                                          dataset.photos,
+                                          city->indexes->photo_grid, eps);
+    SOI_CHECK(sp.size() > 20);
+
+    DiversifyParams base;
+    base.k = 10;
+    base.lambda = 0.5;
+    base.w = 0.5;
+    base.rho = 0.0001;
+    PhotoScorer scorer(sp, base.rho);
+    SOI_CHECK(scorer.has_visual());
+    PhotoGridIndex index(base.rho / 2, sp.photos);
+    CellBoundsCalculator bounds(sp, index);
+
+    std::cout << "\n=== " << city->profile.name << " (|R_s|=" << sp.size()
+              << ", k=10) ===\n\n";
+    TablePrinter table({"visual weight v", "visual div of summary",
+                        "spatio-textual F (v=0 metric)", "ST_Rel+Div",
+                        "BL", "speedup"});
+    for (double v : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+      DiversifyParams params = base;
+      params.visual_weight = v;
+      DiversifyResult fast;
+      DiversifyResult slow;
+      double fast_seconds = 0.0;
+      double slow_seconds = 0.0;
+      for (int run = 0; run < 3; ++run) {
+        Stopwatch timer;
+        fast = StRelDivSelect(scorer, bounds, params);
+        double t = timer.ElapsedSeconds();
+        if (run == 0 || t < fast_seconds) fast_seconds = t;
+      }
+      for (int run = 0; run < 3; ++run) {
+        Stopwatch timer;
+        slow = GreedyBaselineSelect(scorer, params);
+        double t = timer.ElapsedSeconds();
+        if (run == 0 || t < slow_seconds) slow_seconds = t;
+      }
+      SOI_CHECK(fast.selected == slow.selected);
+      DiversifyParams paper = base;  // visual_weight = 0: Eq. 2 as-is.
+      table.AddRow({FormatDouble(v, 1),
+                    FormatDouble(MeanVisualDiversity(scorer, fast.selected),
+                                 3),
+                    FormatDouble(scorer.Objective(fast.selected, paper), 4),
+                    FormatMillis(fast_seconds), FormatMillis(slow_seconds),
+                    FormatDouble(slow_seconds / fast_seconds, 1) + "x"});
+    }
+    table.Print(&std::cout);
+  }
+  std::cout << "\nExpected shape: visual diversity of the summary grows "
+               "with v while the paper's\nspatio-textual objective "
+               "degrades only mildly; ST_Rel+Div stays well ahead of BL."
+               "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace soi
+
+int main(int argc, char** argv) { return soi::Run(argc, argv); }

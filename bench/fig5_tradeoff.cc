@@ -1,0 +1,88 @@
+// Reproduces Figure 5 of the paper: the relevance/diversity trade-off of
+// the constructed photo summary of the top SOI in each city as lambda goes
+// from 0 to 1 in steps of 0.25 (k=20, w=0.5). Relevance (Eq. 4) and
+// diversity (Eq. 5) are normalized per city by their maxima across the
+// lambda sweep, as in the paper's normalized plot.
+//
+// Expected shape: relevance decreases and diversity increases with lambda;
+// lambda = 0.5 buys most of the achievable diversity for a modest
+// relevance sacrifice (the knee the paper uses to justify lambda = 0.5).
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/diversify/greedy_baseline.h"
+#include "core/soi_algorithm.h"
+#include "core/street_photos.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+
+namespace soi {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench_util::BenchOptions options =
+      bench_util::ParseBenchOptions(argc, argv);
+  auto cities = bench_util::LoadCities(options);
+  double eps = 0.0005;
+
+  std::cout << "\nFigure 5: Trade-off between relevance and diversity "
+               "(k=20, w=0.5)\n";
+  for (const auto& city : cities) {
+    const Dataset& dataset = city->dataset;
+    SoiQuery query;
+    query.keywords = KeywordSet({dataset.vocabulary.Find("shop")});
+    query.k = 1;
+    query.eps = eps;
+    EpsAugmentedMaps maps(city->indexes->segment_cells, eps);
+    SoiAlgorithm algorithm(dataset.network, city->indexes->poi_grid,
+                           city->indexes->global_index);
+    StreetId top = algorithm.TopK(query, maps).streets[0].street;
+    StreetPhotos sp = ExtractStreetPhotos(dataset.network, top,
+                                          dataset.photos,
+                                          city->indexes->photo_grid, eps);
+    SOI_CHECK(sp.size() > 20);
+
+    DiversifyParams params;
+    params.k = 20;
+    params.w = 0.5;
+    params.rho = 0.0001;
+    PhotoScorer scorer(sp, params.rho);
+
+    std::vector<double> lambdas = {0.0, 0.25, 0.5, 0.75, 1.0};
+    std::vector<double> relevances;
+    std::vector<double> diversities;
+    for (double lambda : lambdas) {
+      params.lambda = lambda;
+      DiversifyResult result = GreedyBaselineSelect(scorer, params);
+      relevances.push_back(scorer.SetRelevance(result.selected, params.w));
+      diversities.push_back(scorer.SetDiversity(result.selected, params.w));
+    }
+    std::vector<double> norm_rel = NormalizeByMax(relevances);
+    std::vector<double> norm_div = NormalizeByMax(diversities);
+
+    std::cout << "\n--- " << city->profile.name << " (top SOI \""
+              << dataset.network.street(top).name << "\", |R_s|="
+              << sp.size() << ") ---\n\n";
+    TablePrinter table({"lambda", "relevance (Eq.4)", "diversity (Eq.5)",
+                        "norm. rel", "norm. div"});
+    for (size_t i = 0; i < lambdas.size(); ++i) {
+      table.AddRow({FormatDouble(lambdas[i], 2),
+                    FormatDouble(relevances[i], 4),
+                    FormatDouble(diversities[i], 4),
+                    FormatDouble(norm_rel[i], 3),
+                    FormatDouble(norm_div[i], 3)});
+    }
+    table.Print(&std::cout);
+  }
+  std::cout << "\nPaper shape: monotone trade-off; at lambda=0.5 diversity "
+               "is already ~0.85-0.95\nnormalized while relevance stays "
+               "high (e.g. Vienna: give up 0.22 rel for 0.87 div).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace soi
+
+int main(int argc, char** argv) { return soi::Run(argc, argv); }

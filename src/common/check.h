@@ -1,0 +1,63 @@
+#ifndef SOI_COMMON_CHECK_H_
+#define SOI_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace soi {
+namespace internal_check {
+
+/// Accumulates a fatal-check message and aborts the process when destroyed.
+/// Used only via the SOI_CHECK family of macros.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " SOI_CHECK failed: " << condition
+            << " ";
+  }
+
+  CheckFailStream(const CheckFailStream&) = delete;
+  CheckFailStream& operator=(const CheckFailStream&) = delete;
+
+  ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message when the check passes; lets
+/// `cond ? Voidify() : stream` type-check with no runtime cost.
+struct Voidify {
+  void operator&(const CheckFailStream&) {}
+};
+
+}  // namespace internal_check
+}  // namespace soi
+
+/// Aborts with a message if `condition` is false. Additional context can be
+/// streamed: SOI_CHECK(x > 0) << "x was " << x;
+#define SOI_CHECK(condition)                                       \
+  (condition) ? (void)0                                            \
+              : ::soi::internal_check::Voidify() &                 \
+                    ::soi::internal_check::CheckFailStream(        \
+                        __FILE__, __LINE__, #condition)
+
+/// Like SOI_CHECK but compiled out in NDEBUG builds. Use for hot-path
+/// invariants.
+#ifdef NDEBUG
+#define SOI_DCHECK(condition) SOI_CHECK(true)
+#else
+#define SOI_DCHECK(condition) SOI_CHECK(condition)
+#endif
+
+#endif  // SOI_COMMON_CHECK_H_

@@ -1,0 +1,112 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace soi {
+
+namespace {
+constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
+}  // namespace
+
+Rng::Rng(uint64_t seed, uint64_t stream) {
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0;
+  Next32();
+  state_ += seed;
+  Next32();
+}
+
+uint32_t Rng::Next32() {
+  uint64_t old_state = state_;
+  state_ = old_state * kPcgMultiplier + inc_;
+  uint32_t xorshifted =
+      static_cast<uint32_t>(((old_state >> 18u) ^ old_state) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old_state >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::Next64() {
+  uint64_t hi = Next32();
+  return (hi << 32) | Next32();
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  SOI_DCHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SOI_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next64());  // Full 64-bit range.
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  double u2 = UniformDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * M_PI * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Exponential(double rate) {
+  SOI_DCHECK(rate > 0);
+  double u = 0.0;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double theta) {
+  SOI_CHECK(n > 0) << "ZipfSampler requires n > 0";
+  SOI_CHECK(theta >= 0) << "ZipfSampler requires theta >= 0";
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t rank = 1; rank <= n; ++rank) {
+    sum += 1.0 / std::pow(static_cast<double>(rank), theta);
+    cdf_[rank - 1] = sum;
+  }
+  for (double& v : cdf_) v /= sum;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  SOI_DCHECK(rng != nullptr);
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace soi

@@ -1,0 +1,98 @@
+#ifndef SOI_COMMON_RANDOM_H_
+#define SOI_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace soi {
+
+/// Deterministic, seedable pseudo-random generator (PCG-XSH-RR 64/32).
+///
+/// Every stochastic component of the library (data generators, tests) draws
+/// from an explicitly seeded Rng so that datasets and experiments are fully
+/// reproducible. Satisfies the UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = uint32_t;
+
+  /// Seeds the generator. The same (seed, stream) pair always produces the
+  /// same sequence.
+  explicit Rng(uint64_t seed, uint64_t stream = 1);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  /// Returns the next 32 random bits.
+  uint32_t operator()() { return Next32(); }
+
+  uint32_t Next32();
+  uint64_t Next64();
+
+  /// Returns a uniform integer in [0, bound). Requires bound > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns a uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Returns a standard normal variate (Box-Muller).
+  double Normal();
+
+  /// Returns a normal variate with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p);
+
+  /// Returns an exponential variate with the given rate. Requires rate > 0.
+  double Exponential(double rate);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    SOI_DCHECK(items != nullptr);
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  // Box-Muller produces pairs; caches the spare variate.
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// Samples ranks 1..n with probability proportional to 1/rank^theta
+/// (Zipf/zeta distribution), returning zero-based indices in [0, n).
+///
+/// Used to assign keyword popularity in the synthetic POI/photo generators:
+/// a few keywords are very frequent (e.g. "shop"), most are rare, matching
+/// the skew of crowdsourced tags.
+class ZipfSampler {
+ public:
+  /// Precomputes the CDF for `n` ranks with exponent `theta` (theta >= 0;
+  /// theta = 0 degenerates to uniform). Requires n > 0.
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws a zero-based rank; smaller ranks are more likely.
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_COMMON_RANDOM_H_

@@ -1,0 +1,138 @@
+#ifndef SOI_COMMON_STATUS_H_
+#define SOI_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace soi {
+
+/// Error categories used across the library. The library does not use
+/// exceptions; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or a code plus message.
+///
+/// Mirrors the Status idiom of Arrow/RocksDB: cheap to copy in the OK case,
+/// explicit at call sites, and usable with the SOI_RETURN_NOT_OK macro.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats the status as "<code name>: <message>", or "OK".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored result is a checked fatal error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a result holding a value (implicit, so functions can
+  /// `return value;`).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a result holding an error (implicit, so functions can
+  /// `return Status::IOError(...);`). The status must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    SOI_CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status, or OK if a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  const T& ValueOrDie() const& {
+    SOI_CHECK(ok()) << "Result::ValueOrDie on error: "
+                    << std::get<Status>(payload_).ToString();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    SOI_CHECK(ok()) << "Result::ValueOrDie on error: "
+                    << std::get<Status>(payload_).ToString();
+    return std::get<T>(payload_);
+  }
+  T ValueOrDie() && {
+    SOI_CHECK(ok()) << "Result::ValueOrDie on error: "
+                    << std::get<Status>(payload_).ToString();
+    return std::move(std::get<T>(payload_));
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace soi
+
+/// Propagates a non-OK Status to the caller.
+#define SOI_RETURN_NOT_OK(expr)         \
+  do {                                  \
+    ::soi::Status _soi_st = (expr);     \
+    if (!_soi_st.ok()) return _soi_st;  \
+  } while (false)
+
+/// Evaluates a Result expression; on error returns its Status, otherwise
+/// assigns the value to `lhs`.
+#define SOI_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  SOI_ASSIGN_OR_RETURN_IMPL_(                          \
+      SOI_STATUS_MACRO_CONCAT_(_soi_res, __COUNTER__), lhs, rexpr)
+
+#define SOI_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).ValueOrDie()
+
+#define SOI_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define SOI_STATUS_MACRO_CONCAT_(x, y) SOI_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // SOI_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+#ifndef SOI_COMMON_STOPWATCH_H_
+#define SOI_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace soi {
+
+/// Wall-clock stopwatch used for the per-phase timings reported by the
+/// experiment harness (Figures 4 and 6).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Returns seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Returns milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_COMMON_STOPWATCH_H_

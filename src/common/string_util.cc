@@ -1,0 +1,85 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace soi {
+
+std::vector<std::string> Split(std::string_view text, char delimiter) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  for (;;) {
+    size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      return fields;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLowerAscii(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return result;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result += separator;
+    result += parts[i];
+  }
+  return result;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string buffer(StripWhitespace(text));
+  if (buffer.empty()) {
+    return Status::InvalidArgument("empty string is not a double");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size() || errno == ERANGE ||
+      std::isnan(value)) {
+    return Status::InvalidArgument("not a double: '" + buffer + "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  std::string buffer(StripWhitespace(text));
+  if (buffer.empty()) {
+    return Status::InvalidArgument("empty string is not an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (end != buffer.c_str() + buffer.size() || errno == ERANGE) {
+    return Status::InvalidArgument("not an integer: '" + buffer + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace soi

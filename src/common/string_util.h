@@ -1,0 +1,35 @@
+#ifndef SOI_COMMON_STRING_UTIL_H_
+#define SOI_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace soi {
+
+/// Splits `text` on `delimiter`, keeping empty fields. Splitting an empty
+/// string yields one empty field (CSV semantics).
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Lowercases ASCII characters.
+std::string ToLowerAscii(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Parses a double; rejects trailing garbage, empty input, and NaN.
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a non-negative 64-bit integer; rejects trailing garbage and
+/// empty input.
+Result<int64_t> ParseInt64(std::string_view text);
+
+}  // namespace soi
+
+#endif  // SOI_COMMON_STRING_UTIL_H_

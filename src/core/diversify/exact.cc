@@ -1,0 +1,47 @@
+#include "core/diversify/exact.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace soi {
+
+std::vector<PhotoId> ExactMaxSumSelect(const PhotoScorer& scorer,
+                                       const DiversifyParams& params) {
+  SOI_CHECK(params.k > 0);
+  int64_t n = scorer.num_photos();
+  SOI_CHECK(n <= 24) << "ExactMaxSumSelect is exponential; got " << n
+                     << " photos";
+  int64_t k = std::min<int64_t>(params.k, n);
+
+  // Enumerate k-subsets in lexicographic order with the classic odometer.
+  std::vector<PhotoId> current(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    current[static_cast<size_t>(i)] = static_cast<PhotoId>(i);
+  }
+  std::vector<PhotoId> best = current;
+  double best_value = scorer.Objective(current, params);
+  for (;;) {
+    // Advance to the next combination.
+    int64_t i = k - 1;
+    while (i >= 0 &&
+           current[static_cast<size_t>(i)] ==
+               static_cast<PhotoId>(n - k + i)) {
+      --i;
+    }
+    if (i < 0) break;
+    ++current[static_cast<size_t>(i)];
+    for (int64_t j = i + 1; j < k; ++j) {
+      current[static_cast<size_t>(j)] =
+          static_cast<PhotoId>(current[static_cast<size_t>(j - 1)] + 1);
+    }
+    double value = scorer.Objective(current, params);
+    if (value > best_value) {
+      best_value = value;
+      best = current;
+    }
+  }
+  return best;
+}
+
+}  // namespace soi

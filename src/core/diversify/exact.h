@@ -1,0 +1,21 @@
+#ifndef SOI_CORE_DIVERSIFY_EXACT_H_
+#define SOI_CORE_DIVERSIFY_EXACT_H_
+
+#include <vector>
+
+#include "core/diversify/objective.h"
+
+namespace soi {
+
+/// Exhaustively maximizes the MaxSum objective F (Eq. 2 / Problem 2) over
+/// all size-min(k, |R_s|) subsets. Exponential; the test oracle for the
+/// greedy heuristics on tiny inputs (|R_s| <= ~20).
+///
+/// Returns the lexicographically smallest optimum, so results are
+/// deterministic under ties.
+std::vector<PhotoId> ExactMaxSumSelect(const PhotoScorer& scorer,
+                                       const DiversifyParams& params);
+
+}  // namespace soi
+
+#endif  // SOI_CORE_DIVERSIFY_EXACT_H_

@@ -1,0 +1,36 @@
+#include "core/diversify/greedy_baseline.h"
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace soi {
+
+DiversifyResult GreedyBaselineSelect(const PhotoScorer& scorer,
+                                     const DiversifyParams& params) {
+  SOI_CHECK(params.k > 0);
+  Stopwatch timer;
+  DiversifyResult result;
+  int64_t n = scorer.num_photos();
+  std::vector<char> taken(static_cast<size_t>(n), 0);
+  int64_t target = std::min<int64_t>(params.k, n);
+  while (static_cast<int64_t>(result.selected.size()) < target) {
+    PhotoId best = -1;
+    double best_value = 0.0;
+    for (PhotoId r = 0; r < n; ++r) {
+      if (taken[static_cast<size_t>(r)]) continue;
+      double value = scorer.Mmr(r, result.selected, params);
+      ++result.stats.mmr_evaluations;
+      if (best < 0 || value > best_value) {
+        best = r;
+        best_value = value;
+      }
+    }
+    SOI_DCHECK(best >= 0);
+    taken[static_cast<size_t>(best)] = 1;
+    result.selected.push_back(best);
+  }
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace soi

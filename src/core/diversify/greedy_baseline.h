@@ -1,0 +1,37 @@
+#ifndef SOI_CORE_DIVERSIFY_GREEDY_BASELINE_H_
+#define SOI_CORE_DIVERSIFY_GREEDY_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/diversify/objective.h"
+
+namespace soi {
+
+/// Instrumentation of one diversified-selection run.
+struct DiversifyStats {
+  double seconds = 0.0;
+  /// Exact mmr evaluations performed (the dominating cost).
+  int64_t mmr_evaluations = 0;
+  /// ST_Rel+Div only: cells surviving the per-iteration filter.
+  int64_t cells_refined = 0;
+  /// ST_Rel+Div only: cells discarded by the bound comparisons.
+  int64_t cells_pruned = 0;
+};
+
+/// A selected photo summary (local photo ids) plus run statistics.
+struct DiversifyResult {
+  std::vector<PhotoId> selected;
+  DiversifyStats stats;
+};
+
+/// The BL baseline of Section 5.2.2: standard greedy MaxSum
+/// diversification that re-evaluates the mmr function (Eq. 10) for every
+/// remaining photo at every iteration and inserts the maximizer (ties by
+/// ascending photo id). Selects min(k, |R_s|) photos.
+DiversifyResult GreedyBaselineSelect(const PhotoScorer& scorer,
+                                     const DiversifyParams& params);
+
+}  // namespace soi
+
+#endif  // SOI_CORE_DIVERSIFY_GREEDY_BASELINE_H_

@@ -1,0 +1,160 @@
+#include "core/diversify/objective.h"
+
+#include "common/check.h"
+#include "grid/point_grid.h"
+
+namespace soi {
+
+PhotoScorer::PhotoScorer(const StreetPhotos& street_photos, double rho)
+    : street_photos_(&street_photos), rho_(rho) {
+  SOI_CHECK(!street_photos.photos.empty())
+      << "PhotoScorer over an empty R_s";
+  SOI_CHECK(rho > 0) << "rho must be positive";
+  SOI_CHECK(street_photos.max_distance > 0)
+      << "maxD(s) must be positive";
+  const std::vector<Photo>& photos = street_photos.photos;
+  size_t n = photos.size();
+
+  // Spatial relevance: neighbor counting through a transient grid of cell
+  // side rho, so only the 3x3 block around a photo's cell is scanned.
+  std::vector<Point> positions;
+  positions.reserve(n);
+  Box bounds = Box::Empty();
+  for (const Photo& photo : photos) {
+    positions.push_back(photo.position);
+    bounds.ExtendToCover(photo.position);
+  }
+  // Degenerate single-point bounds still need a non-empty grid box.
+  bounds = bounds.Expanded(rho);
+  PointGrid<PhotoId> grid(GridGeometry(bounds, rho), positions);
+  spatial_rel_.resize(n);
+  double inv_total = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    Box probe = Box::FromCorners(
+        Point{positions[i].x - rho, positions[i].y - rho},
+        Point{positions[i].x + rho, positions[i].y + rho});
+    int64_t neighbors = 0;
+    grid.ForEachCandidateInBox(probe, [&](PhotoId other) {
+      if (positions[i].DistanceTo(positions[static_cast<size_t>(other)]) <=
+          rho) {
+        ++neighbors;
+      }
+    });
+    spatial_rel_[i] = static_cast<double>(neighbors) * inv_total;
+  }
+
+  // Textual relevance (Definition 6); an empty Phi_s yields 0 everywhere.
+  textual_rel_.resize(n);
+  const TermVector& terms = street_photos.street_terms;
+  double inv_norm = terms.L1Norm() > 0 ? 1.0 / terms.L1Norm() : 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    textual_rel_[i] = terms.WeightOf(photos[i].keywords) * inv_norm;
+  }
+
+  // Visual extension: centroid descriptor and per-photo visual relevance
+  // (similarity to the centroid). All-or-nothing: either every photo has
+  // a descriptor of the same dimension or none does.
+  if (!photos[0].visual.empty()) {
+    size_t dim = photos[0].visual.size();
+    std::vector<double> sums(dim, 0.0);
+    for (const Photo& photo : photos) {
+      SOI_CHECK(photo.visual.size() == dim)
+          << "inconsistent visual descriptor dimensions";
+      for (size_t d = 0; d < dim; ++d) sums[d] += photo.visual[d];
+    }
+    centroid_.resize(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      centroid_[d] = static_cast<float>(sums[d] / static_cast<double>(n));
+    }
+    visual_rel_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      visual_rel_[i] = 1.0 - VisualDistance(photos[i].visual, centroid_);
+    }
+  }
+}
+
+double PhotoScorer::VisualDiv(PhotoId r1, PhotoId r2) const {
+  SOI_DCHECK(has_visual());
+  const std::vector<Photo>& photos = street_photos_->photos;
+  return VisualDistance(photos[static_cast<size_t>(r1)].visual,
+                        photos[static_cast<size_t>(r2)].visual);
+}
+
+double PhotoScorer::SpatialDiv(PhotoId r1, PhotoId r2) const {
+  const std::vector<Photo>& photos = street_photos_->photos;
+  double d = photos[static_cast<size_t>(r1)].position.DistanceTo(
+      photos[static_cast<size_t>(r2)].position);
+  return d / street_photos_->max_distance;
+}
+
+double PhotoScorer::TextualDiv(PhotoId r1, PhotoId r2) const {
+  const std::vector<Photo>& photos = street_photos_->photos;
+  return photos[static_cast<size_t>(r1)].keywords.JaccardDistance(
+      photos[static_cast<size_t>(r2)].keywords);
+}
+
+double PhotoScorer::Mmr(PhotoId r, const std::vector<PhotoId>& selected,
+                        const DiversifyParams& params) const {
+  SOI_DCHECK(params.visual_weight == 0 || has_visual())
+      << "visual_weight > 0 requires photos with visual descriptors";
+  double value = (1.0 - params.lambda) * Rel(r, params);
+  if (params.k > 1 && !selected.empty()) {
+    double div_sum = 0.0;
+    for (PhotoId other : selected) div_sum += Div(r, other, params);
+    value += params.lambda / static_cast<double>(params.k - 1) * div_sum;
+  }
+  return value;
+}
+
+double PhotoScorer::SetRelevance(const std::vector<PhotoId>& set,
+                                 double w) const {
+  if (set.empty()) return 0.0;
+  double spatial = 0.0;
+  double textual = 0.0;
+  for (PhotoId r : set) {
+    spatial += SpatialRel(r);
+    textual += TextualRel(r);
+  }
+  double inv_k = 1.0 / static_cast<double>(set.size());
+  return w * inv_k * spatial + (1.0 - w) * inv_k * textual;
+}
+
+double PhotoScorer::SetDiversity(const std::vector<PhotoId>& set,
+                                 double w) const {
+  size_t k = set.size();
+  if (k < 2) return 0.0;
+  double spatial = 0.0;
+  double textual = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      spatial += SpatialDiv(set[i], set[j]);
+      textual += TextualDiv(set[i], set[j]);
+    }
+  }
+  double inv_pairs = 2.0 / (static_cast<double>(k) * (k - 1));
+  return w * inv_pairs * spatial + (1.0 - w) * inv_pairs * textual;
+}
+
+double PhotoScorer::SetDiversity(const std::vector<PhotoId>& set,
+                                 const DiversifyParams& params) const {
+  double base = SetDiversity(set, params.w);
+  size_t k = set.size();
+  if (params.visual_weight == 0 || k < 2) return base;
+  double visual = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      visual += VisualDiv(set[i], set[j]);
+    }
+  }
+  visual *= 2.0 / (static_cast<double>(k) * (k - 1));
+  return (1.0 - params.visual_weight) * base +
+         params.visual_weight * visual;
+}
+
+double PhotoScorer::Objective(const std::vector<PhotoId>& set,
+                              const DiversifyParams& params) const {
+  return (1.0 - params.lambda) * SetRelevance(set, params) +
+         params.lambda * SetDiversity(set, params);
+}
+
+}  // namespace soi

@@ -1,0 +1,30 @@
+#ifndef SOI_CORE_DIVERSIFY_ST_REL_DIV_H_
+#define SOI_CORE_DIVERSIFY_ST_REL_DIV_H_
+
+#include "core/diversify/cell_bounds.h"
+#include "core/diversify/greedy_baseline.h"
+#include "core/diversify/objective.h"
+#include "grid/photo_grid_index.h"
+
+namespace soi {
+
+/// The ST_Rel+Div algorithm of Section 4.2 (Algorithm 2): the same greedy
+/// MaxSum construction as GreedyBaselineSelect, but at each iteration it
+/// first computes lower/upper mmr bounds per grid cell (filtering), prunes
+/// every cell whose upper bound is below the best lower bound, and only
+/// evaluates exact mmr values for photos in the surviving cells in
+/// decreasing upper-bound order (refinement).
+///
+/// Selects min(k, |R_s|) photos; the selection is identical to the
+/// baseline's (both maximize the same exact mmr with ties by ascending
+/// photo id), only faster.
+///
+/// `index` must be built over scorer.street_photos().photos with cell side
+/// params.rho / 2, and `bounds` over the same index.
+DiversifyResult StRelDivSelect(const PhotoScorer& scorer,
+                               const CellBoundsCalculator& bounds,
+                               const DiversifyParams& params);
+
+}  // namespace soi
+
+#endif  // SOI_CORE_DIVERSIFY_ST_REL_DIV_H_

@@ -1,0 +1,88 @@
+#include "core/diversify/variants.h"
+
+#include "common/check.h"
+
+namespace soi {
+
+const std::vector<SelectionMethod>& AllSelectionMethods() {
+  static const std::vector<SelectionMethod>* methods =
+      new std::vector<SelectionMethod>{
+          SelectionMethod::kSRel,   SelectionMethod::kSDiv,
+          SelectionMethod::kSRelDiv, SelectionMethod::kTRel,
+          SelectionMethod::kTDiv,   SelectionMethod::kTRelDiv,
+          SelectionMethod::kStRel,  SelectionMethod::kStDiv,
+          SelectionMethod::kStRelDiv,
+      };
+  return *methods;
+}
+
+std::string SelectionMethodName(SelectionMethod method) {
+  switch (method) {
+    case SelectionMethod::kSRel:
+      return "S_Rel";
+    case SelectionMethod::kSDiv:
+      return "S_Div";
+    case SelectionMethod::kSRelDiv:
+      return "S_Rel+Div";
+    case SelectionMethod::kTRel:
+      return "T_Rel";
+    case SelectionMethod::kTDiv:
+      return "T_Div";
+    case SelectionMethod::kTRelDiv:
+      return "T_Rel+Div";
+    case SelectionMethod::kStRel:
+      return "ST_Rel";
+    case SelectionMethod::kStDiv:
+      return "ST_Div";
+    case SelectionMethod::kStRelDiv:
+      return "ST_Rel+Div";
+  }
+  SOI_CHECK(false) << "unknown method";
+  return "";
+}
+
+DiversifyParams SelectionMethodParams(SelectionMethod method,
+                                      const DiversifyParams& base) {
+  DiversifyParams params = base;
+  switch (method) {
+    case SelectionMethod::kSRel:
+      params.w = 1.0;
+      params.lambda = 0.0;
+      break;
+    case SelectionMethod::kSDiv:
+      params.w = 1.0;
+      params.lambda = 1.0;
+      break;
+    case SelectionMethod::kSRelDiv:
+      params.w = 1.0;
+      break;
+    case SelectionMethod::kTRel:
+      params.w = 0.0;
+      params.lambda = 0.0;
+      break;
+    case SelectionMethod::kTDiv:
+      params.w = 0.0;
+      params.lambda = 1.0;
+      break;
+    case SelectionMethod::kTRelDiv:
+      params.w = 0.0;
+      break;
+    case SelectionMethod::kStRel:
+      params.lambda = 0.0;
+      break;
+    case SelectionMethod::kStDiv:
+      params.lambda = 1.0;
+      break;
+    case SelectionMethod::kStRelDiv:
+      break;
+  }
+  return params;
+}
+
+DiversifyResult SelectWithMethod(const PhotoScorer& scorer,
+                                 SelectionMethod method,
+                                 const DiversifyParams& base) {
+  return GreedyBaselineSelect(scorer, SelectionMethodParams(method, base));
+}
+
+}  // namespace soi

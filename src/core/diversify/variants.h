@@ -1,0 +1,50 @@
+#ifndef SOI_CORE_DIVERSIFY_VARIANTS_H_
+#define SOI_CORE_DIVERSIFY_VARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/diversify/greedy_baseline.h"
+#include "core/diversify/objective.h"
+
+namespace soi {
+
+/// The nine photo-selection techniques compared in the paper's
+/// effectiveness study (Section 5.1.2, Table 3). S/T/ST selects which
+/// information is used (spatial, textual, both); Rel/Div/Rel+Div selects
+/// which criteria are optimized.
+enum class SelectionMethod {
+  kSRel,
+  kSDiv,
+  kSRelDiv,
+  kTRel,
+  kTDiv,
+  kTRelDiv,
+  kStRel,
+  kStDiv,
+  kStRelDiv,
+};
+
+/// All nine methods in the paper's Table 3 order.
+const std::vector<SelectionMethod>& AllSelectionMethods();
+
+/// The paper's display name, e.g. "ST_Rel+Div".
+std::string SelectionMethodName(SelectionMethod method);
+
+/// Maps a method onto the mmr parameters it greedily optimizes: w = 1 / 0 /
+/// base.w for S / T / ST, lambda = 0 / 1 / base.lambda for Rel / Div /
+/// Rel+Div. k and rho are taken from `base`.
+DiversifyParams SelectionMethodParams(SelectionMethod method,
+                                      const DiversifyParams& base);
+
+/// Greedily selects a photo summary under the method's criteria. All
+/// methods share the greedy MaxSum machinery; they differ only in the
+/// effective (lambda, w). Pure-Div methods (lambda = 1) start from an
+/// all-zero first iteration, which ties break by ascending photo id.
+DiversifyResult SelectWithMethod(const PhotoScorer& scorer,
+                                 SelectionMethod method,
+                                 const DiversifyParams& base);
+
+}  // namespace soi
+
+#endif  // SOI_CORE_DIVERSIFY_VARIANTS_H_

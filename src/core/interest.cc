@@ -1,0 +1,32 @@
+#include "core/interest.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace soi {
+
+double SegmentNeighborhoodArea(double length, double eps) {
+  SOI_DCHECK(length >= 0);
+  SOI_DCHECK(eps > 0);
+  return 2.0 * eps * length + M_PI * eps * eps;
+}
+
+double SegmentInterest(double mass, double length, double eps) {
+  SOI_DCHECK(mass >= 0);
+  return mass / SegmentNeighborhoodArea(length, eps);
+}
+
+double BruteForceSegmentMass(const Segment& segment,
+                             const std::vector<Poi>& pois,
+                             const KeywordSet& query, double eps) {
+  double mass = 0;
+  for (const Poi& poi : pois) {
+    if (poi.IsRelevantTo(query) && segment.DistanceTo(poi.position) <= eps) {
+      mass += poi.weight;
+    }
+  }
+  return mass;
+}
+
+}  // namespace soi

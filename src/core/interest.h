@@ -1,0 +1,32 @@
+#ifndef SOI_CORE_INTEREST_H_
+#define SOI_CORE_INTEREST_H_
+
+#include <cstdint>
+
+#include "geometry/segment.h"
+#include "objects/poi.h"
+#include "text/keyword_set.h"
+
+namespace soi {
+
+/// Size of the area within distance eps around a segment of length `length`:
+/// 2 * eps * len + pi * eps^2 (the denominator of Definition 2).
+double SegmentNeighborhoodArea(double length, double eps);
+
+/// Interest of a segment with the given mass: mass / area (Definition 2).
+/// Mass is a double so the weighted extension (POIs with importance
+/// weights) shares the same code path; with unit weights it is exactly
+/// the POI count. Requires eps > 0 so the area is positive.
+double SegmentInterest(double mass, double length, double eps);
+
+/// Brute-force segment mass (Definition 1 plus the weighted extension):
+/// the total weight of POIs within distance eps of `segment` carrying at
+/// least one query keyword. O(|P|); the test oracle against which the
+/// indexed computations are validated.
+double BruteForceSegmentMass(const Segment& segment,
+                             const std::vector<Poi>& pois,
+                             const KeywordSet& query, double eps);
+
+}  // namespace soi
+
+#endif  // SOI_CORE_INTEREST_H_

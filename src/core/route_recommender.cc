@@ -1,0 +1,86 @@
+#include "core/route_recommender.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace soi {
+
+RouteRecommender::RouteRecommender(const RoadNetwork& network,
+                                   const ShortestPathEngine& engine)
+    : network_(&network), engine_(&engine) {}
+
+std::pair<VertexId, VertexId> RouteRecommender::StreetEndpoints(
+    StreetId street) const {
+  const Street& s = network_->street(street);
+  SOI_DCHECK(!s.segments.empty());
+  return {network_->segment(s.segments.front()).from,
+          network_->segment(s.segments.back()).to};
+}
+
+RecommendedRoute RouteRecommender::PlanTour(
+    const std::vector<RankedStreet>& streets) const {
+  SOI_CHECK(!streets.empty()) << "PlanTour needs at least one street";
+  RecommendedRoute route;
+
+  // Deduplicate, keeping the first (highest-ranked) occurrence order.
+  std::vector<StreetId> pending;
+  std::unordered_set<StreetId> seen;
+  for (const RankedStreet& entry : streets) {
+    if (seen.insert(entry.street).second) pending.push_back(entry.street);
+  }
+
+  // Start at the top-ranked street, walking it front to back.
+  StreetId current = pending.front();
+  pending.erase(pending.begin());
+  route.street_order.push_back(current);
+  route.street_length += network_->street(current).length;
+  VertexId position = StreetEndpoints(current).second;
+
+  while (!pending.empty()) {
+    std::vector<double> distances = engine_->DistancesFrom(position);
+    // Nearest unvisited street, measured to its closer endpoint.
+    size_t best_index = pending.size();
+    VertexId best_entry = -1;
+    double best_distance = ShortestPathEngine::kUnreachable;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      auto [front, back] = StreetEndpoints(pending[i]);
+      double d_front = distances[static_cast<size_t>(front)];
+      double d_back = distances[static_cast<size_t>(back)];
+      double d = std::min(d_front, d_back);
+      if (d < best_distance) {
+        best_distance = d;
+        best_index = i;
+        best_entry = d_front <= d_back ? front : back;
+      }
+    }
+    if (best_index == pending.size()) {
+      // Everything left is in another component.
+      route.unreachable.insert(route.unreachable.end(), pending.begin(),
+                               pending.end());
+      break;
+    }
+    StreetId next = pending[static_cast<size_t>(best_index)];
+    pending.erase(pending.begin() + static_cast<int64_t>(best_index));
+
+    RouteLeg leg;
+    leg.from_street = current;
+    leg.to_street = next;
+    auto path = engine_->FindPath(position, best_entry);
+    SOI_CHECK(path.ok()) << path.status().ToString();
+    leg.path = std::move(path).ValueOrDie();
+    route.connecting_length += leg.path.length;
+    route.legs.push_back(std::move(leg));
+
+    // Traverse the street from the entry endpoint to the other end.
+    auto [front, back] = StreetEndpoints(next);
+    position = best_entry == front ? back : front;
+    route.street_order.push_back(next);
+    route.street_length += network_->street(next).length;
+    current = next;
+  }
+  return route;
+}
+
+}  // namespace soi

@@ -1,0 +1,65 @@
+#ifndef SOI_CORE_ROUTE_RECOMMENDER_H_
+#define SOI_CORE_ROUTE_RECOMMENDER_H_
+
+#include <vector>
+
+#include "core/soi_query.h"
+#include "network/road_network.h"
+#include "network/shortest_path.h"
+
+namespace soi {
+
+/// A leg of a walking tour: the shortest path connecting the exit of one
+/// visited street to the entrance of the next.
+struct RouteLeg {
+  StreetId from_street = -1;
+  StreetId to_street = -1;
+  NetworkPath path;
+};
+
+/// A walking tour through a set of Streets of Interest.
+struct RecommendedRoute {
+  /// Streets in visiting order.
+  std::vector<StreetId> street_order;
+  /// Connecting legs; legs[i] joins street_order[i] to street_order[i+1].
+  std::vector<RouteLeg> legs;
+  /// Total length of the visited streets themselves.
+  double street_length = 0.0;
+  /// Total length of the connecting legs.
+  double connecting_length = 0.0;
+  /// Input streets unreachable from the tour's component, skipped.
+  std::vector<StreetId> unreachable;
+
+  double TotalLength() const { return street_length + connecting_length; }
+};
+
+/// Plans walking tours through discovered Streets of Interest — the
+/// paper's stated future-work extension ("provide route recommendations
+/// based on the discovered streets of interest").
+///
+/// The tour starts at the highest-ranked street and greedily appends the
+/// nearest (by network walking distance) unvisited street, traversing
+/// each street end-to-end and connecting streets by shortest paths.
+/// Streets in a different connected component of the network are reported
+/// in `unreachable` rather than silently dropped.
+class RouteRecommender {
+ public:
+  RouteRecommender(const RoadNetwork& network,
+                   const ShortestPathEngine& engine);
+
+  /// Plans a tour through the ranked streets (e.g. a k-SOI result).
+  /// Requires a non-empty input; duplicate street ids are visited once.
+  RecommendedRoute PlanTour(const std::vector<RankedStreet>& streets) const;
+
+ private:
+  // The two path endpoints of a street (first segment's `from`, last
+  // segment's `to`).
+  std::pair<VertexId, VertexId> StreetEndpoints(StreetId street) const;
+
+  const RoadNetwork* network_;
+  const ShortestPathEngine* engine_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_CORE_ROUTE_RECOMMENDER_H_

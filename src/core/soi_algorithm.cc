@@ -1,0 +1,499 @@
+#include "core/soi_algorithm.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/interest.h"
+#include "core/soi_baseline.h"
+
+namespace soi {
+
+namespace {
+
+// Which source list an iteration consumes.
+enum class Source { kSl1, kSl2, kSl3, kNone };
+
+// Mutable per-run state of Algorithm 1. Scoped to one TopK call so the
+// SoiAlgorithm instance stays immutable.
+class Run {
+ public:
+  Run(const RoadNetwork& network, const PoiGridIndex& grid,
+      const GlobalInvertedIndex& global_index,
+      const std::vector<SegmentId>& segments_by_length,
+      const SoiQuery& query, const EpsAugmentedMaps& maps,
+      const SoiAlgorithmOptions& options)
+      : network_(network),
+        grid_(grid),
+        global_index_(global_index),
+        sl3_(segments_by_length),
+        query_(query),
+        maps_(maps),
+        options_(options),
+        seen_(static_cast<size_t>(network.num_segments()), 0),
+        states_(static_cast<size_t>(network.num_segments())),
+        street_best_(static_cast<size_t>(network.num_streets()), -1.0) {}
+
+  SoiResult Execute();
+
+ private:
+  // --- per-segment state -------------------------------------------------
+  struct SegmentState {
+    double mass = 0;
+    // Number of cells of C_eps(l) not yet visited for this segment.
+    int64_t remaining = 0;
+    // Bitmap over the positions of C_eps(l).
+    std::vector<uint64_t> visited_bits;
+
+    bool IsVisited(size_t pos) const {
+      return (visited_bits[pos >> 6] >> (pos & 63)) & 1;
+    }
+    void MarkVisited(size_t pos) { visited_bits[pos >> 6] |= 1ull << (pos & 63); }
+  };
+
+  SegmentState& GetOrCreateState(SegmentId id);
+  // Procedure UpdateInterest of Algorithm 1.
+  void UpdateInterest(SegmentId id, CellId cell);
+  void FinalizeSegment(SegmentId id);
+  void UpdateStreetBest(StreetId street, double lower_bound);
+
+  // --- source lists ------------------------------------------------------
+  void BuildSourceLists();
+  // Advances the cursors past already-seen segments; must be called before
+  // reading the tops or popping.
+  void SkipSeenSegments();
+  bool Sl1Exhausted() const { return sl1_pos_ >= sl1_.size(); }
+  bool Sl2Exhausted() const { return sl2_pos_ >= sl2_.size(); }
+  bool Sl3Exhausted() const { return sl3_pos_ >= sl3_.size(); }
+
+  double ComputeUpperBound();
+  // Recomputes LB_k (the k-th largest per-street best lower bound) when
+  // due. LB_k only grows, so a stale (smaller) cached value is a valid —
+  // merely conservative — lower bound; recomputing every iteration would
+  // dominate the filtering cost.
+  void MaybeRefreshLowerBoundK();
+  Source ChooseSource();
+  void PopCell();
+  void PopSegment(Source source);
+
+  // --- phases ------------------------------------------------------------
+  void FilteringPhase();
+  void RefinementPhase();
+  std::vector<RankedStreet> ExtractResult() const;
+
+  const RoadNetwork& network_;
+  const PoiGridIndex& grid_;
+  const GlobalInvertedIndex& global_index_;
+  const std::vector<SegmentId>& sl3_;
+  const SoiQuery& query_;
+  const EpsAugmentedMaps& maps_;
+  const SoiAlgorithmOptions& options_;
+
+  // SL1: cells with relevant POIs, by decreasing |P_Psi(c)|.
+  std::vector<GlobalInvertedIndex::Entry> sl1_;
+  size_t sl1_pos_ = 0;
+  // Relevant-weight upper bound per cell (0 for cells off SL1), for the
+  // pruned refinement. Dense: indexed by CellId.
+  std::vector<double> cell_relevant_bound_;
+  // SL2: segments by decreasing |C_eps(l)|.
+  std::vector<SegmentId> sl2_;
+  size_t sl2_pos_ = 0;
+  size_t sl3_pos_ = 0;
+
+  std::vector<char> seen_;
+  // Dense per-segment state, lazily initialized on first touch (seen_
+  // flags gate validity). A vector beats a hash map here: GetOrCreateState
+  // runs once per (segment, cell) pair.
+  std::vector<SegmentState> states_;
+  // street_best_[s] = best int^-(l) over seen segments of s; -1 if unseen.
+  std::vector<double> street_best_;
+  int64_t num_seen_streets_ = 0;
+  // Scratch buffer reused by MaybeRefreshLowerBoundK.
+  std::vector<double> lbk_scratch_;
+  int64_t next_lbk_refresh_ = 0;
+
+  double upper_bound_ = 0.0;
+  double lower_bound_k_ = 0.0;
+  Source last_source_ = Source::kNone;
+
+  SoiResult result_;
+};
+
+Run::SegmentState& Run::GetOrCreateState(SegmentId id) {
+  SegmentState& state = states_[static_cast<size_t>(id)];
+  if (seen_[static_cast<size_t>(id)]) return state;
+  int64_t num_cells = maps_.NumSegmentCells(id);
+  state.remaining = num_cells;
+  state.visited_bits.assign(static_cast<size_t>((num_cells + 63) / 64), 0);
+  seen_[static_cast<size_t>(id)] = 1;
+  ++result_.stats.segments_seen;
+  // A freshly seen segment contributes a zero lower bound to its street.
+  UpdateStreetBest(network_.segment(id).street, 0.0);
+  return state;
+}
+
+void Run::UpdateStreetBest(StreetId street, double lower_bound) {
+  double& best = street_best_[static_cast<size_t>(street)];
+  if (best < 0.0) {
+    best = lower_bound;
+    ++num_seen_streets_;
+    return;
+  }
+  if (lower_bound > best) best = lower_bound;
+}
+
+void Run::UpdateInterest(SegmentId id, CellId cell) {
+  SegmentState& state = GetOrCreateState(id);
+  const std::vector<CellId>& cells = maps_.SegmentCells(id);
+  auto it = std::lower_bound(cells.begin(), cells.end(), cell);
+  SOI_DCHECK(it != cells.end() && *it == cell)
+      << "cell " << cell << " not in C_eps of segment " << id;
+  size_t pos = static_cast<size_t>(it - cells.begin());
+  if (state.IsVisited(pos)) return;
+  state.MarkVisited(pos);
+  --state.remaining;
+
+  const NetworkSegment& segment = network_.segment(id);
+  grid_.ForEachRelevantInCell(cell, query_.keywords, [&](PoiId poi) {
+    ++result_.stats.poi_distance_checks;
+    const Poi& p = grid_.pois()[static_cast<size_t>(poi)];
+    if (segment.geometry.DistanceTo(p.position) <= query_.eps) {
+      state.mass += p.weight;
+    }
+  });
+  UpdateStreetBest(segment.street,
+                   SegmentInterest(state.mass, segment.length, query_.eps));
+}
+
+void Run::FinalizeSegment(SegmentId id) {
+  SegmentState& state = GetOrCreateState(id);
+  if (state.remaining == 0) return;
+  const std::vector<CellId>& cells = maps_.SegmentCells(id);
+  for (size_t pos = 0; pos < cells.size() && state.remaining > 0; ++pos) {
+    if (!state.IsVisited(pos)) UpdateInterest(id, cells[pos]);
+  }
+}
+
+void Run::BuildSourceLists() {
+  sl1_ = global_index_.BuildQueryCellList(query_.keywords, grid_);
+  cell_relevant_bound_.assign(
+      static_cast<size_t>(grid_.geometry().num_cells()), 0.0);
+  for (const GlobalInvertedIndex::Entry& entry : sl1_) {
+    cell_relevant_bound_[static_cast<size_t>(entry.cell)] = entry.weight;
+  }
+  // SL2: all segments by decreasing |C_eps(l)| (built at query time: the
+  // augmentation depends on eps). Ties by ascending id for determinism.
+  sl2_.resize(static_cast<size_t>(network_.num_segments()));
+  for (SegmentId id = 0; id < network_.num_segments(); ++id) {
+    sl2_[static_cast<size_t>(id)] = id;
+  }
+  std::sort(sl2_.begin(), sl2_.end(), [this](SegmentId a, SegmentId b) {
+    int64_t ca = maps_.NumSegmentCells(a);
+    int64_t cb = maps_.NumSegmentCells(b);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  // SL3 (sl3_) is the offline by-length list, shared across queries.
+}
+
+void Run::SkipSeenSegments() {
+  while (sl2_pos_ < sl2_.size() && seen_[static_cast<size_t>(sl2_[sl2_pos_])]) {
+    ++sl2_pos_;
+  }
+  while (sl3_pos_ < sl3_.size() && seen_[static_cast<size_t>(sl3_[sl3_pos_])]) {
+    ++sl3_pos_;
+  }
+}
+
+double Run::ComputeUpperBound() {
+  SkipSeenSegments();
+  // Any unseen segment only neighbors unpopped cells (a popped cell marks
+  // every segment within eps as seen), so:
+  //   mass(l) <= top(SL1) * top(SL2)   and   len(l) >= top(SL3),
+  // giving UB = top(SL1) * top(SL2) / (2 eps top(SL3) + pi eps^2).
+  if (Sl1Exhausted() || Sl2Exhausted() || Sl3Exhausted()) return 0.0;
+  double top1 = sl1_[sl1_pos_].weight;
+  int64_t top2 = maps_.NumSegmentCells(sl2_[sl2_pos_]);
+  double top3 = network_.segment(sl3_[sl3_pos_]).length;
+  return SegmentInterest(top1 * static_cast<double>(top2), top3,
+                         query_.eps);
+}
+
+void Run::MaybeRefreshLowerBoundK() {
+  if (num_seen_streets_ < query_.k) return;
+  if (result_.stats.iterations < next_lbk_refresh_) return;
+  constexpr int64_t kRefreshInterval = 16;
+  next_lbk_refresh_ = result_.stats.iterations + kRefreshInterval;
+  lbk_scratch_.clear();
+  for (double best : street_best_) {
+    if (best >= 0.0) lbk_scratch_.push_back(best);
+  }
+  size_t kth = static_cast<size_t>(query_.k - 1);
+  std::nth_element(lbk_scratch_.begin(), lbk_scratch_.begin() + kth,
+                   lbk_scratch_.end(), std::greater<double>());
+  // LB_k is monotone over the run; keep the larger of old and new.
+  lower_bound_k_ = std::max(lower_bound_k_, lbk_scratch_[kth]);
+}
+
+Source Run::ChooseSource() {
+  SkipSeenSegments();
+  bool have1 = !Sl1Exhausted();
+  bool have2 = !Sl2Exhausted();
+  bool have3 = !Sl3Exhausted();
+  if (!have1 && !have2 && !have3) return Source::kNone;
+
+  auto fallback = [&]() {
+    if (have1) return Source::kSl1;
+    if (have3) return Source::kSl3;
+    return Source::kSl2;
+  };
+
+  switch (options_.strategy) {
+    case SourceListStrategy::kCellsFirst:
+      return fallback();
+    case SourceListStrategy::kRoundRobin: {
+      // SL1 -> SL2 -> SL3 -> SL1 ... skipping exhausted lists.
+      Source order[3] = {Source::kSl1, Source::kSl2, Source::kSl3};
+      int start = 0;
+      if (last_source_ == Source::kSl1) start = 1;
+      if (last_source_ == Source::kSl2) start = 2;
+      for (int i = 0; i < 3; ++i) {
+        Source s = order[(start + i) % 3];
+        if (s == Source::kSl1 && have1) return s;
+        if (s == Source::kSl2 && have2) return s;
+        if (s == Source::kSl3 && have3) return s;
+      }
+      return Source::kNone;
+    }
+    case SourceListStrategy::kAlternateCellsSegments: {
+      // Alternate SL1 / SL3, balancing the number of *segments considered*
+      // from each source (Section 3.2.2): one cell access brings several
+      // segments into view, so segment accesses are interleaved at a 1:4
+      // ratio. SL2 takes over the segment access when its top segment
+      // neighbors an outsized number of cells (at least 4x the median —
+      // the "few segments with a large number of neighboring cells"
+      // case).
+      bool segment_turn =
+          have1 && (result_.stats.iterations % 5 == 4);
+      if (!segment_turn && have1) return Source::kSl1;
+      if (have2 && have3) {
+        int64_t top2 = maps_.NumSegmentCells(sl2_[sl2_pos_]);
+        SegmentId median_seg = sl2_[(sl2_pos_ + sl2_.size()) / 2];
+        int64_t median = maps_.NumSegmentCells(median_seg);
+        if (top2 >= 4 * std::max<int64_t>(median, 1)) return Source::kSl2;
+      }
+      if (have3) return Source::kSl3;
+      return fallback();
+    }
+  }
+  return fallback();
+}
+
+void Run::PopCell() {
+  const GlobalInvertedIndex::Entry& entry = sl1_[sl1_pos_++];
+  ++result_.stats.cells_popped;
+  for (SegmentId id : maps_.CellSegments(entry.cell)) {
+    UpdateInterest(id, entry.cell);
+  }
+}
+
+void Run::PopSegment(Source source) {
+  SegmentId id =
+      source == Source::kSl2 ? sl2_[sl2_pos_++] : sl3_[sl3_pos_++];
+  SOI_DCHECK(!seen_[static_cast<size_t>(id)]);
+  ++result_.stats.segments_popped;
+  FinalizeSegment(id);
+}
+
+void Run::FilteringPhase() {
+  for (;;) {
+    upper_bound_ = ComputeUpperBound();
+    MaybeRefreshLowerBoundK();
+    if (options_.observer) {
+      SoiAlgorithmOptions::FilterSnapshot snapshot;
+      snapshot.upper_bound = upper_bound_;
+      snapshot.lower_bound = lower_bound_k_;
+      snapshot.segment_seen = &seen_;
+      options_.observer(snapshot);
+    }
+    if (upper_bound_ <= lower_bound_k_) break;
+    Source source = ChooseSource();
+    if (source == Source::kNone) break;
+    ++result_.stats.iterations;
+    if (source == Source::kSl1) {
+      PopCell();
+    } else {
+      PopSegment(source);
+    }
+    last_source_ = source;
+  }
+  result_.stats.final_upper_bound = upper_bound_;
+  result_.stats.final_lower_bound = lower_bound_k_;
+}
+
+void Run::RefinementPhase() {
+  // Collect the seen segments; under pruning, process them by decreasing
+  // interest lower bound so the exact-score threshold rises quickly.
+  std::vector<SegmentId> pending;
+  pending.reserve(static_cast<size_t>(result_.stats.segments_seen));
+  for (SegmentId id = 0; id < network_.num_segments(); ++id) {
+    if (seen_[static_cast<size_t>(id)]) pending.push_back(id);
+  }
+
+  std::vector<double> street_exact(
+      static_cast<size_t>(network_.num_streets()), -1.0);
+  std::multiset<double> street_exact_values;
+  auto update_exact = [&](StreetId street, double interest) {
+    double& best = street_exact[static_cast<size_t>(street)];
+    if (best < 0.0) {
+      best = interest;
+      street_exact_values.insert(interest);
+    } else if (interest > best) {
+      street_exact_values.erase(street_exact_values.find(best));
+      street_exact_values.insert(interest);
+      best = interest;
+    }
+  };
+  auto kth_exact = [&]() {
+    if (static_cast<int64_t>(street_exact_values.size()) < query_.k) {
+      return 0.0;
+    }
+    auto it = street_exact_values.rbegin();
+    std::advance(it, query_.k - 1);
+    return *it;
+  };
+
+  if (options_.pruned_refinement) {
+    std::sort(pending.begin(), pending.end(),
+              [this](SegmentId a, SegmentId b) {
+                const SegmentState& sa = states_[static_cast<size_t>(a)];
+                const SegmentState& sb = states_[static_cast<size_t>(b)];
+                double ia = SegmentInterest(sa.mass,
+                                            network_.segment(a).length,
+                                            query_.eps);
+                double ib = SegmentInterest(sb.mass,
+                                            network_.segment(b).length,
+                                            query_.eps);
+                if (ia != ib) return ia > ib;
+                return a < b;
+              });
+  }
+
+  for (SegmentId id : pending) {
+    const SegmentState& state = states_[static_cast<size_t>(id)];
+    const NetworkSegment& segment = network_.segment(id);
+    if (options_.pruned_refinement && state.remaining > 0) {
+      // Optimistic mass: every unvisited cell contributes its full
+      // relevant-POI bound.
+      double optimistic_mass = state.mass;
+      const std::vector<CellId>& cells = maps_.SegmentCells(id);
+      for (size_t pos = 0; pos < cells.size(); ++pos) {
+        if (state.IsVisited(pos)) continue;
+        optimistic_mass +=
+            cell_relevant_bound_[static_cast<size_t>(cells[pos])];
+      }
+      double optimistic =
+          SegmentInterest(optimistic_mass, segment.length, query_.eps);
+      if (optimistic < kth_exact()) continue;  // Cannot reach the top-k.
+    }
+    if (state.remaining > 0) {
+      ++result_.stats.segments_finalized_in_refinement;
+      FinalizeSegment(id);
+    }
+    update_exact(segment.street,
+                 SegmentInterest(states_[static_cast<size_t>(id)].mass,
+                                 segment.length, query_.eps));
+  }
+
+  // Extract the top-k streets: seen streets by exact interest, padded (for
+  // degenerate queries that saw fewer than k streets) with unseen streets
+  // at interest 0 in ascending id order — matching RankStreets' ordering.
+  std::vector<RankedStreet> ranked;
+  ranked.reserve(static_cast<size_t>(network_.num_streets()));
+  for (StreetId street = 0; street < network_.num_streets(); ++street) {
+    double exact = street_exact[static_cast<size_t>(street)];
+    RankedStreet entry;
+    entry.street = street;
+    entry.interest = std::max(exact, 0.0);
+    // Recover the best segment for reporting.
+    if (exact > 0.0) {
+      for (SegmentId seg : network_.street(street).segments) {
+        if (!seen_[static_cast<size_t>(seg)]) continue;
+        double interest = SegmentInterest(
+            states_[static_cast<size_t>(seg)].mass,
+            network_.segment(seg).length, query_.eps);
+        if (interest == exact) {
+          entry.best_segment = seg;
+          break;
+        }
+      }
+    } else {
+      entry.best_segment = network_.street(street).segments[0];
+    }
+    ranked.push_back(entry);
+  }
+  auto by_interest = [](const RankedStreet& a, const RankedStreet& b) {
+    if (a.interest != b.interest) return a.interest > b.interest;
+    return a.street < b.street;
+  };
+  size_t keep =
+      std::min<size_t>(static_cast<size_t>(query_.k), ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                    by_interest);
+  ranked.resize(keep);
+  result_.streets = std::move(ranked);
+}
+
+SoiResult Run::Execute() {
+  Stopwatch timer;
+  BuildSourceLists();
+  result_.stats.list_construction_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  FilteringPhase();
+  result_.stats.filtering_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  RefinementPhase();
+  result_.stats.refinement_seconds = timer.ElapsedSeconds();
+  return std::move(result_);
+}
+
+}  // namespace
+
+SoiAlgorithm::SoiAlgorithm(const RoadNetwork& network,
+                           const PoiGridIndex& grid,
+                           const GlobalInvertedIndex& global_index)
+    : network_(&network), grid_(&grid), global_index_(&global_index) {
+  segments_by_length_.resize(static_cast<size_t>(network.num_segments()));
+  for (SegmentId id = 0; id < network.num_segments(); ++id) {
+    segments_by_length_[static_cast<size_t>(id)] = id;
+  }
+  std::sort(segments_by_length_.begin(), segments_by_length_.end(),
+            [&network](SegmentId a, SegmentId b) {
+              double la = network.segment(a).length;
+              double lb = network.segment(b).length;
+              if (la != lb) return la < lb;
+              return a < b;
+            });
+}
+
+SoiResult SoiAlgorithm::TopK(const SoiQuery& query,
+                             const EpsAugmentedMaps& maps,
+                             const SoiAlgorithmOptions& options) const {
+  SOI_CHECK(query.k > 0) << "k must be positive";
+  SOI_CHECK(query.eps > 0) << "eps must be positive";
+  SOI_CHECK(maps.eps() == query.eps)
+      << "EpsAugmentedMaps built for eps=" << maps.eps()
+      << " but query has eps=" << query.eps;
+  SOI_CHECK(grid_->geometry().bounds() == maps.geometry().bounds() &&
+            grid_->geometry().cell_size() == maps.geometry().cell_size())
+      << "POI grid and segment maps use different grid geometries";
+  Run run(*network_, *grid_, *global_index_, segments_by_length_, query,
+          maps, options);
+  return run.Execute();
+}
+
+}  // namespace soi

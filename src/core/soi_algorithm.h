@@ -1,0 +1,88 @@
+#ifndef SOI_CORE_SOI_ALGORITHM_H_
+#define SOI_CORE_SOI_ALGORITHM_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/soi_query.h"
+#include "grid/global_inverted_index.h"
+#include "grid/poi_grid_index.h"
+#include "grid/segment_cell_index.h"
+#include "network/road_network.h"
+
+namespace soi {
+
+/// Order in which the filtering phase consumes the three ranked source
+/// lists of Section 3.2.2.
+///
+/// SL1 holds cells sorted by decreasing relevant-POI count, SL2 segments by
+/// decreasing neighboring-cell count, SL3 segments by increasing length.
+/// Correctness is independent of the strategy (asserted by tests); the
+/// strategies differ only in how fast the bounds converge.
+enum class SourceListStrategy {
+  /// The paper's practical default: alternate SL1 (cells) and SL3 (short
+  /// segments), consulting SL2 only when its top segment neighbors an
+  /// outsized number of cells.
+  kAlternateCellsSegments,
+  /// Strict SL1 -> SL2 -> SL3 rotation (the pseudocode of Algorithm 1).
+  kRoundRobin,
+  /// Drain SL1 before touching segments (ablation).
+  kCellsFirst,
+};
+
+/// Tuning knobs and instrumentation hooks for SoiAlgorithm::TopK.
+struct SoiAlgorithmOptions {
+  SourceListStrategy strategy = SourceListStrategy::kAlternateCellsSegments;
+
+  /// When true (default), the refinement phase computes exact interests
+  /// "as necessary" (Algorithm 1's wording): a seen segment is finalized
+  /// only if its optimistic interest bound can still displace the current
+  /// k-th street. The returned top-k is unchanged (see DESIGN.md); setting
+  /// false finalizes every seen segment (ablation).
+  bool pruned_refinement = true;
+
+  /// Test/diagnostic hook invoked once per filtering iteration, after the
+  /// bounds are recomputed and before the termination check.
+  struct FilterSnapshot {
+    double upper_bound = 0.0;
+    double lower_bound = 0.0;
+    /// seen[id] != 0 iff segment id has been encountered. Valid only
+    /// during the callback.
+    const std::vector<char>* segment_seen = nullptr;
+  };
+  std::function<void(const FilterSnapshot&)> observer;
+};
+
+/// The SOI algorithm of Section 3.2 (Algorithm 1): top-k street retrieval
+/// by progressive examination of cells and segments with a seen lower
+/// bound LB_k and an unseen upper bound UB, followed by a refinement phase
+/// that computes exact interests for the seen segments.
+///
+/// The instance is bound to one dataset's indices and is immutable /
+/// thread-compatible; each TopK call carries its own state.
+class SoiAlgorithm {
+ public:
+  /// All three indices must be built over the same grid geometry.
+  SoiAlgorithm(const RoadNetwork& network, const PoiGridIndex& grid,
+               const GlobalInvertedIndex& global_index);
+
+  /// Evaluates the query. `maps` must be the eps augmentation for
+  /// query.eps over the same network and grid geometry.
+  SoiResult TopK(const SoiQuery& query, const EpsAugmentedMaps& maps,
+                 const SoiAlgorithmOptions& options = {}) const;
+
+  /// Segment ids sorted by increasing length (the offline SL3 list).
+  const std::vector<SegmentId>& segments_by_length() const {
+    return segments_by_length_;
+  }
+
+ private:
+  const RoadNetwork* network_;
+  const PoiGridIndex* grid_;
+  const GlobalInvertedIndex* global_index_;
+  std::vector<SegmentId> segments_by_length_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_CORE_SOI_ALGORITHM_H_

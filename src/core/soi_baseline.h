@@ -1,0 +1,48 @@
+#ifndef SOI_CORE_SOI_BASELINE_H_
+#define SOI_CORE_SOI_BASELINE_H_
+
+#include <vector>
+
+#include "core/soi_query.h"
+#include "grid/poi_grid_index.h"
+#include "grid/segment_cell_index.h"
+#include "network/road_network.h"
+
+namespace soi {
+
+/// The BL baseline of Section 5.2.1: uses only the spatial grid index to
+/// compute the exact interest of *every* segment, then determines the
+/// k-SOIs. No filter-and-refinement; serves both as the performance
+/// baseline of Figure 4 and as the correctness oracle for SoiAlgorithm.
+class SoiBaseline {
+ public:
+  SoiBaseline(const RoadNetwork& network, const PoiGridIndex& grid);
+
+  /// Evaluates the query. `maps` must be the eps augmentation for
+  /// query.eps over the same network/grid.
+  SoiResult TopK(const SoiQuery& query, const EpsAugmentedMaps& maps) const;
+
+  /// Exact (weighted) mass of one segment (Definition 1 and its weighted
+  /// extension), computed via the grid.
+  double SegmentMass(SegmentId id, const KeywordSet& keywords,
+                     const EpsAugmentedMaps& maps) const;
+
+  /// Exact interest of every segment, indexed by segment id.
+  std::vector<double> AllSegmentInterests(const SoiQuery& query,
+                                          const EpsAugmentedMaps& maps) const;
+
+ private:
+  const RoadNetwork* network_;
+  const PoiGridIndex* grid_;
+};
+
+/// Ranks all streets given exact per-segment interests: decreasing street
+/// interest (Definition 3), ties by ascending street id; truncated to k.
+/// Shared by SoiBaseline and tests.
+std::vector<RankedStreet> RankStreets(
+    const RoadNetwork& network, const std::vector<double>& segment_interests,
+    int32_t k);
+
+}  // namespace soi
+
+#endif  // SOI_CORE_SOI_BASELINE_H_

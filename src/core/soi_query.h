@@ -1,0 +1,65 @@
+#ifndef SOI_CORE_SOI_QUERY_H_
+#define SOI_CORE_SOI_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "network/road_network.h"
+#include "text/keyword_set.h"
+
+namespace soi {
+
+/// A k-SOI query q = <Psi, k, eps> (Problem 1): find the k streets with the
+/// highest interest for the keyword set Psi, where a POI counts toward a
+/// segment when it lies within distance eps.
+struct SoiQuery {
+  KeywordSet keywords;
+  int32_t k = 10;
+  double eps = 0.0005;
+};
+
+/// One street of the k-SOI answer.
+struct RankedStreet {
+  StreetId street = -1;
+  /// int(s | Psi, eps): the street's interest (Definition 3).
+  double interest = 0.0;
+  /// The segment attaining the street's interest.
+  SegmentId best_segment = -1;
+};
+
+/// Instrumentation counters and per-phase timings of one k-SOI evaluation.
+/// The three phase timings are the stacked bars of Figure 4.
+struct SoiQueryStats {
+  // Phase timings, seconds.
+  double list_construction_seconds = 0.0;
+  double filtering_seconds = 0.0;
+  double refinement_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return list_construction_seconds + filtering_seconds +
+           refinement_seconds;
+  }
+
+  // Work counters.
+  int64_t iterations = 0;
+  int64_t cells_popped = 0;
+  int64_t segments_popped = 0;
+  int64_t segments_seen = 0;
+  int64_t segments_finalized_in_refinement = 0;
+  int64_t poi_distance_checks = 0;
+
+  // Bounds at termination of the filtering phase.
+  double final_upper_bound = 0.0;
+  double final_lower_bound = 0.0;
+};
+
+/// Result of a k-SOI evaluation: the answer streets ordered by decreasing
+/// interest (ties by ascending street id), plus run statistics.
+struct SoiResult {
+  std::vector<RankedStreet> streets;
+  SoiQueryStats stats;
+};
+
+}  // namespace soi
+
+#endif  // SOI_CORE_SOI_QUERY_H_

@@ -1,0 +1,62 @@
+#include "core/street_photos.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace soi {
+
+namespace {
+
+StreetPhotos AssembleFromIds(const RoadNetwork& network, StreetId street,
+                             const std::vector<Photo>& photos,
+                             std::vector<PhotoId> ids, double eps) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  StreetPhotos result;
+  result.street = street;
+  result.eps = eps;
+  result.global_ids = std::move(ids);
+  result.photos.reserve(result.global_ids.size());
+  for (PhotoId id : result.global_ids) {
+    const Photo& photo = photos[static_cast<size_t>(id)];
+    result.photos.push_back(photo);
+    result.street_terms.AddAll(photo.keywords);
+  }
+  result.max_distance = network.StreetBounds(street).Expanded(eps).Diagonal();
+  return result;
+}
+
+}  // namespace
+
+StreetPhotos ExtractStreetPhotos(const RoadNetwork& network, StreetId street,
+                                 const std::vector<Photo>& photos,
+                                 const PointGrid<PhotoId>& photo_grid,
+                                 double eps) {
+  SOI_CHECK(eps > 0);
+  Box probe = network.StreetBounds(street).Expanded(eps);
+  std::vector<PhotoId> ids;
+  photo_grid.ForEachCandidateInBox(probe, [&](PhotoId id) {
+    const Photo& photo = photos[static_cast<size_t>(id)];
+    if (network.StreetDistanceTo(street, photo.position) <= eps) {
+      ids.push_back(id);
+    }
+  });
+  return AssembleFromIds(network, street, photos, std::move(ids), eps);
+}
+
+StreetPhotos ExtractStreetPhotosBruteForce(const RoadNetwork& network,
+                                           StreetId street,
+                                           const std::vector<Photo>& photos,
+                                           double eps) {
+  SOI_CHECK(eps > 0);
+  std::vector<PhotoId> ids;
+  for (size_t i = 0; i < photos.size(); ++i) {
+    if (network.StreetDistanceTo(street, photos[i].position) <= eps) {
+      ids.push_back(static_cast<PhotoId>(i));
+    }
+  }
+  return AssembleFromIds(network, street, photos, std::move(ids), eps);
+}
+
+}  // namespace soi

@@ -1,0 +1,53 @@
+#ifndef SOI_CORE_STREET_PHOTOS_H_
+#define SOI_CORE_STREET_PHOTOS_H_
+
+#include <vector>
+
+#include "grid/point_grid.h"
+#include "network/road_network.h"
+#include "objects/photo.h"
+#include "text/term_vector.h"
+
+namespace soi {
+
+/// The photo context of one street to be described (Section 4.1): the
+/// relevant photos R_s = {r : dist(r, s) <= eps}, the street keyword
+/// frequency vector Phi_s, and the normalizer maxD(s).
+///
+/// Photos are copied out of the dataset; ids in the diversification
+/// algorithms are *local* (indices into `photos`), with `global_ids`
+/// mapping back to the dataset photo vector.
+struct StreetPhotos {
+  StreetId street = -1;
+  double eps = 0.0;
+  /// R_s, ordered by ascending global id.
+  std::vector<Photo> photos;
+  /// global_ids[i] is the dataset id of photos[i].
+  std::vector<PhotoId> global_ids;
+  /// Phi_s: keyword frequencies over R_s (the default derivation; the
+  /// paper allows others, e.g. from neighboring POIs).
+  TermVector street_terms;
+  /// maxD(s): the diagonal of the street MBR extended by an eps buffer
+  /// (Definition 5 normalizer).
+  double max_distance = 0.0;
+
+  int64_t size() const { return static_cast<int64_t>(photos.size()); }
+};
+
+/// Extracts R_s for `street` from `photos` using the bucketed `photo_grid`
+/// (built over the same photo vector) and assembles the description
+/// context. Phi_s is derived from the keywords of R_s.
+StreetPhotos ExtractStreetPhotos(const RoadNetwork& network, StreetId street,
+                                 const std::vector<Photo>& photos,
+                                 const PointGrid<PhotoId>& photo_grid,
+                                 double eps);
+
+/// As above but scanning all photos (no index); the test oracle.
+StreetPhotos ExtractStreetPhotosBruteForce(const RoadNetwork& network,
+                                           StreetId street,
+                                           const std::vector<Photo>& photos,
+                                           double eps);
+
+}  // namespace soi
+
+#endif  // SOI_CORE_STREET_PHOTOS_H_

@@ -1,0 +1,128 @@
+#include "datagen/city_profile.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace soi {
+
+namespace {
+
+// Categories common to all cities. The four Table 4 query categories get
+// per-city fractions (passed in); the rest are shared filler so the total
+// keyword distribution is realistic.
+std::vector<CategorySpec> MakeCategories(double religion, double education,
+                                         double food, double services,
+                                         double shop) {
+  std::vector<CategorySpec> categories = {
+      // The Table 4 query categories. Real cities have many genuinely
+      // dense streets per category — that heavy tail is what makes the
+      // SOI bounds effective. Counts are for scale 1.0 and shrink with
+      // sqrt(scale) in ApplyScale.
+      {"religion", religion, 60, 0.75},
+      {"education", education, 160, 0.8},
+      {"food", food, 450, 0.85},
+      {"services", services, 450, 0.85},
+      // The Table 2 effectiveness category.
+      {"shop", shop, 32, 0.85},
+      // Background-heavy filler categories.
+      {"entertainment", 0.04, 50, 0.6},
+      {"culture", 0.03, 30, 0.5},
+      {"hotel", 0.03, 20, 0.5},
+      {"transport", 0.06, 0, 0.0},
+      {"parking", 0.06, 0, 0.0},
+      {"office", 0.10, 0, 0.0},
+      {"residence", 0.20, 0, 0.0},
+      {"bank", 0.02, 0, 0.0},
+      {"pharmacy", 0.02, 0, 0.0},
+      {"monument", 0.02, 4, 0.30},
+  };
+  return categories;
+}
+
+void ApplyScale(CityProfile* profile, double scale) {
+  SOI_CHECK(scale > 0 && scale <= 1) << "scale must be in (0, 1]";
+  profile->target_segments =
+      static_cast<int64_t>(std::llround(profile->target_segments * scale));
+  profile->target_pois =
+      static_cast<int64_t>(std::llround(profile->target_pois * scale));
+  profile->target_photos =
+      static_cast<int64_t>(std::llround(profile->target_photos * scale));
+  // Shrink the bounding box sides by sqrt(scale) so spatial densities
+  // (POIs per area, block and segment lengths, masses per grid cell) stay
+  // at the paper's real-data levels — a scaled city is a smaller city,
+  // not a sparser one. The algorithms' pruning behaviour depends on those
+  // densities, so this is what keeps the Figure 4/6 shapes intact at
+  // small scales.
+  double side = std::sqrt(scale);
+  // Hotspot street counts shrink with the linear city size (they are a
+  // roughly constant fraction of all streets); floors keep the ground
+  // truth meaningful at tiny scales.
+  for (CategorySpec& category : profile->categories) {
+    if (category.num_hotspot_streets > 0) {
+      category.num_hotspot_streets = std::max<int32_t>(
+          4, static_cast<int32_t>(
+                 std::llround(category.num_hotspot_streets * side)));
+    }
+  }
+  Point center{(profile->bbox.min.x + profile->bbox.max.x) / 2,
+               (profile->bbox.min.y + profile->bbox.max.y) / 2};
+  double half_width = profile->bbox.Width() / 2 * side;
+  double half_height = profile->bbox.Height() / 2 * side;
+  profile->bbox =
+      Box::FromCorners(Point{center.x - half_width, center.y - half_height},
+                       Point{center.x + half_width, center.y + half_height});
+}
+
+}  // namespace
+
+CityProfile LondonProfile(double scale) {
+  CityProfile profile;
+  profile.name = "London";
+  profile.seed = 20160315;
+  profile.bbox = Box::FromCorners(Point{-0.25, 51.45}, Point{0.05, 51.60});
+  profile.target_segments = 113885;
+  profile.target_pois = 2114264;
+  profile.target_photos = 500000;
+  // Table 4 London fractions: 10445 / 22237 / 80529 / 88916 of 2114264.
+  profile.categories =
+      MakeCategories(0.0049, 0.0105, 0.0381, 0.0421, 0.030);
+  ApplyScale(&profile, scale);
+  return profile;
+}
+
+CityProfile BerlinProfile(double scale) {
+  CityProfile profile;
+  profile.name = "Berlin";
+  profile.seed = 20160316;
+  profile.bbox = Box::FromCorners(Point{13.25, 52.45}, Point{13.55, 52.58});
+  profile.target_segments = 47755;
+  profile.target_pois = 797244;
+  profile.target_photos = 120000;
+  // Table 4 Berlin fractions: 1969 / 8537 / 37444 / 30360 of 797244.
+  profile.categories =
+      MakeCategories(0.0025, 0.0107, 0.0470, 0.0381, 0.028);
+  ApplyScale(&profile, scale);
+  return profile;
+}
+
+CityProfile ViennaProfile(double scale) {
+  CityProfile profile;
+  profile.name = "Vienna";
+  profile.seed = 20160317;
+  profile.bbox = Box::FromCorners(Point{16.28, 48.15}, Point{16.45, 48.25});
+  profile.target_segments = 22211;
+  profile.target_pois = 408712;
+  profile.target_photos = 200000;
+  // Table 4 Vienna fractions: 1678 / 5982 / 18035 / 15789 of 408712.
+  profile.categories =
+      MakeCategories(0.0041, 0.0146, 0.0441, 0.0386, 0.026);
+  ApplyScale(&profile, scale);
+  return profile;
+}
+
+std::vector<CityProfile> AllCityProfiles(double scale) {
+  return {LondonProfile(scale), BerlinProfile(scale), ViennaProfile(scale)};
+}
+
+}  // namespace soi

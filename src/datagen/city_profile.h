@@ -1,0 +1,104 @@
+#ifndef SOI_DATAGEN_CITY_PROFILE_H_
+#define SOI_DATAGEN_CITY_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+
+namespace soi {
+
+/// One POI/photo category of a synthetic city.
+struct CategorySpec {
+  /// The category keyword attached to every POI of the category (and used
+  /// in queries, e.g. "shop").
+  std::string keyword;
+  /// Fraction of all POIs belonging to the category.
+  double poi_fraction = 0.0;
+  /// Number of planted hotspot streets (the ground-truth "streets of
+  /// interest" for this category). 0 = background-only category.
+  int32_t num_hotspot_streets = 0;
+  /// Fraction of the category's POIs placed along the hotspot streets
+  /// (the rest are uniform background).
+  double hotspot_share = 0.0;
+};
+
+/// Full parameterization of a synthetic city. The three bundled presets
+/// (London / Berlin / Vienna) are tuned so the generated datasets match
+/// the paper's Table 1 and Table 4 statistics at `scale` = 1 and shrink
+/// proportionally below it.
+struct CityProfile {
+  std::string name;
+  uint64_t seed = 1;
+
+  /// Geographic extent in degree-like planar units.
+  Box bbox;
+
+  // --- road network -------------------------------------------------------
+  /// Approximate number of street segments to generate.
+  int64_t target_segments = 10000;
+  /// Expected extra breakpoints inserted per city block (subdividing the
+  /// block's segment).
+  double breakpoints_per_block = 0.3;
+  /// Positional jitter of intersections, as a fraction of the block size.
+  double jitter = 0.15;
+  /// Streets span this many consecutive blocks (uniform range).
+  int32_t min_blocks_per_street = 2;
+  int32_t max_blocks_per_street = 6;
+  /// Long diagonal arterial streets laid over the grid.
+  int32_t num_arterials = 6;
+
+  // --- POIs ----------------------------------------------------------------
+  int64_t target_pois = 100000;
+  std::vector<CategorySpec> categories;
+  /// Lateral placement spread of hotspot POIs around their street, in
+  /// coordinate units (the paper's eps = 0.0005 is a natural scale).
+  double hotspot_sigma = 0.00025;
+  /// Fraction of non-hotspot POIs placed along streets (the rest are
+  /// uniform over the bounding box). Real-world POIs line the streets, so
+  /// this defaults high.
+  double background_street_share = 0.95;
+  /// Zipf exponent of street popularity for background placement: a few
+  /// streets accumulate many POIs, most get few — the heavy spatial skew
+  /// the SOI bounds exploit on real data.
+  double street_popularity_theta = 1.3;
+  /// Number of generic noise keywords in the vocabulary and the Zipf skew
+  /// of their assignment.
+  int32_t noise_vocabulary = 2000;
+  double noise_zipf_theta = 1.1;
+  /// Extra noise keywords per POI (uniform in [min, max]).
+  int32_t min_noise_keywords = 1;
+  int32_t max_noise_keywords = 3;
+
+  // --- photos ---------------------------------------------------------------
+  int64_t target_photos = 30000;
+  /// Photo topic clusters along popular streets, and point-like "event"
+  /// hotspots producing near-duplicate tag sets (the HMV effect of
+  /// Figure 3).
+  int32_t num_photo_street_clusters = 12;
+  int32_t num_photo_events = 8;
+  double photo_street_share = 0.35;
+  double photo_event_share = 0.25;
+  int32_t min_photo_tags = 3;
+  int32_t max_photo_tags = 8;
+  /// Dimension of the synthetic visual descriptors attached to photos
+  /// (the visual-features extension); 0 disables them. Photos of the same
+  /// event get near-identical descriptors, street-cluster photos get
+  /// similar ones, background photos random ones.
+  int32_t visual_descriptor_dim = 8;
+};
+
+/// Presets matching the paper's datasets (Table 1), scaled by `scale`
+/// (1.0 = the paper's sizes; the bench default of 0.1 keeps full
+/// experiment sweeps in seconds). Requires 0 < scale <= 1.
+CityProfile LondonProfile(double scale);
+CityProfile BerlinProfile(double scale);
+CityProfile ViennaProfile(double scale);
+
+/// All three presets.
+std::vector<CityProfile> AllCityProfiles(double scale);
+
+}  // namespace soi
+
+#endif  // SOI_DATAGEN_CITY_PROFILE_H_

@@ -1,0 +1,76 @@
+#include "datagen/dataset.h"
+
+#include <utility>
+
+#include "datagen/photo_generator.h"
+#include "datagen/street_grid_generator.h"
+#include "network/network_io.h"
+#include "objects/object_io.h"
+
+namespace soi {
+
+Result<Dataset> GenerateCity(const CityProfile& profile) {
+  Dataset dataset;
+  dataset.name = profile.name;
+  Rng rng(profile.seed);
+  SOI_ASSIGN_OR_RETURN(dataset.network, GenerateStreetGrid(profile, &rng));
+  PoiGenerationResult pois =
+      GeneratePois(profile, dataset.network, &dataset.vocabulary, &rng);
+  dataset.pois = std::move(pois.pois);
+  dataset.ground_truth = std::move(pois.ground_truth);
+  dataset.photos = GeneratePhotos(profile, dataset.network,
+                                  dataset.ground_truth,
+                                  &dataset.vocabulary, &rng);
+  return dataset;
+}
+
+std::unique_ptr<DatasetIndexes> BuildIndexes(const Dataset& dataset,
+                                             double cell_size) {
+  Box bounds = dataset.network.bounds();
+  for (const Poi& poi : dataset.pois) bounds.ExtendToCover(poi.position);
+  for (const Photo& photo : dataset.photos) {
+    bounds.ExtendToCover(photo.position);
+  }
+  GridGeometry geometry(bounds, cell_size);
+
+  std::vector<Point> photo_positions;
+  photo_positions.reserve(dataset.photos.size());
+  for (const Photo& photo : dataset.photos) {
+    photo_positions.push_back(photo.position);
+  }
+
+  PoiGridIndex poi_grid(bounds, cell_size, dataset.pois);
+  GlobalInvertedIndex global_index(poi_grid);
+  SegmentCellIndex segment_cells(dataset.network, geometry);
+  PointGrid<PhotoId> photo_grid(geometry, photo_positions);
+  return std::make_unique<DatasetIndexes>(DatasetIndexes{
+      std::move(geometry), std::move(poi_grid), std::move(global_index),
+      std::move(segment_cells), std::move(photo_grid)});
+}
+
+Status SaveDataset(const Dataset& dataset, const std::string& prefix) {
+  SOI_RETURN_NOT_OK(
+      WriteNetworkToFile(dataset.network, prefix + ".network"));
+  SOI_RETURN_NOT_OK(
+      WritePoisToFile(dataset.pois, dataset.vocabulary, prefix + ".pois"));
+  SOI_RETURN_NOT_OK(WritePhotosToFile(dataset.photos, dataset.vocabulary,
+                                      prefix + ".photos"));
+  return Status::OK();
+}
+
+Result<Dataset> LoadDataset(const std::string& name,
+                            const std::string& prefix) {
+  Dataset dataset;
+  dataset.name = name;
+  SOI_ASSIGN_OR_RETURN(dataset.network,
+                       ReadNetworkFromFile(prefix + ".network"));
+  SOI_ASSIGN_OR_RETURN(
+      dataset.pois,
+      ReadPoisFromFile(prefix + ".pois", &dataset.vocabulary));
+  SOI_ASSIGN_OR_RETURN(
+      dataset.photos,
+      ReadPhotosFromFile(prefix + ".photos", &dataset.vocabulary));
+  return dataset;
+}
+
+}  // namespace soi

@@ -1,0 +1,65 @@
+#ifndef SOI_DATAGEN_DATASET_H_
+#define SOI_DATAGEN_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/city_profile.h"
+#include "datagen/poi_generator.h"
+#include "grid/global_inverted_index.h"
+#include "grid/point_grid.h"
+#include "grid/poi_grid_index.h"
+#include "grid/segment_cell_index.h"
+#include "network/road_network.h"
+#include "objects/photo.h"
+#include "objects/poi.h"
+#include "text/vocabulary.h"
+
+namespace soi {
+
+/// A complete city dataset: road network, POIs, photos, their shared
+/// vocabulary, and (for generated cities) the planted ground truth.
+struct Dataset {
+  std::string name;
+  Vocabulary vocabulary;
+  RoadNetwork network;
+  std::vector<Poi> pois;
+  std::vector<Photo> photos;
+  GroundTruth ground_truth;
+};
+
+/// Deterministically generates the full dataset of a city profile
+/// (network, POIs, photos, ground truth) from profile.seed.
+Result<Dataset> GenerateCity(const CityProfile& profile);
+
+/// The offline index suite of Sections 3.2.1 / 4.2.1 over one dataset:
+/// shared grid geometry, POI grid with local inverted indices, global
+/// inverted index, segment<->cell maps, and a bucketed photo grid for R_s
+/// extraction. Holds pointers into the dataset, which must outlive it.
+struct DatasetIndexes {
+  GridGeometry geometry;
+  PoiGridIndex poi_grid;
+  GlobalInvertedIndex global_index;
+  SegmentCellIndex segment_cells;
+  PointGrid<PhotoId> photo_grid;
+};
+
+/// Builds all offline indices with square grid cells of side `cell_size`.
+/// The grid covers the union of the network, POI, and photo extents.
+std::unique_ptr<DatasetIndexes> BuildIndexes(const Dataset& dataset,
+                                             double cell_size);
+
+/// Persists a dataset as <prefix>.network / <prefix>.pois / <prefix>.photos
+/// (the planted ground truth is derivable by regenerating; it is not
+/// serialized).
+Status SaveDataset(const Dataset& dataset, const std::string& prefix);
+
+/// Loads a dataset written by SaveDataset.
+Result<Dataset> LoadDataset(const std::string& name,
+                            const std::string& prefix);
+
+}  // namespace soi
+
+#endif  // SOI_DATAGEN_DATASET_H_

@@ -1,0 +1,226 @@
+#include "datagen/photo_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace soi {
+
+namespace {
+
+constexpr const char* kTopicWords[] = {
+    "shopping", "fashion",  "crowd",    "night",   "facade", "window",
+    "sale",     "festival", "concert",  "protest", "parade", "market",
+    "tourists", "historic", "christmas", "lights", "rain",   "summer",
+    "food",     "coffee",   "architecture", "graffiti", "bus", "bike",
+};
+
+// Synthetic visual descriptors: a base embedding plus per-photo jitter,
+// clamped into [0, 1]^dim.
+std::vector<float> RandomDescriptor(int32_t dim, Rng* rng) {
+  std::vector<float> descriptor(static_cast<size_t>(dim));
+  for (float& v : descriptor) {
+    v = static_cast<float>(rng->UniformDouble());
+  }
+  return descriptor;
+}
+
+std::vector<float> JitteredDescriptor(const std::vector<float>& base,
+                                      double sigma, Rng* rng) {
+  std::vector<float> descriptor = base;
+  for (float& v : descriptor) {
+    v = static_cast<float>(std::clamp(
+        static_cast<double>(v) + rng->Normal(0, sigma), 0.0, 1.0));
+  }
+  return descriptor;
+}
+
+std::vector<KeywordId> InternNoise(const CityProfile& profile,
+                                   Vocabulary* vocabulary) {
+  std::vector<KeywordId> ids;
+  ids.reserve(static_cast<size_t>(profile.noise_vocabulary));
+  for (int32_t i = 0; i < profile.noise_vocabulary; ++i) {
+    // Shares the POI noise vocabulary ("tagN"), so photo tags and POI
+    // keywords overlap like real Flickr tags and POI descriptions do.
+    ids.push_back(vocabulary->Intern("tag" + std::to_string(i)));
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::vector<Photo> GeneratePhotos(const CityProfile& profile,
+                                  const RoadNetwork& network,
+                                  const GroundTruth& ground_truth,
+                                  Vocabulary* vocabulary, Rng* rng) {
+  SOI_CHECK(vocabulary != nullptr);
+  SOI_CHECK(rng != nullptr);
+  std::vector<Photo> photos;
+  photos.reserve(static_cast<size_t>(profile.target_photos));
+
+  std::vector<KeywordId> noise = InternNoise(profile, vocabulary);
+  ZipfSampler noise_sampler(noise.size(), profile.noise_zipf_theta);
+  std::vector<KeywordId> topics;
+  for (const char* word : kTopicWords) {
+    topics.push_back(vocabulary->Intern(word));
+  }
+
+  auto noise_tags = [&](std::vector<KeywordId>* ids, int64_t count) {
+    for (int64_t i = 0; i < count; ++i) {
+      ids->push_back(noise[noise_sampler.Sample(rng)]);
+    }
+  };
+  auto tag_budget = [&]() {
+    return rng->UniformInt(profile.min_photo_tags, profile.max_photo_tags);
+  };
+
+  // --- cluster streets: hotspot streets of the planted categories, ranked
+  // best-first across categories, so SOI winners have rich photo sets.
+  // The "shop" category leads (its top street is the city's "Oxford
+  // Street": the most photographed place and the benches' query target).
+  std::vector<const CategoryGroundTruth*> ordered_categories;
+  for (const CategoryGroundTruth& category : ground_truth.categories) {
+    if (category.keyword == "shop") {
+      ordered_categories.insert(ordered_categories.begin(), &category);
+    } else {
+      ordered_categories.push_back(&category);
+    }
+  }
+  std::vector<std::pair<StreetId, KeywordId>> cluster_streets;
+  for (size_t rank = 0; cluster_streets.size() <
+                        static_cast<size_t>(profile.num_photo_street_clusters);
+       ++rank) {
+    bool any = false;
+    for (const CategoryGroundTruth* category : ordered_categories) {
+      if (rank < category->hotspots.size() &&
+          cluster_streets.size() <
+              static_cast<size_t>(profile.num_photo_street_clusters)) {
+        cluster_streets.emplace_back(category->hotspots[rank],
+                                     vocabulary->Intern(category->keyword));
+        any = true;
+      }
+    }
+    if (!any) break;  // Ground truth exhausted.
+  }
+
+  // --- street topic clusters ------------------------------------------------
+  if (!cluster_streets.empty()) {
+    int64_t street_photos = static_cast<int64_t>(
+        std::llround(profile.photo_street_share * profile.target_photos));
+    // The first cluster street (the "Oxford Street") is 3x as photographed.
+    std::vector<double> weights(cluster_streets.size(), 1.0);
+    weights[0] = 3.0;
+    double weight_sum = 0.0;
+    for (double weight : weights) weight_sum += weight;
+    for (size_t c = 0; c < cluster_streets.size(); ++c) {
+      auto [street, category_keyword] = cluster_streets[c];
+      // Per-street topic tag pool.
+      std::vector<KeywordId> street_topics;
+      int64_t num_topics = rng->UniformInt(2, 4);
+      for (int64_t i = 0; i < num_topics; ++i) {
+        street_topics.push_back(
+            topics[static_cast<size_t>(rng->UniformInt(topics.size()))]);
+      }
+      street_topics.push_back(
+          vocabulary->Intern("street" + std::to_string(street)));
+      std::vector<float> street_descriptor;
+      if (profile.visual_descriptor_dim > 0) {
+        street_descriptor =
+            RandomDescriptor(profile.visual_descriptor_dim, rng);
+      }
+      int64_t n = static_cast<int64_t>(
+          std::llround(street_photos * weights[c] / weight_sum));
+      for (int64_t i = 0; i < n; ++i) {
+        Photo photo;
+        photo.position = RandomPointNearStreet(network, street,
+                                               profile.hotspot_sigma, rng);
+        if (profile.visual_descriptor_dim > 0) {
+          photo.visual = JitteredDescriptor(street_descriptor, 0.12, rng);
+        }
+        std::vector<KeywordId> ids;
+        ids.push_back(category_keyword);
+        // Mostly-shared street topic tags: cluster photos are textually
+        // redundant with each other and distinct from background photos.
+        for (KeywordId topic : street_topics) {
+          if (rng->Bernoulli(0.85)) ids.push_back(topic);
+        }
+        noise_tags(&ids, std::max<int64_t>(
+                             1, tag_budget() -
+                                    static_cast<int64_t>(ids.size())));
+        photo.keywords = KeywordSet(std::move(ids));
+        photos.push_back(std::move(photo));
+      }
+    }
+
+    // --- point events (near-duplicate tag sets) ----------------------------
+    int64_t event_photos = static_cast<int64_t>(
+        std::llround(profile.photo_event_share * profile.target_photos));
+    int32_t num_events = profile.num_photo_events;
+    for (int32_t e = 0; e < num_events; ++e) {
+      // Events sit on the cluster streets, biased to the first one.
+      size_t which = rng->Bernoulli(0.4)
+                         ? 0
+                         : static_cast<size_t>(
+                               rng->UniformInt(cluster_streets.size()));
+      StreetId street = cluster_streets[which].first;
+      Point center = RandomPointNearStreet(network, street,
+                                           profile.hotspot_sigma / 2, rng);
+      // The shared near-duplicate tag template.
+      std::vector<KeywordId> base_tags;
+      base_tags.push_back(vocabulary->Intern("event" + std::to_string(e)));
+      base_tags.push_back(cluster_streets[which].second);
+      int64_t num_topics = rng->UniformInt(3, 5);
+      for (int64_t i = 0; i < num_topics; ++i) {
+        base_tags.push_back(
+            topics[static_cast<size_t>(rng->UniformInt(topics.size()))]);
+      }
+      std::vector<float> event_descriptor;
+      if (profile.visual_descriptor_dim > 0) {
+        event_descriptor =
+            RandomDescriptor(profile.visual_descriptor_dim, rng);
+      }
+      int64_t n = event_photos / num_events;
+      for (int64_t i = 0; i < n; ++i) {
+        Photo photo;
+        photo.position = Point{center.x + rng->Normal(0, 0.00001),
+                               center.y + rng->Normal(0, 0.00001)};
+        if (profile.visual_descriptor_dim > 0) {
+          // Near-duplicate shots of the same scene: nearly identical
+          // embeddings.
+          photo.visual = JitteredDescriptor(event_descriptor, 0.015, rng);
+        }
+        std::vector<KeywordId> ids = base_tags;
+        // At most one tag of variation: near-duplicates.
+        if (rng->Bernoulli(0.3)) noise_tags(&ids, 1);
+        photo.keywords = KeywordSet(std::move(ids));
+        photos.push_back(std::move(photo));
+      }
+    }
+  }
+
+  // --- uniform background -----------------------------------------------------
+  const Box& bbox = profile.bbox;
+  while (static_cast<int64_t>(photos.size()) < profile.target_photos) {
+    Photo photo;
+    photo.position = Point{rng->UniformDouble(bbox.min.x, bbox.max.x),
+                           rng->UniformDouble(bbox.min.y, bbox.max.y)};
+    if (profile.visual_descriptor_dim > 0) {
+      photo.visual = RandomDescriptor(profile.visual_descriptor_dim, rng);
+    }
+    std::vector<KeywordId> ids;
+    if (rng->Bernoulli(0.3)) {
+      ids.push_back(
+          topics[static_cast<size_t>(rng->UniformInt(topics.size()))]);
+    }
+    noise_tags(&ids, std::max<int64_t>(1, tag_budget() -
+                                              static_cast<int64_t>(
+                                                  ids.size())));
+    photo.keywords = KeywordSet(std::move(ids));
+    photos.push_back(std::move(photo));
+  }
+  return photos;
+}
+
+}  // namespace soi

@@ -1,0 +1,35 @@
+#ifndef SOI_DATAGEN_PHOTO_GENERATOR_H_
+#define SOI_DATAGEN_PHOTO_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/city_profile.h"
+#include "datagen/poi_generator.h"
+#include "network/road_network.h"
+#include "objects/photo.h"
+#include "text/vocabulary.h"
+
+namespace soi {
+
+/// Generates profile.target_photos geo-tagged photos with the three
+/// redundancy patterns the paper's Figure 3 discussion relies on:
+///
+///  * street topic clusters — photos spread along popular (hotspot)
+///    streets sharing a small per-street topic tag set (the
+///    "demonstration along Oxford Street" effect);
+///  * point events — tight spatial clusters with near-duplicate tag sets
+///    (the "everyone photographs the HMV storefront" effect);
+///  * uniform background photos with Zipf noise tags.
+///
+/// Cluster streets are chosen among the ground-truth hotspot streets, so
+/// the top SOIs returned for the planted categories have photo sets large
+/// enough to describe.
+std::vector<Photo> GeneratePhotos(const CityProfile& profile,
+                                  const RoadNetwork& network,
+                                  const GroundTruth& ground_truth,
+                                  Vocabulary* vocabulary, Rng* rng);
+
+}  // namespace soi
+
+#endif  // SOI_DATAGEN_PHOTO_GENERATOR_H_

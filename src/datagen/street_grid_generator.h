@@ -1,0 +1,25 @@
+#ifndef SOI_DATAGEN_STREET_GRID_GENERATOR_H_
+#define SOI_DATAGEN_STREET_GRID_GENERATOR_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "datagen/city_profile.h"
+#include "network/road_network.h"
+
+namespace soi {
+
+/// Generates a synthetic urban road network: a jittered street grid whose
+/// rows/columns are partitioned into named streets of a few blocks each,
+/// with random breakpoints subdividing blocks into segments, plus a few
+/// long diagonal arterials. Sized to approximate
+/// profile.target_segments.
+///
+/// This is the stand-in for the paper's OpenStreetMap networks: the SOI
+/// algorithms consume only segment geometry and segment->street grouping,
+/// both of which this generator produces with realistic distributions
+/// (see DESIGN.md, Substitutions).
+Result<RoadNetwork> GenerateStreetGrid(const CityProfile& profile, Rng* rng);
+
+}  // namespace soi
+
+#endif  // SOI_DATAGEN_STREET_GRID_GENERATOR_H_

@@ -1,0 +1,58 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace soi {
+
+namespace {
+
+std::unordered_set<StreetId> TopKSet(const std::vector<RankedStreet>& ranked,
+                                     int32_t k) {
+  std::unordered_set<StreetId> set;
+  int32_t limit = std::min<int32_t>(k, static_cast<int32_t>(ranked.size()));
+  for (int32_t i = 0; i < limit; ++i) set.insert(ranked[i].street);
+  return set;
+}
+
+}  // namespace
+
+double RecallAtK(const std::vector<RankedStreet>& ranked,
+                 const std::vector<StreetId>& truth, int32_t k) {
+  if (truth.empty()) return 0.0;
+  std::unordered_set<StreetId> top = TopKSet(ranked, k);
+  int64_t hits = 0;
+  for (StreetId street : truth) {
+    if (top.count(street) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double PrecisionAtK(const std::vector<RankedStreet>& ranked,
+                    const std::vector<StreetId>& truth, int32_t k) {
+  if (k <= 0 || ranked.empty()) return 0.0;
+  std::unordered_set<StreetId> truth_set(truth.begin(), truth.end());
+  int32_t limit = std::min<int32_t>(k, static_cast<int32_t>(ranked.size()));
+  int64_t hits = 0;
+  for (int32_t i = 0; i < limit; ++i) {
+    if (truth_set.count(ranked[i].street) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(limit);
+}
+
+std::vector<double> NormalizeByMax(const std::vector<double>& scores) {
+  double max_score = 0.0;
+  for (double score : scores) {
+    SOI_CHECK(score >= 0) << "NormalizeByMax requires non-negative scores";
+    max_score = std::max(max_score, score);
+  }
+  if (max_score == 0.0) return scores;
+  std::vector<double> normalized;
+  normalized.reserve(scores.size());
+  for (double score : scores) normalized.push_back(score / max_score);
+  return normalized;
+}
+
+}  // namespace soi

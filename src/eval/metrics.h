@@ -1,0 +1,28 @@
+#ifndef SOI_EVAL_METRICS_H_
+#define SOI_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/soi_query.h"
+#include "network/road_network.h"
+
+namespace soi {
+
+/// recall@k of a ranked street list against a ground-truth set: the
+/// fraction of `truth` present among the first min(k, |ranked|) entries.
+/// Returns 0 for an empty truth set.
+double RecallAtK(const std::vector<RankedStreet>& ranked,
+                 const std::vector<StreetId>& truth, int32_t k);
+
+/// precision@k: the fraction of the first min(k, |ranked|) entries that
+/// are in `truth`. Returns 0 for k <= 0 or an empty ranking.
+double PrecisionAtK(const std::vector<RankedStreet>& ranked,
+                    const std::vector<StreetId>& truth, int32_t k);
+
+/// Divides every score by the maximum (the paper's Table 3 normalization).
+/// All scores must be non-negative; an all-zero input is returned as-is.
+std::vector<double> NormalizeByMax(const std::vector<double>& scores);
+
+}  // namespace soi
+
+#endif  // SOI_EVAL_METRICS_H_

@@ -1,0 +1,67 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace soi {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SOI_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SOI_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, expected "
+      << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream* out) const {
+  SOI_CHECK(out != nullptr);
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) *out << "  ";
+      if (c == 0) {
+        *out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      } else {
+        *out << std::right << std::setw(static_cast<int>(widths[c]))
+             << row[c];
+      }
+    }
+    *out << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  *out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string FormatMillis(double seconds) {
+  double ms = seconds * 1e3;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(ms < 10 ? 2 : 1) << ms << " ms";
+  return os.str();
+}
+
+}  // namespace soi

@@ -1,0 +1,35 @@
+#ifndef SOI_EVAL_TABLE_PRINTER_H_
+#define SOI_EVAL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace soi {
+
+/// Minimal fixed-width table formatter for the bench harnesses' paper-style
+/// tables (left-aligned first column, right-aligned numerics).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table with a separator line under the header.
+  void Print(std::ostream* out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision ("0.982").
+std::string FormatDouble(double value, int precision = 3);
+
+/// Formats seconds as milliseconds with adaptive precision ("12.4 ms").
+std::string FormatMillis(double seconds);
+
+}  // namespace soi
+
+#endif  // SOI_EVAL_TABLE_PRINTER_H_

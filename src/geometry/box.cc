@@ -1,0 +1,68 @@
+#include "geometry/box.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace soi {
+
+Box Box::FromCorners(const Point& a, const Point& b) {
+  Box box;
+  box.min = Point{std::min(a.x, b.x), std::min(a.y, b.y)};
+  box.max = Point{std::max(a.x, b.x), std::max(a.y, b.y)};
+  return box;
+}
+
+double Box::Diagonal() const {
+  if (IsEmpty()) return 0.0;
+  return min.DistanceTo(max);
+}
+
+Box Box::Expanded(double margin) const {
+  SOI_DCHECK(margin >= 0);
+  if (IsEmpty()) return *this;
+  Box box = *this;
+  box.min.x -= margin;
+  box.min.y -= margin;
+  box.max.x += margin;
+  box.max.y += margin;
+  return box;
+}
+
+void Box::ExtendToCover(const Point& p) {
+  if (IsEmpty()) {
+    min = max = p;
+    return;
+  }
+  min.x = std::min(min.x, p.x);
+  min.y = std::min(min.y, p.y);
+  max.x = std::max(max.x, p.x);
+  max.y = std::max(max.y, p.y);
+}
+
+void Box::ExtendToCover(const Box& other) {
+  if (other.IsEmpty()) return;
+  ExtendToCover(other.min);
+  ExtendToCover(other.max);
+}
+
+double Box::MinDistanceTo(const Point& p) const {
+  SOI_DCHECK(!IsEmpty());
+  double dx = std::max({min.x - p.x, 0.0, p.x - max.x});
+  double dy = std::max({min.y - p.y, 0.0, p.y - max.y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Box::MaxDistanceTo(const Point& p) const {
+  SOI_DCHECK(!IsEmpty());
+  double dx = std::max(std::abs(p.x - min.x), std::abs(p.x - max.x));
+  double dy = std::max(std::abs(p.y - min.y), std::abs(p.y - max.y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+  return os << "[" << b.min << " - " << b.max << "]";
+}
+
+}  // namespace soi

@@ -1,0 +1,69 @@
+#ifndef SOI_GEOMETRY_BOX_H_
+#define SOI_GEOMETRY_BOX_H_
+
+#include <ostream>
+
+#include "geometry/point.h"
+
+namespace soi {
+
+/// An axis-aligned rectangle [min.x, max.x] x [min.y, max.y].
+///
+/// A default-constructed Box is empty (inverted bounds); extend it with
+/// ExtendToCover. Used for grid cells, segment MBRs, and the
+/// eps-buffered street MBR whose diagonal is maxD(s) (Definition 5).
+struct Box {
+  Point min{1.0, 1.0};
+  Point max{-1.0, -1.0};
+
+  /// Creates an empty box (contains nothing; union identity).
+  static Box Empty() { return Box{}; }
+
+  /// Creates the box spanning the two corner points (in any order).
+  static Box FromCorners(const Point& a, const Point& b);
+
+  bool IsEmpty() const { return min.x > max.x || min.y > max.y; }
+
+  double Width() const { return IsEmpty() ? 0.0 : max.x - min.x; }
+  double Height() const { return IsEmpty() ? 0.0 : max.y - min.y; }
+
+  /// Length of the box diagonal; 0 for an empty box.
+  double Diagonal() const;
+
+  bool Contains(const Point& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// True iff the boxes share at least a boundary point.
+  bool Intersects(const Box& other) const {
+    if (IsEmpty() || other.IsEmpty()) return false;
+    return min.x <= other.max.x && other.min.x <= max.x &&
+           min.y <= other.max.y && other.min.y <= max.y;
+  }
+
+  /// Grows the box by `margin` on every side. Requires margin >= 0.
+  Box Expanded(double margin) const;
+
+  /// Extends the box to cover `p`.
+  void ExtendToCover(const Point& p);
+
+  /// Extends the box to cover `other`.
+  void ExtendToCover(const Box& other);
+
+  /// Minimum distance from `p` to any point of the box (0 if inside).
+  double MinDistanceTo(const Point& p) const;
+
+  /// Maximum distance from `p` to any point of the box. Requires a
+  /// non-empty box.
+  double MaxDistanceTo(const Point& p) const;
+};
+
+inline bool operator==(const Box& a, const Box& b) {
+  return a.min == b.min && a.max == b.max;
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b);
+
+}  // namespace soi
+
+#endif  // SOI_GEOMETRY_BOX_H_

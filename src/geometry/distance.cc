@@ -1,0 +1,70 @@
+#include "geometry/distance.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace soi {
+
+namespace {
+
+// Orientation of the triple (a, b, c): >0 counter-clockwise, <0 clockwise,
+// 0 collinear.
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  double cross = Cross(b - a, c - a);
+  if (cross > 0) return 1;
+  if (cross < 0) return -1;
+  return 0;
+}
+
+// True iff collinear point c lies within the bounding box of segment (a, b).
+bool OnSegment(const Point& a, const Point& b, const Point& c) {
+  return std::min(a.x, b.x) <= c.x && c.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= c.y && c.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Segment& s, const Segment& t) {
+  int o1 = Orientation(s.a, s.b, t.a);
+  int o2 = Orientation(s.a, s.b, t.b);
+  int o3 = Orientation(t.a, t.b, s.a);
+  int o4 = Orientation(t.a, t.b, s.b);
+
+  if (o1 != o2 && o3 != o4) return true;
+
+  if (o1 == 0 && OnSegment(s.a, s.b, t.a)) return true;
+  if (o2 == 0 && OnSegment(s.a, s.b, t.b)) return true;
+  if (o3 == 0 && OnSegment(t.a, t.b, s.a)) return true;
+  if (o4 == 0 && OnSegment(t.a, t.b, s.b)) return true;
+  return false;
+}
+
+double SegmentSegmentDistance(const Segment& s, const Segment& t) {
+  if (SegmentsIntersect(s, t)) return 0.0;
+  // Disjoint segments attain their minimum distance at an endpoint of one
+  // of them against the other segment.
+  double d = s.DistanceTo(t.a);
+  d = std::min(d, s.DistanceTo(t.b));
+  d = std::min(d, t.DistanceTo(s.a));
+  d = std::min(d, t.DistanceTo(s.b));
+  return d;
+}
+
+double SegmentBoxDistance(const Segment& s, const Box& box) {
+  SOI_DCHECK(!box.IsEmpty());
+  if (box.Contains(s.a) || box.Contains(s.b)) return 0.0;
+  Point bl = box.min;
+  Point br{box.max.x, box.min.y};
+  Point tr = box.max;
+  Point tl{box.min.x, box.max.y};
+  const Segment edges[4] = {
+      Segment{bl, br}, Segment{br, tr}, Segment{tr, tl}, Segment{tl, bl}};
+  double d = SegmentSegmentDistance(s, edges[0]);
+  for (int i = 1; i < 4 && d > 0.0; ++i) {
+    d = std::min(d, SegmentSegmentDistance(s, edges[i]));
+  }
+  return d;
+}
+
+}  // namespace soi

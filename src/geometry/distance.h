@@ -1,0 +1,25 @@
+#ifndef SOI_GEOMETRY_DISTANCE_H_
+#define SOI_GEOMETRY_DISTANCE_H_
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "geometry/segment.h"
+
+namespace soi {
+
+/// True iff segments `s` and `t` share at least one point (handles
+/// collinear overlap and degenerate segments).
+bool SegmentsIntersect(const Segment& s, const Segment& t);
+
+/// Minimum Euclidean distance between two segments (0 if they intersect).
+double SegmentSegmentDistance(const Segment& s, const Segment& t);
+
+/// Minimum Euclidean distance between a segment and a box (0 if the segment
+/// touches or crosses the box). Used by the query-time eps augmentation of
+/// the cell-to-segment maps: cell c belongs to C_eps(l) iff this distance
+/// is at most eps (Section 3.2.1). Requires a non-empty box.
+double SegmentBoxDistance(const Segment& s, const Box& box);
+
+}  // namespace soi
+
+#endif  // SOI_GEOMETRY_DISTANCE_H_

@@ -1,0 +1,62 @@
+#ifndef SOI_GEOMETRY_POINT_H_
+#define SOI_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace soi {
+
+/// A point in the plane. Coordinates are in arbitrary planar units; the
+/// bundled city presets use degree-like units so the paper's parameter
+/// values (eps = 0.0005, rho = 0.0001) carry over directly.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  /// Euclidean distance to `other`.
+  double DistanceTo(const Point& other) const {
+    double dx = x - other.x;
+    double dy = y - other.y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Squared Euclidean distance to `other` (avoids the sqrt on hot paths).
+  double SquaredDistanceTo(const Point& other) const {
+    double dx = x - other.x;
+    double dy = y - other.y;
+    return dx * dx + dy * dy;
+  }
+};
+
+inline bool operator==(const Point& a, const Point& b) {
+  return a.x == b.x && a.y == b.y;
+}
+inline bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+inline Point operator+(const Point& a, const Point& b) {
+  return Point{a.x + b.x, a.y + b.y};
+}
+inline Point operator-(const Point& a, const Point& b) {
+  return Point{a.x - b.x, a.y - b.y};
+}
+inline Point operator*(const Point& p, double s) {
+  return Point{p.x * s, p.y * s};
+}
+
+/// Dot product of the vectors represented by `a` and `b`.
+inline double Dot(const Point& a, const Point& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// Z component of the cross product of the vectors `a` and `b`.
+inline double Cross(const Point& a, const Point& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+}  // namespace soi
+
+#endif  // SOI_GEOMETRY_POINT_H_

@@ -1,0 +1,24 @@
+#include "geometry/segment.h"
+
+#include <algorithm>
+
+namespace soi {
+
+Point Segment::ClosestPointTo(const Point& p) const {
+  Point d = b - a;
+  double len_sq = Dot(d, d);
+  if (len_sq == 0.0) return a;  // Degenerate segment.
+  double t = Dot(p - a, d) / len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  return Interpolate(t);
+}
+
+double Segment::DistanceTo(const Point& p) const {
+  return ClosestPointTo(p).DistanceTo(p);
+}
+
+std::ostream& operator<<(std::ostream& os, const Segment& s) {
+  return os << s.a << "->" << s.b;
+}
+
+}  // namespace soi

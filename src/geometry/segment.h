@@ -1,0 +1,46 @@
+#ifndef SOI_GEOMETRY_SEGMENT_H_
+#define SOI_GEOMETRY_SEGMENT_H_
+
+#include <ostream>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace soi {
+
+/// A line segment between two endpoints. The paper's street segments
+/// (links l in L) are represented this way; len(l) is the Euclidean
+/// distance between the endpoints (Section 3.1).
+struct Segment {
+  Point a;
+  Point b;
+
+  double Length() const { return a.DistanceTo(b); }
+
+  Point Midpoint() const { return Point{(a.x + b.x) / 2, (a.y + b.y) / 2}; }
+
+  /// Minimum bounding rectangle of the segment.
+  Box BoundingBox() const { return Box::FromCorners(a, b); }
+
+  /// The point on the segment closest to `p`.
+  Point ClosestPointTo(const Point& p) const;
+
+  /// Minimum Euclidean distance from `p` to any point on the segment
+  /// (dist(p, l) of Section 3.1).
+  double DistanceTo(const Point& p) const;
+
+  /// The point at parameter t in [0, 1] along the segment (0 -> a, 1 -> b).
+  Point Interpolate(double t) const {
+    return Point{a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+  }
+};
+
+inline bool operator==(const Segment& s, const Segment& t) {
+  return s.a == t.a && s.b == t.b;
+}
+
+std::ostream& operator<<(std::ostream& os, const Segment& s);
+
+}  // namespace soi
+
+#endif  // SOI_GEOMETRY_SEGMENT_H_

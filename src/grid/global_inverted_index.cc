@@ -1,0 +1,85 @@
+#include "grid/global_inverted_index.h"
+
+#include <algorithm>
+
+namespace soi {
+
+namespace {
+
+const std::vector<GlobalInvertedIndex::Entry>& EmptyEntries() {
+  static const std::vector<GlobalInvertedIndex::Entry>* empty =
+      new std::vector<GlobalInvertedIndex::Entry>();
+  return *empty;
+}
+
+void SortByWeightDesc(std::vector<GlobalInvertedIndex::Entry>* entries) {
+  std::sort(entries->begin(), entries->end(),
+            [](const GlobalInvertedIndex::Entry& a,
+               const GlobalInvertedIndex::Entry& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.cell < b.cell;  // Deterministic tie-break.
+            });
+}
+
+}  // namespace
+
+GlobalInvertedIndex::GlobalInvertedIndex(const PoiGridIndex& grid) {
+  const std::vector<Poi>& pois = grid.pois();
+  for (CellId cell : grid.NonEmptyCells()) {
+    const PoiGridIndex::Cell* bucket = grid.FindCell(cell);
+    for (const auto& [keyword, postings] : bucket->postings) {
+      double weight = 0.0;
+      for (PoiId id : postings) {
+        weight += pois[static_cast<size_t>(id)].weight;
+      }
+      lists_[keyword].push_back(
+          Entry{cell, static_cast<int64_t>(postings.size()), weight});
+    }
+  }
+  for (auto& [keyword, entries] : lists_) {
+    SortByWeightDesc(&entries);
+  }
+}
+
+const std::vector<GlobalInvertedIndex::Entry>& GlobalInvertedIndex::Entries(
+    KeywordId keyword) const {
+  auto it = lists_.find(keyword);
+  return it == lists_.end() ? EmptyEntries() : it->second;
+}
+
+std::vector<GlobalInvertedIndex::Entry>
+GlobalInvertedIndex::BuildQueryCellList(const KeywordSet& query,
+                                        const PoiGridIndex& grid) const {
+  struct Sums {
+    int64_t count = 0;
+    double weight = 0.0;
+  };
+  std::unordered_map<CellId, Sums> sums;
+  for (KeywordId keyword : query.ids()) {
+    for (const Entry& entry : Entries(keyword)) {
+      Sums& cell_sums = sums[entry.cell];
+      cell_sums.count += entry.num_pois;
+      cell_sums.weight += entry.weight;
+    }
+  }
+  const std::vector<Poi>& pois = grid.pois();
+  std::vector<Entry> result;
+  result.reserve(sums.size());
+  for (const auto& [cell, cell_sums] : sums) {
+    // min(per-keyword sum, whole-cell total) is a valid upper bound for
+    // counts and weights alike.
+    double cell_weight = 0.0;
+    const PoiGridIndex::Cell* bucket = grid.FindCell(cell);
+    for (PoiId id : bucket->pois) {
+      cell_weight += pois[static_cast<size_t>(id)].weight;
+    }
+    result.push_back(Entry{cell,
+                           std::min(cell_sums.count,
+                                    grid.NumPoisInCell(cell)),
+                           std::min(cell_sums.weight, cell_weight)});
+  }
+  SortByWeightDesc(&result);
+  return result;
+}
+
+}  // namespace soi

@@ -1,0 +1,59 @@
+#ifndef SOI_GRID_GLOBAL_INVERTED_INDEX_H_
+#define SOI_GRID_GLOBAL_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/grid_geometry.h"
+#include "grid/poi_grid_index.h"
+#include "text/keyword_set.h"
+#include "text/vocabulary.h"
+
+namespace soi {
+
+/// The global inverted index of Section 3.2.1: for each keyword psi, the
+/// list of <cell, numPOIs> entries sorted decreasingly on numPOIs, where
+/// numPOIs is the number of POIs in the cell carrying psi.
+///
+/// The entry list for the query keyword is (after per-cell aggregation for
+/// multi-keyword queries) the source list SL1 of Algorithm 1.
+class GlobalInvertedIndex {
+ public:
+  struct Entry {
+    CellId cell;
+    /// Number of POIs in the cell carrying the keyword.
+    int64_t num_pois;
+    /// Total weight of those POIs (equals num_pois with unit weights);
+    /// the quantity the SL1 ordering and the unseen upper bound use, so
+    /// the weighted-mass extension stays sound.
+    double weight;
+  };
+
+  /// Builds from an already-built POI grid (offline, once per dataset).
+  explicit GlobalInvertedIndex(const PoiGridIndex& grid);
+
+  /// Entries for `keyword`, sorted decreasingly on weight. Empty if the
+  /// keyword occurs nowhere.
+  const std::vector<Entry>& Entries(KeywordId keyword) const;
+
+  /// Builds the SL1 aggregation for a multi-keyword query: for every cell
+  /// that appears in some query keyword's list, the upper bound
+  /// |P_Psi(c)| = min(|P_c|, sum over psi of I[psi][c]) on the number
+  /// (and, in `weight`, the min of the analogous weight sums on the total
+  /// weight) of POIs in the cell relevant to the query (Algorithm 1,
+  /// lines 1-3). Returned sorted decreasingly on the weight bound.
+  std::vector<Entry> BuildQueryCellList(const KeywordSet& query,
+                                        const PoiGridIndex& grid) const;
+
+  int64_t num_keywords() const {
+    return static_cast<int64_t>(lists_.size());
+  }
+
+ private:
+  std::unordered_map<KeywordId, std::vector<Entry>> lists_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_GRID_GLOBAL_INVERTED_INDEX_H_

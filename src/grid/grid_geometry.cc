@@ -1,0 +1,39 @@
+#include "grid/grid_geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace soi {
+
+GridGeometry::GridGeometry(const Box& bounds, double cell_size)
+    : bounds_(bounds), cell_size_(cell_size) {
+  SOI_CHECK(!bounds.IsEmpty()) << "grid over empty bounds";
+  SOI_CHECK(cell_size > 0) << "grid cell size must be positive";
+  nx_ = std::max<int32_t>(
+      1, static_cast<int32_t>(std::ceil(bounds.Width() / cell_size)));
+  ny_ = std::max<int32_t>(
+      1, static_cast<int32_t>(std::ceil(bounds.Height() / cell_size)));
+  SOI_CHECK(num_cells() < (int64_t{1} << 31))
+      << "grid too fine: " << num_cells() << " cells";
+}
+
+CellCoord GridGeometry::CoordOf(const Point& p) const {
+  int32_t ix =
+      static_cast<int32_t>(std::floor((p.x - bounds_.min.x) / cell_size_));
+  int32_t iy =
+      static_cast<int32_t>(std::floor((p.y - bounds_.min.y) / cell_size_));
+  ix = std::clamp(ix, 0, nx_ - 1);
+  iy = std::clamp(iy, 0, ny_ - 1);
+  return CellCoord{ix, iy};
+}
+
+Box GridGeometry::CellBox(CellId id) const {
+  CellCoord c = ToCoord(id);
+  Box box;
+  box.min = Point{bounds_.min.x + c.ix * cell_size_,
+                  bounds_.min.y + c.iy * cell_size_};
+  box.max = Point{box.min.x + cell_size_, box.min.y + cell_size_};
+  return box;
+}
+
+}  // namespace soi

@@ -1,0 +1,89 @@
+#ifndef SOI_GRID_GRID_GEOMETRY_H_
+#define SOI_GRID_GRID_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace soi {
+
+/// Dense index of a grid cell; row-major (iy * nx + ix).
+using CellId = int32_t;
+
+/// Integer coordinates of a grid cell.
+struct CellCoord {
+  int32_t ix = 0;
+  int32_t iy = 0;
+};
+
+inline bool operator==(const CellCoord& a, const CellCoord& b) {
+  return a.ix == b.ix && a.iy == b.iy;
+}
+
+/// Geometry of a uniform grid covering a bounding box: coordinate <->
+/// cell-id mapping and cell rectangles.
+///
+/// All spatio-textual indices in the library (the POI grid of Section 3.2.1
+/// and the photo grid of Section 4.2.1) share this cell arithmetic. Points
+/// outside the covered box are clamped into the border cells, so the grid
+/// must be built over a box covering the data.
+class GridGeometry {
+ public:
+  /// Covers `bounds` with square cells of side `cell_size`. Requires a
+  /// non-empty bounds box and cell_size > 0.
+  GridGeometry(const Box& bounds, double cell_size);
+
+  const Box& bounds() const { return bounds_; }
+  double cell_size() const { return cell_size_; }
+  int32_t nx() const { return nx_; }
+  int32_t ny() const { return ny_; }
+  int64_t num_cells() const {
+    return static_cast<int64_t>(nx_) * static_cast<int64_t>(ny_);
+  }
+
+  /// Cell containing `p` (clamped to the grid).
+  CellId CellOf(const Point& p) const {
+    return ToId(CoordOf(p));
+  }
+
+  CellCoord CoordOf(const Point& p) const;
+
+  CellId ToId(const CellCoord& c) const {
+    SOI_DCHECK(c.ix >= 0 && c.ix < nx_ && c.iy >= 0 && c.iy < ny_);
+    return static_cast<CellId>(c.iy) * nx_ + c.ix;
+  }
+
+  CellCoord ToCoord(CellId id) const {
+    SOI_DCHECK(id >= 0 && id < num_cells());
+    return CellCoord{id % nx_, id / nx_};
+  }
+
+  /// The rectangle covered by cell `id`.
+  Box CellBox(CellId id) const;
+
+  /// Invokes `fn(CellId)` for every cell overlapping `box` (clamped to the
+  /// grid). No-op for an empty box.
+  template <typename Fn>
+  void ForEachCellInBox(const Box& box, Fn&& fn) const {
+    if (box.IsEmpty()) return;
+    CellCoord lo = CoordOf(box.min);
+    CellCoord hi = CoordOf(box.max);
+    for (int32_t iy = lo.iy; iy <= hi.iy; ++iy) {
+      for (int32_t ix = lo.ix; ix <= hi.ix; ++ix) {
+        fn(ToId(CellCoord{ix, iy}));
+      }
+    }
+  }
+
+ private:
+  Box bounds_;
+  double cell_size_;
+  int32_t nx_;
+  int32_t ny_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_GRID_GRID_GEOMETRY_H_

@@ -1,0 +1,93 @@
+#include "grid/photo_grid_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace soi {
+
+namespace {
+
+Box BoundsOf(const std::vector<Photo>& photos) {
+  Box box = Box::Empty();
+  for (const Photo& photo : photos) box.ExtendToCover(photo.position);
+  return box;
+}
+
+}  // namespace
+
+PhotoGridIndex::PhotoGridIndex(double cell_size,
+                               const std::vector<Photo>& photos)
+    : geometry_(BoundsOf(photos), cell_size), photos_(&photos) {
+  SOI_CHECK(!photos.empty()) << "PhotoGridIndex over an empty photo set";
+  for (size_t i = 0; i < photos.size(); ++i) {
+    PhotoId id = static_cast<PhotoId>(i);
+    CellId cell_id = geometry_.CellOf(photos[i].position);
+    Cell& cell = cells_[cell_id];
+    cell.photos.push_back(id);
+    for (KeywordId keyword : photos[i].keywords.ids()) {
+      cell.postings[keyword].push_back(id);
+    }
+  }
+  for (auto& [id, cell] : cells_) {
+    non_empty_cells_.push_back(id);
+    cell.psi_min = std::numeric_limits<int64_t>::max();
+    cell.psi_max = 0;
+    std::vector<KeywordId> cell_keywords;
+    cell_keywords.reserve(cell.postings.size());
+    for (const auto& [keyword, postings] : cell.postings) {
+      cell_keywords.push_back(keyword);
+    }
+    cell.keywords = KeywordSet(std::move(cell_keywords));
+    for (PhotoId photo : cell.photos) {
+      int64_t n = photos[static_cast<size_t>(photo)].keywords.size();
+      cell.psi_min = std::min(cell.psi_min, n);
+      cell.psi_max = std::max(cell.psi_max, n);
+      const std::vector<float>& visual =
+          photos[static_cast<size_t>(photo)].visual;
+      if (!visual.empty()) {
+        if (cell.visual_min.empty()) {
+          cell.visual_min = visual;
+          cell.visual_max = visual;
+        } else {
+          SOI_CHECK(visual.size() == cell.visual_min.size())
+              << "inconsistent visual descriptor dimensions";
+          for (size_t d = 0; d < visual.size(); ++d) {
+            cell.visual_min[d] = std::min(cell.visual_min[d], visual[d]);
+            cell.visual_max[d] = std::max(cell.visual_max[d], visual[d]);
+          }
+        }
+      }
+    }
+  }
+  std::sort(non_empty_cells_.begin(), non_empty_cells_.end());
+}
+
+const PhotoGridIndex::Cell* PhotoGridIndex::FindCell(CellId id) const {
+  auto it = cells_.find(id);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+int64_t PhotoGridIndex::NumPhotosInCell(CellId id) const {
+  const Cell* cell = FindCell(id);
+  return cell == nullptr ? 0 : static_cast<int64_t>(cell->photos.size());
+}
+
+int64_t PhotoGridIndex::NeighborhoodCount(CellId cell, int32_t radius) const {
+  CellCoord center = geometry_.ToCoord(cell);
+  int64_t count = 0;
+  for (int32_t dy = -radius; dy <= radius; ++dy) {
+    for (int32_t dx = -radius; dx <= radius; ++dx) {
+      CellCoord c{center.ix + dx, center.iy + dy};
+      if (c.ix < 0 || c.ix >= geometry_.nx() || c.iy < 0 ||
+          c.iy >= geometry_.ny()) {
+        continue;
+      }
+      count += NumPhotosInCell(geometry_.ToId(c));
+    }
+  }
+  return count;
+}
+
+}  // namespace soi

@@ -1,0 +1,74 @@
+#ifndef SOI_GRID_PHOTO_GRID_INDEX_H_
+#define SOI_GRID_PHOTO_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/grid_geometry.h"
+#include "objects/photo.h"
+#include "text/keyword_set.h"
+#include "text/vocabulary.h"
+
+namespace soi {
+
+/// The diversification index of Section 4.2.1: a grid with cell side rho/2
+/// over a street's photos R_s, holding per cell the photo list, a local
+/// inverted index, the cell keyword set c.Psi, and the min/max tag-set
+/// cardinalities psi_min / psi_max used by the textual bounds.
+///
+/// Photo ids are local: indices into the `photos` vector the index was
+/// built over (normally StreetPhotos::photos).
+class PhotoGridIndex {
+ public:
+  struct Cell {
+    /// Photo ids in the cell, ascending.
+    std::vector<PhotoId> photos;
+    /// Local inverted index c.I: keyword -> photos carrying it, ascending.
+    std::unordered_map<KeywordId, std::vector<PhotoId>> postings;
+    /// c.Psi: the keywords present in this cell.
+    KeywordSet keywords;
+    /// Minimum / maximum |Psi_r| over the cell's photos.
+    int64_t psi_min = 0;
+    int64_t psi_max = 0;
+    /// Componentwise bounding box of the cell's visual descriptors
+    /// (empty when photos carry none) — the visual-extension analogue of
+    /// the cell keyword aggregates.
+    std::vector<float> visual_min;
+    std::vector<float> visual_max;
+  };
+
+  /// Builds over `photos` with cells of side `cell_size` (= rho/2 in the
+  /// paper). Requires a non-empty photo set.
+  PhotoGridIndex(double cell_size, const std::vector<Photo>& photos);
+
+  const GridGeometry& geometry() const { return geometry_; }
+  const std::vector<Photo>& photos() const { return *photos_; }
+
+  /// Ids of all non-empty cells, ascending (the candidate list C of
+  /// Algorithm 2).
+  const std::vector<CellId>& non_empty_cells() const {
+    return non_empty_cells_;
+  }
+
+  /// Cell bucket, or nullptr if empty.
+  const Cell* FindCell(CellId id) const;
+
+  /// Number of photos in `cell` (0 if empty).
+  int64_t NumPhotosInCell(CellId id) const;
+
+  /// Sum of photo counts over the (2*radius+1)^2 block of cells centered
+  /// on `cell` (clipped at the grid edges). radius=2 gives the numerator
+  /// of the spatial relevance upper bound, Equation 12.
+  int64_t NeighborhoodCount(CellId cell, int32_t radius) const;
+
+ private:
+  GridGeometry geometry_;
+  const std::vector<Photo>* photos_;
+  std::unordered_map<CellId, Cell> cells_;
+  std::vector<CellId> non_empty_cells_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_GRID_PHOTO_GRID_INDEX_H_

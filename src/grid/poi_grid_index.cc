@@ -1,0 +1,54 @@
+#include "grid/poi_grid_index.h"
+
+#include <algorithm>
+
+namespace soi {
+
+PoiGridIndex::PoiGridIndex(const Box& bounds, double cell_size,
+                           const std::vector<Poi>& pois)
+    : geometry_(bounds, cell_size), pois_(&pois) {
+  for (size_t i = 0; i < pois.size(); ++i) {
+    PoiId id = static_cast<PoiId>(i);
+    CellId cell_id = geometry_.CellOf(pois[i].position);
+    Cell& cell = cells_[cell_id];
+    cell.pois.push_back(id);
+    for (KeywordId keyword : pois[i].keywords.ids()) {
+      cell.postings[keyword].push_back(id);
+    }
+  }
+  // POIs are inserted in ascending id order, so every list is sorted.
+}
+
+const PoiGridIndex::Cell* PoiGridIndex::FindCell(CellId id) const {
+  auto it = cells_.find(id);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+int64_t PoiGridIndex::NumPoisInCell(CellId id) const {
+  const Cell* cell = FindCell(id);
+  return cell == nullptr ? 0 : static_cast<int64_t>(cell->pois.size());
+}
+
+const std::vector<PoiId>* PoiGridIndex::FindPostings(
+    CellId cell_id, KeywordId keyword) const {
+  const Cell* cell = FindCell(cell_id);
+  if (cell == nullptr) return nullptr;
+  auto it = cell->postings.find(keyword);
+  return it == cell->postings.end() ? nullptr : &it->second;
+}
+
+std::vector<CellId> PoiGridIndex::NonEmptyCells() const {
+  std::vector<CellId> ids;
+  ids.reserve(cells_.size());
+  for (const auto& [id, cell] : cells_) ids.push_back(id);
+  return ids;
+}
+
+int64_t PoiGridIndex::CountRelevantInCell(CellId cell,
+                                          const KeywordSet& query) const {
+  int64_t count = 0;
+  ForEachRelevantInCell(cell, query, [&count](PoiId) { ++count; });
+  return count;
+}
+
+}  // namespace soi

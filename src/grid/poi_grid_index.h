@@ -1,0 +1,129 @@
+#ifndef SOI_GRID_POI_GRID_INDEX_H_
+#define SOI_GRID_POI_GRID_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "grid/grid_geometry.h"
+#include "objects/poi.h"
+#include "text/keyword_set.h"
+#include "text/vocabulary.h"
+
+namespace soi {
+
+/// The POI-side spatial grid index of Section 3.2.1: buckets all POIs into
+/// uniform cells and keeps, per cell, a local inverted index mapping each
+/// keyword to the cell's POIs that carry it, sorted increasingly by POI id.
+///
+/// Built offline once per dataset (POIs are static); the SOI algorithm and
+/// the BL baseline both read it.
+class PoiGridIndex {
+ public:
+  /// Bucket data of one non-empty grid cell.
+  struct Cell {
+    /// All POI ids in the cell, ascending.
+    std::vector<PoiId> pois;
+    /// Local inverted index: keyword -> POI ids in this cell carrying it,
+    /// ascending (the c.I(psi) lists of Algorithm 1).
+    std::unordered_map<KeywordId, std::vector<PoiId>> postings;
+  };
+
+  /// Buckets `pois` into cells of side `cell_size` covering `bounds`.
+  /// `bounds` must cover every POI position (outliers are clamped into
+  /// border cells).
+  PoiGridIndex(const Box& bounds, double cell_size,
+               const std::vector<Poi>& pois);
+
+  const GridGeometry& geometry() const { return geometry_; }
+
+  /// The indexed POIs (the index stores ids into this vector).
+  const std::vector<Poi>& pois() const { return *pois_; }
+
+  /// Cell bucket, or nullptr if the cell is empty.
+  const Cell* FindCell(CellId id) const;
+
+  /// |P_c|: number of POIs in the cell (0 if empty).
+  int64_t NumPoisInCell(CellId id) const;
+
+  /// The posting list c.I(psi), or nullptr if absent.
+  const std::vector<PoiId>* FindPostings(CellId cell, KeywordId keyword) const;
+
+  /// Ids of all non-empty cells (unordered).
+  std::vector<CellId> NonEmptyCells() const;
+
+  /// Number of POIs in `cell` that carry at least one keyword of `query`,
+  /// counted exactly by merging the per-keyword posting lists (each POI
+  /// counted once). This is the synchronized traversal of procedure
+  /// UpdateInterest for multi-keyword queries.
+  int64_t CountRelevantInCell(CellId cell, const KeywordSet& query) const;
+
+  /// Invokes `fn(PoiId)` once per POI in `cell` relevant to `query`
+  /// (merged across the query's posting lists, ascending by id).
+  template <typename Fn>
+  void ForEachRelevantInCell(CellId cell, const KeywordSet& query,
+                             Fn&& fn) const {
+    const Cell* c = FindCell(cell);
+    if (c == nullptr) return;
+    MergeRelevant(*c, query, fn);
+  }
+
+ private:
+  template <typename Fn>
+  void MergeRelevant(const Cell& cell, const KeywordSet& query,
+                     Fn&& fn) const;
+
+  GridGeometry geometry_;
+  const std::vector<Poi>* pois_;
+  std::unordered_map<CellId, Cell> cells_;
+};
+
+template <typename Fn>
+void PoiGridIndex::MergeRelevant(const Cell& cell, const KeywordSet& query,
+                                 Fn&& fn) const {
+  // k-way merge over the (sorted) posting lists of the query keywords,
+  // emitting each POI id exactly once. Query keyword counts are tiny
+  // (|Psi| <= ~4 in the paper), so a fixed-size cursor array scan beats a
+  // heap — and avoids a heap allocation on this very hot path (it runs
+  // once per (segment, cell) pair in both SOI and BL).
+  struct Cursor {
+    const std::vector<PoiId>* list;
+    size_t pos;
+  };
+  constexpr size_t kMaxQueryKeywords = 16;
+  SOI_DCHECK(static_cast<size_t>(query.size()) <= kMaxQueryKeywords)
+      << "queries of more than 16 keywords are not supported";
+  Cursor cursors[kMaxQueryKeywords];
+  size_t num_cursors = 0;
+  for (KeywordId keyword : query.ids()) {
+    auto it = cell.postings.find(keyword);
+    if (it != cell.postings.end() && !it->second.empty()) {
+      cursors[num_cursors++] = Cursor{&it->second, 0};
+    }
+  }
+  // Single-list fast path: most cells hold few of the query's keywords.
+  if (num_cursors == 1) {
+    for (PoiId id : *cursors[0].list) fn(id);
+    return;
+  }
+  while (num_cursors > 0) {
+    PoiId smallest = (*cursors[0].list)[cursors[0].pos];
+    for (size_t i = 1; i < num_cursors; ++i) {
+      smallest = std::min(smallest, (*cursors[i].list)[cursors[i].pos]);
+    }
+    fn(smallest);
+    // Advance every cursor past `smallest`; drop exhausted cursors.
+    for (size_t i = 0; i < num_cursors;) {
+      Cursor& cur = cursors[i];
+      if ((*cur.list)[cur.pos] == smallest) ++cur.pos;
+      if (cur.pos >= cur.list->size()) {
+        cursors[i] = cursors[--num_cursors];
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+}  // namespace soi
+
+#endif  // SOI_GRID_POI_GRID_INDEX_H_

@@ -1,0 +1,55 @@
+#ifndef SOI_GRID_POINT_GRID_H_
+#define SOI_GRID_POINT_GRID_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "grid/grid_geometry.h"
+
+namespace soi {
+
+/// A simple bucketed point index: maps grid cells to the ids of the points
+/// they contain. Generic over the id type; used for global photo lookups
+/// (extracting R_s) and as a building block in tests.
+template <typename Id>
+class PointGrid {
+ public:
+  /// Builds over `positions[i]` for i in [0, positions.size()); the id of
+  /// point i is static_cast<Id>(i).
+  PointGrid(GridGeometry geometry, const std::vector<Point>& positions)
+      : geometry_(std::move(geometry)) {
+    for (size_t i = 0; i < positions.size(); ++i) {
+      cells_[geometry_.CellOf(positions[i])].push_back(static_cast<Id>(i));
+    }
+  }
+
+  const GridGeometry& geometry() const { return geometry_; }
+
+  /// Ids bucketed in `cell` (empty if none).
+  const std::vector<Id>& CellContents(CellId cell) const {
+    auto it = cells_.find(cell);
+    return it == cells_.end() ? kEmpty() : it->second;
+  }
+
+  /// Invokes `fn(Id)` for every point bucketed in a cell overlapping `box`.
+  /// Callers apply their own exact geometric filter.
+  template <typename Fn>
+  void ForEachCandidateInBox(const Box& box, Fn&& fn) const {
+    geometry_.ForEachCellInBox(box, [&](CellId cell) {
+      for (Id id : CellContents(cell)) fn(id);
+    });
+  }
+
+ private:
+  static const std::vector<Id>& kEmpty() {
+    static const std::vector<Id>* empty = new std::vector<Id>();
+    return *empty;
+  }
+
+  GridGeometry geometry_;
+  std::unordered_map<CellId, std::vector<Id>> cells_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_GRID_POINT_GRID_H_

@@ -1,0 +1,85 @@
+#include "grid/segment_cell_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geometry/distance.h"
+
+namespace soi {
+
+namespace {
+
+const std::vector<SegmentId>& EmptySegments() {
+  static const std::vector<SegmentId>* empty = new std::vector<SegmentId>();
+  return *empty;
+}
+
+}  // namespace
+
+SegmentCellIndex::SegmentCellIndex(const RoadNetwork& network,
+                                   GridGeometry geometry)
+    : geometry_(std::move(geometry)), network_(&network) {
+  segment_cells_.resize(static_cast<size_t>(network.num_segments()));
+  for (SegmentId id = 0; id < network.num_segments(); ++id) {
+    const Segment& seg = network.segment(id).geometry;
+    std::vector<CellId>& cells = segment_cells_[static_cast<size_t>(id)];
+    // Probe one cell beyond the segment MBR so cells the segment merely
+    // touches on a shared boundary are not missed; the exact distance
+    // test below filters the rest out.
+    Box probe = seg.BoundingBox().Expanded(geometry_.cell_size());
+    geometry_.ForEachCellInBox(probe, [&](CellId cell) {
+      if (SegmentBoxDistance(seg, geometry_.CellBox(cell)) == 0.0) {
+        cells.push_back(cell);
+        cell_segments_[cell].push_back(id);
+      }
+    });
+    // ForEachCellInBox iterates row-major, so `cells` is already sorted.
+  }
+}
+
+const std::vector<CellId>& SegmentCellIndex::SegmentCells(SegmentId id) const {
+  SOI_DCHECK(id >= 0 &&
+             static_cast<size_t>(id) < segment_cells_.size());
+  return segment_cells_[static_cast<size_t>(id)];
+}
+
+const std::vector<SegmentId>& SegmentCellIndex::CellSegments(
+    CellId id) const {
+  auto it = cell_segments_.find(id);
+  return it == cell_segments_.end() ? EmptySegments() : it->second;
+}
+
+EpsAugmentedMaps::EpsAugmentedMaps(const SegmentCellIndex& base, double eps)
+    : eps_(eps), geometry_(&base.geometry()) {
+  SOI_CHECK(eps >= 0) << "eps must be non-negative";
+  const RoadNetwork& network = base.network();
+  segment_cells_.resize(static_cast<size_t>(network.num_segments()));
+  for (SegmentId id = 0; id < network.num_segments(); ++id) {
+    const Segment& seg = network.segment(id).geometry;
+    std::vector<CellId>& cells = segment_cells_[static_cast<size_t>(id)];
+    // Pad by one cell beyond eps for the same boundary-touch reason as in
+    // SegmentCellIndex (distance exactly eps to a cell across a boundary).
+    Box probe = seg.BoundingBox().Expanded(eps + geometry_->cell_size());
+    geometry_->ForEachCellInBox(probe, [&](CellId cell) {
+      if (SegmentBoxDistance(seg, geometry_->CellBox(cell)) <= eps) {
+        cells.push_back(cell);
+        cell_segments_[cell].push_back(id);
+      }
+    });
+  }
+}
+
+const std::vector<CellId>& EpsAugmentedMaps::SegmentCells(
+    SegmentId id) const {
+  SOI_DCHECK(id >= 0 &&
+             static_cast<size_t>(id) < segment_cells_.size());
+  return segment_cells_[static_cast<size_t>(id)];
+}
+
+const std::vector<SegmentId>& EpsAugmentedMaps::CellSegments(
+    CellId id) const {
+  auto it = cell_segments_.find(id);
+  return it == cell_segments_.end() ? EmptySegments() : it->second;
+}
+
+}  // namespace soi

@@ -1,0 +1,68 @@
+#ifndef SOI_GRID_SEGMENT_CELL_INDEX_H_
+#define SOI_GRID_SEGMENT_CELL_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "grid/grid_geometry.h"
+#include "network/road_network.h"
+
+namespace soi {
+
+/// The offline cell <-> segment maps of Section 3.2.1: which grid cells
+/// each street segment passes through and, inversely, which segments cross
+/// each cell (distance 0).
+class SegmentCellIndex {
+ public:
+  /// Requires the grid geometry to cover the network bounds.
+  SegmentCellIndex(const RoadNetwork& network, GridGeometry geometry);
+
+  const GridGeometry& geometry() const { return geometry_; }
+  const RoadNetwork& network() const { return *network_; }
+
+  /// Cells intersected by segment `id`, ascending by cell id.
+  const std::vector<CellId>& SegmentCells(SegmentId id) const;
+
+  /// Segments intersecting cell `id` (empty if none).
+  const std::vector<SegmentId>& CellSegments(CellId id) const;
+
+ private:
+  GridGeometry geometry_;
+  const RoadNetwork* network_;
+  std::vector<std::vector<CellId>> segment_cells_;
+  std::unordered_map<CellId, std::vector<SegmentId>> cell_segments_;
+};
+
+/// The query-time eps augmentation of the maps: C_eps(l) = cells within
+/// distance eps of segment l, and L_eps(c) = segments within distance eps
+/// of cell c (Section 3.2.1). Constructed once per (dataset, eps); its
+/// construction cost is part of the list-construction phase the paper
+/// reports in Figure 4.
+class EpsAugmentedMaps {
+ public:
+  EpsAugmentedMaps(const SegmentCellIndex& base, double eps);
+
+  double eps() const { return eps_; }
+  const GridGeometry& geometry() const { return *geometry_; }
+
+  /// C_eps(l): cells within eps of segment `id`, ascending by cell id.
+  const std::vector<CellId>& SegmentCells(SegmentId id) const;
+
+  /// L_eps(c): segments within eps of cell `id` (empty if none).
+  const std::vector<SegmentId>& CellSegments(CellId id) const;
+
+  /// |C_eps(l)| for every segment (the key of source list SL2).
+  int64_t NumSegmentCells(SegmentId id) const {
+    return static_cast<int64_t>(SegmentCells(id).size());
+  }
+
+ private:
+  double eps_;
+  const GridGeometry* geometry_;
+  std::vector<std::vector<CellId>> segment_cells_;
+  std::unordered_map<CellId, std::vector<SegmentId>> cell_segments_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_GRID_SEGMENT_CELL_INDEX_H_

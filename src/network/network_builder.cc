@@ -1,0 +1,73 @@
+#include "network/network_builder.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace soi {
+
+VertexId NetworkBuilder::AddVertex(const Point& position) {
+  VertexId id = static_cast<VertexId>(network_.vertices_.size());
+  network_.vertices_.push_back(Vertex{position});
+  network_.bounds_.ExtendToCover(position);
+  return id;
+}
+
+Result<StreetId> NetworkBuilder::AddStreet(
+    std::string name, const std::vector<VertexId>& path) {
+  if (path.size() < 2) {
+    return Status::InvalidArgument("street '" + name +
+                                   "' needs at least 2 vertices");
+  }
+  std::unordered_set<VertexId> distinct;
+  for (VertexId v : path) {
+    if (v < 0 || v >= network_.num_vertices()) {
+      return Status::InvalidArgument("street '" + name +
+                                     "' references unknown vertex " +
+                                     std::to_string(v));
+    }
+    if (!distinct.insert(v).second) {
+      return Status::InvalidArgument("street '" + name +
+                                     "' repeats vertex " + std::to_string(v) +
+                                     "; streets must be simple paths");
+    }
+  }
+  // Validate segment lengths before mutating the network.
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const Point& a = network_.vertices_[static_cast<size_t>(path[i])].position;
+    const Point& b =
+        network_.vertices_[static_cast<size_t>(path[i + 1])].position;
+    if (a == b) {
+      return Status::InvalidArgument("street '" + name +
+                                     "' has a zero-length segment");
+    }
+  }
+
+  StreetId street_id = static_cast<StreetId>(network_.streets_.size());
+  Street street;
+  street.name = std::move(name);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    NetworkSegment seg;
+    seg.from = path[i];
+    seg.to = path[i + 1];
+    seg.street = street_id;
+    seg.geometry =
+        Segment{network_.vertices_[static_cast<size_t>(seg.from)].position,
+                network_.vertices_[static_cast<size_t>(seg.to)].position};
+    seg.length = seg.geometry.Length();
+    SegmentId seg_id = static_cast<SegmentId>(network_.segments_.size());
+    network_.segments_.push_back(seg);
+    street.segments.push_back(seg_id);
+    street.length += seg.length;
+  }
+  network_.streets_.push_back(std::move(street));
+  return street_id;
+}
+
+Result<RoadNetwork> NetworkBuilder::Build() && {
+  if (network_.num_segments() == 0) {
+    return Status::InvalidArgument("network has no segments");
+  }
+  return std::move(network_);
+}
+
+}  // namespace soi

@@ -1,0 +1,55 @@
+#ifndef SOI_NETWORK_NETWORK_BUILDER_H_
+#define SOI_NETWORK_NETWORK_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "network/road_network.h"
+
+namespace soi {
+
+/// Incrementally assembles a RoadNetwork.
+///
+/// Usage:
+///   NetworkBuilder builder;
+///   VertexId a = builder.AddVertex({0, 0});
+///   VertexId b = builder.AddVertex({1, 0});
+///   builder.AddStreet("Oxford Street", {a, b});
+///   SOI_ASSIGN_OR_RETURN(RoadNetwork network, std::move(builder).Build());
+///
+/// Build() validates the paper's structural invariants: every street is a
+/// simple path of at least one segment, every segment has positive length,
+/// and every segment belongs to exactly one street (by construction).
+class NetworkBuilder {
+ public:
+  NetworkBuilder() = default;
+
+  NetworkBuilder(const NetworkBuilder&) = delete;
+  NetworkBuilder& operator=(const NetworkBuilder&) = delete;
+  NetworkBuilder(NetworkBuilder&&) = default;
+  NetworkBuilder& operator=(NetworkBuilder&&) = default;
+
+  /// Adds a vertex and returns its id.
+  VertexId AddVertex(const Point& position);
+
+  /// Adds a street through the given vertex path (>= 2 distinct vertices);
+  /// creates one segment per consecutive pair. Returns the street id, or an
+  /// error if the path is invalid.
+  Result<StreetId> AddStreet(std::string name,
+                             const std::vector<VertexId>& path);
+
+  int64_t num_vertices() const { return network_.num_vertices(); }
+  int64_t num_streets() const { return network_.num_streets(); }
+
+  /// Finalizes and validates the network. The builder is consumed.
+  Result<RoadNetwork> Build() &&;
+
+ private:
+  RoadNetwork network_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_NETWORK_NETWORK_BUILDER_H_

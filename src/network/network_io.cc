@@ -1,0 +1,108 @@
+#include "network/network_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "network/network_builder.h"
+
+namespace soi {
+
+namespace {
+constexpr char kHeader[] = "# soi-network v1";
+}  // namespace
+
+Status WriteNetwork(const RoadNetwork& network, std::ostream* out) {
+  SOI_CHECK(out != nullptr);
+  *out << kHeader << "\n";
+  *out << std::setprecision(17);
+  for (const Vertex& v : network.vertices()) {
+    *out << "V\t" << v.position.x << "\t" << v.position.y << "\n";
+  }
+  for (const Street& s : network.streets()) {
+    if (s.name.find('\t') != std::string::npos ||
+        s.name.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("street name contains tab or newline: '" +
+                                     s.name + "'");
+    }
+    *out << "S\t" << s.name << "\t";
+    // A street's vertex path is its first segment's endpoints followed by
+    // the `to` vertex of each further segment.
+    bool first = true;
+    for (size_t i = 0; i < s.segments.size(); ++i) {
+      const NetworkSegment& seg = network.segment(s.segments[i]);
+      if (first) {
+        *out << seg.from;
+        first = false;
+      }
+      *out << ";" << seg.to;
+    }
+    *out << "\n";
+  }
+  if (!out->good()) return Status::IOError("failed writing network stream");
+  return Status::OK();
+}
+
+Status WriteNetworkToFile(const RoadNetwork& network,
+                          const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  return WriteNetwork(network, &file);
+}
+
+Result<RoadNetwork> ReadNetwork(std::istream* in) {
+  SOI_CHECK(in != nullptr);
+  std::string line;
+  if (!std::getline(*in, line) || StripWhitespace(line) != kHeader) {
+    return Status::IOError("missing soi-network header");
+  }
+  NetworkBuilder builder;
+  int line_number = 1;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    const std::string where = " at line " + std::to_string(line_number);
+    if (fields[0] == "V") {
+      if (fields.size() != 3) {
+        return Status::IOError("malformed vertex line" + where);
+      }
+      SOI_ASSIGN_OR_RETURN(double x, ParseDouble(fields[1]));
+      SOI_ASSIGN_OR_RETURN(double y, ParseDouble(fields[2]));
+      builder.AddVertex(Point{x, y});
+    } else if (fields[0] == "S") {
+      if (fields.size() != 3) {
+        return Status::IOError("malformed street line" + where);
+      }
+      std::vector<VertexId> path;
+      for (const std::string& part : Split(fields[2], ';')) {
+        SOI_ASSIGN_OR_RETURN(int64_t v, ParseInt64(part));
+        path.push_back(static_cast<VertexId>(v));
+      }
+      SOI_ASSIGN_OR_RETURN(StreetId unused,
+                           builder.AddStreet(fields[1], path));
+      (void)unused;
+    } else {
+      return Status::IOError("unknown record type '" + fields[0] + "'" +
+                             where);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<RoadNetwork> ReadNetworkFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  return ReadNetwork(&file);
+}
+
+}  // namespace soi

@@ -1,0 +1,29 @@
+#ifndef SOI_NETWORK_NETWORK_IO_H_
+#define SOI_NETWORK_NETWORK_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "network/road_network.h"
+
+namespace soi {
+
+/// Serializes a road network to a simple line-oriented text format:
+///
+///   # soi-network v1
+///   V <tab> x <tab> y                  (one per vertex, in id order)
+///   S <tab> name <tab> v0;v1;...;vn    (one per street, in id order)
+///
+/// Street names may contain spaces but not tabs or newlines.
+Status WriteNetwork(const RoadNetwork& network, std::ostream* out);
+Status WriteNetworkToFile(const RoadNetwork& network,
+                          const std::string& path);
+
+/// Parses the format written by WriteNetwork.
+Result<RoadNetwork> ReadNetwork(std::istream* in);
+Result<RoadNetwork> ReadNetworkFromFile(const std::string& path);
+
+}  // namespace soi
+
+#endif  // SOI_NETWORK_NETWORK_IO_H_

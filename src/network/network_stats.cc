@@ -1,0 +1,39 @@
+#include "network/network_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace soi {
+
+NetworkStats ComputeNetworkStats(const RoadNetwork& network) {
+  SOI_CHECK(network.num_segments() > 0);
+  NetworkStats stats;
+  stats.num_vertices = network.num_vertices();
+  stats.num_segments = network.num_segments();
+  stats.num_streets = network.num_streets();
+  stats.min_segment_length = network.segments()[0].length;
+  stats.max_segment_length = network.segments()[0].length;
+  for (const NetworkSegment& seg : network.segments()) {
+    stats.min_segment_length = std::min(stats.min_segment_length, seg.length);
+    stats.max_segment_length = std::max(stats.max_segment_length, seg.length);
+    stats.total_length += seg.length;
+  }
+  stats.mean_segment_length =
+      stats.total_length / static_cast<double>(stats.num_segments);
+  return stats;
+}
+
+std::string NetworkStatsToString(const NetworkStats& stats) {
+  std::ostringstream os;
+  os << "vertices=" << stats.num_vertices
+     << " segments=" << stats.num_segments
+     << " streets=" << stats.num_streets
+     << " min_len=" << stats.min_segment_length
+     << " max_len=" << stats.max_segment_length
+     << " mean_len=" << stats.mean_segment_length;
+  return os.str();
+}
+
+}  // namespace soi

@@ -1,0 +1,31 @@
+#ifndef SOI_NETWORK_NETWORK_STATS_H_
+#define SOI_NETWORK_NETWORK_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "network/road_network.h"
+
+namespace soi {
+
+/// Summary statistics of a road network — the columns of the paper's
+/// Table 1 plus a few extras.
+struct NetworkStats {
+  int64_t num_vertices = 0;
+  int64_t num_segments = 0;
+  int64_t num_streets = 0;
+  double min_segment_length = 0.0;
+  double max_segment_length = 0.0;
+  double mean_segment_length = 0.0;
+  double total_length = 0.0;
+};
+
+/// Computes summary statistics. Requires a non-empty network.
+NetworkStats ComputeNetworkStats(const RoadNetwork& network);
+
+/// Formats the stats as a short human-readable block.
+std::string NetworkStatsToString(const NetworkStats& stats);
+
+}  // namespace soi
+
+#endif  // SOI_NETWORK_NETWORK_STATS_H_

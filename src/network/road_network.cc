@@ -1,0 +1,51 @@
+#include "network/road_network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace soi {
+
+const Vertex& RoadNetwork::vertex(VertexId id) const {
+  SOI_DCHECK(id >= 0 && id < num_vertices()) << "vertex id " << id;
+  return vertices_[static_cast<size_t>(id)];
+}
+
+const NetworkSegment& RoadNetwork::segment(SegmentId id) const {
+  SOI_DCHECK(id >= 0 && id < num_segments()) << "segment id " << id;
+  return segments_[static_cast<size_t>(id)];
+}
+
+const Street& RoadNetwork::street(StreetId id) const {
+  SOI_DCHECK(id >= 0 && id < num_streets()) << "street id " << id;
+  return streets_[static_cast<size_t>(id)];
+}
+
+Box RoadNetwork::StreetBounds(StreetId id) const {
+  Box box = Box::Empty();
+  for (SegmentId seg_id : street(id).segments) {
+    box.ExtendToCover(segment(seg_id).geometry.BoundingBox());
+  }
+  return box;
+}
+
+double RoadNetwork::StreetDistanceTo(StreetId id, const Point& p) const {
+  const Street& s = street(id);
+  SOI_DCHECK(!s.segments.empty());
+  double best = segment(s.segments[0]).geometry.DistanceTo(p);
+  for (size_t i = 1; i < s.segments.size(); ++i) {
+    best = std::min(best, segment(s.segments[i]).geometry.DistanceTo(p));
+  }
+  return best;
+}
+
+std::vector<StreetId> RoadNetwork::FindStreetsByName(
+    const std::string& name) const {
+  std::vector<StreetId> found;
+  for (StreetId id = 0; id < num_streets(); ++id) {
+    if (streets_[static_cast<size_t>(id)].name == name) found.push_back(id);
+  }
+  return found;
+}
+
+}  // namespace soi

@@ -1,0 +1,94 @@
+#ifndef SOI_NETWORK_ROAD_NETWORK_H_
+#define SOI_NETWORK_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "geometry/segment.h"
+
+namespace soi {
+
+using VertexId = int32_t;
+using SegmentId = int32_t;
+using StreetId = int32_t;
+
+/// A street intersection or breakpoint (vertex v in V, Section 3.1).
+struct Vertex {
+  Point position;
+};
+
+/// A street segment (link l in L): the directed edge between two vertices,
+/// owned by exactly one street.
+struct NetworkSegment {
+  VertexId from = -1;
+  VertexId to = -1;
+  StreetId street = -1;
+  /// Euclidean length of the segment, cached at build time.
+  double length = 0.0;
+  /// Segment geometry, cached at build time.
+  Segment geometry;
+};
+
+/// A street s in S: a simple path of consecutive segments.
+struct Street {
+  std::string name;
+  /// Segment ids in path order.
+  std::vector<SegmentId> segments;
+  /// Sum of segment lengths (len(s), Section 3.1).
+  double length = 0.0;
+};
+
+/// The road network G = (V, L) plus the street partition S of its links.
+///
+/// Immutable once built (construct via NetworkBuilder or network IO).
+/// Provides the geometric accessors the SOI and diversification algorithms
+/// need: segment geometry, segment->street ownership, street MBRs, and
+/// point-to-street distances.
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  int64_t num_vertices() const {
+    return static_cast<int64_t>(vertices_.size());
+  }
+  int64_t num_segments() const {
+    return static_cast<int64_t>(segments_.size());
+  }
+  int64_t num_streets() const { return static_cast<int64_t>(streets_.size()); }
+
+  const Vertex& vertex(VertexId id) const;
+  const NetworkSegment& segment(SegmentId id) const;
+  const Street& street(StreetId id) const;
+
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  const std::vector<NetworkSegment>& segments() const { return segments_; }
+  const std::vector<Street>& streets() const { return streets_; }
+
+  /// Bounding box of all vertices.
+  const Box& bounds() const { return bounds_; }
+
+  /// MBR of the street's segments.
+  Box StreetBounds(StreetId id) const;
+
+  /// Minimum distance from `p` to any segment of street `id`
+  /// (dist(p, s) of Section 3.1).
+  double StreetDistanceTo(StreetId id, const Point& p) const;
+
+  /// Street ids whose name equals `name` (names need not be unique).
+  std::vector<StreetId> FindStreetsByName(const std::string& name) const;
+
+ private:
+  friend class NetworkBuilder;
+
+  std::vector<Vertex> vertices_;
+  std::vector<NetworkSegment> segments_;
+  std::vector<Street> streets_;
+  Box bounds_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_NETWORK_ROAD_NETWORK_H_

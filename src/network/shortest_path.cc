@@ -1,0 +1,94 @@
+#include "network/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+
+namespace soi {
+
+ShortestPathEngine::ShortestPathEngine(const RoadNetwork& network)
+    : network_(&network) {
+  adjacency_.resize(static_cast<size_t>(network.num_vertices()));
+  for (SegmentId id = 0; id < network.num_segments(); ++id) {
+    const NetworkSegment& segment = network.segment(id);
+    adjacency_[static_cast<size_t>(segment.from)].push_back(
+        Edge{segment.to, id, segment.length});
+    adjacency_[static_cast<size_t>(segment.to)].push_back(
+        Edge{segment.from, id, segment.length});
+  }
+}
+
+void ShortestPathEngine::Dijkstra(VertexId source, VertexId target,
+                                  std::vector<double>* distances,
+                                  std::vector<Edge>* parents) const {
+  SOI_CHECK(source >= 0 && source < network_->num_vertices());
+  distances->assign(static_cast<size_t>(network_->num_vertices()),
+                    kUnreachable);
+  if (parents != nullptr) {
+    parents->assign(static_cast<size_t>(network_->num_vertices()),
+                    Edge{-1, -1, 0.0});
+  }
+  using QueueEntry = std::pair<double, VertexId>;  // (distance, vertex)
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  (*distances)[static_cast<size_t>(source)] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [distance, vertex] = queue.top();
+    queue.pop();
+    if (distance > (*distances)[static_cast<size_t>(vertex)]) continue;
+    if (vertex == target) return;  // Early exit: target settled.
+    for (const Edge& edge : adjacency_[static_cast<size_t>(vertex)]) {
+      double candidate = distance + edge.length;
+      double& best = (*distances)[static_cast<size_t>(edge.to)];
+      if (candidate < best) {
+        best = candidate;
+        if (parents != nullptr) {
+          (*parents)[static_cast<size_t>(edge.to)] =
+              Edge{vertex, edge.segment, edge.length};
+        }
+        queue.push({candidate, edge.to});
+      }
+    }
+  }
+}
+
+std::vector<double> ShortestPathEngine::DistancesFrom(
+    VertexId source) const {
+  std::vector<double> distances;
+  Dijkstra(source, /*target=*/-1, &distances, nullptr);
+  return distances;
+}
+
+Result<NetworkPath> ShortestPathEngine::FindPath(VertexId from,
+                                                 VertexId to) const {
+  SOI_CHECK(to >= 0 && to < network_->num_vertices());
+  std::vector<double> distances;
+  std::vector<Edge> parents;
+  Dijkstra(from, to, &distances, &parents);
+  if (distances[static_cast<size_t>(to)] == kUnreachable) {
+    return Status::NotFound("vertices " + std::to_string(from) + " and " +
+                            std::to_string(to) +
+                            " are in different components");
+  }
+  NetworkPath path;
+  path.length = distances[static_cast<size_t>(to)];
+  // Walk the predecessor chain back from `to`.
+  VertexId cursor = to;
+  path.vertices.push_back(cursor);
+  while (cursor != from) {
+    const Edge& parent = parents[static_cast<size_t>(cursor)];
+    SOI_DCHECK(parent.to >= 0);
+    path.segments.push_back(parent.segment);
+    cursor = parent.to;
+    path.vertices.push_back(cursor);
+  }
+  std::reverse(path.vertices.begin(), path.vertices.end());
+  std::reverse(path.segments.begin(), path.segments.end());
+  return path;
+}
+
+}  // namespace soi

@@ -1,0 +1,64 @@
+#ifndef SOI_NETWORK_SHORTEST_PATH_H_
+#define SOI_NETWORK_SHORTEST_PATH_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "network/road_network.h"
+
+namespace soi {
+
+/// A walk through the road network: consecutive vertices joined by the
+/// segments traversed (segments[i] joins vertices[i] and vertices[i+1]).
+struct NetworkPath {
+  std::vector<VertexId> vertices;
+  std::vector<SegmentId> segments;
+  /// Total length of the traversed segments.
+  double length = 0.0;
+};
+
+/// Dijkstra shortest paths over the road network, treating every segment
+/// as walkable in both directions. Substrate for the route-recommendation
+/// extension (the paper's future work: "provide route recommendations
+/// based on the discovered streets of interest").
+class ShortestPathEngine {
+ public:
+  /// Distance value for unreachable vertices.
+  static constexpr double kUnreachable =
+      std::numeric_limits<double>::infinity();
+
+  /// Builds the adjacency structure; O(|V| + |L|).
+  explicit ShortestPathEngine(const RoadNetwork& network);
+
+  const RoadNetwork& network() const { return *network_; }
+
+  /// Shortest walking distances from `source` to every vertex
+  /// (kUnreachable where no path exists).
+  std::vector<double> DistancesFrom(VertexId source) const;
+
+  /// The shortest path between two vertices, or NotFound if they are in
+  /// different connected components.
+  Result<NetworkPath> FindPath(VertexId from, VertexId to) const;
+
+ private:
+  struct Edge {
+    VertexId to;
+    SegmentId segment;
+    double length;
+  };
+
+  // Runs Dijkstra from `source`; fills distances and, if `parents` is
+  // non-null, the predecessor edge of each settled vertex. Stops early
+  // once `target` is settled (pass -1 to settle everything).
+  void Dijkstra(VertexId source, VertexId target,
+                std::vector<double>* distances,
+                std::vector<Edge>* parents) const;
+
+  const RoadNetwork* network_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_NETWORK_SHORTEST_PATH_H_

@@ -1,0 +1,193 @@
+#include "objects/object_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace soi {
+
+namespace {
+
+constexpr char kHeader[] = "# soi-objects v1";
+
+// The optional trailing field differs per type: POIs persist their
+// importance weight (the weighted extension), photos their visual
+// descriptor (the visual extension, '|'-separated floats).
+inline Status WriteExtraField(const Poi& poi, std::ostream* out) {
+  if (poi.weight != 1.0) *out << "\t" << poi.weight;
+  return Status::OK();
+}
+inline Status WriteExtraField(const Photo& photo, std::ostream* out) {
+  if (!photo.visual.empty()) {
+    *out << "\t";
+    for (size_t d = 0; d < photo.visual.size(); ++d) {
+      if (d > 0) *out << "|";
+      *out << photo.visual[d];
+    }
+  }
+  return Status::OK();
+}
+
+inline Status ParseExtraField(const std::string& field, Poi* poi) {
+  SOI_ASSIGN_OR_RETURN(double weight, ParseDouble(field));
+  if (weight < 0) {
+    return Status::IOError("negative POI weight");
+  }
+  poi->weight = weight;
+  return Status::OK();
+}
+inline Status ParseExtraField(const std::string& field, Photo* photo) {
+  std::vector<float> visual;
+  for (const std::string& part : Split(field, '|')) {
+    SOI_ASSIGN_OR_RETURN(double value, ParseDouble(part));
+    visual.push_back(static_cast<float>(value));
+  }
+  if (visual.empty()) {
+    return Status::IOError("empty visual descriptor field");
+  }
+  photo->visual = std::move(visual);
+  return Status::OK();
+}
+
+// Shared row codec: Poi and Photo share the on-disk shape, with an
+// optional type-specific trailing field.
+template <typename T>
+Status WriteObjects(const std::vector<T>& objects,
+                    const Vocabulary& vocabulary, std::ostream* out) {
+  SOI_CHECK(out != nullptr);
+  *out << kHeader << "\n";
+  *out << std::setprecision(17);
+  for (const T& object : objects) {
+    *out << object.position.x << "\t" << object.position.y << "\t";
+    bool first = true;
+    for (KeywordId id : object.keywords.ids()) {
+      const std::string& name = vocabulary.Name(id);
+      if (name.find_first_of("\t;\n") != std::string::npos) {
+        return Status::InvalidArgument(
+            "keyword contains reserved character: '" + name + "'");
+      }
+      if (!first) *out << ";";
+      *out << name;
+      first = false;
+    }
+    SOI_RETURN_NOT_OK(WriteExtraField(object, out));
+    *out << "\n";
+  }
+  if (!out->good()) return Status::IOError("failed writing objects stream");
+  return Status::OK();
+}
+
+template <typename T>
+Result<std::vector<T>> ReadObjects(std::istream* in, Vocabulary* vocabulary) {
+  SOI_CHECK(in != nullptr);
+  SOI_CHECK(vocabulary != nullptr);
+  std::string line;
+  if (!std::getline(*in, line) || StripWhitespace(line) != kHeader) {
+    return Status::IOError("missing soi-objects header");
+  }
+  std::vector<T> objects;
+  int line_number = 1;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 3 && fields.size() != 4) {
+      return Status::IOError("malformed object line " +
+                             std::to_string(line_number));
+    }
+    SOI_ASSIGN_OR_RETURN(double x, ParseDouble(fields[0]));
+    SOI_ASSIGN_OR_RETURN(double y, ParseDouble(fields[1]));
+    std::vector<KeywordId> ids;
+    if (!fields[2].empty()) {
+      for (const std::string& keyword : Split(fields[2], ';')) {
+        if (keyword.empty()) {
+          return Status::IOError("empty keyword at line " +
+                                 std::to_string(line_number));
+        }
+        ids.push_back(vocabulary->Intern(keyword));
+      }
+    }
+    T object;
+    object.position = Point{x, y};
+    object.keywords = KeywordSet(std::move(ids));
+    if (fields.size() == 4) {
+      Status extra = ParseExtraField(fields[3], &object);
+      if (!extra.ok()) {
+        return Status::IOError(extra.message() + " at line " +
+                               std::to_string(line_number));
+      }
+    }
+    objects.push_back(std::move(object));
+  }
+  return objects;
+}
+
+template <typename T>
+Status WriteObjectsToFile(const std::vector<T>& objects,
+                          const Vocabulary& vocabulary,
+                          const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  return WriteObjects(objects, vocabulary, &file);
+}
+
+template <typename T>
+Result<std::vector<T>> ReadObjectsFromFile(const std::string& path,
+                                           Vocabulary* vocabulary) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  return ReadObjects<T>(&file, vocabulary);
+}
+
+}  // namespace
+
+Status WritePois(const std::vector<Poi>& pois, const Vocabulary& vocabulary,
+                 std::ostream* out) {
+  return WriteObjects(pois, vocabulary, out);
+}
+
+Status WritePoisToFile(const std::vector<Poi>& pois,
+                       const Vocabulary& vocabulary,
+                       const std::string& path) {
+  return WriteObjectsToFile(pois, vocabulary, path);
+}
+
+Result<std::vector<Poi>> ReadPois(std::istream* in, Vocabulary* vocabulary) {
+  return ReadObjects<Poi>(in, vocabulary);
+}
+
+Result<std::vector<Poi>> ReadPoisFromFile(const std::string& path,
+                                          Vocabulary* vocabulary) {
+  return ReadObjectsFromFile<Poi>(path, vocabulary);
+}
+
+Status WritePhotos(const std::vector<Photo>& photos,
+                   const Vocabulary& vocabulary, std::ostream* out) {
+  return WriteObjects(photos, vocabulary, out);
+}
+
+Status WritePhotosToFile(const std::vector<Photo>& photos,
+                         const Vocabulary& vocabulary,
+                         const std::string& path) {
+  return WriteObjectsToFile(photos, vocabulary, path);
+}
+
+Result<std::vector<Photo>> ReadPhotos(std::istream* in,
+                                      Vocabulary* vocabulary) {
+  return ReadObjects<Photo>(in, vocabulary);
+}
+
+Result<std::vector<Photo>> ReadPhotosFromFile(const std::string& path,
+                                              Vocabulary* vocabulary) {
+  return ReadObjectsFromFile<Photo>(path, vocabulary);
+}
+
+}  // namespace soi

@@ -1,0 +1,43 @@
+#ifndef SOI_OBJECTS_OBJECT_IO_H_
+#define SOI_OBJECTS_OBJECT_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "objects/photo.h"
+#include "objects/poi.h"
+#include "text/vocabulary.h"
+
+namespace soi {
+
+/// Serializes POIs / photos to a line-oriented text format:
+///
+///   # soi-objects v1
+///   x <tab> y <tab> kw1;kw2;...;kwn     (one line per object)
+///
+/// Keywords are written as strings resolved through `vocabulary` so files
+/// are portable across vocabularies; reading interns them into the target
+/// vocabulary. Keywords must not contain tabs, semicolons, or newlines.
+Status WritePois(const std::vector<Poi>& pois, const Vocabulary& vocabulary,
+                 std::ostream* out);
+Status WritePoisToFile(const std::vector<Poi>& pois,
+                       const Vocabulary& vocabulary, const std::string& path);
+Result<std::vector<Poi>> ReadPois(std::istream* in, Vocabulary* vocabulary);
+Result<std::vector<Poi>> ReadPoisFromFile(const std::string& path,
+                                          Vocabulary* vocabulary);
+
+Status WritePhotos(const std::vector<Photo>& photos,
+                   const Vocabulary& vocabulary, std::ostream* out);
+Status WritePhotosToFile(const std::vector<Photo>& photos,
+                         const Vocabulary& vocabulary,
+                         const std::string& path);
+Result<std::vector<Photo>> ReadPhotos(std::istream* in,
+                                      Vocabulary* vocabulary);
+Result<std::vector<Photo>> ReadPhotosFromFile(const std::string& path,
+                                              Vocabulary* vocabulary);
+
+}  // namespace soi
+
+#endif  // SOI_OBJECTS_OBJECT_IO_H_

@@ -1,0 +1,22 @@
+#include "objects/photo.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace soi {
+
+double VisualDistance(const std::vector<float>& a,
+                      const std::vector<float>& b) {
+  SOI_DCHECK(!a.empty());
+  SOI_DCHECK(a.size() == b.size())
+      << "descriptor dimensions differ: " << a.size() << " vs " << b.size();
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+}  // namespace soi

@@ -1,0 +1,36 @@
+#ifndef SOI_OBJECTS_PHOTO_H_
+#define SOI_OBJECTS_PHOTO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "text/keyword_set.h"
+
+namespace soi {
+
+using PhotoId = int32_t;
+
+/// A geo-tagged photo r = <(x_r, y_r), Psi_r> (Section 4.1.1): a location
+/// plus its tag set.
+///
+/// `visual` is an optional visual-feature descriptor supporting the
+/// paper's future-work extension ("enhance the diversification criteria
+/// with visual features extracted from the photos"): a fixed-dimension
+/// embedding with components in [0, 1]. Empty = no visual information.
+/// All photos of a dataset must agree on the dimension.
+struct Photo {
+  Point position;
+  KeywordSet keywords;
+  std::vector<float> visual;
+};
+
+/// Euclidean distance between two descriptors normalized by the diameter
+/// of the [0, 1]^d cube, i.e. a visual diversity in [0, 1] (the visual
+/// analogue of Definitions 5 and 7). Requires equal, non-zero dimensions.
+double VisualDistance(const std::vector<float>& a,
+                      const std::vector<float>& b);
+
+}  // namespace soi
+
+#endif  // SOI_OBJECTS_PHOTO_H_

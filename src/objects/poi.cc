@@ -1,0 +1,14 @@
+#include "objects/poi.h"
+
+namespace soi {
+
+int64_t CountRelevantPois(const std::vector<Poi>& pois,
+                          const KeywordSet& query) {
+  int64_t count = 0;
+  for (const Poi& poi : pois) {
+    if (poi.IsRelevantTo(query)) ++count;
+  }
+  return count;
+}
+
+}  // namespace soi

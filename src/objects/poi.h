@@ -1,0 +1,39 @@
+#ifndef SOI_OBJECTS_POI_H_
+#define SOI_OBJECTS_POI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "text/keyword_set.h"
+
+namespace soi {
+
+using PoiId = int32_t;
+
+/// A Point of Interest p = <(x_p, y_p), Psi_p> (Section 3.1): a location
+/// plus the keywords derived from its name, description, and tags.
+///
+/// `weight` supports the paper's weighted-mass extension (the note under
+/// Definition 1): a POI's contribution to a segment's mass is its weight
+/// (importance derived from ratings, check-ins, ...). The default of 1
+/// reduces to the plain count of Definition 1.
+struct Poi {
+  Point position;
+  KeywordSet keywords;
+  double weight = 1.0;
+
+  /// True iff the POI carries at least one of the query keywords —
+  /// the relevance predicate of Definition 1.
+  bool IsRelevantTo(const KeywordSet& query) const {
+    return keywords.IntersectsAny(query);
+  }
+};
+
+/// Number of POIs relevant to `query` (the Table 4 statistic).
+int64_t CountRelevantPois(const std::vector<Poi>& pois,
+                          const KeywordSet& query);
+
+}  // namespace soi
+
+#endif  // SOI_OBJECTS_POI_H_

@@ -1,0 +1,63 @@
+#include "text/keyword_set.h"
+
+#include <algorithm>
+
+namespace soi {
+
+KeywordSet::KeywordSet(std::vector<KeywordId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+KeywordSet::KeywordSet(std::initializer_list<KeywordId> ids)
+    : KeywordSet(std::vector<KeywordId>(ids)) {}
+
+bool KeywordSet::Contains(KeywordId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool KeywordSet::IntersectsAny(const KeywordSet& other) const {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ids_.size() && j < other.ids_.size()) {
+    if (ids_[i] == other.ids_[j]) return true;
+    if (ids_[i] < other.ids_[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+int64_t KeywordSet::IntersectionSize(const KeywordSet& other) const {
+  size_t i = 0;
+  size_t j = 0;
+  int64_t count = 0;
+  while (i < ids_.size() && j < other.ids_.size()) {
+    if (ids_[i] == other.ids_[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (ids_[i] < other.ids_[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+int64_t KeywordSet::UnionSize(const KeywordSet& other) const {
+  return size() + other.size() - IntersectionSize(other);
+}
+
+double KeywordSet::JaccardDistance(const KeywordSet& other) const {
+  int64_t union_size = UnionSize(other);
+  if (union_size == 0) return 0.0;
+  int64_t intersection_size = IntersectionSize(other);
+  return 1.0 - static_cast<double>(intersection_size) /
+                   static_cast<double>(union_size);
+}
+
+}  // namespace soi

@@ -1,0 +1,29 @@
+#include "text/term_vector.h"
+
+#include "common/check.h"
+
+namespace soi {
+
+void TermVector::Add(KeywordId id, double weight) {
+  SOI_DCHECK(weight >= 0);
+  if (weight == 0) return;
+  weights_[id] += weight;
+  l1_norm_ += weight;
+}
+
+void TermVector::AddAll(const KeywordSet& set) {
+  for (KeywordId id : set.ids()) Add(id);
+}
+
+double TermVector::Get(KeywordId id) const {
+  auto it = weights_.find(id);
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+double TermVector::WeightOf(const KeywordSet& set) const {
+  double sum = 0.0;
+  for (KeywordId id : set.ids()) sum += Get(id);
+  return sum;
+}
+
+}  // namespace soi

@@ -1,0 +1,48 @@
+#ifndef SOI_TEXT_TERM_VECTOR_H_
+#define SOI_TEXT_TERM_VECTOR_H_
+
+#include <unordered_map>
+
+#include "text/keyword_set.h"
+#include "text/vocabulary.h"
+
+namespace soi {
+
+/// A sparse keyword frequency vector (the Phi_s of Section 4.1.2): the
+/// strength of each keyword associated with a street.
+class TermVector {
+ public:
+  TermVector() = default;
+
+  /// Adds `weight` to the frequency of `id`. Requires weight >= 0.
+  void Add(KeywordId id, double weight = 1.0);
+
+  /// Adds every keyword of `set` with weight 1.
+  void AddAll(const KeywordSet& set);
+
+  /// Frequency of `id`; 0 if absent.
+  double Get(KeywordId id) const;
+
+  /// L1 norm ||Phi||_1 = sum of frequencies (Definition 6 normalizer).
+  double L1Norm() const { return l1_norm_; }
+
+  /// Number of keywords with non-zero frequency (|Psi_s|).
+  int64_t NumTerms() const { return static_cast<int64_t>(weights_.size()); }
+
+  /// Sum of frequencies over the keywords of `set`
+  /// (the numerator of Definition 6).
+  double WeightOf(const KeywordSet& set) const;
+
+  /// Read access to the underlying sparse map.
+  const std::unordered_map<KeywordId, double>& weights() const {
+    return weights_;
+  }
+
+ private:
+  std::unordered_map<KeywordId, double> weights_;
+  double l1_norm_ = 0.0;
+};
+
+}  // namespace soi
+
+#endif  // SOI_TEXT_TERM_VECTOR_H_

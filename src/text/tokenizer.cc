@@ -1,0 +1,44 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/check.h"
+
+namespace soi {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+KeywordSet TokenizeToKeywords(std::string_view text, Vocabulary* vocabulary) {
+  SOI_CHECK(vocabulary != nullptr);
+  std::vector<KeywordId> ids;
+  for (const std::string& token : Tokenize(text)) {
+    ids.push_back(vocabulary->Intern(token));
+  }
+  return KeywordSet(std::move(ids));
+}
+
+KeywordSet LookupKeywords(std::string_view text,
+                          const Vocabulary& vocabulary) {
+  std::vector<KeywordId> ids;
+  for (const std::string& token : Tokenize(text)) {
+    KeywordId id = vocabulary.Find(token);
+    if (id != kInvalidKeyword) ids.push_back(id);
+  }
+  return KeywordSet(std::move(ids));
+}
+
+}  // namespace soi

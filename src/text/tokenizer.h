@@ -1,0 +1,30 @@
+#ifndef SOI_TEXT_TOKENIZER_H_
+#define SOI_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/keyword_set.h"
+#include "text/vocabulary.h"
+
+namespace soi {
+
+/// Splits free text into lowercase alphanumeric tokens. Everything else
+/// (punctuation, whitespace) separates tokens. "Oxford Str., London" ->
+/// {"oxford", "str", "london"}.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Tokenizes `text` and interns the tokens into `vocabulary`, returning
+/// the resulting keyword set.
+KeywordSet TokenizeToKeywords(std::string_view text, Vocabulary* vocabulary);
+
+/// Looks up (without interning) the tokens of `text` in `vocabulary`;
+/// unknown tokens are dropped. Used for parsing user queries against an
+/// already-built dataset.
+KeywordSet LookupKeywords(std::string_view text,
+                          const Vocabulary& vocabulary);
+
+}  // namespace soi
+
+#endif  // SOI_TEXT_TOKENIZER_H_

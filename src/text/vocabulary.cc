@@ -1,0 +1,26 @@
+#include "text/vocabulary.h"
+
+#include "common/check.h"
+
+namespace soi {
+
+KeywordId Vocabulary::Intern(std::string_view keyword) {
+  auto it = ids_.find(std::string(keyword));
+  if (it != ids_.end()) return it->second;
+  KeywordId id = static_cast<KeywordId>(names_.size());
+  names_.emplace_back(keyword);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+KeywordId Vocabulary::Find(std::string_view keyword) const {
+  auto it = ids_.find(std::string(keyword));
+  return it == ids_.end() ? kInvalidKeyword : it->second;
+}
+
+const std::string& Vocabulary::Name(KeywordId id) const {
+  SOI_CHECK(id >= 0 && id < size()) << "invalid keyword id " << id;
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace soi

@@ -1,0 +1,48 @@
+#ifndef SOI_TEXT_VOCABULARY_H_
+#define SOI_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace soi {
+
+/// Integer id of an interned keyword. Ids are dense, starting at 0.
+using KeywordId = int32_t;
+
+/// Sentinel for "no such keyword".
+inline constexpr KeywordId kInvalidKeyword = -1;
+
+/// Interning table mapping keyword strings to dense integer ids.
+///
+/// Every POI / photo keyword set and every inverted-index term in the
+/// library is expressed in KeywordIds; a single Vocabulary per dataset
+/// owns the mapping.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `keyword`, interning it if new. Keywords are
+  /// case-sensitive; callers normalize (see Tokenizer).
+  KeywordId Intern(std::string_view keyword);
+
+  /// Returns the id of `keyword`, or kInvalidKeyword if never interned.
+  KeywordId Find(std::string_view keyword) const;
+
+  /// Returns the keyword string for a valid id.
+  const std::string& Name(KeywordId id) const;
+
+  /// Number of distinct keywords interned.
+  int64_t size() const { return static_cast<int64_t>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, KeywordId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_TEXT_VOCABULARY_H_

@@ -1,0 +1,168 @@
+#include <vector>
+
+#include "common/random.h"
+#include "core/diversify/cell_bounds.h"
+#include "core/diversify/objective.h"
+#include "core/street_photos.h"
+#include "gtest/gtest.h"
+#include "network/network_builder.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+// Random street worlds; for every photo, the exact value of each mmr
+// component must lie within its cell's bounds (Section 4.2.2).
+struct BoundsFixture {
+  RoadNetwork network;
+  std::vector<Photo> photos;
+  StreetPhotos sp;
+  double rho;
+
+  BoundsFixture(uint64_t seed, int64_t n, double rho_in) : rho(rho_in) {
+    NetworkBuilder builder;
+    VertexId a = builder.AddVertex({0, 0});
+    VertexId b = builder.AddVertex({0.01, 0});
+    VertexId c = builder.AddVertex({0.02, 0.002});
+    SOI_CHECK(builder.AddStreet("S", {a, b, c}).ok());
+    network = std::move(builder).Build().ValueOrDie();
+    Vocabulary vocabulary;
+    Rng rng(seed);
+    Box box = Box::FromCorners(Point{-0.001, -0.002}, Point{0.021, 0.004});
+    photos = testing_util::RandomPhotos(box, n, 14, &vocabulary, &rng);
+    sp = ExtractStreetPhotosBruteForce(network, 0, photos, 0.003);
+    SOI_CHECK(sp.size() > 20) << "need a meaningful photo set";
+  }
+};
+
+class CellBoundsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CellBoundsProperty, AllComponentBoundsContainExactValues) {
+  BoundsFixture fx(GetParam(), 400, /*rho=*/0.0004);
+  PhotoScorer scorer(fx.sp, fx.rho);
+  PhotoGridIndex index(fx.rho / 2, fx.sp.photos);
+  CellBoundsCalculator bounds(fx.sp, index);
+  Rng rng(GetParam() * 31 + 7);
+  constexpr double kTol = 1e-12;
+
+  for (CellId cell : index.non_empty_cells()) {
+    Bounds srel = bounds.SpatialRel(cell);
+    Bounds trel = bounds.TextualRel(cell);
+    EXPECT_LE(srel.lower, srel.upper + kTol);
+    EXPECT_LE(trel.lower, trel.upper + kTol);
+    for (PhotoId r : index.FindCell(cell)->photos) {
+      EXPECT_GE(scorer.SpatialRel(r), srel.lower - kTol);
+      EXPECT_LE(scorer.SpatialRel(r), srel.upper + kTol);
+      EXPECT_GE(scorer.TextualRel(r), trel.lower - kTol);
+      EXPECT_LE(scorer.TextualRel(r), trel.upper + kTol);
+    }
+    // Diversity bounds against random reference photos.
+    for (int trial = 0; trial < 5; ++trial) {
+      PhotoId ref =
+          static_cast<PhotoId>(rng.UniformInt(0, fx.sp.size() - 1));
+      Bounds sdiv = bounds.SpatialDiv(cell, ref);
+      Bounds tdiv = bounds.TextualDiv(cell, ref);
+      for (PhotoId r : index.FindCell(cell)->photos) {
+        EXPECT_GE(scorer.SpatialDiv(r, ref), sdiv.lower - kTol);
+        EXPECT_LE(scorer.SpatialDiv(r, ref), sdiv.upper + kTol);
+        EXPECT_GE(scorer.TextualDiv(r, ref), tdiv.lower - kTol)
+            << "cell " << cell << " ref " << ref << " photo " << r;
+        EXPECT_LE(scorer.TextualDiv(r, ref), tdiv.upper + kTol)
+            << "cell " << cell << " ref " << ref << " photo " << r;
+      }
+    }
+  }
+}
+
+TEST_P(CellBoundsProperty, MmrBoundsContainExactMmr) {
+  BoundsFixture fx(GetParam() + 100, 300, /*rho=*/0.0005);
+  PhotoScorer scorer(fx.sp, fx.rho);
+  PhotoGridIndex index(fx.rho / 2, fx.sp.photos);
+  CellBoundsCalculator bounds(fx.sp, index);
+  Rng rng(GetParam() * 17 + 3);
+  constexpr double kTol = 1e-12;
+
+  for (int trial = 0; trial < 6; ++trial) {
+    DiversifyParams params;
+    params.k = static_cast<int32_t>(rng.UniformInt(2, 8));
+    params.lambda = rng.UniformDouble();
+    params.w = rng.UniformDouble();
+    params.rho = fx.rho;
+    // A random already-selected set.
+    std::vector<PhotoId> selected;
+    int64_t ns = rng.UniformInt(0, 4);
+    for (int64_t i = 0; i < ns; ++i) {
+      selected.push_back(
+          static_cast<PhotoId>(rng.UniformInt(0, fx.sp.size() - 1)));
+    }
+    for (CellId cell : index.non_empty_cells()) {
+      Bounds mmr = bounds.Mmr(cell, selected, params);
+      for (PhotoId r : index.FindCell(cell)->photos) {
+        double exact = scorer.Mmr(r, selected, params);
+        EXPECT_GE(exact, mmr.lower - kTol);
+        EXPECT_LE(exact, mmr.upper + kTol);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CellBoundsProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// Hand-checkable textual diversity bound cases (Equations 17-18).
+TEST(CellBoundsTest, TextualDivHandCases) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({0.01, 0});
+  SOI_CHECK(builder.AddStreet("S", {a, b}).ok());
+  RoadNetwork network = std::move(builder).Build().ValueOrDie();
+
+  std::vector<Photo> photos(3);
+  photos[0].position = Point{0.001, 0.0};
+  photos[0].keywords = KeywordSet({1, 2});      // In cell A.
+  photos[1].position = Point{0.0011, 0.0};
+  photos[1].keywords = KeywordSet({2, 3, 4});   // Same cell A.
+  photos[2].position = Point{0.009, 0.0};
+  photos[2].keywords = KeywordSet({1});         // Reference photo, cell B.
+  StreetPhotos sp = ExtractStreetPhotosBruteForce(network, 0, photos, 0.01);
+  ASSERT_EQ(sp.size(), 3);
+
+  PhotoGridIndex index(0.002, sp.photos);
+  CellBoundsCalculator bounds(sp, index);
+  CellId cell_a = index.geometry().CellOf(photos[0].position);
+  // Cell A: c.Psi = {1,2,3,4}, psi_min=2, psi_max=3.
+  // Reference Psi_r = {1}: inter=1 < psi_min=2
+  //   lower = 1 - 1/(1 + 2 - 1) = 0.5
+  // foreign = 3 >= psi_min -> upper = 1.
+  Bounds tdiv = bounds.TextualDiv(cell_a, /*r=*/2);
+  EXPECT_DOUBLE_EQ(tdiv.lower, 0.5);
+  EXPECT_DOUBLE_EQ(tdiv.upper, 1.0);
+  // Exact values: J(photo0,{1}) = 1 - 1/2 = 0.5; J(photo1,{1}) = 1.
+  PhotoScorer scorer(sp, 0.004);
+  EXPECT_DOUBLE_EQ(scorer.TextualDiv(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(scorer.TextualDiv(1, 2), 1.0);
+}
+
+TEST(CellBoundsTest, SpatialRelLowerIsOwnCellShare) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({0.01, 0});
+  SOI_CHECK(builder.AddStreet("S", {a, b}).ok());
+  RoadNetwork network = std::move(builder).Build().ValueOrDie();
+  std::vector<Photo> photos(4);
+  for (int i = 0; i < 4; ++i) {
+    photos[static_cast<size_t>(i)].keywords = KeywordSet({1});
+  }
+  photos[0].position = Point{0.0001, 0.0};
+  photos[1].position = Point{0.00015, 0.0};  // Same tiny cell as photo 0.
+  photos[2].position = Point{0.005, 0.0};
+  photos[3].position = Point{0.009, 0.0};
+  StreetPhotos sp = ExtractStreetPhotosBruteForce(network, 0, photos, 0.01);
+  PhotoGridIndex index(0.0005, sp.photos);
+  CellBoundsCalculator bounds(sp, index);
+  CellId cell = index.geometry().CellOf(photos[0].position);
+  EXPECT_DOUBLE_EQ(bounds.SpatialRel(cell).lower, 2.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace soi

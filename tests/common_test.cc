@@ -1,0 +1,259 @@
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "gtest/gtest.h"
+
+namespace soi {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad eps");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad eps");
+  EXPECT_EQ(status.ToString(), "Invalid argument: bad eps");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveExtractsValue) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(result).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailingHelper() { return Status::IOError("disk"); }
+
+Status PropagatingHelper() {
+  SOI_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(PropagatingHelper().code(), StatusCode::kIOError);
+}
+
+Result<int> ProducingHelper(bool fail) {
+  if (fail) return Status::OutOfRange("no");
+  return 7;
+}
+
+Result<int> AssigningHelper(bool fail) {
+  SOI_ASSIGN_OR_RETURN(int value, ProducingHelper(fail));
+  return value + 1;
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  EXPECT_EQ(AssigningHelper(false).ValueOrDie(), 8);
+  EXPECT_EQ(AssigningHelper(true).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ SOI_CHECK(1 == 2) << "context " << 42; }, "SOI_CHECK");
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next32() != b.Next32()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<size_t>(rng.UniformInt(uint64_t{10}))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);  // Within 10% relative.
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NormalHasRoughMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+// --- ZipfSampler -------------------------------------------------------------
+
+TEST(ZipfTest, Theta0IsUniform) {
+  Rng rng(29);
+  ZipfSampler sampler(4, 0.0);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 4, kDraws / 50);
+  }
+}
+
+TEST(ZipfTest, SkewPrefersLowRanks) {
+  Rng rng(31);
+  ZipfSampler sampler(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[sampler.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[9] * 3);
+  EXPECT_GT(counts[0], counts[50] * 10);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  Rng rng(37);
+  ZipfSampler sampler(5, 2.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(sampler.Sample(&rng), 5u);
+  }
+}
+
+// --- string_util --------------------------------------------------------------
+
+TEST(StringUtilTest, SplitBasic) {
+  std::vector<std::string> fields = Split("a,b,,c", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "c");
+}
+
+TEST(StringUtilTest, SplitEmptyYieldsOneField) {
+  EXPECT_EQ(Split("", ';').size(), 1u);
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("\t \n"), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("OxFoRd STR."), "oxford str.");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "; "), "a; b; c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").ValueOrDie(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -1e-3 ").ValueOrDie(), -1e-3);
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("nan").ok());
+}
+
+TEST(StringUtilTest, ParseInt64Valid) {
+  EXPECT_EQ(ParseInt64("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt64("-17").ValueOrDie(), -17);
+}
+
+TEST(StringUtilTest, ParseInt64RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("12.5").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("ten").ok());
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,254 @@
+#include <cmath>
+#include <set>
+
+#include "datagen/city_profile.h"
+#include "datagen/dataset.h"
+#include "datagen/street_grid_generator.h"
+#include "gtest/gtest.h"
+#include "network/network_stats.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+TEST(CityProfileTest, PresetsScale) {
+  CityProfile full = LondonProfile(1.0);
+  CityProfile tenth = LondonProfile(0.1);
+  EXPECT_EQ(full.target_segments, 113885);
+  EXPECT_EQ(full.target_pois, 2114264);
+  EXPECT_NEAR(tenth.target_segments, 11389, 2);
+  EXPECT_NEAR(tenth.target_pois, 211426, 2);
+  EXPECT_EQ(AllCityProfiles(0.1).size(), 3u);
+  // Berlin and Vienna are progressively smaller, as in Table 1.
+  EXPECT_GT(BerlinProfile(1.0).target_segments,
+            ViennaProfile(1.0).target_segments);
+  EXPECT_GT(LondonProfile(1.0).target_segments,
+            BerlinProfile(1.0).target_segments);
+}
+
+TEST(StreetGridGeneratorTest, HitsSegmentTargetApproximately) {
+  CityProfile profile = testing_util::TinyCityProfile(1);
+  Rng rng(profile.seed);
+  auto network = GenerateStreetGrid(profile, &rng);
+  ASSERT_TRUE(network.ok());
+  int64_t segments = network.ValueOrDie().num_segments();
+  EXPECT_GT(segments, profile.target_segments / 2);
+  EXPECT_LT(segments, profile.target_segments * 2);
+}
+
+TEST(StreetGridGeneratorTest, StructuralInvariants) {
+  CityProfile profile = testing_util::TinyCityProfile(2);
+  Rng rng(profile.seed);
+  RoadNetwork network =
+      GenerateStreetGrid(profile, &rng).ValueOrDie();
+  // Every segment belongs to exactly one street; street lengths add up.
+  std::vector<int> owners(static_cast<size_t>(network.num_segments()), 0);
+  for (StreetId s = 0; s < network.num_streets(); ++s) {
+    const Street& street = network.street(s);
+    EXPECT_FALSE(street.segments.empty());
+    EXPECT_FALSE(street.name.empty());
+    double total = 0.0;
+    for (SegmentId l : street.segments) {
+      EXPECT_EQ(network.segment(l).street, s);
+      EXPECT_GT(network.segment(l).length, 0.0);
+      total += network.segment(l).length;
+      ++owners[static_cast<size_t>(l)];
+    }
+    EXPECT_DOUBLE_EQ(street.length, total);
+    // Consecutive segments share a vertex (simple path).
+    for (size_t i = 1; i < street.segments.size(); ++i) {
+      EXPECT_EQ(network.segment(street.segments[i - 1]).to,
+                network.segment(street.segments[i]).from);
+    }
+  }
+  for (int owner_count : owners) EXPECT_EQ(owner_count, 1);
+}
+
+TEST(StreetGridGeneratorTest, DeterministicForSameSeed) {
+  CityProfile profile = testing_util::TinyCityProfile(3);
+  Rng rng_a(profile.seed);
+  Rng rng_b(profile.seed);
+  RoadNetwork a = GenerateStreetGrid(profile, &rng_a).ValueOrDie();
+  RoadNetwork b = GenerateStreetGrid(profile, &rng_b).ValueOrDie();
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_segments(), b.num_segments());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.vertex(v).position, b.vertex(v).position);
+  }
+}
+
+TEST(GenerateCityTest, DeterministicAndComplete) {
+  CityProfile profile = testing_util::TinyCityProfile(4);
+  Dataset a = GenerateCity(profile).ValueOrDie();
+  Dataset b = GenerateCity(profile).ValueOrDie();
+  EXPECT_EQ(a.pois.size(), b.pois.size());
+  EXPECT_EQ(a.photos.size(), b.photos.size());
+  for (size_t i = 0; i < a.pois.size(); ++i) {
+    EXPECT_EQ(a.pois[i].position, b.pois[i].position);
+    EXPECT_EQ(a.pois[i].keywords, b.pois[i].keywords);
+  }
+  EXPECT_EQ(static_cast<int64_t>(a.pois.size()), profile.target_pois);
+  EXPECT_EQ(static_cast<int64_t>(a.photos.size()), profile.target_photos);
+}
+
+TEST(GenerateCityTest, CategoryFractionsApproximatelyMet) {
+  CityProfile profile = testing_util::TinyCityProfile(5);
+  Dataset dataset = GenerateCity(profile).ValueOrDie();
+  for (const CategorySpec& category : profile.categories) {
+    KeywordId keyword = dataset.vocabulary.Find(category.keyword);
+    ASSERT_NE(keyword, kInvalidKeyword) << category.keyword;
+    int64_t count = CountRelevantPois(dataset.pois, KeywordSet({keyword}));
+    double expected = category.poi_fraction * profile.target_pois;
+    // Secondary-category assignment adds ~10% noise on top.
+    EXPECT_GT(count, expected * 0.8) << category.keyword;
+    EXPECT_LT(count, expected * 1.6 + 20) << category.keyword;
+  }
+}
+
+TEST(GenerateCityTest, GroundTruthIsConsistent) {
+  CityProfile profile = testing_util::TinyCityProfile(6);
+  Dataset dataset = GenerateCity(profile).ValueOrDie();
+  // Hotspot categories only.
+  std::set<std::string> expected_categories;
+  for (const CategorySpec& category : profile.categories) {
+    if (category.num_hotspot_streets > 0) {
+      expected_categories.insert(category.keyword);
+    }
+  }
+  ASSERT_EQ(dataset.ground_truth.categories.size(),
+            expected_categories.size());
+  for (const CategoryGroundTruth& truth : dataset.ground_truth.categories) {
+    EXPECT_TRUE(expected_categories.count(truth.keyword) > 0);
+    EXPECT_FALSE(truth.hotspots.empty());
+    ASSERT_EQ(truth.hotspots.size(), truth.planted_counts.size());
+    for (StreetId street : truth.hotspots) {
+      EXPECT_GE(street, 0);
+      EXPECT_LT(street, dataset.network.num_streets());
+    }
+    // Planted counts decrease with rank.
+    for (size_t i = 1; i < truth.planted_counts.size(); ++i) {
+      EXPECT_GE(truth.planted_counts[i - 1], truth.planted_counts[i]);
+    }
+    // Web sources are 5 streets drawn from the top hotspots.
+    for (const auto& source : truth.web_sources) {
+      EXPECT_LE(source.size(), 5u);
+      for (StreetId street : source) {
+        EXPECT_NE(std::find(truth.hotspots.begin(), truth.hotspots.end(),
+                            street),
+                  truth.hotspots.end());
+      }
+    }
+    EXPECT_EQ(dataset.ground_truth.Find(truth.keyword), &truth);
+  }
+  EXPECT_EQ(dataset.ground_truth.Find("no-such-category"), nullptr);
+}
+
+TEST(GenerateCityTest, HotspotStreetsActuallyDense) {
+  CityProfile profile = testing_util::TinyCityProfile(7);
+  Dataset dataset = GenerateCity(profile).ValueOrDie();
+  const CategoryGroundTruth* truth = dataset.ground_truth.Find("shop");
+  ASSERT_NE(truth, nullptr);
+  KeywordId shop = dataset.vocabulary.Find("shop");
+  double eps = 0.0005;
+  // POIs near the rank-1 hotspot street.
+  StreetId top = truth->hotspots[0];
+  int64_t near_top = 0;
+  for (const Poi& poi : dataset.pois) {
+    if (poi.keywords.Contains(shop) &&
+        dataset.network.StreetDistanceTo(top, poi.position) <= eps) {
+      ++near_top;
+    }
+  }
+  // A random non-hotspot street should have far fewer.
+  std::set<StreetId> hotspot_set(truth->hotspots.begin(),
+                                 truth->hotspots.end());
+  int64_t max_background = 0;
+  for (StreetId s = 0; s < dataset.network.num_streets(); s += 7) {
+    if (hotspot_set.count(s) > 0) continue;
+    int64_t near = 0;
+    for (const Poi& poi : dataset.pois) {
+      if (poi.keywords.Contains(shop) &&
+          dataset.network.StreetDistanceTo(s, poi.position) <= eps) {
+        ++near;
+      }
+    }
+    max_background = std::max(max_background, near);
+  }
+  EXPECT_GT(near_top, 3 * std::max<int64_t>(max_background, 1));
+}
+
+TEST(GenerateCityTest, PhotosClusterOnHotspotStreets) {
+  CityProfile profile = testing_util::TinyCityProfile(8);
+  Dataset dataset = GenerateCity(profile).ValueOrDie();
+  const CategoryGroundTruth* truth = dataset.ground_truth.Find("shop");
+  ASSERT_NE(truth, nullptr);
+  StreetId top = truth->hotspots[0];
+  int64_t near = 0;
+  for (const Photo& photo : dataset.photos) {
+    if (dataset.network.StreetDistanceTo(top, photo.position) <= 0.0005) {
+      ++near;
+    }
+  }
+  // The top cluster street must have a photo set large enough to
+  // describe (the paper's R_s ranged from ~800 to ~6600).
+  EXPECT_GT(near, 50);
+}
+
+TEST(DatasetIoTest, SaveLoadRoundTrip) {
+  CityProfile profile = testing_util::TinyCityProfile(9);
+  profile.target_pois = 500;
+  profile.target_photos = 200;
+  Dataset original = GenerateCity(profile).ValueOrDie();
+  std::string prefix = ::testing::TempDir() + "/tinytown";
+  ASSERT_TRUE(SaveDataset(original, prefix).ok());
+  auto loaded = LoadDataset("Tinytown", prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& dataset = loaded.ValueOrDie();
+  ASSERT_EQ(dataset.pois.size(), original.pois.size());
+  ASSERT_EQ(dataset.photos.size(), original.photos.size());
+  ASSERT_EQ(dataset.network.num_segments(),
+            original.network.num_segments());
+  for (size_t i = 0; i < original.pois.size(); ++i) {
+    EXPECT_EQ(dataset.pois[i].position, original.pois[i].position);
+    // Keyword sets must be semantically equal across vocabularies.
+    EXPECT_EQ(dataset.pois[i].keywords.size(),
+              original.pois[i].keywords.size());
+  }
+  // Spot-check one keyword mapping.
+  KeywordId shop_old = original.vocabulary.Find("shop");
+  KeywordId shop_new = dataset.vocabulary.Find("shop");
+  ASSERT_NE(shop_new, kInvalidKeyword);
+  int64_t old_count = 0;
+  int64_t new_count = 0;
+  for (size_t i = 0; i < original.pois.size(); ++i) {
+    if (original.pois[i].keywords.Contains(shop_old)) ++old_count;
+    if (dataset.pois[i].keywords.Contains(shop_new)) ++new_count;
+  }
+  EXPECT_EQ(new_count, old_count);
+}
+
+TEST(BuildIndexesTest, GeometryCoversEverything) {
+  CityProfile profile = testing_util::TinyCityProfile(10);
+  profile.target_pois = 800;
+  profile.target_photos = 300;
+  Dataset dataset = GenerateCity(profile).ValueOrDie();
+  auto indexes = BuildIndexes(dataset, 0.0005);
+  const Box& bounds = indexes->geometry.bounds();
+  for (const Poi& poi : dataset.pois) {
+    EXPECT_TRUE(bounds.Contains(poi.position));
+  }
+  for (const Photo& photo : dataset.photos) {
+    EXPECT_TRUE(bounds.Contains(photo.position));
+  }
+  EXPECT_TRUE(bounds.Contains(dataset.network.bounds().min));
+  EXPECT_TRUE(bounds.Contains(dataset.network.bounds().max));
+  // POI grid indexes every POI.
+  int64_t total = 0;
+  for (CellId cell : indexes->poi_grid.NonEmptyCells()) {
+    total += indexes->poi_grid.NumPoisInCell(cell);
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(dataset.pois.size()));
+}
+
+}  // namespace
+}  // namespace soi

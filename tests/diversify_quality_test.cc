@@ -1,0 +1,113 @@
+#include <vector>
+
+#include "common/random.h"
+#include "core/diversify/exact.h"
+#include "core/diversify/greedy_baseline.h"
+#include "core/diversify/objective.h"
+#include "core/street_photos.h"
+#include "gtest/gtest.h"
+#include "network/network_builder.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+StreetPhotos TinyWorld(uint64_t seed, int64_t n) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({0.01, 0});
+  SOI_CHECK(builder.AddStreet("S", {a, b}).ok());
+  RoadNetwork network = std::move(builder).Build().ValueOrDie();
+  Vocabulary vocabulary;
+  Rng rng(seed);
+  std::vector<Photo> photos = testing_util::RandomPhotos(
+      Box::FromCorners(Point{0, -0.002}, Point{0.01, 0.002}), n, 8,
+      &vocabulary, &rng);
+  StreetPhotos sp =
+      ExtractStreetPhotosBruteForce(network, 0, photos, 0.0025);
+  // RandomPhotos concentrates a third near the center but some may fall
+  // out of eps; accept whatever remains (still >= n/2 in practice).
+  SOI_CHECK(sp.size() >= n / 2);
+  return sp;
+}
+
+// The exact optimum never scores below the greedy result, and greedy stays
+// within a reasonable factor — the MaxSum greedy has a constant-factor
+// guarantee for metric distances.
+class GreedyVsExact : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyVsExact, GreedyIsNearOptimal) {
+  // Keep |R_s| small: ExactMaxSumSelect enumerates C(n, k) subsets.
+  StreetPhotos sp = TinyWorld(GetParam(), 18);
+  Rng rng(GetParam() * 7 + 1);
+  for (int trial = 0; trial < 4; ++trial) {
+    DiversifyParams params;
+    params.k = static_cast<int32_t>(rng.UniformInt(2, 4));
+    params.lambda = rng.UniformDouble();
+    params.w = rng.UniformDouble();
+    params.rho = 0.0005;
+    PhotoScorer scorer(sp, params.rho);
+    DiversifyResult greedy = GreedyBaselineSelect(scorer, params);
+    std::vector<PhotoId> best = ExactMaxSumSelect(scorer, params);
+    double greedy_score = scorer.Objective(greedy.selected, params);
+    double best_score = scorer.Objective(best, params);
+    EXPECT_GE(best_score, greedy_score - 1e-12);
+    EXPECT_GE(greedy_score, 0.4 * best_score)
+        << "greedy=" << greedy_score << " exact=" << best_score;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyVsExact,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ExactMaxSumTest, KOneIsBestSinglePhoto) {
+  StreetPhotos sp = TinyWorld(11, 15);
+  DiversifyParams params;
+  params.k = 1;
+  params.lambda = 0.3;
+  params.w = 0.5;
+  params.rho = 0.0005;
+  PhotoScorer scorer(sp, params.rho);
+  std::vector<PhotoId> best = ExactMaxSumSelect(scorer, params);
+  ASSERT_EQ(best.size(), 1u);
+  for (PhotoId r = 0; r < sp.size(); ++r) {
+    EXPECT_LE(scorer.Objective({r}, params),
+              scorer.Objective(best, params) + 1e-15);
+  }
+}
+
+TEST(ExactMaxSumTest, KEqualsNSelectsEverything) {
+  StreetPhotos sp = TinyWorld(13, 10);
+  DiversifyParams params;
+  params.k = 100;
+  params.rho = 0.0005;
+  PhotoScorer scorer(sp, params.rho);
+  std::vector<PhotoId> best = ExactMaxSumSelect(scorer, params);
+  EXPECT_EQ(static_cast<int64_t>(best.size()), sp.size());
+}
+
+// Lambda sweep: diversity of the greedy summary is non-decreasing-ish and
+// relevance non-increasing-ish as lambda grows (the Figure 5 trade-off).
+// Greedy is a heuristic, so allow slack; the endpoints must order
+// strictly.
+TEST(DiversifyQualityTest, LambdaTradeoffEndpoints) {
+  StreetPhotos sp = TinyWorld(17, 24);
+  DiversifyParams params;
+  params.k = 5;
+  params.w = 0.5;
+  params.rho = 0.0005;
+  PhotoScorer scorer(sp, params.rho);
+
+  params.lambda = 0.0;
+  DiversifyResult rel_end = GreedyBaselineSelect(scorer, params);
+  params.lambda = 1.0;
+  DiversifyResult div_end = GreedyBaselineSelect(scorer, params);
+
+  EXPECT_GE(scorer.SetRelevance(rel_end.selected, params.w),
+            scorer.SetRelevance(div_end.selected, params.w) - 1e-12);
+  EXPECT_GE(scorer.SetDiversity(div_end.selected, params.w),
+            scorer.SetDiversity(rel_end.selected, params.w) - 1e-12);
+}
+
+}  // namespace
+}  // namespace soi

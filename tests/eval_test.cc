@@ -1,0 +1,80 @@
+#include <sstream>
+
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "gtest/gtest.h"
+
+namespace soi {
+namespace {
+
+std::vector<RankedStreet> Ranked(std::vector<StreetId> streets) {
+  std::vector<RankedStreet> ranked;
+  double interest = 100.0;
+  for (StreetId street : streets) {
+    ranked.push_back(RankedStreet{street, interest, 0});
+    interest -= 1.0;
+  }
+  return ranked;
+}
+
+TEST(MetricsTest, RecallAtK) {
+  std::vector<RankedStreet> ranked = Ranked({5, 3, 8, 1, 9});
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {5, 3, 7}, 5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {5, 3, 7}, 2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {5, 3, 7}, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {5, 3, 8, 1, 9}, 5), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, {1}, 5), 0.0);
+}
+
+TEST(MetricsTest, PrecisionAtK) {
+  std::vector<RankedStreet> ranked = Ranked({5, 3, 8, 1});
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {5, 8}, 4), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {5, 8}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {5, 8}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {}, 4), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {5}, 0), 0.0);
+  // k beyond the ranking is clipped to its size.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {5, 3, 8, 1}, 100), 1.0);
+}
+
+TEST(MetricsTest, NormalizeByMax) {
+  std::vector<double> normalized = NormalizeByMax({1.0, 4.0, 2.0});
+  EXPECT_DOUBLE_EQ(normalized[0], 0.25);
+  EXPECT_DOUBLE_EQ(normalized[1], 1.0);
+  EXPECT_DOUBLE_EQ(normalized[2], 0.5);
+  EXPECT_EQ(NormalizeByMax({0.0, 0.0}), (std::vector<double>{0.0, 0.0}));
+  EXPECT_TRUE(NormalizeByMax({}).empty());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Method", "London", "Berlin"});
+  table.AddRow({"S_Rel", "0.831", "0.726"});
+  table.AddRow({"ST_Rel+Div", "1.000", "1.000"});
+  std::ostringstream os;
+  table.Print(&os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("ST_Rel+Div"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Header and two rows plus separator = 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinterDeathTest, RejectsRowOfWrongArity) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "cells");
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.98177, 3), "0.982");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(FormatTest, FormatMillis) {
+  EXPECT_EQ(FormatMillis(0.0123), "12.3 ms");
+  EXPECT_EQ(FormatMillis(0.0012), "1.20 ms");
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,248 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "geometry/box.h"
+#include "geometry/distance.h"
+#include "geometry/point.h"
+#include "geometry/segment.h"
+#include "gtest/gtest.h"
+
+namespace soi {
+namespace {
+
+// --- Point ---------------------------------------------------------------
+
+TEST(PointTest, Distance) {
+  Point a{0, 0};
+  Point b{3, 4};
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.SquaredDistanceTo(b), 25.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(a), 0.0);
+}
+
+TEST(PointTest, Arithmetic) {
+  Point a{1, 2};
+  Point b{3, -1};
+  EXPECT_EQ(a + b, (Point{4, 1}));
+  EXPECT_EQ(a - b, (Point{-2, 3}));
+  EXPECT_EQ(a * 2.0, (Point{2, 4}));
+  EXPECT_DOUBLE_EQ(Dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Cross(a, b), -7.0);
+}
+
+// --- Box -----------------------------------------------------------------
+
+TEST(BoxTest, EmptyBox) {
+  Box box = Box::Empty();
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_DOUBLE_EQ(box.Diagonal(), 0.0);
+  EXPECT_FALSE(box.Contains(Point{0, 0}));
+}
+
+TEST(BoxTest, FromCornersNormalizes) {
+  Box box = Box::FromCorners(Point{2, 3}, Point{-1, 1});
+  EXPECT_EQ(box.min, (Point{-1, 1}));
+  EXPECT_EQ(box.max, (Point{2, 3}));
+  EXPECT_DOUBLE_EQ(box.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 2.0);
+}
+
+TEST(BoxTest, ContainsBoundaryInclusive) {
+  Box box = Box::FromCorners(Point{0, 0}, Point{1, 1});
+  EXPECT_TRUE(box.Contains(Point{0, 0}));
+  EXPECT_TRUE(box.Contains(Point{1, 1}));
+  EXPECT_TRUE(box.Contains(Point{0.5, 1}));
+  EXPECT_FALSE(box.Contains(Point{1.0001, 0.5}));
+}
+
+TEST(BoxTest, Intersects) {
+  Box a = Box::FromCorners(Point{0, 0}, Point{2, 2});
+  Box b = Box::FromCorners(Point{2, 2}, Point{3, 3});  // Touching corner.
+  Box c = Box::FromCorners(Point{2.1, 2.1}, Point{3, 3});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(a.Intersects(Box::Empty()));
+}
+
+TEST(BoxTest, ExtendToCover) {
+  Box box = Box::Empty();
+  box.ExtendToCover(Point{1, 1});
+  EXPECT_FALSE(box.IsEmpty());
+  box.ExtendToCover(Point{-1, 3});
+  EXPECT_EQ(box.min, (Point{-1, 1}));
+  EXPECT_EQ(box.max, (Point{1, 3}));
+  box.ExtendToCover(Box::FromCorners(Point{0, 0}, Point{5, 0.5}));
+  EXPECT_EQ(box.max, (Point{5, 3}));
+  EXPECT_EQ(box.min, (Point{-1, 0}));
+}
+
+TEST(BoxTest, Expanded) {
+  Box box = Box::FromCorners(Point{0, 0}, Point{1, 1}).Expanded(0.5);
+  EXPECT_EQ(box.min, (Point{-0.5, -0.5}));
+  EXPECT_EQ(box.max, (Point{1.5, 1.5}));
+  EXPECT_DOUBLE_EQ(box.Diagonal(), std::sqrt(8.0));
+}
+
+TEST(BoxTest, MinMaxDistance) {
+  Box box = Box::FromCorners(Point{0, 0}, Point{2, 2});
+  EXPECT_DOUBLE_EQ(box.MinDistanceTo(Point{1, 1}), 0.0);    // Inside.
+  EXPECT_DOUBLE_EQ(box.MinDistanceTo(Point{3, 1}), 1.0);    // Right.
+  EXPECT_DOUBLE_EQ(box.MinDistanceTo(Point{3, 3}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(box.MaxDistanceTo(Point{0, 0}), std::sqrt(8.0));
+  EXPECT_DOUBLE_EQ(box.MaxDistanceTo(Point{1, 1}), std::sqrt(2.0));
+}
+
+TEST(BoxTest, MinMaxDistanceBracketRandomPoints) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    Box box = Box::FromCorners(
+        Point{rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5)},
+        Point{rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5)});
+    Point p{rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10)};
+    double lo = box.MinDistanceTo(p);
+    double hi = box.MaxDistanceTo(p);
+    // Any point inside the box must be within [lo, hi] of p.
+    for (int s = 0; s < 20; ++s) {
+      Point q{rng.UniformDouble(box.min.x, box.max.x),
+              rng.UniformDouble(box.min.y, box.max.y)};
+      double d = p.DistanceTo(q);
+      EXPECT_GE(d, lo - 1e-12);
+      EXPECT_LE(d, hi + 1e-12);
+    }
+  }
+}
+
+// --- Segment ----------------------------------------------------------------
+
+TEST(SegmentTest, LengthAndMidpoint) {
+  Segment s{Point{0, 0}, Point{4, 3}};
+  EXPECT_DOUBLE_EQ(s.Length(), 5.0);
+  EXPECT_EQ(s.Midpoint(), (Point{2, 1.5}));
+}
+
+TEST(SegmentTest, DistanceToPoint) {
+  Segment s{Point{0, 0}, Point{10, 0}};
+  EXPECT_DOUBLE_EQ(s.DistanceTo(Point{5, 3}), 3.0);      // Perpendicular.
+  EXPECT_DOUBLE_EQ(s.DistanceTo(Point{-3, 4}), 5.0);     // Beyond endpoint a.
+  EXPECT_DOUBLE_EQ(s.DistanceTo(Point{13, 4}), 5.0);     // Beyond endpoint b.
+  EXPECT_DOUBLE_EQ(s.DistanceTo(Point{7, 0}), 0.0);      // On segment.
+}
+
+TEST(SegmentTest, DegenerateSegment) {
+  Segment s{Point{1, 1}, Point{1, 1}};
+  EXPECT_DOUBLE_EQ(s.Length(), 0.0);
+  EXPECT_DOUBLE_EQ(s.DistanceTo(Point{4, 5}), 5.0);
+}
+
+TEST(SegmentTest, ClosestPointMinimizesOverSamples) {
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    Segment s{Point{rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5)},
+              Point{rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5)}};
+    Point p{rng.UniformDouble(-8, 8), rng.UniformDouble(-8, 8)};
+    double reported = s.DistanceTo(p);
+    for (int i = 0; i <= 50; ++i) {
+      Point q = s.Interpolate(i / 50.0);
+      EXPECT_LE(reported, p.DistanceTo(q) + 1e-12);
+    }
+  }
+}
+
+// --- SegmentsIntersect / distances ----------------------------------------
+
+TEST(DistanceTest, SegmentsIntersectCrossing) {
+  EXPECT_TRUE(SegmentsIntersect(Segment{{0, 0}, {2, 2}},
+                                Segment{{0, 2}, {2, 0}}));
+}
+
+TEST(DistanceTest, SegmentsIntersectSharedEndpoint) {
+  EXPECT_TRUE(SegmentsIntersect(Segment{{0, 0}, {1, 1}},
+                                Segment{{1, 1}, {2, 0}}));
+}
+
+TEST(DistanceTest, SegmentsIntersectCollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect(Segment{{0, 0}, {2, 0}},
+                                Segment{{1, 0}, {3, 0}}));
+  EXPECT_FALSE(SegmentsIntersect(Segment{{0, 0}, {1, 0}},
+                                 Segment{{2, 0}, {3, 0}}));
+}
+
+TEST(DistanceTest, SegmentsDisjoint) {
+  EXPECT_FALSE(SegmentsIntersect(Segment{{0, 0}, {1, 0}},
+                                 Segment{{0, 1}, {1, 1}}));
+}
+
+TEST(DistanceTest, SegmentSegmentDistanceParallel) {
+  EXPECT_DOUBLE_EQ(
+      SegmentSegmentDistance(Segment{{0, 0}, {2, 0}}, Segment{{0, 1}, {2, 1}}),
+      1.0);
+}
+
+TEST(DistanceTest, SegmentSegmentDistanceZeroWhenCrossing) {
+  EXPECT_DOUBLE_EQ(
+      SegmentSegmentDistance(Segment{{0, 0}, {2, 2}}, Segment{{0, 2}, {2, 0}}),
+      0.0);
+}
+
+TEST(DistanceTest, SegmentSegmentDistanceMatchesSampling) {
+  Rng rng(44);
+  for (int trial = 0; trial < 100; ++trial) {
+    Segment s{Point{rng.UniformDouble(-3, 3), rng.UniformDouble(-3, 3)},
+              Point{rng.UniformDouble(-3, 3), rng.UniformDouble(-3, 3)}};
+    Segment t{Point{rng.UniformDouble(-3, 3), rng.UniformDouble(-3, 3)},
+              Point{rng.UniformDouble(-3, 3), rng.UniformDouble(-3, 3)}};
+    double reported = SegmentSegmentDistance(s, t);
+    double sampled = 1e100;
+    for (int i = 0; i <= 30; ++i) {
+      Point q = t.Interpolate(i / 30.0);
+      sampled = std::min(sampled, s.DistanceTo(q));
+    }
+    // The true distance is never larger than any sampled distance, and for
+    // disjoint segments the dense sample should come close to it. (When
+    // they intersect, the crossing point can fall between samples, so only
+    // the upper-bound direction holds.)
+    EXPECT_LE(reported, sampled + 1e-12);
+    if (reported > 0.0) {
+      EXPECT_NEAR(reported, sampled, 0.05);
+    }
+  }
+}
+
+TEST(DistanceTest, SegmentBoxDistanceZeroWhenInside) {
+  Box box = Box::FromCorners(Point{0, 0}, Point{4, 4});
+  EXPECT_DOUBLE_EQ(SegmentBoxDistance(Segment{{1, 1}, {2, 2}}, box), 0.0);
+  // Crossing straight through (endpoints outside).
+  EXPECT_DOUBLE_EQ(SegmentBoxDistance(Segment{{-1, 2}, {5, 2}}, box), 0.0);
+}
+
+TEST(DistanceTest, SegmentBoxDistancePositive) {
+  Box box = Box::FromCorners(Point{0, 0}, Point{1, 1});
+  EXPECT_DOUBLE_EQ(SegmentBoxDistance(Segment{{3, 0}, {3, 1}}, box), 2.0);
+  EXPECT_NEAR(SegmentBoxDistance(Segment{{2, 2}, {3, 3}}, box),
+              std::sqrt(2.0), 1e-12);
+}
+
+TEST(DistanceTest, SegmentBoxDistanceMatchesSampling) {
+  Rng rng(45);
+  for (int trial = 0; trial < 100; ++trial) {
+    Box box = Box::FromCorners(
+        Point{rng.UniformDouble(-3, 3), rng.UniformDouble(-3, 3)},
+        Point{rng.UniformDouble(-3, 3), rng.UniformDouble(-3, 3)});
+    Segment s{Point{rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5)},
+              Point{rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5)}};
+    double reported = SegmentBoxDistance(s, box);
+    double sampled = 1e100;
+    for (int i = 0; i <= 40; ++i) {
+      sampled = std::min(sampled,
+                         box.MinDistanceTo(s.Interpolate(i / 40.0)));
+    }
+    EXPECT_LE(reported, sampled + 1e-12);
+    if (reported > 0.0) {
+      EXPECT_NEAR(reported, sampled, 0.05);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,133 @@
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "grid/grid_geometry.h"
+#include "grid/point_grid.h"
+#include "gtest/gtest.h"
+
+namespace soi {
+namespace {
+
+Box UnitBox() { return Box::FromCorners(Point{0, 0}, Point{10, 5}); }
+
+TEST(GridGeometryTest, Dimensions) {
+  GridGeometry grid(UnitBox(), 1.0);
+  EXPECT_EQ(grid.nx(), 10);
+  EXPECT_EQ(grid.ny(), 5);
+  EXPECT_EQ(grid.num_cells(), 50);
+}
+
+TEST(GridGeometryTest, NonDividingCellSizeRoundsUp) {
+  GridGeometry grid(UnitBox(), 3.0);
+  EXPECT_EQ(grid.nx(), 4);  // ceil(10/3)
+  EXPECT_EQ(grid.ny(), 2);  // ceil(5/3)
+}
+
+TEST(GridGeometryTest, CellOfInteriorPoints) {
+  GridGeometry grid(UnitBox(), 1.0);
+  EXPECT_EQ(grid.CellOf(Point{0.5, 0.5}), grid.ToId(CellCoord{0, 0}));
+  EXPECT_EQ(grid.CellOf(Point{9.5, 4.5}), grid.ToId(CellCoord{9, 4}));
+  EXPECT_EQ(grid.CellOf(Point{2.0, 3.0}), grid.ToId(CellCoord{2, 3}));
+}
+
+TEST(GridGeometryTest, OutOfBoundsClampsToBorder) {
+  GridGeometry grid(UnitBox(), 1.0);
+  EXPECT_EQ(grid.CellOf(Point{-5, -5}), grid.ToId(CellCoord{0, 0}));
+  EXPECT_EQ(grid.CellOf(Point{100, 100}), grid.ToId(CellCoord{9, 4}));
+  EXPECT_EQ(grid.CellOf(Point{10.0, 5.0}), grid.ToId(CellCoord{9, 4}));
+}
+
+TEST(GridGeometryTest, IdCoordRoundTrip) {
+  GridGeometry grid(UnitBox(), 1.0);
+  for (CellId id = 0; id < grid.num_cells(); ++id) {
+    EXPECT_EQ(grid.ToId(grid.ToCoord(id)), id);
+  }
+}
+
+TEST(GridGeometryTest, CellBoxContainsItsPoints) {
+  GridGeometry grid(UnitBox(), 0.7);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    Point p{rng.UniformDouble(0, 10), rng.UniformDouble(0, 5)};
+    Box cell_box = grid.CellBox(grid.CellOf(p));
+    EXPECT_TRUE(cell_box.Contains(p))
+        << "point " << p << " not in its cell box " << cell_box;
+  }
+}
+
+TEST(GridGeometryTest, ForEachCellInBoxCoversExactRange) {
+  GridGeometry grid(UnitBox(), 1.0);
+  std::set<CellId> visited;
+  grid.ForEachCellInBox(Box::FromCorners(Point{1.5, 1.5}, Point{3.5, 2.5}),
+                        [&](CellId id) { visited.insert(id); });
+  // x cells 1..3, y cells 1..2 -> 6 cells.
+  EXPECT_EQ(visited.size(), 6u);
+  for (int32_t iy = 1; iy <= 2; ++iy) {
+    for (int32_t ix = 1; ix <= 3; ++ix) {
+      EXPECT_TRUE(visited.count(grid.ToId(CellCoord{ix, iy})) > 0);
+    }
+  }
+}
+
+TEST(GridGeometryTest, ForEachCellInBoxEmptyBoxIsNoop) {
+  GridGeometry grid(UnitBox(), 1.0);
+  int count = 0;
+  grid.ForEachCellInBox(Box::Empty(), [&](CellId) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(GridGeometryTest, ForEachCellInBoxClampsToGrid) {
+  GridGeometry grid(UnitBox(), 1.0);
+  int count = 0;
+  grid.ForEachCellInBox(Box::FromCorners(Point{-100, -100}, Point{100, 100}),
+                        [&](CellId) { ++count; });
+  EXPECT_EQ(count, 50);
+}
+
+TEST(PointGridTest, RangeQueryMatchesBruteForce) {
+  Rng rng(7);
+  std::vector<Point> positions;
+  for (int i = 0; i < 400; ++i) {
+    positions.push_back(
+        Point{rng.UniformDouble(0, 10), rng.UniformDouble(0, 5)});
+  }
+  PointGrid<int32_t> grid(GridGeometry(UnitBox(), 0.9), positions);
+  for (int trial = 0; trial < 50; ++trial) {
+    Box probe = Box::FromCorners(
+        Point{rng.UniformDouble(0, 10), rng.UniformDouble(0, 5)},
+        Point{rng.UniformDouble(0, 10), rng.UniformDouble(0, 5)});
+    std::set<int32_t> candidates;
+    grid.ForEachCandidateInBox(probe,
+                               [&](int32_t id) { candidates.insert(id); });
+    // Every point inside the probe box must be among the candidates
+    // (candidates may be a superset: whole-cell granularity).
+    for (size_t i = 0; i < positions.size(); ++i) {
+      if (probe.Contains(positions[i])) {
+        EXPECT_TRUE(candidates.count(static_cast<int32_t>(i)) > 0);
+      }
+    }
+  }
+}
+
+TEST(PointGridTest, CellContentsPartitionAllPoints) {
+  Rng rng(9);
+  std::vector<Point> positions;
+  for (int i = 0; i < 300; ++i) {
+    positions.push_back(
+        Point{rng.UniformDouble(0, 10), rng.UniformDouble(0, 5)});
+  }
+  GridGeometry geometry(UnitBox(), 1.3);
+  PointGrid<int32_t> grid(geometry, positions);
+  std::multiset<int32_t> all;
+  for (CellId id = 0; id < geometry.num_cells(); ++id) {
+    for (int32_t p : grid.CellContents(id)) all.insert(p);
+  }
+  EXPECT_EQ(all.size(), positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    EXPECT_EQ(all.count(static_cast<int32_t>(i)), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,69 @@
+#include <cmath>
+
+#include "common/random.h"
+#include "core/interest.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+TEST(InterestTest, AreaFormula) {
+  // 2 * eps * len + pi * eps^2 (Definition 2).
+  EXPECT_DOUBLE_EQ(SegmentNeighborhoodArea(10.0, 0.5),
+                   2 * 0.5 * 10.0 + M_PI * 0.25);
+  // Zero-length segment still has the disk area.
+  EXPECT_DOUBLE_EQ(SegmentNeighborhoodArea(0.0, 2.0), M_PI * 4.0);
+}
+
+TEST(InterestTest, InterestScalesWithMassAndLength) {
+  double eps = 0.001;
+  EXPECT_DOUBLE_EQ(SegmentInterest(0, 1.0, eps), 0.0);
+  EXPECT_GT(SegmentInterest(10, 1.0, eps), SegmentInterest(5, 1.0, eps));
+  // Same mass on a shorter segment means higher density.
+  EXPECT_GT(SegmentInterest(5, 0.5, eps), SegmentInterest(5, 1.0, eps));
+  EXPECT_DOUBLE_EQ(SegmentInterest(7, 3.0, eps),
+                   7.0 / SegmentNeighborhoodArea(3.0, eps));
+}
+
+TEST(InterestTest, BruteForceMassCountsOnlyRelevantAndNear) {
+  Segment segment{Point{0, 0}, Point{1, 0}};
+  std::vector<Poi> pois(5);
+  pois[0].position = Point{0.5, 0.05};   // Near, relevant.
+  pois[0].keywords = KeywordSet({1});
+  pois[1].position = Point{0.5, 0.05};   // Near, irrelevant.
+  pois[1].keywords = KeywordSet({2});
+  pois[2].position = Point{0.5, 0.5};    // Far, relevant.
+  pois[2].keywords = KeywordSet({1});
+  pois[3].position = Point{1.1, 0.0};    // Past the endpoint at 0.1.
+  pois[3].keywords = KeywordSet({1});
+  pois[4].position = Point{0.0, -0.1};   // 0.1 below endpoint a.
+  pois[4].keywords = KeywordSet({1, 2});
+  KeywordSet query({1});
+  // eps of 0.12 (not exactly 0.1: distance-equal-eps sits on a floating-
+  // point boundary) captures pois 0, 3, and 4.
+  EXPECT_EQ(BruteForceSegmentMass(segment, pois, query, 0.12), 3);
+  EXPECT_EQ(BruteForceSegmentMass(segment, pois, query, 0.04), 0);
+  EXPECT_EQ(BruteForceSegmentMass(segment, pois, query, 1.0), 4);
+  EXPECT_EQ(BruteForceSegmentMass(segment, pois, KeywordSet({9}), 1.0), 0);
+}
+
+TEST(InterestTest, MassIsMonotoneInEps) {
+  Vocabulary vocabulary;
+  Rng rng(5);
+  Box box = Box::FromCorners(Point{0, 0}, Point{1, 1});
+  std::vector<Poi> pois =
+      testing_util::RandomPois(box, 200, 5, &vocabulary, &rng);
+  Segment segment{Point{0.2, 0.5}, Point{0.8, 0.5}};
+  KeywordSet query({0, 1});
+  int64_t last = 0;
+  for (double eps : {0.01, 0.05, 0.1, 0.3, 1.0}) {
+    int64_t mass = BruteForceSegmentMass(segment, pois, query, eps);
+    EXPECT_GE(mass, last);
+    last = mass;
+  }
+  EXPECT_EQ(last, CountRelevantPois(pois, query));  // eps=1 covers the box.
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,200 @@
+// Failure-injection tests for the IO layer: corrupted, truncated, and
+// adversarial inputs must produce a clean error Status (never a crash or
+// a silently wrong dataset), and the new optional trailing fields (POI
+// weight, photo visual descriptor) must round-trip.
+
+#include <sstream>
+#include <string>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "datagen/dataset.h"
+#include "gtest/gtest.h"
+#include "network/network_io.h"
+#include "objects/object_io.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+TEST(IoRobustnessTest, PhotoVisualDescriptorRoundTrip) {
+  Vocabulary vocabulary;
+  std::vector<Photo> photos(3);
+  photos[0].position = Point{1, 2};
+  photos[0].keywords = KeywordSet({vocabulary.Intern("sunset")});
+  photos[0].visual = {0.25f, 0.5f, 0.75f};
+  photos[1].position = Point{3, 4};
+  photos[1].keywords = KeywordSet({vocabulary.Intern("crowd")});
+  // photos[1] has no descriptor.
+  photos[2].position = Point{5, 6};
+  photos[2].keywords = KeywordSet({vocabulary.Intern("rain")});
+  photos[2].visual = {1.0f, 0.0f, 0.125f};
+
+  std::stringstream stream;
+  ASSERT_TRUE(WritePhotos(photos, vocabulary, &stream).ok());
+  Vocabulary fresh;
+  auto loaded = ReadPhotos(&stream, &fresh);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::vector<Photo>& out = loaded.ValueOrDie();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].visual, photos[0].visual);
+  EXPECT_TRUE(out[1].visual.empty());
+  EXPECT_EQ(out[2].visual, photos[2].visual);
+}
+
+TEST(IoRobustnessTest, MalformedVisualDescriptorFails) {
+  Vocabulary vocabulary;
+  {
+    std::stringstream stream("# soi-objects v1\n1\t2\tcrowd\t0.5|oops\n");
+    EXPECT_FALSE(ReadPhotos(&stream, &vocabulary).ok());
+  }
+  {
+    std::stringstream stream("# soi-objects v1\n1\t2\tcrowd\t0.5||0.5\n");
+    EXPECT_FALSE(ReadPhotos(&stream, &vocabulary).ok());
+  }
+}
+
+TEST(IoRobustnessTest, GeneratedDatasetSurvivesFullRoundTripWithExtras) {
+  CityProfile profile = testing_util::TinyCityProfile(55);
+  profile.target_pois = 300;
+  profile.target_photos = 150;
+  Dataset original = GenerateCity(profile).ValueOrDie();
+  // Attach non-unit weights so the POI extra field is exercised too.
+  Rng rng(5);
+  for (Poi& poi : original.pois) {
+    if (rng.Bernoulli(0.3)) poi.weight = 2.0;
+  }
+  std::string prefix = ::testing::TempDir() + "/roundtrip_extras";
+  ASSERT_TRUE(SaveDataset(original, prefix).ok());
+  auto loaded = LoadDataset("Tinytown", prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& dataset = loaded.ValueOrDie();
+  ASSERT_EQ(dataset.pois.size(), original.pois.size());
+  ASSERT_EQ(dataset.photos.size(), original.photos.size());
+  for (size_t i = 0; i < original.pois.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dataset.pois[i].weight, original.pois[i].weight);
+  }
+  for (size_t i = 0; i < original.photos.size(); ++i) {
+    EXPECT_EQ(dataset.photos[i].visual, original.photos[i].visual);
+  }
+}
+
+// Corrupting any single line of a serialized artifact must yield either a
+// clean parse error or a successfully parsed (possibly different) object
+// set — never a crash. Line-level corruption, not byte-level, since the
+// format is line-oriented.
+class CorruptionTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string CorruptOneLine(const std::string& text, Rng* rng) {
+  std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty()) return text;
+  size_t victim = static_cast<size_t>(rng->UniformInt(lines.size()));
+  switch (rng->UniformInt(uint64_t{4})) {
+    case 0:  // Truncate the line.
+      lines[victim] = lines[victim].substr(0, lines[victim].size() / 2);
+      break;
+    case 1:  // Replace a random character.
+      if (!lines[victim].empty()) {
+        lines[victim][static_cast<size_t>(
+            rng->UniformInt(lines[victim].size()))] =
+            static_cast<char>('!' + rng->UniformInt(uint64_t{90}));
+      }
+      break;
+    case 2:  // Duplicate the line.
+      lines.insert(lines.begin() + static_cast<int64_t>(victim),
+                   lines[victim]);
+      break;
+    default:  // Delete the line.
+      lines.erase(lines.begin() + static_cast<int64_t>(victim));
+      break;
+  }
+  return Join(lines, "\n");
+}
+
+TEST_P(CorruptionTest, CorruptedNetworkNeverCrashes) {
+  RoadNetwork network = testing_util::MakeGridNetwork(3, 4, 0.01);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteNetwork(network, &stream).ok());
+  std::string text = stream.str();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    std::stringstream corrupted(CorruptOneLine(text, &rng));
+    auto result = ReadNetwork(&corrupted);
+    // Either a clean error or a structurally valid network.
+    if (result.ok()) {
+      const RoadNetwork& net = result.ValueOrDie();
+      for (StreetId s = 0; s < net.num_streets(); ++s) {
+        for (SegmentId l : net.street(s).segments) {
+          EXPECT_EQ(net.segment(l).street, s);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CorruptionTest, CorruptedPoisNeverCrash) {
+  Vocabulary vocabulary;
+  Rng data_rng(GetParam() * 3 + 1);
+  std::vector<Poi> pois = testing_util::RandomPois(
+      Box::FromCorners(Point{0, 0}, Point{1, 1}), 50, 8, &vocabulary,
+      &data_rng);
+  pois[0].weight = 2.5;
+  std::stringstream stream;
+  ASSERT_TRUE(WritePois(pois, vocabulary, &stream).ok());
+  std::string text = stream.str();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    std::stringstream corrupted(CorruptOneLine(text, &rng));
+    Vocabulary fresh;
+    auto result = ReadPois(&corrupted, &fresh);
+    if (result.ok()) {
+      for (const Poi& poi : result.ValueOrDie()) {
+        EXPECT_GE(poi.weight, 0.0);
+      }
+    }
+  }
+}
+
+TEST_P(CorruptionTest, CorruptedPhotosNeverCrash) {
+  Vocabulary vocabulary;
+  Rng data_rng(GetParam() * 7 + 2);
+  std::vector<Photo> photos = testing_util::RandomPhotos(
+      Box::FromCorners(Point{0, 0}, Point{1, 1}), 50, 8, &vocabulary,
+      &data_rng);
+  photos[0].visual = {0.5f, 0.25f};
+  std::stringstream stream;
+  ASSERT_TRUE(WritePhotos(photos, vocabulary, &stream).ok());
+  std::string text = stream.str();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    std::stringstream corrupted(CorruptOneLine(text, &rng));
+    Vocabulary fresh;
+    auto result = ReadPhotos(&corrupted, &fresh);
+    (void)result;  // Either outcome is fine; crashing is not.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(IoRobustnessTest, EmptyStreamFailsCleanly) {
+  std::stringstream empty;
+  Vocabulary vocabulary;
+  EXPECT_FALSE(ReadNetwork(&empty).ok());
+  std::stringstream empty2;
+  EXPECT_FALSE(ReadPois(&empty2, &vocabulary).ok());
+}
+
+TEST(IoRobustnessTest, HeaderOnlyStreamsYieldEmptyCollections) {
+  Vocabulary vocabulary;
+  std::stringstream pois_only("# soi-objects v1\n");
+  auto pois = ReadPois(&pois_only, &vocabulary);
+  ASSERT_TRUE(pois.ok());
+  EXPECT_TRUE(pois.ValueOrDie().empty());
+  // A header-only network is an error: a network needs segments.
+  std::stringstream net_only("# soi-network v1\n");
+  EXPECT_FALSE(ReadNetwork(&net_only).ok());
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,203 @@
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "network/network_builder.h"
+#include "network/network_io.h"
+#include "network/network_stats.h"
+#include "network/road_network.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+TEST(NetworkBuilderTest, BuildsSimpleStreet) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({1, 0});
+  VertexId c = builder.AddVertex({1, 1});
+  auto street = builder.AddStreet("Main Street", {a, b, c});
+  ASSERT_TRUE(street.ok());
+  auto network = std::move(builder).Build();
+  ASSERT_TRUE(network.ok());
+  const RoadNetwork& net = network.ValueOrDie();
+  EXPECT_EQ(net.num_vertices(), 3);
+  EXPECT_EQ(net.num_segments(), 2);
+  EXPECT_EQ(net.num_streets(), 1);
+  EXPECT_DOUBLE_EQ(net.street(0).length, 2.0);
+  EXPECT_EQ(net.segment(0).street, 0);
+  EXPECT_EQ(net.segment(1).street, 0);
+  EXPECT_DOUBLE_EQ(net.segment(0).length, 1.0);
+}
+
+TEST(NetworkBuilderTest, RejectsShortPath) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  EXPECT_FALSE(builder.AddStreet("X", {a}).ok());
+  EXPECT_FALSE(builder.AddStreet("X", {}).ok());
+}
+
+TEST(NetworkBuilderTest, RejectsUnknownVertex) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  EXPECT_FALSE(builder.AddStreet("X", {a, 17}).ok());
+  EXPECT_FALSE(builder.AddStreet("X", {a, -1}).ok());
+}
+
+TEST(NetworkBuilderTest, RejectsRepeatedVertex) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({1, 0});
+  EXPECT_FALSE(builder.AddStreet("Loop", {a, b, a}).ok());
+}
+
+TEST(NetworkBuilderTest, RejectsZeroLengthSegment) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({0, 0});
+  EXPECT_FALSE(builder.AddStreet("Zero", {a, b}).ok());
+}
+
+TEST(NetworkBuilderTest, FailedAddStreetLeavesNetworkUnchanged) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({1, 0});
+  VertexId dup = builder.AddVertex({1, 0});
+  EXPECT_FALSE(builder.AddStreet("Bad", {b, dup}).ok());
+  ASSERT_TRUE(builder.AddStreet("Good", {a, b}).ok());
+  auto network = std::move(builder).Build();
+  ASSERT_TRUE(network.ok());
+  EXPECT_EQ(network.ValueOrDie().num_segments(), 1);
+  EXPECT_EQ(network.ValueOrDie().num_streets(), 1);
+}
+
+TEST(NetworkBuilderTest, EmptyNetworkFailsBuild) {
+  NetworkBuilder builder;
+  builder.AddVertex({0, 0});
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(RoadNetworkTest, GridShape) {
+  RoadNetwork net = testing_util::MakeGridNetwork(3, 4, 1.0);
+  EXPECT_EQ(net.num_vertices(), 12);
+  EXPECT_EQ(net.num_segments(), 3 * 3 + 4 * 2);
+  EXPECT_EQ(net.num_streets(), 7);
+  // Every segment belongs to exactly one street and every street's
+  // segments point back at it.
+  std::vector<int> ownership(static_cast<size_t>(net.num_segments()), 0);
+  for (StreetId s = 0; s < net.num_streets(); ++s) {
+    for (SegmentId l : net.street(s).segments) {
+      EXPECT_EQ(net.segment(l).street, s);
+      ++ownership[static_cast<size_t>(l)];
+    }
+  }
+  for (int count : ownership) EXPECT_EQ(count, 1);
+}
+
+TEST(RoadNetworkTest, Bounds) {
+  RoadNetwork net = testing_util::MakeGridNetwork(2, 2, 2.0,
+                                                  Point{10.0, 20.0});
+  EXPECT_EQ(net.bounds().min, (Point{10.0, 20.0}));
+  EXPECT_EQ(net.bounds().max, (Point{12.0, 22.0}));
+}
+
+TEST(RoadNetworkTest, StreetBoundsAndDistance) {
+  RoadNetwork net = testing_util::MakeGridNetwork(3, 3, 1.0);
+  // Street 0 is the horizontal row y = 0 from (0,0) to (2,0).
+  Box bounds = net.StreetBounds(0);
+  EXPECT_EQ(bounds.min, (Point{0, 0}));
+  EXPECT_EQ(bounds.max, (Point{2, 0}));
+  EXPECT_DOUBLE_EQ(net.StreetDistanceTo(0, Point{1, 0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(net.StreetDistanceTo(0, Point{-1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(net.StreetDistanceTo(0, Point{1.5, 0}), 0.0);
+}
+
+TEST(RoadNetworkTest, FindStreetsByName) {
+  RoadNetwork net = testing_util::MakeGridNetwork(2, 3, 1.0);
+  std::vector<StreetId> found = net.FindStreetsByName("H1");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(net.street(found[0]).name, "H1");
+  EXPECT_TRUE(net.FindStreetsByName("Nonexistent").empty());
+}
+
+TEST(NetworkStatsTest, ComputesExtremes) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({0.5, 0});
+  VertexId c = builder.AddVertex({3.5, 0});
+  ASSERT_TRUE(builder.AddStreet("S", {a, b, c}).ok());
+  RoadNetwork net = std::move(builder).Build().ValueOrDie();
+  NetworkStats stats = ComputeNetworkStats(net);
+  EXPECT_EQ(stats.num_segments, 2);
+  EXPECT_EQ(stats.num_streets, 1);
+  EXPECT_DOUBLE_EQ(stats.min_segment_length, 0.5);
+  EXPECT_DOUBLE_EQ(stats.max_segment_length, 3.0);
+  EXPECT_DOUBLE_EQ(stats.total_length, 3.5);
+  EXPECT_DOUBLE_EQ(stats.mean_segment_length, 1.75);
+  EXPECT_FALSE(NetworkStatsToString(stats).empty());
+}
+
+TEST(NetworkIoTest, RoundTrip) {
+  RoadNetwork original = testing_util::MakeGridNetwork(3, 4, 0.001,
+                                                       Point{13.3, 52.5});
+  std::stringstream stream;
+  ASSERT_TRUE(WriteNetwork(original, &stream).ok());
+  auto loaded = ReadNetwork(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const RoadNetwork& net = loaded.ValueOrDie();
+  ASSERT_EQ(net.num_vertices(), original.num_vertices());
+  ASSERT_EQ(net.num_segments(), original.num_segments());
+  ASSERT_EQ(net.num_streets(), original.num_streets());
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    EXPECT_EQ(net.vertex(v).position, original.vertex(v).position);
+  }
+  for (SegmentId l = 0; l < net.num_segments(); ++l) {
+    EXPECT_EQ(net.segment(l).from, original.segment(l).from);
+    EXPECT_EQ(net.segment(l).to, original.segment(l).to);
+    EXPECT_EQ(net.segment(l).street, original.segment(l).street);
+  }
+  for (StreetId s = 0; s < net.num_streets(); ++s) {
+    EXPECT_EQ(net.street(s).name, original.street(s).name);
+    EXPECT_EQ(net.street(s).segments, original.street(s).segments);
+  }
+}
+
+TEST(NetworkIoTest, StreetNamesWithSpacesSurvive) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({1, 0});
+  ASSERT_TRUE(builder.AddStreet("Neue Schoenhauser Strasse", {a, b}).ok());
+  RoadNetwork net = std::move(builder).Build().ValueOrDie();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteNetwork(net, &stream).ok());
+  auto loaded = ReadNetwork(&stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.ValueOrDie().street(0).name,
+            "Neue Schoenhauser Strasse");
+}
+
+TEST(NetworkIoTest, RejectsMissingHeader) {
+  std::stringstream stream("V\t0\t0\n");
+  EXPECT_FALSE(ReadNetwork(&stream).ok());
+}
+
+TEST(NetworkIoTest, RejectsMalformedLines) {
+  {
+    std::stringstream stream("# soi-network v1\nV\t1\n");
+    EXPECT_FALSE(ReadNetwork(&stream).ok());
+  }
+  {
+    std::stringstream stream("# soi-network v1\nV\t0\t0\nQ\tx\ty\n");
+    EXPECT_FALSE(ReadNetwork(&stream).ok());
+  }
+  {
+    std::stringstream stream("# soi-network v1\nV\t0\tzero\n");
+    EXPECT_FALSE(ReadNetwork(&stream).ok());
+  }
+}
+
+TEST(NetworkIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadNetworkFromFile("/nonexistent/net.txt").ok());
+}
+
+}  // namespace
+}  // namespace soi

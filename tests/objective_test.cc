@@ -1,0 +1,228 @@
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/diversify/objective.h"
+#include "core/street_photos.h"
+#include "gtest/gtest.h"
+#include "network/network_builder.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+// A one-street world with photos placed by the test.
+struct World {
+  RoadNetwork network;
+  std::vector<Photo> photos;
+
+  World() {
+    NetworkBuilder builder;
+    VertexId a = builder.AddVertex({0, 0});
+    VertexId b = builder.AddVertex({1, 0});
+    SOI_CHECK(builder.AddStreet("S", {a, b}).ok());
+    network = std::move(builder).Build().ValueOrDie();
+  }
+
+  void Add(double x, double y, std::vector<KeywordId> tags) {
+    Photo photo;
+    photo.position = Point{x, y};
+    photo.keywords = KeywordSet(std::move(tags));
+    photos.push_back(std::move(photo));
+  }
+
+  StreetPhotos Extract(double eps) const {
+    return ExtractStreetPhotosBruteForce(network, 0, photos, eps);
+  }
+};
+
+TEST(PhotoScorerTest, SpatialRelCountsNeighborhood) {
+  World world;
+  world.Add(0.10, 0.0, {1});
+  world.Add(0.11, 0.0, {2});  // Within rho=0.02 of the first.
+  world.Add(0.50, 0.0, {3});  // Isolated.
+  StreetPhotos sp = world.Extract(0.1);
+  PhotoScorer scorer(sp, /*rho=*/0.02);
+  // Photo 0 has neighbors {0, 1} -> 2/3.
+  EXPECT_DOUBLE_EQ(scorer.SpatialRel(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(scorer.SpatialRel(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(scorer.SpatialRel(2), 1.0 / 3.0);  // Only itself.
+}
+
+TEST(PhotoScorerTest, SpatialRelMatchesBruteForceOnRandomData) {
+  Vocabulary vocabulary;
+  Rng rng(5);
+  World world;
+  Box box = Box::FromCorners(Point{0, -0.02}, Point{1, 0.02});
+  for (int i = 0; i < 300; ++i) {
+    world.Add(rng.UniformDouble(0, 1), rng.UniformDouble(-0.02, 0.02),
+              {static_cast<KeywordId>(rng.UniformInt(0, 9))});
+  }
+  (void)box;
+  StreetPhotos sp = world.Extract(0.05);
+  ASSERT_EQ(sp.size(), 300);
+  double rho = 0.013;
+  PhotoScorer scorer(sp, rho);
+  for (PhotoId r = 0; r < sp.size(); ++r) {
+    int64_t count = 0;
+    for (PhotoId other = 0; other < sp.size(); ++other) {
+      if (sp.photos[static_cast<size_t>(r)].position.DistanceTo(
+              sp.photos[static_cast<size_t>(other)].position) <= rho) {
+        ++count;
+      }
+    }
+    EXPECT_DOUBLE_EQ(scorer.SpatialRel(r),
+                     static_cast<double>(count) / sp.size())
+        << "photo " << r;
+  }
+}
+
+TEST(PhotoScorerTest, TextualRelFollowsDefinition6) {
+  World world;
+  world.Add(0.1, 0.0, {1, 2});
+  world.Add(0.2, 0.0, {2});
+  world.Add(0.3, 0.0, {3});
+  StreetPhotos sp = world.Extract(0.1);
+  // Phi_s: {1:1, 2:2, 3:1}, norm 4.
+  PhotoScorer scorer(sp, 0.01);
+  EXPECT_DOUBLE_EQ(scorer.TextualRel(0), (1.0 + 2.0) / 4.0);
+  EXPECT_DOUBLE_EQ(scorer.TextualRel(1), 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(scorer.TextualRel(2), 1.0 / 4.0);
+}
+
+TEST(PhotoScorerTest, SpatialDivNormalizedByMaxD) {
+  World world;
+  world.Add(0.0, 0.0, {1});
+  world.Add(1.0, 0.0, {2});
+  StreetPhotos sp = world.Extract(0.5);
+  PhotoScorer scorer(sp, 0.1);
+  EXPECT_DOUBLE_EQ(scorer.SpatialDiv(0, 1), 1.0 / sp.max_distance);
+  EXPECT_DOUBLE_EQ(scorer.SpatialDiv(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scorer.SpatialDiv(0, 1), scorer.SpatialDiv(1, 0));
+}
+
+TEST(PhotoScorerTest, TextualDivIsJaccard) {
+  World world;
+  world.Add(0.1, 0.0, {1, 2});
+  world.Add(0.2, 0.0, {2, 3});
+  world.Add(0.3, 0.0, {1, 2});
+  StreetPhotos sp = world.Extract(0.1);
+  PhotoScorer scorer(sp, 0.01);
+  EXPECT_DOUBLE_EQ(scorer.TextualDiv(0, 1), 1.0 - 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(scorer.TextualDiv(0, 2), 0.0);
+}
+
+TEST(PhotoScorerTest, RelAndDivWeighting) {
+  World world;
+  world.Add(0.1, 0.0, {1});
+  world.Add(0.9, 0.0, {2});
+  StreetPhotos sp = world.Extract(0.1);
+  PhotoScorer scorer(sp, 0.01);
+  EXPECT_DOUBLE_EQ(scorer.Rel(0, 1.0), scorer.SpatialRel(0));
+  EXPECT_DOUBLE_EQ(scorer.Rel(0, 0.0), scorer.TextualRel(0));
+  EXPECT_DOUBLE_EQ(scorer.Div(0, 1, 1.0), scorer.SpatialDiv(0, 1));
+  EXPECT_DOUBLE_EQ(scorer.Div(0, 1, 0.0), scorer.TextualDiv(0, 1));
+  EXPECT_DOUBLE_EQ(
+      scorer.Div(0, 1, 0.3),
+      0.3 * scorer.SpatialDiv(0, 1) + 0.7 * scorer.TextualDiv(0, 1));
+}
+
+TEST(PhotoScorerTest, MmrMatchesEquation10) {
+  World world;
+  world.Add(0.1, 0.0, {1});
+  world.Add(0.5, 0.0, {2});
+  world.Add(0.9, 0.0, {3});
+  StreetPhotos sp = world.Extract(0.1);
+  PhotoScorer scorer(sp, 0.05);
+  DiversifyParams params;
+  params.k = 3;
+  params.lambda = 0.4;
+  params.w = 0.6;
+  // Empty selection: pure relevance term.
+  EXPECT_DOUBLE_EQ(scorer.Mmr(0, {}, params),
+                   (1 - 0.4) * scorer.Rel(0, 0.6));
+  // One selected photo.
+  std::vector<PhotoId> selected{1};
+  EXPECT_DOUBLE_EQ(scorer.Mmr(0, selected, params),
+                   0.6 * scorer.Rel(0, 0.6) +
+                       0.4 / 2.0 * scorer.Div(0, 1, 0.6));
+}
+
+TEST(PhotoScorerTest, SetRelevanceAndDiversityFollowEquations4And5) {
+  World world;
+  world.Add(0.1, 0.0, {1});
+  world.Add(0.5, 0.0, {2});
+  world.Add(0.9, 0.0, {1, 2});
+  StreetPhotos sp = world.Extract(0.1);
+  PhotoScorer scorer(sp, 0.05);
+  double w = 0.5;
+  std::vector<PhotoId> set{0, 1, 2};
+  double expected_rel = 0.0;
+  for (PhotoId r : set) {
+    expected_rel += w / 3.0 * scorer.SpatialRel(r) +
+                    (1 - w) / 3.0 * scorer.TextualRel(r);
+  }
+  EXPECT_NEAR(scorer.SetRelevance(set, w), expected_rel, 1e-15);
+
+  double expected_div = 0.0;
+  double pairs = 3.0;  // C(3,2)
+  for (size_t i = 0; i < set.size(); ++i) {
+    for (size_t j = i + 1; j < set.size(); ++j) {
+      expected_div += w * scorer.SpatialDiv(set[i], set[j]) +
+                      (1 - w) * scorer.TextualDiv(set[i], set[j]);
+    }
+  }
+  expected_div /= pairs;
+  EXPECT_NEAR(scorer.SetDiversity(set, w), expected_div, 1e-15);
+
+  DiversifyParams params;
+  params.lambda = 0.25;
+  params.w = w;
+  EXPECT_NEAR(scorer.Objective(set, params),
+              0.75 * scorer.SetRelevance(set, w) +
+                  0.25 * scorer.SetDiversity(set, w),
+              1e-15);
+}
+
+TEST(PhotoScorerTest, SetDiversityOfSingletonIsZero) {
+  World world;
+  world.Add(0.1, 0.0, {1});
+  StreetPhotos sp = world.Extract(0.1);
+  PhotoScorer scorer(sp, 0.05);
+  EXPECT_DOUBLE_EQ(scorer.SetDiversity({0}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(scorer.SetRelevance({}, 0.5), 0.0);
+}
+
+TEST(PhotoScorerTest, ValuesAreInUnitRange) {
+  Vocabulary vocabulary;
+  Rng rng(7);
+  World world;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<KeywordId> tags;
+    int64_t n = rng.UniformInt(1, 5);
+    for (int64_t t = 0; t < n; ++t) {
+      tags.push_back(static_cast<KeywordId>(rng.UniformInt(0, 20)));
+    }
+    world.Add(rng.UniformDouble(0, 1), rng.UniformDouble(-0.05, 0.05),
+              std::move(tags));
+  }
+  StreetPhotos sp = world.Extract(0.06);
+  PhotoScorer scorer(sp, 0.02);
+  for (PhotoId r = 0; r < sp.size(); ++r) {
+    EXPECT_GE(scorer.SpatialRel(r), 0.0);
+    EXPECT_LE(scorer.SpatialRel(r), 1.0);
+    EXPECT_GE(scorer.TextualRel(r), 0.0);
+    EXPECT_LE(scorer.TextualRel(r), 1.0);
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    PhotoId a = static_cast<PhotoId>(rng.UniformInt(0, sp.size() - 1));
+    PhotoId b = static_cast<PhotoId>(rng.UniformInt(0, sp.size() - 1));
+    EXPECT_GE(scorer.SpatialDiv(a, b), 0.0);
+    EXPECT_LE(scorer.SpatialDiv(a, b), 1.0);
+    EXPECT_GE(scorer.TextualDiv(a, b), 0.0);
+    EXPECT_LE(scorer.TextualDiv(a, b), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,126 @@
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "objects/object_io.h"
+#include "objects/photo.h"
+#include "objects/poi.h"
+#include "text/vocabulary.h"
+
+namespace soi {
+namespace {
+
+TEST(PoiTest, RelevancePredicate) {
+  Poi poi;
+  poi.keywords = KeywordSet({1, 5});
+  EXPECT_TRUE(poi.IsRelevantTo(KeywordSet({5, 9})));
+  EXPECT_FALSE(poi.IsRelevantTo(KeywordSet({2, 9})));
+  EXPECT_FALSE(poi.IsRelevantTo(KeywordSet()));
+}
+
+TEST(PoiTest, CountRelevant) {
+  std::vector<Poi> pois(4);
+  pois[0].keywords = KeywordSet({1});
+  pois[1].keywords = KeywordSet({2});
+  pois[2].keywords = KeywordSet({1, 2});
+  pois[3].keywords = KeywordSet({3});
+  EXPECT_EQ(CountRelevantPois(pois, KeywordSet({1, 2})), 3);
+  EXPECT_EQ(CountRelevantPois(pois, KeywordSet({3})), 1);
+  EXPECT_EQ(CountRelevantPois(pois, KeywordSet({9})), 0);
+}
+
+TEST(ObjectIoTest, PoiRoundTrip) {
+  Vocabulary vocabulary;
+  std::vector<Poi> pois(3);
+  pois[0].position = Point{-0.137, 51.51401};
+  pois[0].keywords = KeywordSet({vocabulary.Intern("shop"),
+                                 vocabulary.Intern("fashion")});
+  pois[1].position = Point{0.001, 51.5};
+  pois[1].keywords = KeywordSet({vocabulary.Intern("food")});
+  pois[2].position = Point{0.25, 51.49};
+  pois[2].keywords = KeywordSet();  // No keywords.
+
+  std::stringstream stream;
+  ASSERT_TRUE(WritePois(pois, vocabulary, &stream).ok());
+
+  Vocabulary fresh;
+  auto loaded = ReadPois(&stream, &fresh);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::vector<Poi>& out = loaded.ValueOrDie();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].position, pois[0].position);
+  EXPECT_EQ(out[2].position, pois[2].position);
+  EXPECT_TRUE(out[0].keywords.Contains(fresh.Find("shop")));
+  EXPECT_TRUE(out[0].keywords.Contains(fresh.Find("fashion")));
+  EXPECT_EQ(out[0].keywords.size(), 2);
+  EXPECT_TRUE(out[2].keywords.empty());
+}
+
+TEST(ObjectIoTest, PhotoRoundTrip) {
+  Vocabulary vocabulary;
+  std::vector<Photo> photos(2);
+  photos[0].position = Point{13.4, 52.52};
+  photos[0].keywords = KeywordSet({vocabulary.Intern("protest"),
+                                   vocabulary.Intern("crowd")});
+  photos[1].position = Point{13.41, 52.53};
+  photos[1].keywords = KeywordSet({vocabulary.Intern("hmv")});
+  std::stringstream stream;
+  ASSERT_TRUE(WritePhotos(photos, vocabulary, &stream).ok());
+  Vocabulary fresh;
+  auto loaded = ReadPhotos(&stream, &fresh);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.ValueOrDie().size(), 2u);
+  EXPECT_EQ(loaded.ValueOrDie()[1].position, photos[1].position);
+  EXPECT_TRUE(loaded.ValueOrDie()[1].keywords.Contains(fresh.Find("hmv")));
+}
+
+TEST(ObjectIoTest, CoordinatesRoundTripExactly) {
+  Vocabulary vocabulary;
+  std::vector<Poi> pois(1);
+  pois[0].position = Point{0.1 + 0.2, 1.0 / 3.0};  // Non-representable sums.
+  std::stringstream stream;
+  ASSERT_TRUE(WritePois(pois, vocabulary, &stream).ok());
+  Vocabulary fresh;
+  auto loaded = ReadPois(&stream, &fresh);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.ValueOrDie()[0].position.x, pois[0].position.x);
+  EXPECT_EQ(loaded.ValueOrDie()[0].position.y, pois[0].position.y);
+}
+
+TEST(ObjectIoTest, RejectsReservedCharacterInKeyword) {
+  Vocabulary vocabulary;
+  std::vector<Poi> pois(1);
+  pois[0].keywords = KeywordSet({vocabulary.Intern("bad;keyword")});
+  std::stringstream stream;
+  EXPECT_FALSE(WritePois(pois, vocabulary, &stream).ok());
+}
+
+TEST(ObjectIoTest, RejectsMissingHeaderAndMalformedLines) {
+  Vocabulary vocabulary;
+  {
+    std::stringstream stream("1\t2\tx\n");
+    EXPECT_FALSE(ReadPois(&stream, &vocabulary).ok());
+  }
+  {
+    std::stringstream stream("# soi-objects v1\n1\t2\n");
+    EXPECT_FALSE(ReadPois(&stream, &vocabulary).ok());
+  }
+  {
+    std::stringstream stream("# soi-objects v1\nx\t2\tshop\n");
+    EXPECT_FALSE(ReadPois(&stream, &vocabulary).ok());
+  }
+  {
+    // Empty keyword between semicolons.
+    std::stringstream stream("# soi-objects v1\n1\t2\tshop;;food\n");
+    EXPECT_FALSE(ReadPois(&stream, &vocabulary).ok());
+  }
+}
+
+TEST(ObjectIoTest, MissingFileFails) {
+  Vocabulary vocabulary;
+  EXPECT_FALSE(ReadPoisFromFile("/nonexistent/pois.txt", &vocabulary).ok());
+  EXPECT_FALSE(
+      ReadPhotosFromFile("/nonexistent/photos.txt", &vocabulary).ok());
+}
+
+}  // namespace
+}  // namespace soi

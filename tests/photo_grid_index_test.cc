@@ -1,0 +1,123 @@
+#include <algorithm>
+#include <limits>
+
+#include "common/random.h"
+#include "grid/photo_grid_index.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+std::vector<Photo> MakePhotos(uint64_t seed, int64_t n) {
+  Vocabulary vocabulary;
+  Rng rng(seed);
+  return testing_util::RandomPhotos(
+      Box::FromCorners(Point{0, 0}, Point{0.01, 0.01}), n, 15, &vocabulary,
+      &rng);
+}
+
+TEST(PhotoGridIndexTest, BucketsAllPhotos) {
+  std::vector<Photo> photos = MakePhotos(1, 300);
+  PhotoGridIndex index(0.0005, photos);
+  int64_t total = 0;
+  for (CellId cell : index.non_empty_cells()) {
+    total += index.NumPhotosInCell(cell);
+  }
+  EXPECT_EQ(total, 300);
+  // non_empty_cells is ascending and unique.
+  for (size_t i = 1; i < index.non_empty_cells().size(); ++i) {
+    EXPECT_LT(index.non_empty_cells()[i - 1], index.non_empty_cells()[i]);
+  }
+}
+
+TEST(PhotoGridIndexTest, CellAggregatesAreConsistent) {
+  std::vector<Photo> photos = MakePhotos(2, 250);
+  PhotoGridIndex index(0.0007, photos);
+  for (CellId cell : index.non_empty_cells()) {
+    const PhotoGridIndex::Cell* bucket = index.FindCell(cell);
+    ASSERT_NE(bucket, nullptr);
+    int64_t psi_min = std::numeric_limits<int64_t>::max();
+    int64_t psi_max = 0;
+    std::set<KeywordId> keywords;
+    for (PhotoId id : bucket->photos) {
+      const KeywordSet& tags = photos[static_cast<size_t>(id)].keywords;
+      psi_min = std::min(psi_min, tags.size());
+      psi_max = std::max(psi_max, tags.size());
+      for (KeywordId keyword : tags.ids()) keywords.insert(keyword);
+    }
+    EXPECT_EQ(bucket->psi_min, psi_min);
+    EXPECT_EQ(bucket->psi_max, psi_max);
+    EXPECT_EQ(bucket->keywords.size(),
+              static_cast<int64_t>(keywords.size()));
+    for (KeywordId keyword : keywords) {
+      EXPECT_TRUE(bucket->keywords.Contains(keyword));
+    }
+    // Postings cover exactly the cell's photos carrying the keyword.
+    for (const auto& [keyword, postings] : bucket->postings) {
+      for (PhotoId id : postings) {
+        EXPECT_TRUE(
+            photos[static_cast<size_t>(id)].keywords.Contains(keyword));
+      }
+    }
+  }
+}
+
+TEST(PhotoGridIndexTest, NeighborhoodCountSumsBlock) {
+  // Place photos deterministically in known cells.
+  std::vector<Photo> photos;
+  auto add = [&](double x, double y) {
+    Photo photo;
+    photo.position = Point{x, y};
+    photo.keywords = KeywordSet({1});
+    photos.push_back(photo);
+  };
+  // Grid with cell size 1; bounds [0,5]x[0,5].
+  add(0.5, 0.5);  // Cell (0,0).
+  add(1.5, 0.5);  // Cell (1,0).
+  add(2.5, 0.5);  // Cell (2,0).
+  add(4.5, 4.5);  // Cell (4,4).
+  add(4.6, 4.4);  // Cell (4,4).
+  PhotoGridIndex index(1.0, photos);
+  const GridGeometry& geometry = index.geometry();
+  CellId origin = geometry.CellOf(Point{0.5, 0.5});
+  // Radius 0: only own cell.
+  EXPECT_EQ(index.NeighborhoodCount(origin, 0), 1);
+  // Radius 2 from (0,0): covers (0..2, 0..2) -> 3 photos.
+  EXPECT_EQ(index.NeighborhoodCount(origin, 2), 3);
+  // Radius 2 from (4,4) clips at the grid edge: 2 photos.
+  EXPECT_EQ(index.NeighborhoodCount(geometry.CellOf(Point{4.5, 4.5}), 2), 2);
+}
+
+TEST(PhotoGridIndexTest, NeighborhoodCountMatchesBruteForce) {
+  std::vector<Photo> photos = MakePhotos(3, 400);
+  PhotoGridIndex index(0.0004, photos);
+  const GridGeometry& geometry = index.geometry();
+  for (CellId cell : index.non_empty_cells()) {
+    CellCoord center = geometry.ToCoord(cell);
+    int64_t expected = 0;
+    for (CellId other : index.non_empty_cells()) {
+      CellCoord coord = geometry.ToCoord(other);
+      if (std::abs(coord.ix - center.ix) <= 2 &&
+          std::abs(coord.iy - center.iy) <= 2) {
+        expected += index.NumPhotosInCell(other);
+      }
+    }
+    EXPECT_EQ(index.NeighborhoodCount(cell, 2), expected);
+  }
+}
+
+TEST(PhotoGridIndexTest, SinglePhoto) {
+  std::vector<Photo> photos(1);
+  photos[0].position = Point{1, 1};
+  photos[0].keywords = KeywordSet({2, 3});
+  PhotoGridIndex index(0.5, photos);
+  EXPECT_EQ(index.non_empty_cells().size(), 1u);
+  const PhotoGridIndex::Cell* cell =
+      index.FindCell(index.non_empty_cells()[0]);
+  EXPECT_EQ(cell->psi_min, 2);
+  EXPECT_EQ(cell->psi_max, 2);
+}
+
+}  // namespace
+}  // namespace soi

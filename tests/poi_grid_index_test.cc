@@ -1,0 +1,145 @@
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "grid/poi_grid_index.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+Box TestBox() { return Box::FromCorners(Point{0, 0}, Point{1, 1}); }
+
+TEST(PoiGridIndexTest, BucketsAllPois) {
+  Vocabulary vocabulary;
+  Rng rng(1);
+  std::vector<Poi> pois =
+      testing_util::RandomPois(TestBox(), 500, 20, &vocabulary, &rng);
+  PoiGridIndex index(TestBox(), 0.1, pois);
+  int64_t total = 0;
+  for (CellId cell : index.NonEmptyCells()) {
+    total += index.NumPoisInCell(cell);
+    // Every POI listed in the cell really falls in the cell's box.
+    for (PoiId id : index.FindCell(cell)->pois) {
+      EXPECT_TRUE(index.geometry().CellBox(cell).Contains(
+          pois[static_cast<size_t>(id)].position));
+    }
+  }
+  EXPECT_EQ(total, 500);
+}
+
+TEST(PoiGridIndexTest, PostingListsSortedAndComplete) {
+  Vocabulary vocabulary;
+  Rng rng(2);
+  std::vector<Poi> pois =
+      testing_util::RandomPois(TestBox(), 300, 10, &vocabulary, &rng);
+  PoiGridIndex index(TestBox(), 0.25, pois);
+  for (CellId cell : index.NonEmptyCells()) {
+    const PoiGridIndex::Cell* bucket = index.FindCell(cell);
+    ASSERT_NE(bucket, nullptr);
+    // Each posting list is ascending and its POIs carry the keyword.
+    for (const auto& [keyword, postings] : bucket->postings) {
+      for (size_t i = 0; i < postings.size(); ++i) {
+        if (i > 0) {
+          EXPECT_LT(postings[i - 1], postings[i]);
+        }
+        EXPECT_TRUE(pois[static_cast<size_t>(postings[i])]
+                        .keywords.Contains(keyword));
+      }
+    }
+    // Every (poi, keyword) pair in the cell appears in a posting list.
+    for (PoiId id : bucket->pois) {
+      for (KeywordId keyword :
+           pois[static_cast<size_t>(id)].keywords.ids()) {
+        auto it = bucket->postings.find(keyword);
+        ASSERT_NE(it, bucket->postings.end());
+        EXPECT_TRUE(std::binary_search(it->second.begin(), it->second.end(),
+                                       id));
+      }
+    }
+  }
+}
+
+TEST(PoiGridIndexTest, FindCellReturnsNullForEmptyCell) {
+  std::vector<Poi> pois(1);
+  pois[0].position = Point{0.05, 0.05};
+  pois[0].keywords = KeywordSet({1});
+  PoiGridIndex index(TestBox(), 0.1, pois);
+  EXPECT_NE(index.FindCell(index.geometry().CellOf(Point{0.05, 0.05})),
+            nullptr);
+  EXPECT_EQ(index.FindCell(index.geometry().CellOf(Point{0.95, 0.95})),
+            nullptr);
+  EXPECT_EQ(index.NumPoisInCell(index.geometry().CellOf(Point{0.95, 0.95})),
+            0);
+  EXPECT_EQ(index.FindPostings(index.geometry().CellOf(Point{0.95, 0.95}),
+                               1),
+            nullptr);
+}
+
+// Multi-keyword merge: a POI carrying several query keywords must be
+// reported exactly once.
+TEST(PoiGridIndexTest, MergeCountsEachPoiOnce) {
+  std::vector<Poi> pois(4);
+  for (auto& poi : pois) poi.position = Point{0.5, 0.5};  // Same cell.
+  pois[0].keywords = KeywordSet({1, 2});    // Matches both query keywords.
+  pois[1].keywords = KeywordSet({1});
+  pois[2].keywords = KeywordSet({2});
+  pois[3].keywords = KeywordSet({3});       // Irrelevant.
+  PoiGridIndex index(TestBox(), 1.0, pois);
+  CellId cell = index.geometry().CellOf(Point{0.5, 0.5});
+  KeywordSet query({1, 2});
+  EXPECT_EQ(index.CountRelevantInCell(cell, query), 3);
+
+  std::vector<PoiId> seen;
+  index.ForEachRelevantInCell(cell, query,
+                              [&](PoiId id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<PoiId>{0, 1, 2}));  // Ascending, unique.
+}
+
+class PoiGridRelevanceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PoiGridRelevanceProperty, CountMatchesBruteForcePerCell) {
+  Vocabulary vocabulary;
+  Rng rng(GetParam());
+  std::vector<Poi> pois =
+      testing_util::RandomPois(TestBox(), 400, 8, &vocabulary, &rng);
+  PoiGridIndex index(TestBox(), 0.15, pois);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random 1-3 keyword query.
+    std::vector<KeywordId> q;
+    int64_t nq = rng.UniformInt(1, 3);
+    for (int64_t i = 0; i < nq; ++i) {
+      q.push_back(static_cast<KeywordId>(rng.UniformInt(0, 7)));
+    }
+    KeywordSet query(q);
+    for (CellId cell : index.NonEmptyCells()) {
+      int64_t expected = 0;
+      for (PoiId id : index.FindCell(cell)->pois) {
+        if (pois[static_cast<size_t>(id)].IsRelevantTo(query)) ++expected;
+      }
+      EXPECT_EQ(index.CountRelevantInCell(cell, query), expected);
+    }
+    // Empty cells yield zero.
+    EXPECT_EQ(index.CountRelevantInCell(-1 + index.geometry().num_cells(),
+                                        query) >= 0,
+              true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoiGridRelevanceProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(PoiGridIndexTest, EmptyQueryMatchesNothing) {
+  Vocabulary vocabulary;
+  Rng rng(3);
+  std::vector<Poi> pois =
+      testing_util::RandomPois(TestBox(), 50, 5, &vocabulary, &rng);
+  PoiGridIndex index(TestBox(), 0.2, pois);
+  for (CellId cell : index.NonEmptyCells()) {
+    EXPECT_EQ(index.CountRelevantInCell(cell, KeywordSet()), 0);
+  }
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,135 @@
+#include <set>
+#include <vector>
+
+#include "core/route_recommender.h"
+#include "datagen/street_grid_generator.h"
+#include "gtest/gtest.h"
+#include "network/network_builder.h"
+#include "network/shortest_path.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+std::vector<RankedStreet> Ranked(std::vector<StreetId> ids) {
+  std::vector<RankedStreet> ranked;
+  double interest = 100.0;
+  for (StreetId id : ids) {
+    ranked.push_back(RankedStreet{id, interest, 0});
+    interest -= 1.0;
+  }
+  return ranked;
+}
+
+TEST(RouteRecommenderTest, VisitsEveryStreetOnce) {
+  RoadNetwork network = testing_util::MakeGridNetwork(4, 4, 1.0);
+  ShortestPathEngine engine(network);
+  RouteRecommender recommender(network, engine);
+  std::vector<StreetId> wanted = {0, 3, 5, 7};
+  RecommendedRoute route = recommender.PlanTour(Ranked(wanted));
+  EXPECT_TRUE(route.unreachable.empty());
+  std::set<StreetId> visited(route.street_order.begin(),
+                             route.street_order.end());
+  EXPECT_EQ(visited, std::set<StreetId>(wanted.begin(), wanted.end()));
+  EXPECT_EQ(route.street_order.size(), wanted.size());
+  EXPECT_EQ(route.legs.size(), wanted.size() - 1);
+  EXPECT_EQ(route.street_order.front(), 0);  // Starts at the top rank.
+}
+
+TEST(RouteRecommenderTest, LegsConnectConsecutiveStreets) {
+  RoadNetwork network = testing_util::MakeGridNetwork(5, 5, 0.5);
+  ShortestPathEngine engine(network);
+  RouteRecommender recommender(network, engine);
+  RecommendedRoute route = recommender.PlanTour(Ranked({1, 4, 8, 2, 9}));
+  ASSERT_EQ(route.legs.size(), route.street_order.size() - 1);
+  double total_leg_length = 0.0;
+  for (size_t i = 0; i < route.legs.size(); ++i) {
+    const RouteLeg& leg = route.legs[i];
+    EXPECT_EQ(leg.from_street, route.street_order[i]);
+    EXPECT_EQ(leg.to_street, route.street_order[i + 1]);
+    total_leg_length += leg.path.length;
+    // The leg ends at one endpoint of the street it enters.
+    const Street& entered = network.street(leg.to_street);
+    VertexId front = network.segment(entered.segments.front()).from;
+    VertexId back = network.segment(entered.segments.back()).to;
+    VertexId arrived = leg.path.vertices.back();
+    EXPECT_TRUE(arrived == front || arrived == back);
+  }
+  EXPECT_NEAR(route.connecting_length, total_leg_length, 1e-12);
+  double street_length = 0.0;
+  for (StreetId id : route.street_order) {
+    street_length += network.street(id).length;
+  }
+  EXPECT_NEAR(route.street_length, street_length, 1e-12);
+  EXPECT_NEAR(route.TotalLength(),
+              route.street_length + route.connecting_length, 1e-12);
+}
+
+TEST(RouteRecommenderTest, DeduplicatesInput) {
+  RoadNetwork network = testing_util::MakeGridNetwork(3, 3, 1.0);
+  ShortestPathEngine engine(network);
+  RouteRecommender recommender(network, engine);
+  RecommendedRoute route = recommender.PlanTour(Ranked({2, 2, 4, 2, 4}));
+  EXPECT_EQ(route.street_order.size(), 2u);
+}
+
+TEST(RouteRecommenderTest, SingleStreetTour) {
+  RoadNetwork network = testing_util::MakeGridNetwork(3, 3, 1.0);
+  ShortestPathEngine engine(network);
+  RouteRecommender recommender(network, engine);
+  RecommendedRoute route = recommender.PlanTour(Ranked({3}));
+  EXPECT_EQ(route.street_order, (std::vector<StreetId>{3}));
+  EXPECT_TRUE(route.legs.empty());
+  EXPECT_DOUBLE_EQ(route.connecting_length, 0.0);
+  EXPECT_DOUBLE_EQ(route.street_length, network.street(3).length);
+}
+
+TEST(RouteRecommenderTest, ReportsUnreachableStreets) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({1, 0});
+  VertexId c = builder.AddVertex({2, 0});
+  VertexId island1 = builder.AddVertex({50, 50});
+  VertexId island2 = builder.AddVertex({51, 50});
+  SOI_CHECK(builder.AddStreet("Main A", {a, b}).ok());
+  SOI_CHECK(builder.AddStreet("Main B", {b, c}).ok());
+  SOI_CHECK(builder.AddStreet("Island", {island1, island2}).ok());
+  RoadNetwork network = std::move(builder).Build().ValueOrDie();
+  ShortestPathEngine engine(network);
+  RouteRecommender recommender(network, engine);
+  RecommendedRoute route = recommender.PlanTour(Ranked({0, 2, 1}));
+  EXPECT_EQ(route.street_order, (std::vector<StreetId>{0, 1}));
+  EXPECT_EQ(route.unreachable, (std::vector<StreetId>{2}));
+}
+
+TEST(RouteRecommenderTest, GreedyPicksNearestNext) {
+  // Grid rows: street 0 at y=0, street 1 at y=1, street 2 at y=2. From
+  // street 0 the nearest is street 1, then street 2.
+  RoadNetwork network = testing_util::MakeGridNetwork(3, 3, 1.0);
+  ShortestPathEngine engine(network);
+  RouteRecommender recommender(network, engine);
+  RecommendedRoute route = recommender.PlanTour(Ranked({0, 2, 1}));
+  EXPECT_EQ(route.street_order, (std::vector<StreetId>{0, 1, 2}));
+}
+
+TEST(RouteRecommenderTest, WorksOnGeneratedCity) {
+  CityProfile profile = testing_util::TinyCityProfile(77);
+  Rng rng(profile.seed);
+  auto network_result = GenerateStreetGrid(profile, &rng);
+  ASSERT_TRUE(network_result.ok());
+  const RoadNetwork& network = network_result.ValueOrDie();
+  ShortestPathEngine engine(network);
+  RouteRecommender recommender(network, engine);
+  // Tour the first 8 streets (grid streets are mutually reachable;
+  // arterials may not be).
+  std::vector<StreetId> wanted;
+  for (StreetId id = 0; id < 8; ++id) wanted.push_back(id);
+  RecommendedRoute route = recommender.PlanTour(Ranked(wanted));
+  EXPECT_EQ(route.street_order.size() + route.unreachable.size(),
+            wanted.size());
+  EXPECT_GT(route.street_order.size(), 1u);
+  EXPECT_GT(route.TotalLength(), 0.0);
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,140 @@
+#include <set>
+
+#include "common/random.h"
+#include "geometry/distance.h"
+#include "grid/segment_cell_index.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+GridGeometry GeometryFor(const RoadNetwork& network, double cell_size) {
+  return GridGeometry(network.bounds().Expanded(cell_size), cell_size);
+}
+
+TEST(SegmentCellIndexTest, BaseMapsMatchBruteForce) {
+  RoadNetwork network = testing_util::MakeGridNetwork(4, 5, 0.01);
+  GridGeometry geometry = GeometryFor(network, 0.004);
+  SegmentCellIndex index(network, geometry);
+  for (SegmentId id = 0; id < network.num_segments(); ++id) {
+    const Segment& seg = network.segment(id).geometry;
+    std::set<CellId> expected;
+    for (CellId cell = 0; cell < geometry.num_cells(); ++cell) {
+      if (SegmentBoxDistance(seg, geometry.CellBox(cell)) == 0.0) {
+        expected.insert(cell);
+      }
+    }
+    std::set<CellId> actual(index.SegmentCells(id).begin(),
+                            index.SegmentCells(id).end());
+    EXPECT_EQ(actual, expected) << "segment " << id;
+  }
+}
+
+TEST(SegmentCellIndexTest, MapsAreInverses) {
+  RoadNetwork network = testing_util::MakeGridNetwork(3, 4, 0.01);
+  GridGeometry geometry = GeometryFor(network, 0.005);
+  SegmentCellIndex index(network, geometry);
+  for (SegmentId id = 0; id < network.num_segments(); ++id) {
+    for (CellId cell : index.SegmentCells(id)) {
+      const auto& segs = index.CellSegments(cell);
+      EXPECT_NE(std::find(segs.begin(), segs.end(), id), segs.end());
+    }
+  }
+  for (CellId cell = 0; cell < geometry.num_cells(); ++cell) {
+    for (SegmentId id : index.CellSegments(cell)) {
+      const auto& cells = index.SegmentCells(id);
+      EXPECT_TRUE(std::binary_search(cells.begin(), cells.end(), cell));
+    }
+  }
+}
+
+class EpsAugmentationProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(EpsAugmentationProperty, MatchesBruteForceAndIsSymmetric) {
+  auto [seed, eps] = GetParam();
+  Rng rng(seed);
+  RoadNetwork network = testing_util::MakeGridNetwork(4, 4, 0.01);
+  GridGeometry geometry = GeometryFor(network, 0.0035);
+  SegmentCellIndex base(network, geometry);
+  EpsAugmentedMaps maps(base, eps);
+  EXPECT_DOUBLE_EQ(maps.eps(), eps);
+
+  for (SegmentId id = 0; id < network.num_segments(); ++id) {
+    const Segment& seg = network.segment(id).geometry;
+    std::set<CellId> expected;
+    for (CellId cell = 0; cell < geometry.num_cells(); ++cell) {
+      if (SegmentBoxDistance(seg, geometry.CellBox(cell)) <= eps) {
+        expected.insert(cell);
+      }
+    }
+    std::set<CellId> actual(maps.SegmentCells(id).begin(),
+                            maps.SegmentCells(id).end());
+    EXPECT_EQ(actual, expected) << "segment " << id << " eps " << eps;
+    // C_eps grows with eps and contains the base cells.
+    for (CellId cell : base.SegmentCells(id)) {
+      EXPECT_TRUE(expected.count(cell) > 0);
+    }
+    // Symmetry with L_eps.
+    for (CellId cell : maps.SegmentCells(id)) {
+      const auto& segs = maps.CellSegments(cell);
+      EXPECT_NE(std::find(segs.begin(), segs.end(), id), segs.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EpsAugmentationProperty,
+    ::testing::Combine(::testing::Values(uint64_t{1}),
+                       ::testing::Values(0.0005, 0.002, 0.006)));
+
+// The key completeness property behind UpdateInterest: any POI within eps
+// of a segment lies in a cell of C_eps(l).
+TEST(EpsAugmentationTest, CoversAllNearbyPoints) {
+  Rng rng(17);
+  RoadNetwork network = testing_util::MakeGridNetwork(3, 3, 0.01);
+  GridGeometry geometry = GeometryFor(network, 0.003);
+  SegmentCellIndex base(network, geometry);
+  double eps = 0.0025;
+  EpsAugmentedMaps maps(base, eps);
+  const Box& bounds = geometry.bounds();
+  for (int i = 0; i < 3000; ++i) {
+    Point p{rng.UniformDouble(bounds.min.x, bounds.max.x),
+            rng.UniformDouble(bounds.min.y, bounds.max.y)};
+    CellId cell = geometry.CellOf(p);
+    for (SegmentId id = 0; id < network.num_segments(); ++id) {
+      if (network.segment(id).geometry.DistanceTo(p) <= eps) {
+        const auto& cells = maps.SegmentCells(id);
+        EXPECT_TRUE(std::binary_search(cells.begin(), cells.end(), cell))
+            << "point " << p << " near segment " << id
+            << " but its cell is not in C_eps";
+      }
+    }
+  }
+}
+
+TEST(EpsAugmentationTest, ZeroEpsEqualsBaseMaps) {
+  RoadNetwork network = testing_util::MakeGridNetwork(3, 3, 0.01);
+  GridGeometry geometry = GeometryFor(network, 0.004);
+  SegmentCellIndex base(network, geometry);
+  EpsAugmentedMaps maps(base, 0.0);
+  for (SegmentId id = 0; id < network.num_segments(); ++id) {
+    EXPECT_EQ(maps.SegmentCells(id), base.SegmentCells(id));
+  }
+}
+
+TEST(EpsAugmentationTest, NumSegmentCellsMatchesListSize) {
+  RoadNetwork network = testing_util::MakeGridNetwork(3, 3, 0.01);
+  GridGeometry geometry = GeometryFor(network, 0.004);
+  SegmentCellIndex base(network, geometry);
+  EpsAugmentedMaps maps(base, 0.001);
+  for (SegmentId id = 0; id < network.num_segments(); ++id) {
+    EXPECT_EQ(maps.NumSegmentCells(id),
+              static_cast<int64_t>(maps.SegmentCells(id).size()));
+    EXPECT_GT(maps.NumSegmentCells(id), 0);
+  }
+}
+
+}  // namespace
+}  // namespace soi

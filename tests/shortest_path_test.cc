@@ -1,0 +1,135 @@
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "network/network_builder.h"
+#include "network/shortest_path.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+// Floyd-Warshall oracle over the (undirected) network.
+std::vector<std::vector<double>> AllPairsOracle(const RoadNetwork& network) {
+  size_t n = static_cast<size_t>(network.num_vertices());
+  std::vector<std::vector<double>> dist(
+      n, std::vector<double>(n, ShortestPathEngine::kUnreachable));
+  for (size_t i = 0; i < n; ++i) dist[i][i] = 0.0;
+  for (const NetworkSegment& segment : network.segments()) {
+    size_t a = static_cast<size_t>(segment.from);
+    size_t b = static_cast<size_t>(segment.to);
+    dist[a][b] = std::min(dist[a][b], segment.length);
+    dist[b][a] = std::min(dist[b][a], segment.length);
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(ShortestPathTest, DistancesMatchFloydWarshallOnGrid) {
+  RoadNetwork network = testing_util::MakeGridNetwork(4, 5, 1.0);
+  ShortestPathEngine engine(network);
+  auto oracle = AllPairsOracle(network);
+  for (VertexId source = 0; source < network.num_vertices(); ++source) {
+    std::vector<double> distances = engine.DistancesFrom(source);
+    for (VertexId target = 0; target < network.num_vertices(); ++target) {
+      EXPECT_NEAR(distances[static_cast<size_t>(target)],
+                  oracle[static_cast<size_t>(source)]
+                        [static_cast<size_t>(target)],
+                  1e-12)
+          << source << " -> " << target;
+    }
+  }
+}
+
+TEST(ShortestPathTest, PathIsConsistentWalk) {
+  RoadNetwork network = testing_util::MakeGridNetwork(5, 5, 0.7);
+  ShortestPathEngine engine(network);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    VertexId from = static_cast<VertexId>(
+        rng.UniformInt(0, network.num_vertices() - 1));
+    VertexId to = static_cast<VertexId>(
+        rng.UniformInt(0, network.num_vertices() - 1));
+    auto result = engine.FindPath(from, to);
+    ASSERT_TRUE(result.ok());
+    const NetworkPath& path = result.ValueOrDie();
+    ASSERT_FALSE(path.vertices.empty());
+    EXPECT_EQ(path.vertices.front(), from);
+    EXPECT_EQ(path.vertices.back(), to);
+    ASSERT_EQ(path.segments.size() + 1, path.vertices.size());
+    double length = 0.0;
+    for (size_t i = 0; i < path.segments.size(); ++i) {
+      const NetworkSegment& segment = network.segment(path.segments[i]);
+      VertexId a = path.vertices[i];
+      VertexId b = path.vertices[i + 1];
+      // The segment joins consecutive path vertices (either direction).
+      EXPECT_TRUE((segment.from == a && segment.to == b) ||
+                  (segment.from == b && segment.to == a));
+      length += segment.length;
+    }
+    EXPECT_NEAR(length, path.length, 1e-12);
+    // Matches the distance map.
+    EXPECT_NEAR(engine.DistancesFrom(from)[static_cast<size_t>(to)],
+                path.length, 1e-12);
+  }
+}
+
+TEST(ShortestPathTest, TrivialPath) {
+  RoadNetwork network = testing_util::MakeGridNetwork(2, 2, 1.0);
+  ShortestPathEngine engine(network);
+  auto path = engine.FindPath(0, 0);
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path.ValueOrDie().length, 0.0);
+  EXPECT_EQ(path.ValueOrDie().vertices, (std::vector<VertexId>{0}));
+  EXPECT_TRUE(path.ValueOrDie().segments.empty());
+}
+
+RoadNetwork TwoComponentNetwork() {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({1, 0});
+  VertexId c = builder.AddVertex({10, 10});
+  VertexId d = builder.AddVertex({11, 10});
+  SOI_CHECK(builder.AddStreet("Main", {a, b}).ok());
+  SOI_CHECK(builder.AddStreet("Island", {c, d}).ok());
+  return std::move(builder).Build().ValueOrDie();
+}
+
+TEST(ShortestPathTest, DisconnectedComponentsAreUnreachable) {
+  RoadNetwork network = TwoComponentNetwork();
+  ShortestPathEngine engine(network);
+  std::vector<double> distances = engine.DistancesFrom(0);
+  EXPECT_DOUBLE_EQ(distances[1], 1.0);
+  EXPECT_EQ(distances[2], ShortestPathEngine::kUnreachable);
+  auto path = engine.FindPath(0, 3);
+  ASSERT_FALSE(path.ok());
+  EXPECT_EQ(path.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShortestPathTest, PrefersShorterDetour) {
+  // A triangle-ish layout where the direct segment is longer than the
+  // two-hop detour.
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({4, 3});     // Direct: length 5.
+  VertexId c = builder.AddVertex({2, 0});     // a-c: 2, c-b: ~3.6.
+  SOI_CHECK(builder.AddStreet("Direct", {a, b}).ok());
+  SOI_CHECK(builder.AddStreet("Via", {a, c, b}).ok());
+  RoadNetwork network = std::move(builder).Build().ValueOrDie();
+  ShortestPathEngine engine(network);
+  auto path = engine.FindPath(a, b);
+  ASSERT_TRUE(path.ok());
+  EXPECT_LT(path.ValueOrDie().length, 5.0 + 1e-12);
+  // 2 + sqrt(4 + 9) = 5.606 > 5, so the direct segment wins here.
+  EXPECT_DOUBLE_EQ(path.ValueOrDie().length, 5.0);
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,136 @@
+#include <vector>
+
+#include "common/random.h"
+#include "core/interest.h"
+#include "core/soi_baseline.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+struct Fixture {
+  RoadNetwork network;
+  Vocabulary vocabulary;
+  std::vector<Poi> pois;
+  GridGeometry geometry;
+  PoiGridIndex grid;
+  SegmentCellIndex segment_cells;
+
+  Fixture(uint64_t seed, double cell_size, int64_t num_pois)
+      : network(testing_util::MakeGridNetwork(4, 4, 0.01)),
+        pois(MakePois(seed, num_pois, &vocabulary)),
+        geometry(network.bounds().Expanded(0.005), cell_size),
+        grid(geometry.bounds(), cell_size, pois),
+        segment_cells(network, geometry) {}
+
+  static std::vector<Poi> MakePois(uint64_t seed, int64_t n,
+                                   Vocabulary* vocabulary) {
+    Rng rng(seed);
+    // Spread POIs a little beyond the network so border segments see them.
+    Box box = Box::FromCorners(Point{-0.004, -0.004}, Point{0.034, 0.034});
+    return testing_util::RandomPois(box, n, 8, vocabulary, &rng);
+  }
+};
+
+TEST(SoiBaselineTest, SegmentMassMatchesBruteForce) {
+  Fixture fx(1, 0.0035, 400);
+  SoiBaseline baseline(fx.network, fx.grid);
+  for (double eps : {0.0008, 0.003, 0.01}) {
+    EpsAugmentedMaps maps(fx.segment_cells, eps);
+    KeywordSet query({0, 2});
+    for (SegmentId id = 0; id < fx.network.num_segments(); ++id) {
+      int64_t expected = BruteForceSegmentMass(
+          fx.network.segment(id).geometry, fx.pois, query, eps);
+      EXPECT_EQ(baseline.SegmentMass(id, query, maps), expected)
+          << "segment " << id << " eps " << eps;
+    }
+  }
+}
+
+TEST(SoiBaselineTest, AllSegmentInterestsMatchDefinition) {
+  Fixture fx(2, 0.004, 300);
+  SoiBaseline baseline(fx.network, fx.grid);
+  double eps = 0.002;
+  EpsAugmentedMaps maps(fx.segment_cells, eps);
+  SoiQuery query;
+  query.keywords = KeywordSet({1});
+  query.eps = eps;
+  std::vector<double> interests = baseline.AllSegmentInterests(query, maps);
+  ASSERT_EQ(interests.size(),
+            static_cast<size_t>(fx.network.num_segments()));
+  for (SegmentId id = 0; id < fx.network.num_segments(); ++id) {
+    int64_t mass = BruteForceSegmentMass(fx.network.segment(id).geometry,
+                                         fx.pois, query.keywords, eps);
+    EXPECT_DOUBLE_EQ(
+        interests[static_cast<size_t>(id)],
+        SegmentInterest(mass, fx.network.segment(id).length, eps));
+  }
+}
+
+TEST(SoiBaselineTest, TopKOrderedAndSized) {
+  Fixture fx(3, 0.0035, 500);
+  SoiBaseline baseline(fx.network, fx.grid);
+  SoiQuery query;
+  query.keywords = KeywordSet({0});
+  query.eps = 0.002;
+  query.k = 5;
+  EpsAugmentedMaps maps(fx.segment_cells, query.eps);
+  SoiResult result = baseline.TopK(query, maps);
+  ASSERT_EQ(result.streets.size(), 5u);
+  for (size_t i = 1; i < result.streets.size(); ++i) {
+    EXPECT_GE(result.streets[i - 1].interest, result.streets[i].interest);
+  }
+  // best_segment belongs to the street and attains the interest.
+  for (const RankedStreet& entry : result.streets) {
+    EXPECT_EQ(fx.network.segment(entry.best_segment).street, entry.street);
+    int64_t mass = BruteForceSegmentMass(
+        fx.network.segment(entry.best_segment).geometry, fx.pois,
+        query.keywords, query.eps);
+    EXPECT_DOUBLE_EQ(
+        entry.interest,
+        SegmentInterest(mass, fx.network.segment(entry.best_segment).length,
+                        query.eps));
+  }
+}
+
+TEST(SoiBaselineTest, KLargerThanStreetsReturnsAll) {
+  Fixture fx(4, 0.004, 100);
+  SoiBaseline baseline(fx.network, fx.grid);
+  SoiQuery query;
+  query.keywords = KeywordSet({0});
+  query.eps = 0.002;
+  query.k = 1000;
+  EpsAugmentedMaps maps(fx.segment_cells, query.eps);
+  SoiResult result = baseline.TopK(query, maps);
+  EXPECT_EQ(result.streets.size(),
+            static_cast<size_t>(fx.network.num_streets()));
+}
+
+TEST(RankStreetsTest, TieBreaksByStreetId) {
+  RoadNetwork network = testing_util::MakeGridNetwork(2, 3, 1.0);
+  std::vector<double> interests(
+      static_cast<size_t>(network.num_segments()), 1.0);
+  std::vector<RankedStreet> ranked = RankStreets(network, interests, 3);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].street, 0);
+  EXPECT_EQ(ranked[1].street, 1);
+  EXPECT_EQ(ranked[2].street, 2);
+}
+
+TEST(RankStreetsTest, StreetInterestIsMaxOverSegments) {
+  RoadNetwork network = testing_util::MakeGridNetwork(2, 3, 1.0);
+  std::vector<double> interests(
+      static_cast<size_t>(network.num_segments()), 0.0);
+  // Street 0 (first horizontal row) has segments 0 and 1.
+  interests[0] = 0.5;
+  interests[1] = 2.5;
+  std::vector<RankedStreet> ranked = RankStreets(network, interests, 1);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].street, 0);
+  EXPECT_DOUBLE_EQ(ranked[0].interest, 2.5);
+  EXPECT_EQ(ranked[0].best_segment, 1);
+}
+
+}  // namespace
+}  // namespace soi

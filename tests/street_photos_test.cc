@@ -1,0 +1,128 @@
+#include <vector>
+
+#include "common/random.h"
+#include "core/street_photos.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+struct Fixture {
+  RoadNetwork network;
+  Vocabulary vocabulary;
+  std::vector<Photo> photos;
+  std::vector<Point> positions;
+
+  explicit Fixture(uint64_t seed)
+      : network(testing_util::MakeGridNetwork(4, 4, 0.01)) {
+    Rng rng(seed);
+    Box box = Box::FromCorners(Point{-0.004, -0.004}, Point{0.034, 0.034});
+    photos = testing_util::RandomPhotos(box, 600, 12, &vocabulary, &rng);
+    for (const Photo& photo : photos) positions.push_back(photo.position);
+  }
+
+  PointGrid<PhotoId> MakeGrid(double cell_size) const {
+    return PointGrid<PhotoId>(
+        GridGeometry(network.bounds().Expanded(0.01), cell_size), positions);
+  }
+};
+
+TEST(StreetPhotosTest, GridExtractionMatchesBruteForce) {
+  Fixture fx(1);
+  PointGrid<PhotoId> grid = fx.MakeGrid(0.003);
+  for (StreetId street = 0; street < fx.network.num_streets(); ++street) {
+    for (double eps : {0.001, 0.004}) {
+      StreetPhotos via_grid = ExtractStreetPhotos(fx.network, street,
+                                                  fx.photos, grid, eps);
+      StreetPhotos brute = ExtractStreetPhotosBruteForce(fx.network, street,
+                                                         fx.photos, eps);
+      EXPECT_EQ(via_grid.global_ids, brute.global_ids)
+          << "street " << street << " eps " << eps;
+      EXPECT_DOUBLE_EQ(via_grid.max_distance, brute.max_distance);
+    }
+  }
+}
+
+TEST(StreetPhotosTest, AllExtractedPhotosAreWithinEps) {
+  Fixture fx(2);
+  PointGrid<PhotoId> grid = fx.MakeGrid(0.004);
+  double eps = 0.002;
+  StreetPhotos sp = ExtractStreetPhotos(fx.network, 0, fx.photos, grid, eps);
+  for (size_t i = 0; i < sp.photos.size(); ++i) {
+    EXPECT_LE(fx.network.StreetDistanceTo(0, sp.photos[i].position), eps);
+    // Local copy matches the global photo.
+    PhotoId global = sp.global_ids[i];
+    EXPECT_EQ(sp.photos[i].position,
+              fx.photos[static_cast<size_t>(global)].position);
+  }
+  // And no photo within eps is missed.
+  int64_t expected = 0;
+  for (const Photo& photo : fx.photos) {
+    if (fx.network.StreetDistanceTo(0, photo.position) <= eps) ++expected;
+  }
+  EXPECT_EQ(sp.size(), expected);
+}
+
+TEST(StreetPhotosTest, TermVectorAggregatesKeywordFrequencies) {
+  // Two photos with overlapping tags near a single street.
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({1, 0});
+  SOI_CHECK(builder.AddStreet("S", {a, b}).ok());
+  RoadNetwork network = std::move(builder).Build().ValueOrDie();
+
+  std::vector<Photo> photos(3);
+  photos[0].position = Point{0.2, 0.01};
+  photos[0].keywords = KeywordSet({1, 2});
+  photos[1].position = Point{0.6, -0.01};
+  photos[1].keywords = KeywordSet({2, 3});
+  photos[2].position = Point{0.5, 0.9};  // Too far: excluded.
+  photos[2].keywords = KeywordSet({9});
+
+  StreetPhotos sp =
+      ExtractStreetPhotosBruteForce(network, 0, photos, 0.05);
+  ASSERT_EQ(sp.size(), 2);
+  EXPECT_DOUBLE_EQ(sp.street_terms.Get(1), 1.0);
+  EXPECT_DOUBLE_EQ(sp.street_terms.Get(2), 2.0);
+  EXPECT_DOUBLE_EQ(sp.street_terms.Get(3), 1.0);
+  EXPECT_DOUBLE_EQ(sp.street_terms.Get(9), 0.0);
+  EXPECT_DOUBLE_EQ(sp.street_terms.L1Norm(), 4.0);
+}
+
+TEST(StreetPhotosTest, MaxDistanceIsBufferedDiagonal) {
+  NetworkBuilder builder;
+  VertexId a = builder.AddVertex({0, 0});
+  VertexId b = builder.AddVertex({3, 4});
+  SOI_CHECK(builder.AddStreet("S", {a, b}).ok());
+  RoadNetwork network = std::move(builder).Build().ValueOrDie();
+  std::vector<Photo> photos(1);
+  photos[0].position = Point{1, 1};
+  photos[0].keywords = KeywordSet({1});
+  double eps = 0.5;
+  StreetPhotos sp = ExtractStreetPhotosBruteForce(network, 0, photos, eps);
+  // MBR of the street is [0,3]x[0,4]; buffered by 0.5 -> diagonal of 4x5.
+  EXPECT_DOUBLE_EQ(sp.max_distance, std::sqrt(16.0 + 25.0));
+}
+
+TEST(StreetPhotosTest, StreetWithNoPhotosYieldsEmptySet) {
+  Fixture fx(3);
+  std::vector<Photo> none;
+  StreetPhotos sp =
+      ExtractStreetPhotosBruteForce(fx.network, 0, none, 0.001);
+  EXPECT_EQ(sp.size(), 0);
+  EXPECT_TRUE(sp.photos.empty());
+}
+
+TEST(StreetPhotosTest, GlobalIdsAreSortedUnique) {
+  Fixture fx(4);
+  PointGrid<PhotoId> grid = fx.MakeGrid(0.0025);
+  StreetPhotos sp =
+      ExtractStreetPhotos(fx.network, 2, fx.photos, grid, 0.003);
+  for (size_t i = 1; i < sp.global_ids.size(); ++i) {
+    EXPECT_LT(sp.global_ids[i - 1], sp.global_ids[i]);
+  }
+}
+
+}  // namespace
+}  // namespace soi
