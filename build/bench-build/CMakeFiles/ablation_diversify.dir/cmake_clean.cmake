@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_diversify"
+  "../bench/ablation_diversify.pdb"
+  "CMakeFiles/ablation_diversify.dir/ablation_diversify.cc.o"
+  "CMakeFiles/ablation_diversify.dir/ablation_diversify.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_diversify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

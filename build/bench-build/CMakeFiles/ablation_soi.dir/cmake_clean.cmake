@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_soi"
+  "../bench/ablation_soi.pdb"
+  "CMakeFiles/ablation_soi.dir/ablation_soi.cc.o"
+  "CMakeFiles/ablation_soi.dir/ablation_soi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_soi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_visual_diversify"
+  "../bench/ext_visual_diversify.pdb"
+  "CMakeFiles/ext_visual_diversify.dir/ext_visual_diversify.cc.o"
+  "CMakeFiles/ext_visual_diversify.dir/ext_visual_diversify.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_visual_diversify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_soi_performance"
+  "../bench/fig4_soi_performance.pdb"
+  "CMakeFiles/fig4_soi_performance.dir/fig4_soi_performance.cc.o"
+  "CMakeFiles/fig4_soi_performance.dir/fig4_soi_performance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_soi_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_tradeoff"
+  "../bench/fig5_tradeoff.pdb"
+  "CMakeFiles/fig5_tradeoff.dir/fig5_tradeoff.cc.o"
+  "CMakeFiles/fig5_tradeoff.dir/fig5_tradeoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

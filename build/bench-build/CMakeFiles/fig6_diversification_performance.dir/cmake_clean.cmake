@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_diversification_performance"
+  "../bench/fig6_diversification_performance.pdb"
+  "CMakeFiles/fig6_diversification_performance.dir/fig6_diversification_performance.cc.o"
+  "CMakeFiles/fig6_diversification_performance.dir/fig6_diversification_performance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_diversification_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/soi_bench_util.dir/bench_util.cc.o.d"
+  "libsoi_bench_util.a"
+  "libsoi_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

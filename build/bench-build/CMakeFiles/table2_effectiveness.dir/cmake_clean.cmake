@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_effectiveness"
+  "../bench/table2_effectiveness.pdb"
+  "CMakeFiles/table2_effectiveness.dir/table2_effectiveness.cc.o"
+  "CMakeFiles/table2_effectiveness.dir/table2_effectiveness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

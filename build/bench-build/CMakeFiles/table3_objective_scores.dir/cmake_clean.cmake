@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_objective_scores"
+  "../bench/table3_objective_scores.pdb"
+  "CMakeFiles/table3_objective_scores.dir/table3_objective_scores.cc.o"
+  "CMakeFiles/table3_objective_scores.dir/table3_objective_scores.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_objective_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

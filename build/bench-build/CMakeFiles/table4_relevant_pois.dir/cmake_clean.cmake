@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_relevant_pois"
+  "../bench/table4_relevant_pois.pdb"
+  "CMakeFiles/table4_relevant_pois.dir/table4_relevant_pois.cc.o"
+  "CMakeFiles/table4_relevant_pois.dir/table4_relevant_pois.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_relevant_pois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/city_explorer"
+  "../examples/city_explorer.pdb"
+  "CMakeFiles/city_explorer.dir/city_explorer.cpp.o"
+  "CMakeFiles/city_explorer.dir/city_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/photo_summary"
+  "../examples/photo_summary.pdb"
+  "CMakeFiles/photo_summary.dir/photo_summary.cpp.o"
+  "CMakeFiles/photo_summary.dir/photo_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/shopping_streets"
+  "../examples/shopping_streets.pdb"
+  "CMakeFiles/shopping_streets.dir/shopping_streets.cpp.o"
+  "CMakeFiles/shopping_streets.dir/shopping_streets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shopping_streets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for shopping_streets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/walking_tour"
+  "../examples/walking_tour.pdb"
+  "CMakeFiles/walking_tour.dir/walking_tour.cpp.o"
+  "CMakeFiles/walking_tour.dir/walking_tour.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walking_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

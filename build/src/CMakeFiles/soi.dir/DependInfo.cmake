@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/soi.dir/common/random.cc.o" "gcc" "src/CMakeFiles/soi.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/soi.dir/common/status.cc.o" "gcc" "src/CMakeFiles/soi.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/soi.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/soi.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/diversify/cell_bounds.cc" "src/CMakeFiles/soi.dir/core/diversify/cell_bounds.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/diversify/cell_bounds.cc.o.d"
+  "/root/repo/src/core/diversify/exact.cc" "src/CMakeFiles/soi.dir/core/diversify/exact.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/diversify/exact.cc.o.d"
+  "/root/repo/src/core/diversify/greedy_baseline.cc" "src/CMakeFiles/soi.dir/core/diversify/greedy_baseline.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/diversify/greedy_baseline.cc.o.d"
+  "/root/repo/src/core/diversify/objective.cc" "src/CMakeFiles/soi.dir/core/diversify/objective.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/diversify/objective.cc.o.d"
+  "/root/repo/src/core/diversify/st_rel_div.cc" "src/CMakeFiles/soi.dir/core/diversify/st_rel_div.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/diversify/st_rel_div.cc.o.d"
+  "/root/repo/src/core/diversify/variants.cc" "src/CMakeFiles/soi.dir/core/diversify/variants.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/diversify/variants.cc.o.d"
+  "/root/repo/src/core/interest.cc" "src/CMakeFiles/soi.dir/core/interest.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/interest.cc.o.d"
+  "/root/repo/src/core/route_recommender.cc" "src/CMakeFiles/soi.dir/core/route_recommender.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/route_recommender.cc.o.d"
+  "/root/repo/src/core/soi_algorithm.cc" "src/CMakeFiles/soi.dir/core/soi_algorithm.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/soi_algorithm.cc.o.d"
+  "/root/repo/src/core/soi_baseline.cc" "src/CMakeFiles/soi.dir/core/soi_baseline.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/soi_baseline.cc.o.d"
+  "/root/repo/src/core/street_photos.cc" "src/CMakeFiles/soi.dir/core/street_photos.cc.o" "gcc" "src/CMakeFiles/soi.dir/core/street_photos.cc.o.d"
+  "/root/repo/src/datagen/city_profile.cc" "src/CMakeFiles/soi.dir/datagen/city_profile.cc.o" "gcc" "src/CMakeFiles/soi.dir/datagen/city_profile.cc.o.d"
+  "/root/repo/src/datagen/dataset.cc" "src/CMakeFiles/soi.dir/datagen/dataset.cc.o" "gcc" "src/CMakeFiles/soi.dir/datagen/dataset.cc.o.d"
+  "/root/repo/src/datagen/photo_generator.cc" "src/CMakeFiles/soi.dir/datagen/photo_generator.cc.o" "gcc" "src/CMakeFiles/soi.dir/datagen/photo_generator.cc.o.d"
+  "/root/repo/src/datagen/poi_generator.cc" "src/CMakeFiles/soi.dir/datagen/poi_generator.cc.o" "gcc" "src/CMakeFiles/soi.dir/datagen/poi_generator.cc.o.d"
+  "/root/repo/src/datagen/street_grid_generator.cc" "src/CMakeFiles/soi.dir/datagen/street_grid_generator.cc.o" "gcc" "src/CMakeFiles/soi.dir/datagen/street_grid_generator.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/soi.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/soi.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/table_printer.cc" "src/CMakeFiles/soi.dir/eval/table_printer.cc.o" "gcc" "src/CMakeFiles/soi.dir/eval/table_printer.cc.o.d"
+  "/root/repo/src/geometry/box.cc" "src/CMakeFiles/soi.dir/geometry/box.cc.o" "gcc" "src/CMakeFiles/soi.dir/geometry/box.cc.o.d"
+  "/root/repo/src/geometry/distance.cc" "src/CMakeFiles/soi.dir/geometry/distance.cc.o" "gcc" "src/CMakeFiles/soi.dir/geometry/distance.cc.o.d"
+  "/root/repo/src/geometry/segment.cc" "src/CMakeFiles/soi.dir/geometry/segment.cc.o" "gcc" "src/CMakeFiles/soi.dir/geometry/segment.cc.o.d"
+  "/root/repo/src/grid/global_inverted_index.cc" "src/CMakeFiles/soi.dir/grid/global_inverted_index.cc.o" "gcc" "src/CMakeFiles/soi.dir/grid/global_inverted_index.cc.o.d"
+  "/root/repo/src/grid/grid_geometry.cc" "src/CMakeFiles/soi.dir/grid/grid_geometry.cc.o" "gcc" "src/CMakeFiles/soi.dir/grid/grid_geometry.cc.o.d"
+  "/root/repo/src/grid/photo_grid_index.cc" "src/CMakeFiles/soi.dir/grid/photo_grid_index.cc.o" "gcc" "src/CMakeFiles/soi.dir/grid/photo_grid_index.cc.o.d"
+  "/root/repo/src/grid/poi_grid_index.cc" "src/CMakeFiles/soi.dir/grid/poi_grid_index.cc.o" "gcc" "src/CMakeFiles/soi.dir/grid/poi_grid_index.cc.o.d"
+  "/root/repo/src/grid/segment_cell_index.cc" "src/CMakeFiles/soi.dir/grid/segment_cell_index.cc.o" "gcc" "src/CMakeFiles/soi.dir/grid/segment_cell_index.cc.o.d"
+  "/root/repo/src/network/network_builder.cc" "src/CMakeFiles/soi.dir/network/network_builder.cc.o" "gcc" "src/CMakeFiles/soi.dir/network/network_builder.cc.o.d"
+  "/root/repo/src/network/network_io.cc" "src/CMakeFiles/soi.dir/network/network_io.cc.o" "gcc" "src/CMakeFiles/soi.dir/network/network_io.cc.o.d"
+  "/root/repo/src/network/network_stats.cc" "src/CMakeFiles/soi.dir/network/network_stats.cc.o" "gcc" "src/CMakeFiles/soi.dir/network/network_stats.cc.o.d"
+  "/root/repo/src/network/road_network.cc" "src/CMakeFiles/soi.dir/network/road_network.cc.o" "gcc" "src/CMakeFiles/soi.dir/network/road_network.cc.o.d"
+  "/root/repo/src/network/shortest_path.cc" "src/CMakeFiles/soi.dir/network/shortest_path.cc.o" "gcc" "src/CMakeFiles/soi.dir/network/shortest_path.cc.o.d"
+  "/root/repo/src/objects/object_io.cc" "src/CMakeFiles/soi.dir/objects/object_io.cc.o" "gcc" "src/CMakeFiles/soi.dir/objects/object_io.cc.o.d"
+  "/root/repo/src/objects/photo.cc" "src/CMakeFiles/soi.dir/objects/photo.cc.o" "gcc" "src/CMakeFiles/soi.dir/objects/photo.cc.o.d"
+  "/root/repo/src/objects/poi.cc" "src/CMakeFiles/soi.dir/objects/poi.cc.o" "gcc" "src/CMakeFiles/soi.dir/objects/poi.cc.o.d"
+  "/root/repo/src/text/keyword_set.cc" "src/CMakeFiles/soi.dir/text/keyword_set.cc.o" "gcc" "src/CMakeFiles/soi.dir/text/keyword_set.cc.o.d"
+  "/root/repo/src/text/term_vector.cc" "src/CMakeFiles/soi.dir/text/term_vector.cc.o" "gcc" "src/CMakeFiles/soi.dir/text/term_vector.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/soi.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/soi.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/soi.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/soi.dir/text/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

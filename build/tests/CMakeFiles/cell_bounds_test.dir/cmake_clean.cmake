@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_bounds_test.dir/cell_bounds_test.cc.o"
+  "CMakeFiles/cell_bounds_test.dir/cell_bounds_test.cc.o.d"
+  "cell_bounds_test"
+  "cell_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

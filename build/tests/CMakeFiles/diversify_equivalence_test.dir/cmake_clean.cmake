@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversify_equivalence_test.dir/diversify_equivalence_test.cc.o"
+  "CMakeFiles/diversify_equivalence_test.dir/diversify_equivalence_test.cc.o.d"
+  "diversify_equivalence_test"
+  "diversify_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversify_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

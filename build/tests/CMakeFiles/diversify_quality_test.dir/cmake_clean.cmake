@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversify_quality_test.dir/diversify_quality_test.cc.o"
+  "CMakeFiles/diversify_quality_test.dir/diversify_quality_test.cc.o.d"
+  "diversify_quality_test"
+  "diversify_quality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversify_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

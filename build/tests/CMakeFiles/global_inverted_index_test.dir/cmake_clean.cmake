@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_inverted_index_test.dir/global_inverted_index_test.cc.o"
+  "CMakeFiles/global_inverted_index_test.dir/global_inverted_index_test.cc.o.d"
+  "global_inverted_index_test"
+  "global_inverted_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_inverted_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

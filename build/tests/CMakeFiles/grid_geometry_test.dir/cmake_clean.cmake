@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_geometry_test.dir/grid_geometry_test.cc.o"
+  "CMakeFiles/grid_geometry_test.dir/grid_geometry_test.cc.o.d"
+  "grid_geometry_test"
+  "grid_geometry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_grid_index_test.dir/photo_grid_index_test.cc.o"
+  "CMakeFiles/photo_grid_index_test.dir/photo_grid_index_test.cc.o.d"
+  "photo_grid_index_test"
+  "photo_grid_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_grid_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_grid_index_test.dir/poi_grid_index_test.cc.o"
+  "CMakeFiles/poi_grid_index_test.dir/poi_grid_index_test.cc.o.d"
+  "poi_grid_index_test"
+  "poi_grid_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_grid_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_recommender_test.dir/route_recommender_test.cc.o"
+  "CMakeFiles/route_recommender_test.dir/route_recommender_test.cc.o.d"
+  "route_recommender_test"
+  "route_recommender_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_recommender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

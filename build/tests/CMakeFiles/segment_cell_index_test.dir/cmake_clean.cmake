@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_cell_index_test.dir/segment_cell_index_test.cc.o"
+  "CMakeFiles/segment_cell_index_test.dir/segment_cell_index_test.cc.o.d"
+  "segment_cell_index_test"
+  "segment_cell_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_cell_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_algorithm_test.dir/soi_algorithm_test.cc.o"
+  "CMakeFiles/soi_algorithm_test.dir/soi_algorithm_test.cc.o.d"
+  "soi_algorithm_test"
+  "soi_algorithm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soi_baseline_test.dir/soi_baseline_test.cc.o"
+  "CMakeFiles/soi_baseline_test.dir/soi_baseline_test.cc.o.d"
+  "soi_baseline_test"
+  "soi_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soi_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

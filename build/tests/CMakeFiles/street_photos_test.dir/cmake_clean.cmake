@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/street_photos_test.dir/street_photos_test.cc.o"
+  "CMakeFiles/street_photos_test.dir/street_photos_test.cc.o.d"
+  "street_photos_test"
+  "street_photos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/street_photos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visual_diversify_test.dir/visual_diversify_test.cc.o"
+  "CMakeFiles/visual_diversify_test.dir/visual_diversify_test.cc.o.d"
+  "visual_diversify_test"
+  "visual_diversify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visual_diversify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_soi_test.dir/weighted_soi_test.cc.o"
+  "CMakeFiles/weighted_soi_test.dir/weighted_soi_test.cc.o.d"
+  "weighted_soi_test"
+  "weighted_soi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_soi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
