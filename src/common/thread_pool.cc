@@ -1,0 +1,61 @@
+#include "common/thread_pool.h"
+
+namespace soi {
+
+namespace {
+
+// Depth of parallel-region nesting on the current thread. A counter (not
+// a bool) so ParallelRegionGuard composes under inline-nested loops.
+thread_local int parallel_region_depth = 0;
+
+}  // namespace
+
+namespace internal_pool {
+
+ParallelRegionGuard::ParallelRegionGuard() { ++parallel_region_depth; }
+ParallelRegionGuard::~ParallelRegionGuard() { --parallel_region_depth; }
+
+}  // namespace internal_pool
+
+bool ThreadPool::InParallelRegion() { return parallel_region_depth > 0; }
+
+ThreadPool::ThreadPool(int num_threads) {
+  int num_workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace soi

@@ -1,0 +1,202 @@
+#ifndef SOI_COMMON_THREAD_POOL_H_
+#define SOI_COMMON_THREAD_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace soi {
+
+/// A fixed-size worker pool for the library's data-parallel loops.
+///
+/// Deliberately work-stealing-free: all parallel loops in libsoi use
+/// chunked *static* partitioning (ParallelFor below), so a plain shared
+/// queue is enough and the execution schedule stays easy to reason about.
+/// The determinism contract (DESIGN.md "Threading model") rests on this:
+/// every parallel construct in the library assigns work to chunks purely
+/// as a function of the input size, never of thread timing, and only the
+/// chunk *results* are combined, in index order, on the calling thread.
+///
+/// `num_threads` is the total concurrency including the calling thread;
+/// the pool spawns `num_threads - 1` workers. A pool constructed with
+/// num_threads <= 1 spawns no workers and every ParallelFor degenerates
+/// to the sequential loop.
+class ThreadPool {
+ public:
+  /// Spawns max(0, num_threads - 1) workers.
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins the workers. Outstanding tasks are completed first; the caller
+  /// must not destroy the pool from inside one of its own tasks.
+  ~ThreadPool();
+
+  /// Total concurrency of parallel loops on this pool (workers + caller).
+  int num_threads() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Enqueues one task. Prefer ParallelFor; this is the low-level hook it
+  /// is built on. Tasks must not throw out of `task` (ParallelFor wraps
+  /// them to capture exceptions).
+  void Submit(std::function<void()> task);
+
+  /// True while the current thread is executing a chunk of some parallel
+  /// loop (on any pool). Nested parallel constructs consult this and run
+  /// inline, so loops can be composed without deadlock or oversubscription.
+  static bool InParallelRegion();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+namespace internal_pool {
+
+/// RAII marker for ThreadPool::InParallelRegion().
+class ParallelRegionGuard {
+ public:
+  ParallelRegionGuard();
+  ~ParallelRegionGuard();
+  ParallelRegionGuard(const ParallelRegionGuard&) = delete;
+  ParallelRegionGuard& operator=(const ParallelRegionGuard&) = delete;
+};
+
+/// Shared completion/error state of one ParallelFor call.
+struct ForkJoinState {
+  std::mutex mutex;
+  std::condition_variable done;
+  int64_t remaining = 0;
+  std::exception_ptr error;  // first exception wins, the rest are dropped
+
+  void FinishChunk() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (--remaining == 0) done.notify_one();
+  }
+  void RecordError(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!error) error = std::move(e);
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [this] { return remaining == 0; });
+  }
+};
+
+}  // namespace internal_pool
+
+/// Runs `fn(chunk_begin, chunk_end)` over a static partition of
+/// [begin, end) into at most pool->num_threads() contiguous chunks.
+///
+/// The calling thread executes the first chunk itself and then blocks
+/// until the others finish. With a null pool, a single-thread pool, an
+/// empty range, or when called from inside another parallel region, the
+/// whole range runs inline on the caller as one chunk.
+///
+/// Exceptions thrown by any chunk are captured; after all chunks finish,
+/// the first one captured is rethrown on the calling thread.
+template <typename Fn>
+void ParallelForChunks(ThreadPool* pool, int64_t begin, int64_t end,
+                       Fn&& fn) {
+  int64_t n = end - begin;
+  if (n <= 0) return;
+  int threads = pool ? pool->num_threads() : 1;
+  if (threads <= 1 || n == 1 || ThreadPool::InParallelRegion()) {
+    internal_pool::ParallelRegionGuard guard;
+    fn(begin, end);
+    return;
+  }
+
+  int64_t chunks = std::min<int64_t>(threads, n);
+  int64_t chunk_size = (n + chunks - 1) / chunks;
+  internal_pool::ForkJoinState state;
+  state.remaining = chunks;
+
+  auto run_chunk = [&state, &fn](int64_t lo, int64_t hi) {
+    internal_pool::ParallelRegionGuard guard;
+    try {
+      fn(lo, hi);
+    } catch (...) {
+      state.RecordError(std::current_exception());
+    }
+    state.FinishChunk();
+  };
+
+  for (int64_t c = 1; c < chunks; ++c) {
+    int64_t lo = begin + c * chunk_size;
+    int64_t hi = std::min(end, lo + chunk_size);
+    pool->Submit([&run_chunk, lo, hi] { run_chunk(lo, hi); });
+  }
+  run_chunk(begin, std::min(end, begin + chunk_size));
+  state.Wait();
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+/// Element-wise variant: runs `fn(i)` for every i in [begin, end), chunked
+/// as in ParallelForChunks.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, Fn&& fn) {
+  ParallelForChunks(pool, begin, end, [&fn](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+/// Parallel sort: per-chunk std::sort followed by a tree of pairwise
+/// std::inplace_merge passes (merges at the same level run in parallel).
+///
+/// `cmp` must be a strict *total* order (break ties explicitly, e.g. by
+/// id) — then the result is the unique sorted permutation and is
+/// bit-identical to std::sort regardless of the thread count. Small
+/// ranges fall back to std::sort outright.
+template <typename It, typename Cmp>
+void ParallelSort(ThreadPool* pool, It first, It last, Cmp cmp) {
+  int64_t n = static_cast<int64_t>(last - first);
+  int threads = pool ? pool->num_threads() : 1;
+  constexpr int64_t kMinParallelSort = 2048;
+  if (threads <= 1 || n < kMinParallelSort ||
+      ThreadPool::InParallelRegion()) {
+    std::sort(first, last, cmp);
+    return;
+  }
+
+  int64_t chunks = std::min<int64_t>(threads, n);
+  std::vector<int64_t> bounds(static_cast<size_t>(chunks) + 1);
+  for (int64_t c = 0; c <= chunks; ++c) {
+    bounds[static_cast<size_t>(c)] = c * n / chunks;
+  }
+  ParallelFor(pool, 0, chunks, [&](int64_t c) {
+    std::sort(first + bounds[static_cast<size_t>(c)],
+              first + bounds[static_cast<size_t>(c) + 1], cmp);
+  });
+  for (int64_t width = 1; width < chunks; width *= 2) {
+    int64_t pairs = (chunks + 2 * width - 1) / (2 * width);
+    ParallelFor(pool, 0, pairs, [&](int64_t p) {
+      int64_t lo = 2 * width * p;
+      int64_t mid = std::min(lo + width, chunks);
+      int64_t hi = std::min(lo + 2 * width, chunks);
+      if (mid < hi) {
+        std::inplace_merge(first + bounds[static_cast<size_t>(lo)],
+                           first + bounds[static_cast<size_t>(mid)],
+                           first + bounds[static_cast<size_t>(hi)], cmp);
+      }
+    });
+  }
+}
+
+}  // namespace soi
+
+#endif  // SOI_COMMON_THREAD_POOL_H_

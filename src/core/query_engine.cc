@@ -1,0 +1,90 @@
+#include "core/query_engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace soi {
+
+QueryEngine::QueryEngine(const RoadNetwork& network, const PoiGridIndex& grid,
+                         const GlobalInvertedIndex& global_index,
+                         const SegmentCellIndex& segment_cells,
+                         QueryEngineOptions options)
+    : segment_cells_(&segment_cells),
+      options_(std::move(options)),
+      pool_(options_.num_threads > 1
+                ? std::make_unique<ThreadPool>(options_.num_threads)
+                : nullptr),
+      algorithm_(network, grid, global_index, pool_.get()) {
+  SOI_CHECK(options_.num_threads >= 1) << "num_threads must be >= 1";
+  SOI_CHECK(options_.eps_cache_capacity >= 1)
+      << "eps_cache_capacity must be >= 1";
+  options_.algorithm.pool = pool_.get();
+}
+
+QueryEngine::~QueryEngine() = default;
+
+int QueryEngine::num_threads() const {
+  return pool_ ? options_.num_threads : 1;
+}
+
+std::shared_ptr<const EpsAugmentedMaps> QueryEngine::GetMaps(double eps) {
+  std::promise<std::shared_ptr<const EpsAugmentedMaps>> promise;
+  {
+    std::unique_lock<std::mutex> lock(cache_mutex_);
+    ++cache_tick_;
+    auto it = cache_.find(eps);
+    if (it != cache_.end()) {
+      ++cache_stats_.hits;
+      it->second.last_used = cache_tick_;
+      MapsFuture future = it->second.maps;
+      lock.unlock();
+      return future.get();  // may block on a build in flight
+    }
+    ++cache_stats_.misses;
+    if (cache_.size() >= options_.eps_cache_capacity) {
+      auto victim = cache_.begin();
+      for (auto entry = cache_.begin(); entry != cache_.end(); ++entry) {
+        if (entry->second.last_used < victim->second.last_used) {
+          victim = entry;
+        }
+      }
+      cache_.erase(victim);  // holders keep the maps via their shared_ptr
+      ++cache_stats_.evictions;
+    }
+    cache_.emplace(eps,
+                   CacheEntry{promise.get_future().share(), cache_tick_});
+  }
+  // Build outside the lock so other eps values proceed concurrently;
+  // same-eps requesters block on the shared future instead of duplicating
+  // the build. From a batch worker the inner parallel loops run inline.
+  auto maps =
+      std::make_shared<const EpsAugmentedMaps>(*segment_cells_, eps,
+                                               pool_.get());
+  promise.set_value(maps);
+  return maps;
+}
+
+SoiResult QueryEngine::Run(const SoiQuery& query) {
+  std::shared_ptr<const EpsAugmentedMaps> maps = GetMaps(query.eps);
+  return algorithm_.TopK(query, *maps, options_.algorithm);
+}
+
+std::vector<SoiResult> QueryEngine::RunBatch(
+    const std::vector<SoiQuery>& queries) {
+  std::vector<SoiResult> results(queries.size());
+  ParallelFor(pool_.get(), 0, static_cast<int64_t>(queries.size()),
+              [&](int64_t i) {
+                results[static_cast<size_t>(i)] =
+                    Run(queries[static_cast<size_t>(i)]);
+              });
+  return results;
+}
+
+QueryEngine::CacheStats QueryEngine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_stats_;
+}
+
+}  // namespace soi

@@ -1,0 +1,114 @@
+#ifndef SOI_CORE_QUERY_ENGINE_H_
+#define SOI_CORE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/soi_algorithm.h"
+#include "core/soi_query.h"
+#include "grid/segment_cell_index.h"
+
+namespace soi {
+
+class ThreadPool;
+
+/// Tuning knobs for QueryEngine.
+struct QueryEngineOptions {
+  /// Total concurrency: RunBatch evaluates up to this many queries at
+  /// once, and single-query work (index augmentation, sorts, refinement)
+  /// uses the same pool. 1 = fully sequential, no threads spawned.
+  int num_threads = 1;
+
+  /// Maximum number of memoized EpsAugmentedMaps (one per distinct eps).
+  /// The LRU entry is evicted beyond this; in-flight queries keep their
+  /// maps alive through shared_ptr handoff. Must be >= 1.
+  size_t eps_cache_capacity = 8;
+
+  /// Per-query algorithm options. The `pool` field is overridden by the
+  /// engine's own pool.
+  SoiAlgorithmOptions algorithm;
+};
+
+/// The multi-query front end of the reproduction (the serving-path
+/// substrate of ROADMAP.md): binds one dataset's network + indices, keeps
+/// the per-eps augmented maps memoized behind a bounded LRU cache, and
+/// evaluates query batches concurrently on an internal fixed-size
+/// ThreadPool.
+///
+/// Determinism contract (DESIGN.md "Threading model"): for every query,
+/// Run/RunBatch return results bit-identical to
+/// `SoiAlgorithm::TopK(query, EpsAugmentedMaps(segment_cells, query.eps))`
+/// evaluated sequentially — for any num_threads, cache capacity, or batch
+/// composition. Timing fields of SoiQueryStats are excluded (wall-clock).
+///
+/// Thread-safe: Run, RunBatch, and GetMaps may be called from multiple
+/// threads. The referenced network and indices must outlive the engine.
+class QueryEngine {
+ public:
+  /// All indices must be built over the same grid geometry (checked per
+  /// query by SoiAlgorithm::TopK).
+  QueryEngine(const RoadNetwork& network, const PoiGridIndex& grid,
+              const GlobalInvertedIndex& global_index,
+              const SegmentCellIndex& segment_cells,
+              QueryEngineOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Evaluates one query through the eps cache.
+  SoiResult Run(const SoiQuery& query);
+
+  /// Evaluates the batch, up to num_threads queries concurrently, and
+  /// returns the results in input order.
+  std::vector<SoiResult> RunBatch(const std::vector<SoiQuery>& queries);
+
+  /// The memoized eps augmentation for `eps`, building (and caching) it
+  /// on first use. Concurrent requests for the same eps share one build.
+  std::shared_ptr<const EpsAugmentedMaps> GetMaps(double eps);
+
+  /// Cumulative eps-cache counters (monotone since construction).
+  struct CacheStats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+
+    double HitRate() const {
+      int64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+  CacheStats cache_stats() const;
+
+  int num_threads() const;
+  const SoiAlgorithm& algorithm() const { return algorithm_; }
+
+ private:
+  using MapsFuture =
+      std::shared_future<std::shared_ptr<const EpsAugmentedMaps>>;
+
+  struct CacheEntry {
+    MapsFuture maps;
+    uint64_t last_used = 0;
+  };
+
+  const SegmentCellIndex* segment_cells_;
+  QueryEngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
+  SoiAlgorithm algorithm_;
+
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<double, CacheEntry> cache_;
+  uint64_t cache_tick_ = 0;
+  CacheStats cache_stats_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_CORE_QUERY_ENGINE_H_

@@ -1,11 +1,11 @@
 #include "core/soi_algorithm.h"
 
 #include <algorithm>
-#include <set>
-#include <unordered_map>
+#include <queue>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/interest.h"
 #include "core/soi_baseline.h"
 
@@ -15,6 +15,86 @@ namespace {
 
 // Which source list an iteration consumes.
 enum class Source { kSl1, kSl2, kSl3, kNone };
+
+// Threshold tracker for the refinement phase: the k-th largest per-street
+// exact interest under value-increasing updates. A bounded lazy-deletion
+// min-heap holds the current top-k street values (entries superseded by a
+// larger value for the same street, or displaced out of the top-k, go
+// stale and are purged when they surface at the top). Amortized O(log k)
+// per update, O(1) per threshold read — replacing the O(k) rbegin/advance
+// walk of a full std::multiset.
+//
+// Correctness rests on monotonicity: street values only grow and the heap
+// minimum over live entries never decreases, so a value evicted as the
+// minimum of k+1 live entries can never re-enter the top-k.
+class KthBestTracker {
+ public:
+  KthBestTracker(int32_t k, int64_t num_streets)
+      : k_(k),
+        value_(static_cast<size_t>(num_streets), -1.0),
+        live_flag_(static_cast<size_t>(num_streets), 0) {}
+
+  // Raises `street`'s value to `value`; no-op unless it strictly grows
+  // (first values are >= 0, so the initial -1 sentinel always grows).
+  void Update(StreetId street, double value) {
+    double& current = value_[static_cast<size_t>(street)];
+    if (current < 0.0) {
+      ++num_streets_;
+    } else if (value <= current) {
+      return;
+    }
+    if (live_flag_[static_cast<size_t>(street)]) {
+      live_flag_[static_cast<size_t>(street)] = 0;  // entry goes stale
+      --num_live_;
+    }
+    current = value;
+    heap_.push(Entry{value, street});
+    live_flag_[static_cast<size_t>(street)] = 1;
+    ++num_live_;
+    while (num_live_ > k_) EvictMinLive();
+  }
+
+  // The k-th largest street value, or 0 while fewer than k streets have
+  // one (matching the refinement's "no threshold yet" semantics).
+  double Kth() {
+    if (num_streets_ < k_) return 0.0;
+    while (!IsLive(heap_.top())) heap_.pop();
+    return heap_.top().value;
+  }
+
+ private:
+  struct Entry {
+    double value;
+    StreetId street;
+    bool operator<(const Entry& other) const {  // min-heap via greater
+      return value > other.value;
+    }
+  };
+
+  bool IsLive(const Entry& e) const {
+    return live_flag_[static_cast<size_t>(e.street)] &&
+           value_[static_cast<size_t>(e.street)] == e.value;
+  }
+
+  void EvictMinLive() {
+    for (;;) {
+      Entry top = heap_.top();
+      heap_.pop();
+      if (IsLive(top)) {
+        live_flag_[static_cast<size_t>(top.street)] = 0;
+        --num_live_;
+        return;
+      }
+    }
+  }
+
+  int32_t k_;
+  std::vector<double> value_;
+  std::vector<char> live_flag_;
+  std::priority_queue<Entry> heap_;
+  int64_t num_streets_ = 0;
+  int64_t num_live_ = 0;
+};
 
 // Mutable per-run state of Algorithm 1. Scoped to one TopK call so the
 // SoiAlgorithm instance stays immutable.
@@ -54,6 +134,12 @@ class Run {
   };
 
   SegmentState& GetOrCreateState(SegmentId id);
+  // Relevant mass of `cell` for the query w.r.t. `geometry` (the body of
+  // procedure UpdateInterest), accumulated locally so sequential and
+  // parallel callers add per-cell sums to the segment mass in the same
+  // order — the determinism contract's bit-identity hinges on this.
+  double CellMass(const Segment& geometry, CellId cell,
+                  int64_t* distance_checks) const;
   // Procedure UpdateInterest of Algorithm 1.
   void UpdateInterest(SegmentId id, CellId cell);
   void FinalizeSegment(SegmentId id);
@@ -81,7 +167,6 @@ class Run {
   // --- phases ------------------------------------------------------------
   void FilteringPhase();
   void RefinementPhase();
-  std::vector<RankedStreet> ExtractResult() const;
 
   const RoadNetwork& network_;
   const PoiGridIndex& grid_;
@@ -144,6 +229,19 @@ void Run::UpdateStreetBest(StreetId street, double lower_bound) {
   if (lower_bound > best) best = lower_bound;
 }
 
+double Run::CellMass(const Segment& geometry, CellId cell,
+                     int64_t* distance_checks) const {
+  double mass = 0.0;
+  grid_.ForEachRelevantInCell(cell, query_.keywords, [&](PoiId poi) {
+    ++*distance_checks;
+    const Poi& p = grid_.pois()[static_cast<size_t>(poi)];
+    if (geometry.DistanceTo(p.position) <= query_.eps) {
+      mass += p.weight;
+    }
+  });
+  return mass;
+}
+
 void Run::UpdateInterest(SegmentId id, CellId cell) {
   SegmentState& state = GetOrCreateState(id);
   const std::vector<CellId>& cells = maps_.SegmentCells(id);
@@ -156,13 +254,8 @@ void Run::UpdateInterest(SegmentId id, CellId cell) {
   --state.remaining;
 
   const NetworkSegment& segment = network_.segment(id);
-  grid_.ForEachRelevantInCell(cell, query_.keywords, [&](PoiId poi) {
-    ++result_.stats.poi_distance_checks;
-    const Poi& p = grid_.pois()[static_cast<size_t>(poi)];
-    if (segment.geometry.DistanceTo(p.position) <= query_.eps) {
-      state.mass += p.weight;
-    }
-  });
+  state.mass +=
+      CellMass(segment.geometry, cell, &result_.stats.poi_distance_checks);
   UpdateStreetBest(segment.street,
                    SegmentInterest(state.mass, segment.length, query_.eps));
 }
@@ -171,6 +264,43 @@ void Run::FinalizeSegment(SegmentId id) {
   SegmentState& state = GetOrCreateState(id);
   if (state.remaining == 0) return;
   const std::vector<CellId>& cells = maps_.SegmentCells(id);
+
+  // Parallel path: the per-cell masses are pure reads, so compute them
+  // concurrently and fold them into the segment state sequentially, in
+  // cell order — the same order (and the same per-cell local sums) as the
+  // sequential path, keeping the mass bit-identical. Only worthwhile for
+  // segments with many unvisited cells.
+  constexpr int64_t kMinParallelCells = 32;
+  if (options_.pool != nullptr && state.remaining >= kMinParallelCells &&
+      !ThreadPool::InParallelRegion()) {
+    std::vector<size_t> unvisited;
+    unvisited.reserve(static_cast<size_t>(state.remaining));
+    for (size_t pos = 0; pos < cells.size(); ++pos) {
+      if (!state.IsVisited(pos)) unvisited.push_back(pos);
+    }
+    const NetworkSegment& segment = network_.segment(id);
+    std::vector<double> cell_mass(unvisited.size(), 0.0);
+    std::vector<int64_t> checks(unvisited.size(), 0);
+    ParallelFor(options_.pool, 0, static_cast<int64_t>(unvisited.size()),
+                [&](int64_t j) {
+                  cell_mass[static_cast<size_t>(j)] = CellMass(
+                      segment.geometry, cells[unvisited[static_cast<size_t>(j)]],
+                      &checks[static_cast<size_t>(j)]);
+                });
+    for (size_t j = 0; j < unvisited.size(); ++j) {
+      state.MarkVisited(unvisited[j]);
+      --state.remaining;
+      state.mass += cell_mass[j];
+      result_.stats.poi_distance_checks += checks[j];
+    }
+    // The sequential path updates the street bound after every cell, but
+    // the mass only grows, so the final update subsumes the rest.
+    UpdateStreetBest(
+        segment.street,
+        SegmentInterest(state.mass, segment.length, query_.eps));
+    return;
+  }
+
   for (size_t pos = 0; pos < cells.size() && state.remaining > 0; ++pos) {
     if (!state.IsVisited(pos)) UpdateInterest(id, cells[pos]);
   }
@@ -189,12 +319,13 @@ void Run::BuildSourceLists() {
   for (SegmentId id = 0; id < network_.num_segments(); ++id) {
     sl2_[static_cast<size_t>(id)] = id;
   }
-  std::sort(sl2_.begin(), sl2_.end(), [this](SegmentId a, SegmentId b) {
-    int64_t ca = maps_.NumSegmentCells(a);
-    int64_t cb = maps_.NumSegmentCells(b);
-    if (ca != cb) return ca > cb;
-    return a < b;
-  });
+  ParallelSort(options_.pool, sl2_.begin(), sl2_.end(),
+               [this](SegmentId a, SegmentId b) {
+                 int64_t ca = maps_.NumSegmentCells(a);
+                 int64_t cb = maps_.NumSegmentCells(b);
+                 if (ca != cb) return ca > cb;
+                 return a < b;
+               });
   // SL3 (sl3_) is the offline by-length list, shared across queries.
 }
 
@@ -344,59 +475,71 @@ void Run::RefinementPhase() {
 
   std::vector<double> street_exact(
       static_cast<size_t>(network_.num_streets()), -1.0);
-  std::multiset<double> street_exact_values;
-  auto update_exact = [&](StreetId street, double interest) {
+  // The segment attaining street_exact, tracked while updating instead of
+  // recovered afterwards by re-deriving the score and matching on exact
+  // floating-point equality (fragile). With the pending order below, ties
+  // resolve to the lowest segment id in both refinement modes.
+  std::vector<SegmentId> street_exact_segment(
+      static_cast<size_t>(network_.num_streets()), -1);
+  KthBestTracker tracker(query_.k, network_.num_streets());
+  auto update_exact = [&](StreetId street, double interest, SegmentId seg) {
     double& best = street_exact[static_cast<size_t>(street)];
-    if (best < 0.0) {
+    if (best < 0.0 || interest > best) {
       best = interest;
-      street_exact_values.insert(interest);
-    } else if (interest > best) {
-      street_exact_values.erase(street_exact_values.find(best));
-      street_exact_values.insert(interest);
-      best = interest;
+      street_exact_segment[static_cast<size_t>(street)] = seg;
+      tracker.Update(street, interest);
     }
-  };
-  auto kth_exact = [&]() {
-    if (static_cast<int64_t>(street_exact_values.size()) < query_.k) {
-      return 0.0;
-    }
-    auto it = street_exact_values.rbegin();
-    std::advance(it, query_.k - 1);
-    return *it;
   };
 
   if (options_.pruned_refinement) {
-    std::sort(pending.begin(), pending.end(),
-              [this](SegmentId a, SegmentId b) {
-                const SegmentState& sa = states_[static_cast<size_t>(a)];
-                const SegmentState& sb = states_[static_cast<size_t>(b)];
-                double ia = SegmentInterest(sa.mass,
-                                            network_.segment(a).length,
-                                            query_.eps);
-                double ib = SegmentInterest(sb.mass,
-                                            network_.segment(b).length,
-                                            query_.eps);
-                if (ia != ib) return ia > ib;
-                return a < b;
-              });
+    ParallelSort(options_.pool, pending.begin(), pending.end(),
+                 [this](SegmentId a, SegmentId b) {
+                   const SegmentState& sa = states_[static_cast<size_t>(a)];
+                   const SegmentState& sb = states_[static_cast<size_t>(b)];
+                   double ia = SegmentInterest(sa.mass,
+                                               network_.segment(a).length,
+                                               query_.eps);
+                   double ib = SegmentInterest(sb.mass,
+                                               network_.segment(b).length,
+                                               query_.eps);
+                   if (ia != ib) return ia > ib;
+                   return a < b;
+                 });
   }
 
-  for (SegmentId id : pending) {
+  // Optimistic interest bounds (every unvisited cell contributes its full
+  // relevant-POI bound): pure reads of the post-filtering state, so they
+  // are computed for all pending segments in parallel up front. Each
+  // bound accumulates in the same cell order as the former inline loop.
+  std::vector<double> optimistic;
+  if (options_.pruned_refinement) {
+    optimistic.resize(pending.size());
+    ParallelFor(
+        options_.pool, 0, static_cast<int64_t>(pending.size()),
+        [&](int64_t i) {
+          SegmentId id = pending[static_cast<size_t>(i)];
+          const SegmentState& state = states_[static_cast<size_t>(id)];
+          double optimistic_mass = state.mass;
+          if (state.remaining > 0) {
+            const std::vector<CellId>& cells = maps_.SegmentCells(id);
+            for (size_t pos = 0; pos < cells.size(); ++pos) {
+              if (state.IsVisited(pos)) continue;
+              optimistic_mass +=
+                  cell_relevant_bound_[static_cast<size_t>(cells[pos])];
+            }
+          }
+          optimistic[static_cast<size_t>(i)] = SegmentInterest(
+              optimistic_mass, network_.segment(id).length, query_.eps);
+        });
+  }
+
+  for (size_t i = 0; i < pending.size(); ++i) {
+    SegmentId id = pending[i];
     const SegmentState& state = states_[static_cast<size_t>(id)];
     const NetworkSegment& segment = network_.segment(id);
-    if (options_.pruned_refinement && state.remaining > 0) {
-      // Optimistic mass: every unvisited cell contributes its full
-      // relevant-POI bound.
-      double optimistic_mass = state.mass;
-      const std::vector<CellId>& cells = maps_.SegmentCells(id);
-      for (size_t pos = 0; pos < cells.size(); ++pos) {
-        if (state.IsVisited(pos)) continue;
-        optimistic_mass +=
-            cell_relevant_bound_[static_cast<size_t>(cells[pos])];
-      }
-      double optimistic =
-          SegmentInterest(optimistic_mass, segment.length, query_.eps);
-      if (optimistic < kth_exact()) continue;  // Cannot reach the top-k.
+    if (options_.pruned_refinement && state.remaining > 0 &&
+        optimistic[i] < tracker.Kth()) {
+      continue;  // Cannot reach the top-k.
     }
     if (state.remaining > 0) {
       ++result_.stats.segments_finalized_in_refinement;
@@ -404,7 +547,8 @@ void Run::RefinementPhase() {
     }
     update_exact(segment.street,
                  SegmentInterest(states_[static_cast<size_t>(id)].mass,
-                                 segment.length, query_.eps));
+                                 segment.length, query_.eps),
+                 id);
   }
 
   // Extract the top-k streets: seen streets by exact interest, padded (for
@@ -417,21 +561,9 @@ void Run::RefinementPhase() {
     RankedStreet entry;
     entry.street = street;
     entry.interest = std::max(exact, 0.0);
-    // Recover the best segment for reporting.
-    if (exact > 0.0) {
-      for (SegmentId seg : network_.street(street).segments) {
-        if (!seen_[static_cast<size_t>(seg)]) continue;
-        double interest = SegmentInterest(
-            states_[static_cast<size_t>(seg)].mass,
-            network_.segment(seg).length, query_.eps);
-        if (interest == exact) {
-          entry.best_segment = seg;
-          break;
-        }
-      }
-    } else {
-      entry.best_segment = network_.street(street).segments[0];
-    }
+    entry.best_segment =
+        exact > 0.0 ? street_exact_segment[static_cast<size_t>(street)]
+                    : network_.street(street).segments[0];
     ranked.push_back(entry);
   }
   auto by_interest = [](const RankedStreet& a, const RankedStreet& b) {
@@ -465,19 +597,20 @@ SoiResult Run::Execute() {
 
 SoiAlgorithm::SoiAlgorithm(const RoadNetwork& network,
                            const PoiGridIndex& grid,
-                           const GlobalInvertedIndex& global_index)
+                           const GlobalInvertedIndex& global_index,
+                           ThreadPool* pool)
     : network_(&network), grid_(&grid), global_index_(&global_index) {
   segments_by_length_.resize(static_cast<size_t>(network.num_segments()));
   for (SegmentId id = 0; id < network.num_segments(); ++id) {
     segments_by_length_[static_cast<size_t>(id)] = id;
   }
-  std::sort(segments_by_length_.begin(), segments_by_length_.end(),
-            [&network](SegmentId a, SegmentId b) {
-              double la = network.segment(a).length;
-              double lb = network.segment(b).length;
-              if (la != lb) return la < lb;
-              return a < b;
-            });
+  ParallelSort(pool, segments_by_length_.begin(), segments_by_length_.end(),
+               [&network](SegmentId a, SegmentId b) {
+                 double la = network.segment(a).length;
+                 double lb = network.segment(b).length;
+                 if (la != lb) return la < lb;
+                 return a < b;
+               });
 }
 
 SoiResult SoiAlgorithm::TopK(const SoiQuery& query,

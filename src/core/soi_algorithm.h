@@ -12,6 +12,8 @@
 
 namespace soi {
 
+class ThreadPool;
+
 /// Order in which the filtering phase consumes the three ranked source
 /// lists of Section 3.2.2.
 ///
@@ -41,6 +43,12 @@ struct SoiAlgorithmOptions {
   /// false finalizes every seen segment (ablation).
   bool pruned_refinement = true;
 
+  /// Optional pool for intra-query parallelism (source-list sorts, the
+  /// refinement bound/finalize work). Not owned; may be null. The result
+  /// is bit-identical for every pool size (DESIGN.md "Threading model"),
+  /// so this is purely a latency knob.
+  ThreadPool* pool = nullptr;
+
   /// Test/diagnostic hook invoked once per filtering iteration, after the
   /// bounds are recomputed and before the termination check.
   struct FilterSnapshot {
@@ -62,9 +70,12 @@ struct SoiAlgorithmOptions {
 /// thread-compatible; each TopK call carries its own state.
 class SoiAlgorithm {
  public:
-  /// All three indices must be built over the same grid geometry.
+  /// All three indices must be built over the same grid geometry. `pool`
+  /// (may be null) parallelizes the offline by-length sort only; it is
+  /// not retained.
   SoiAlgorithm(const RoadNetwork& network, const PoiGridIndex& grid,
-               const GlobalInvertedIndex& global_index);
+               const GlobalInvertedIndex& global_index,
+               ThreadPool* pool = nullptr);
 
   /// Evaluates the query. `maps` must be the eps augmentation for
   /// query.eps over the same network and grid geometry.

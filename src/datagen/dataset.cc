@@ -25,7 +25,8 @@ Result<Dataset> GenerateCity(const CityProfile& profile) {
 }
 
 std::unique_ptr<DatasetIndexes> BuildIndexes(const Dataset& dataset,
-                                             double cell_size) {
+                                             double cell_size,
+                                             ThreadPool* pool) {
   Box bounds = dataset.network.bounds();
   for (const Poi& poi : dataset.pois) bounds.ExtendToCover(poi.position);
   for (const Photo& photo : dataset.photos) {
@@ -41,7 +42,7 @@ std::unique_ptr<DatasetIndexes> BuildIndexes(const Dataset& dataset,
 
   PoiGridIndex poi_grid(bounds, cell_size, dataset.pois);
   GlobalInvertedIndex global_index(poi_grid);
-  SegmentCellIndex segment_cells(dataset.network, geometry);
+  SegmentCellIndex segment_cells(dataset.network, geometry, pool);
   PointGrid<PhotoId> photo_grid(geometry, photo_positions);
   return std::make_unique<DatasetIndexes>(DatasetIndexes{
       std::move(geometry), std::move(poi_grid), std::move(global_index),

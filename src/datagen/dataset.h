@@ -48,8 +48,11 @@ struct DatasetIndexes {
 
 /// Builds all offline indices with square grid cells of side `cell_size`.
 /// The grid covers the union of the network, POI, and photo extents.
+/// `pool` (may be null) parallelizes the segment<->cell map construction;
+/// it is not retained.
 std::unique_ptr<DatasetIndexes> BuildIndexes(const Dataset& dataset,
-                                             double cell_size);
+                                             double cell_size,
+                                             ThreadPool* pool = nullptr);
 
 /// Persists a dataset as <prefix>.network / <prefix>.pois / <prefix>.photos
 /// (the planted ground truth is derivable by regenerating; it is not

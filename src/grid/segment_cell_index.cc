@@ -3,25 +3,46 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "geometry/distance.h"
 
 namespace soi {
 
 namespace {
 
-const std::vector<SegmentId>& EmptySegments() {
-  static const std::vector<SegmentId>* empty = new std::vector<SegmentId>();
-  return *empty;
+// Inverts segment -> cells into cell -> segments, in parallel, without
+// locks, deterministically: the cell-id space is statically partitioned
+// and each chunk scans the (sorted) per-segment lists in segment-id order,
+// claiming only the cells it owns. Every per-cell list therefore comes out
+// ascending by segment id for any thread count, matching the sequential
+// inversion order.
+void InvertSegmentCells(
+    const std::vector<std::vector<CellId>>& segment_cells,
+    int64_t num_cells, ThreadPool* pool,
+    std::vector<std::vector<SegmentId>>* cell_segments) {
+  cell_segments->assign(static_cast<size_t>(num_cells), {});
+  ParallelForChunks(pool, 0, num_cells, [&](int64_t lo, int64_t hi) {
+    for (size_t id = 0; id < segment_cells.size(); ++id) {
+      const std::vector<CellId>& cells = segment_cells[id];
+      auto first = std::lower_bound(cells.begin(), cells.end(),
+                                    static_cast<CellId>(lo));
+      for (auto it = first; it != cells.end() && *it < hi; ++it) {
+        (*cell_segments)[static_cast<size_t>(*it)].push_back(
+            static_cast<SegmentId>(id));
+      }
+    }
+  });
 }
 
 }  // namespace
 
 SegmentCellIndex::SegmentCellIndex(const RoadNetwork& network,
-                                   GridGeometry geometry)
+                                   GridGeometry geometry, ThreadPool* pool)
     : geometry_(std::move(geometry)), network_(&network) {
   segment_cells_.resize(static_cast<size_t>(network.num_segments()));
-  for (SegmentId id = 0; id < network.num_segments(); ++id) {
-    const Segment& seg = network.segment(id).geometry;
+  ParallelFor(pool, 0, network.num_segments(), [&](int64_t id) {
+    const Segment& seg =
+        network.segment(static_cast<SegmentId>(id)).geometry;
     std::vector<CellId>& cells = segment_cells_[static_cast<size_t>(id)];
     // Probe one cell beyond the segment MBR so cells the segment merely
     // touches on a shared boundary are not missed; the exact distance
@@ -30,11 +51,12 @@ SegmentCellIndex::SegmentCellIndex(const RoadNetwork& network,
     geometry_.ForEachCellInBox(probe, [&](CellId cell) {
       if (SegmentBoxDistance(seg, geometry_.CellBox(cell)) == 0.0) {
         cells.push_back(cell);
-        cell_segments_[cell].push_back(id);
       }
     });
     // ForEachCellInBox iterates row-major, so `cells` is already sorted.
-  }
+  });
+  InvertSegmentCells(segment_cells_, geometry_.num_cells(), pool,
+                     &cell_segments_);
 }
 
 const std::vector<CellId>& SegmentCellIndex::SegmentCells(SegmentId id) const {
@@ -45,17 +67,19 @@ const std::vector<CellId>& SegmentCellIndex::SegmentCells(SegmentId id) const {
 
 const std::vector<SegmentId>& SegmentCellIndex::CellSegments(
     CellId id) const {
-  auto it = cell_segments_.find(id);
-  return it == cell_segments_.end() ? EmptySegments() : it->second;
+  SOI_DCHECK(id >= 0 && static_cast<size_t>(id) < cell_segments_.size());
+  return cell_segments_[static_cast<size_t>(id)];
 }
 
-EpsAugmentedMaps::EpsAugmentedMaps(const SegmentCellIndex& base, double eps)
+EpsAugmentedMaps::EpsAugmentedMaps(const SegmentCellIndex& base, double eps,
+                                   ThreadPool* pool)
     : eps_(eps), geometry_(&base.geometry()) {
   SOI_CHECK(eps >= 0) << "eps must be non-negative";
   const RoadNetwork& network = base.network();
   segment_cells_.resize(static_cast<size_t>(network.num_segments()));
-  for (SegmentId id = 0; id < network.num_segments(); ++id) {
-    const Segment& seg = network.segment(id).geometry;
+  ParallelFor(pool, 0, network.num_segments(), [&](int64_t id) {
+    const Segment& seg =
+        network.segment(static_cast<SegmentId>(id)).geometry;
     std::vector<CellId>& cells = segment_cells_[static_cast<size_t>(id)];
     // Pad by one cell beyond eps for the same boundary-touch reason as in
     // SegmentCellIndex (distance exactly eps to a cell across a boundary).
@@ -63,10 +87,11 @@ EpsAugmentedMaps::EpsAugmentedMaps(const SegmentCellIndex& base, double eps)
     geometry_->ForEachCellInBox(probe, [&](CellId cell) {
       if (SegmentBoxDistance(seg, geometry_->CellBox(cell)) <= eps) {
         cells.push_back(cell);
-        cell_segments_[cell].push_back(id);
       }
     });
-  }
+  });
+  InvertSegmentCells(segment_cells_, geometry_->num_cells(), pool,
+                     &cell_segments_);
 }
 
 const std::vector<CellId>& EpsAugmentedMaps::SegmentCells(
@@ -78,8 +103,8 @@ const std::vector<CellId>& EpsAugmentedMaps::SegmentCells(
 
 const std::vector<SegmentId>& EpsAugmentedMaps::CellSegments(
     CellId id) const {
-  auto it = cell_segments_.find(id);
-  return it == cell_segments_.end() ? EmptySegments() : it->second;
+  SOI_DCHECK(id >= 0 && static_cast<size_t>(id) < cell_segments_.size());
+  return cell_segments_[static_cast<size_t>(id)];
 }
 
 }  // namespace soi

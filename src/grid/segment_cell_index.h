@@ -1,7 +1,6 @@
 #ifndef SOI_GRID_SEGMENT_CELL_INDEX_H_
 #define SOI_GRID_SEGMENT_CELL_INDEX_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "grid/grid_geometry.h"
@@ -9,13 +8,23 @@
 
 namespace soi {
 
+class ThreadPool;
+
 /// The offline cell <-> segment maps of Section 3.2.1: which grid cells
 /// each street segment passes through and, inversely, which segments cross
 /// each cell (distance 0).
+///
+/// Construction is data-parallel when a ThreadPool is supplied: the
+/// per-segment cell lists are computed independently, then inverted into
+/// the per-cell lists with a deterministic owner-partition pass. The built
+/// index is identical for every thread count (see DESIGN.md "Threading
+/// model").
 class SegmentCellIndex {
  public:
-  /// Requires the grid geometry to cover the network bounds.
-  SegmentCellIndex(const RoadNetwork& network, GridGeometry geometry);
+  /// Requires the grid geometry to cover the network bounds. `pool` (may
+  /// be null) parallelizes construction only; it is not retained.
+  SegmentCellIndex(const RoadNetwork& network, GridGeometry geometry,
+                   ThreadPool* pool = nullptr);
 
   const GridGeometry& geometry() const { return geometry_; }
   const RoadNetwork& network() const { return *network_; }
@@ -23,24 +32,32 @@ class SegmentCellIndex {
   /// Cells intersected by segment `id`, ascending by cell id.
   const std::vector<CellId>& SegmentCells(SegmentId id) const;
 
-  /// Segments intersecting cell `id` (empty if none).
+  /// Segments intersecting cell `id` (empty if none), ascending by
+  /// segment id.
   const std::vector<SegmentId>& CellSegments(CellId id) const;
 
  private:
   GridGeometry geometry_;
   const RoadNetwork* network_;
   std::vector<std::vector<CellId>> segment_cells_;
-  std::unordered_map<CellId, std::vector<SegmentId>> cell_segments_;
+  // Dense, indexed by CellId (the algorithm already keeps dense per-cell
+  // arrays per query, so this costs nothing new and avoids hash lookups
+  // on the PopCell hot path).
+  std::vector<std::vector<SegmentId>> cell_segments_;
 };
 
 /// The query-time eps augmentation of the maps: C_eps(l) = cells within
 /// distance eps of segment l, and L_eps(c) = segments within distance eps
 /// of cell c (Section 3.2.1). Constructed once per (dataset, eps); its
 /// construction cost is part of the list-construction phase the paper
-/// reports in Figure 4.
+/// reports in Figure 4, and is the cost QueryEngine memoizes per eps.
 class EpsAugmentedMaps {
  public:
-  EpsAugmentedMaps(const SegmentCellIndex& base, double eps);
+  /// `pool` (may be null) parallelizes the per-segment eps dilation and
+  /// the inversion into L_eps(c); the result is bit-identical to the
+  /// sequential construction for every thread count.
+  EpsAugmentedMaps(const SegmentCellIndex& base, double eps,
+                   ThreadPool* pool = nullptr);
 
   double eps() const { return eps_; }
   const GridGeometry& geometry() const { return *geometry_; }
@@ -48,7 +65,8 @@ class EpsAugmentedMaps {
   /// C_eps(l): cells within eps of segment `id`, ascending by cell id.
   const std::vector<CellId>& SegmentCells(SegmentId id) const;
 
-  /// L_eps(c): segments within eps of cell `id` (empty if none).
+  /// L_eps(c): segments within eps of cell `id` (empty if none),
+  /// ascending by segment id.
   const std::vector<SegmentId>& CellSegments(CellId id) const;
 
   /// |C_eps(l)| for every segment (the key of source list SL2).
@@ -60,7 +78,7 @@ class EpsAugmentedMaps {
   double eps_;
   const GridGeometry* geometry_;
   std::vector<std::vector<CellId>> segment_cells_;
-  std::unordered_map<CellId, std::vector<SegmentId>> cell_segments_;
+  std::vector<std::vector<SegmentId>> cell_segments_;
 };
 
 }  // namespace soi

@@ -1,0 +1,204 @@
+#include "core/query_engine.h"
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/soi_algorithm.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+// A self-contained SOI instance (mirrors the soi_algorithm_test fixture).
+struct Instance {
+  RoadNetwork network;
+  Vocabulary vocabulary;
+  std::vector<Poi> pois;
+  GridGeometry geometry;
+  PoiGridIndex grid;
+  GlobalInvertedIndex global_index;
+  SegmentCellIndex segment_cells;
+
+  Instance(uint64_t seed, double cell_size, int64_t num_pois,
+           int32_t vocab_size)
+      : network(testing_util::MakeGridNetwork(5, 5, 0.01)),
+        pois(MakePois(seed, num_pois, vocab_size, &vocabulary)),
+        geometry(network.bounds().Expanded(0.005), cell_size),
+        grid(geometry.bounds(), cell_size, pois),
+        global_index(grid),
+        segment_cells(network, geometry) {}
+
+  static std::vector<Poi> MakePois(uint64_t seed, int64_t n,
+                                   int32_t vocab_size,
+                                   Vocabulary* vocabulary) {
+    Rng rng(seed);
+    Box box = Box::FromCorners(Point{-0.004, -0.004}, Point{0.044, 0.044});
+    return testing_util::RandomPois(box, n, vocab_size, vocabulary, &rng);
+  }
+};
+
+// A mixed batch with repeated eps values (so the cache sees hits), varied
+// keywords, and varied k.
+std::vector<SoiQuery> MakeBatch(uint64_t seed, int count) {
+  Rng rng(seed);
+  const double eps_values[] = {0.0008, 0.002, 0.005};
+  std::vector<SoiQuery> batch;
+  for (int i = 0; i < count; ++i) {
+    SoiQuery query;
+    std::vector<KeywordId> keywords;
+    int64_t nq = rng.UniformInt(1, 3);
+    for (int64_t j = 0; j < nq; ++j) {
+      keywords.push_back(static_cast<KeywordId>(rng.UniformInt(0, 7)));
+    }
+    query.keywords = KeywordSet(keywords);
+    query.k = static_cast<int32_t>(rng.UniformInt(1, 10));
+    query.eps = eps_values[rng.UniformInt(static_cast<uint64_t>(3))];
+    batch.push_back(query);
+  }
+  return batch;
+}
+
+// Bit-identical comparison of two results: answer streets (ids, exact
+// interest bits, best segment) and every thread-invariant stat. Timings
+// are wall-clock and excluded.
+void ExpectIdenticalResults(const SoiResult& got, const SoiResult& want,
+                            const char* label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(got.streets.size(), want.streets.size());
+  for (size_t i = 0; i < got.streets.size(); ++i) {
+    EXPECT_EQ(got.streets[i].street, want.streets[i].street) << "rank " << i;
+    EXPECT_EQ(got.streets[i].interest, want.streets[i].interest)
+        << "rank " << i;
+    EXPECT_EQ(got.streets[i].best_segment, want.streets[i].best_segment)
+        << "rank " << i;
+  }
+  EXPECT_EQ(got.stats.iterations, want.stats.iterations);
+  EXPECT_EQ(got.stats.cells_popped, want.stats.cells_popped);
+  EXPECT_EQ(got.stats.segments_popped, want.stats.segments_popped);
+  EXPECT_EQ(got.stats.segments_seen, want.stats.segments_seen);
+  EXPECT_EQ(got.stats.segments_finalized_in_refinement,
+            want.stats.segments_finalized_in_refinement);
+  EXPECT_EQ(got.stats.poi_distance_checks, want.stats.poi_distance_checks);
+  EXPECT_EQ(got.stats.final_upper_bound, want.stats.final_upper_bound);
+  EXPECT_EQ(got.stats.final_lower_bound, want.stats.final_lower_bound);
+}
+
+TEST(QueryEngineTest, RunBatchIsBitIdenticalToSequentialAtAnyThreadCount) {
+  Instance instance(3, /*cell_size=*/0.003, /*num_pois=*/600,
+                    /*vocab_size=*/8);
+  std::vector<SoiQuery> batch = MakeBatch(17, 24);
+
+  // The reference path: fresh sequential maps + sequential TopK per query.
+  SoiAlgorithm sequential(instance.network, instance.grid,
+                          instance.global_index);
+  std::vector<SoiResult> expected;
+  for (const SoiQuery& query : batch) {
+    EpsAugmentedMaps maps(instance.segment_cells, query.eps);
+    expected.push_back(sequential.TopK(query, maps));
+  }
+
+  for (int threads : {1, 2, 4}) {
+    QueryEngineOptions options;
+    options.num_threads = threads;
+    QueryEngine engine(instance.network, instance.grid,
+                       instance.global_index, instance.segment_cells,
+                       options);
+    std::vector<SoiResult> got = engine.RunBatch(batch);
+    ASSERT_EQ(got.size(), expected.size());
+    std::string label = "threads=" + std::to_string(threads);
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectIdenticalResults(got[i], expected[i],
+                             (label + " query=" + std::to_string(i)).c_str());
+    }
+  }
+}
+
+TEST(QueryEngineTest, ParallelEpsAugmentationIsIdenticalToSequential) {
+  Instance instance(5, 0.003, 400, 6);
+  ThreadPool pool(4);
+  for (double eps : {0.0, 0.0008, 0.003}) {
+    EpsAugmentedMaps sequential(instance.segment_cells, eps);
+    EpsAugmentedMaps parallel(instance.segment_cells, eps, &pool);
+    for (SegmentId id = 0; id < instance.network.num_segments(); ++id) {
+      EXPECT_EQ(parallel.SegmentCells(id), sequential.SegmentCells(id))
+          << "segment " << id;
+    }
+    for (CellId cell = 0; cell < instance.geometry.num_cells(); ++cell) {
+      EXPECT_EQ(parallel.CellSegments(cell), sequential.CellSegments(cell))
+          << "cell " << cell;
+    }
+  }
+}
+
+TEST(QueryEngineTest, ParallelSegmentCellIndexIsIdenticalToSequential) {
+  RoadNetwork network = testing_util::MakeGridNetwork(6, 6, 0.01);
+  GridGeometry geometry(network.bounds().Expanded(0.005), 0.002);
+  ThreadPool pool(4);
+  SegmentCellIndex sequential(network, geometry);
+  SegmentCellIndex parallel(network, geometry, &pool);
+  for (SegmentId id = 0; id < network.num_segments(); ++id) {
+    EXPECT_EQ(parallel.SegmentCells(id), sequential.SegmentCells(id));
+  }
+  for (CellId cell = 0; cell < geometry.num_cells(); ++cell) {
+    EXPECT_EQ(parallel.CellSegments(cell), sequential.CellSegments(cell));
+  }
+}
+
+TEST(QueryEngineTest, CacheMemoizesPerEps) {
+  Instance instance(7, 0.003, 300, 6);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(instance.network, instance.grid, instance.global_index,
+                     instance.segment_cells, options);
+
+  auto a = engine.GetMaps(0.001);
+  auto b = engine.GetMaps(0.001);
+  auto c = engine.GetMaps(0.002);
+  EXPECT_EQ(a.get(), b.get());  // same memoized maps object
+  EXPECT_NE(a.get(), c.get());
+  QueryEngine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+TEST(QueryEngineTest, CacheEvictsLeastRecentlyUsedAtCapacity) {
+  Instance instance(9, 0.003, 300, 6);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.eps_cache_capacity = 2;
+  QueryEngine engine(instance.network, instance.grid, instance.global_index,
+                     instance.segment_cells, options);
+
+  auto a = engine.GetMaps(0.001);  // miss
+  engine.GetMaps(0.002);           // miss
+  engine.GetMaps(0.001);           // hit; 0.002 becomes LRU
+  engine.GetMaps(0.003);           // miss, evicts 0.002
+  EXPECT_EQ(engine.cache_stats().evictions, 1);
+  auto a2 = engine.GetMaps(0.001);  // still cached
+  EXPECT_EQ(a.get(), a2.get());
+  EXPECT_EQ(engine.cache_stats().hits, 2);
+  engine.GetMaps(0.002);  // was evicted: a fresh miss
+  EXPECT_EQ(engine.cache_stats().misses, 4);
+  // The evicted shared_ptr handed out earlier remains valid for holders.
+  EXPECT_EQ(a->eps(), 0.001);
+}
+
+TEST(QueryEngineTest, SingleRunMatchesBatch) {
+  Instance instance(11, 0.003, 400, 6);
+  std::vector<SoiQuery> batch = MakeBatch(23, 6);
+  QueryEngineOptions options;
+  options.num_threads = 2;
+  QueryEngine engine(instance.network, instance.grid, instance.global_index,
+                     instance.segment_cells, options);
+  std::vector<SoiResult> batched = engine.RunBatch(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    SoiResult single = engine.Run(batch[i]);
+    ExpectIdenticalResults(single, batched[i], "single-vs-batch");
+  }
+}
+
+}  // namespace
+}  // namespace soi
