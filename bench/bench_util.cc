@@ -1,6 +1,8 @@
 #include "bench_util.h"
 
 #include "common/stopwatch.h"
+#include "obs/json_export.h"
+#include "obs/metrics.h"
 
 namespace soi {
 namespace bench_util {
@@ -44,6 +46,36 @@ KeywordSet AccumulatedQueryKeywords(const Dataset& dataset, int count) {
     ids.push_back(id);
   }
   return KeywordSet(std::move(ids));
+}
+
+BenchJsonFile::BenchJsonFile(const std::string& benchmark,
+                             const BenchOptions& options,
+                             const std::string& path)
+    : path_(path), file_(path), json_(&file_) {
+  SOI_CHECK(file_.good()) << "cannot write " << path;
+  json_.BeginObject();
+  json_.KeyValue("benchmark", benchmark);
+  json_.KeyValue("scale", options.scale);
+  json_.Key("cities_requested");
+  json_.BeginArray();
+  for (const std::string& city : options.cities) json_.String(city);
+  json_.EndArray();
+}
+
+BenchJsonFile::~BenchJsonFile() {
+  SOI_CHECK(closed_) << "BenchJsonFile " << path_
+                     << " destroyed without Close()";
+}
+
+void BenchJsonFile::Close() {
+  SOI_CHECK(!closed_) << "BenchJsonFile " << path_ << " closed twice";
+  closed_ = true;
+  json_.Key("metrics");
+  obs::WriteMetricsJson(obs::Registry::Global().Snapshot(), &json_);
+  json_.EndObject();
+  file_ << "\n";
+  file_.flush();
+  SOI_CHECK(json_.done() && file_.good()) << "failed writing " << path_;
 }
 
 }  // namespace bench_util

@@ -3,12 +3,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/json_writer.h"
 #include "common/string_util.h"
 #include "datagen/city_profile.h"
 #include "datagen/dataset.h"
@@ -65,6 +67,42 @@ std::vector<std::unique_ptr<CityContext>> LoadCities(
 /// {religion, education, food, services}, resolved in the dataset's
 /// vocabulary.
 KeywordSet AccumulatedQueryKeywords(const Dataset& dataset, int count);
+
+/// The one machine-readable results writer shared by the experiment
+/// drivers (Figure 4/5/6, throughput): streams the standard BENCH_*.json
+/// envelope
+///
+///   {"benchmark": <name>, "scale": <--scale>, "cities_requested": [...],
+///    <caller-written fields>, "metrics": <global metrics snapshot>}
+///
+/// The constructor opens the file and writes the header fields; the
+/// caller adds its payload through json() (which is positioned inside
+/// the root object); Close() appends the metrics-registry snapshot
+/// (counters, gauges, per-phase latency histograms — empty sections
+/// under SOI_OBSERVABILITY=OFF) and closes the document.
+class BenchJsonFile {
+ public:
+  BenchJsonFile(const std::string& benchmark, const BenchOptions& options,
+                const std::string& path);
+  ~BenchJsonFile();
+
+  BenchJsonFile(const BenchJsonFile&) = delete;
+  BenchJsonFile& operator=(const BenchJsonFile&) = delete;
+
+  /// The underlying writer, inside the root object: add payload with
+  /// Key()/KeyValue()/containers.
+  JsonWriter* json() { return &json_; }
+
+  /// Embeds the metrics snapshot, closes the root object, flushes, and
+  /// checks the file wrote cleanly. Must be called exactly once.
+  void Close();
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  JsonWriter json_;
+  bool closed_ = false;
+};
 
 }  // namespace bench_util
 }  // namespace soi

@@ -62,28 +62,58 @@ void AddRow(TablePrinter* table, const std::string& label,
                  std::to_string(m.soi_stats.segments_seen)});
 }
 
+// One sweep point in the machine-readable output, with the SOI per-phase
+// breakdown alongside the totals (mirrors the stacked bars).
+void WritePointJson(JsonWriter* json, const std::string& axis,
+                    const std::string& value, const Measurement& m) {
+  json->BeginObject();
+  json->KeyValue(axis, value);
+  json->KeyValue("soi_seconds", m.soi_seconds);
+  json->KeyValue("lists_seconds", m.soi_stats.list_construction_seconds);
+  json->KeyValue("filter_seconds", m.soi_stats.filtering_seconds);
+  json->KeyValue("refine_seconds", m.soi_stats.refinement_seconds);
+  json->KeyValue("bl_seconds", m.bl_seconds);
+  json->KeyValue("speedup",
+                 m.soi_seconds > 0 ? m.bl_seconds / m.soi_seconds : 0.0);
+  json->KeyValue("segments_seen", m.soi_stats.segments_seen);
+  json->EndObject();
+}
+
 int Run(int argc, char** argv) {
   bench_util::BenchOptions options =
       bench_util::ParseBenchOptions(argc, argv);
   auto cities = bench_util::LoadCities(options);
   double eps = 0.0005;
 
+  bench_util::BenchJsonFile out("fig4_soi_performance", options,
+                                "BENCH_fig4_soi_performance.json");
+  JsonWriter* json = out.json();
+  json->KeyValue("eps", eps);
+  json->Key("cities");
+  json->BeginArray();
   for (const auto& city : cities) {
     EpsAugmentedMaps maps(city->indexes->segment_cells, eps);
+    json->BeginObject();
+    json->KeyValue("city", city->profile.name);
 
     // --- Figure 4 (a-c): varying k, |Psi| = 3 ---------------------------
     std::cout << "\nFigure 4 (" << city->profile.name
               << "): varying k, |Psi|=3, eps=0.0005\n\n";
     TablePrinter by_k({"k", "SOI total", "  lists", "  filter", "  refine",
                        "BL total", "speedup", "segm.seen"});
+    json->Key("varying_k");
+    json->BeginArray();
     for (int32_t k : {10, 20, 50, 100, 200}) {
       SoiQuery query;
       query.keywords =
           bench_util::AccumulatedQueryKeywords(city->dataset, 3);
       query.k = k;
       query.eps = eps;
-      AddRow(&by_k, std::to_string(k), Measure(*city, query, maps));
+      Measurement m = Measure(*city, query, maps);
+      AddRow(&by_k, std::to_string(k), m);
+      WritePointJson(json, "k", std::to_string(k), m);
     }
+    json->EndArray();
     by_k.Print(&std::cout);
 
     // --- Figure 4 (d-f): varying |Psi|, k = 50 --------------------------
@@ -91,17 +121,26 @@ int Run(int argc, char** argv) {
               << "): varying |Psi|, k=50, eps=0.0005\n\n";
     TablePrinter by_psi({"|Psi|", "SOI total", "  lists", "  filter",
                          "  refine", "BL total", "speedup", "segm.seen"});
+    json->Key("varying_psi");
+    json->BeginArray();
     for (int count = 1; count <= 4; ++count) {
       SoiQuery query;
       query.keywords =
           bench_util::AccumulatedQueryKeywords(city->dataset, count);
       query.k = 50;
       query.eps = eps;
-      AddRow(&by_psi, std::to_string(count), Measure(*city, query, maps));
+      Measurement m = Measure(*city, query, maps);
+      AddRow(&by_psi, std::to_string(count), m);
+      WritePointJson(json, "psi", std::to_string(count), m);
     }
+    json->EndArray();
+    json->EndObject();
     by_psi.Print(&std::cout);
   }
-  std::cout << "\nPaper shape: SOI beats BL by 1.1-3.2x across k and by up "
+  json->EndArray();
+  out.Close();
+  std::cout << "\nWrote BENCH_fig4_soi_performance.json.\n"
+               "Paper shape: SOI beats BL by 1.1-3.2x across k and by up "
                "to 18x for selective\nkeyword sets; SOI cost grows with "
                "|Psi| while BL is insensitive to it.\n";
   return 0;

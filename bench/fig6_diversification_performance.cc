@@ -41,7 +41,8 @@ Setup PrepareStreet(const bench_util::CityContext& city, double eps) {
   return setup;
 }
 
-void MeasureRow(TablePrinter* table, const std::string& label,
+void MeasureRow(TablePrinter* table, JsonWriter* json,
+                const std::string& axis, const std::string& label,
                 const PhotoScorer& scorer,
                 const CellBoundsCalculator& bounds,
                 const DiversifyParams& params) {
@@ -69,6 +70,16 @@ void MeasureRow(TablePrinter* table, const std::string& label,
                  FormatDouble(speedup, 1) + "x",
                  std::to_string(fast.stats.mmr_evaluations),
                  std::to_string(slow.stats.mmr_evaluations)});
+  json->BeginObject();
+  json->KeyValue(axis, label);
+  json->KeyValue("st_rel_div_seconds", fast_seconds);
+  json->KeyValue("bl_seconds", slow_seconds);
+  json->KeyValue("speedup", speedup);
+  json->KeyValue("st_mmr_evaluations", fast.stats.mmr_evaluations);
+  json->KeyValue("bl_mmr_evaluations", slow.stats.mmr_evaluations);
+  json->KeyValue("st_cells_refined", fast.stats.cells_refined);
+  json->KeyValue("st_cells_pruned", fast.stats.cells_pruned);
+  json->EndObject();
 }
 
 int Run(int argc, char** argv) {
@@ -77,6 +88,12 @@ int Run(int argc, char** argv) {
   auto cities = bench_util::LoadCities(options);
   double eps = 0.0005;
 
+  bench_util::BenchJsonFile out("fig6_diversification_performance", options,
+                                "BENCH_fig6_diversification_performance.json");
+  JsonWriter* json = out.json();
+  json->KeyValue("eps", eps);
+  json->Key("cities");
+  json->BeginArray();
   for (const auto& city : cities) {
     Setup setup = PrepareStreet(*city, eps);
     DiversifyParams base;
@@ -91,39 +108,58 @@ int Run(int argc, char** argv) {
     std::cout << "\n=== " << city->profile.name << " (street \""
               << setup.street_name << "\", |R_s|=" << setup.sp.size()
               << ") ===\n";
+    json->BeginObject();
+    json->KeyValue("city", city->profile.name);
+    json->KeyValue("street", setup.street_name);
+    json->KeyValue("num_photos", static_cast<int64_t>(setup.sp.size()));
 
     std::cout << "\nFigure 6 (varying k; lambda=0.5, w=0.5):\n\n";
     TablePrinter by_k({"k", "ST_Rel+Div", "BL", "speedup", "mmr evals ST",
                        "mmr evals BL"});
+    json->Key("varying_k");
+    json->BeginArray();
     for (int32_t k : {10, 20, 30, 40, 50}) {
       DiversifyParams params = base;
       params.k = k;
-      MeasureRow(&by_k, std::to_string(k), scorer, bounds, params);
+      MeasureRow(&by_k, json, "k", std::to_string(k), scorer, bounds,
+                 params);
     }
+    json->EndArray();
     by_k.Print(&std::cout);
 
     std::cout << "\nFigure 6 (varying lambda; k=20, w=0.5):\n\n";
     TablePrinter by_lambda({"lambda", "ST_Rel+Div", "BL", "speedup",
                             "mmr evals ST", "mmr evals BL"});
+    json->Key("varying_lambda");
+    json->BeginArray();
     for (double lambda : {0.0, 0.25, 0.5, 0.75, 1.0}) {
       DiversifyParams params = base;
       params.lambda = lambda;
-      MeasureRow(&by_lambda, FormatDouble(lambda, 2), scorer, bounds,
-                 params);
+      MeasureRow(&by_lambda, json, "lambda", FormatDouble(lambda, 2),
+                 scorer, bounds, params);
     }
+    json->EndArray();
     by_lambda.Print(&std::cout);
 
     std::cout << "\nFigure 6 (varying w; k=20, lambda=0.5):\n\n";
     TablePrinter by_w({"w", "ST_Rel+Div", "BL", "speedup", "mmr evals ST",
                        "mmr evals BL"});
+    json->Key("varying_w");
+    json->BeginArray();
     for (double w : {0.0, 0.25, 0.5, 0.75, 1.0}) {
       DiversifyParams params = base;
       params.w = w;
-      MeasureRow(&by_w, FormatDouble(w, 2), scorer, bounds, params);
+      MeasureRow(&by_w, json, "w", FormatDouble(w, 2), scorer, bounds,
+                 params);
     }
+    json->EndArray();
+    json->EndObject();
     by_w.Print(&std::cout);
   }
-  std::cout << "\nPaper shape: ST_Rel+Div 2-64x faster than BL, sub-second "
+  json->EndArray();
+  out.Close();
+  std::cout << "\nWrote BENCH_fig6_diversification_performance.json.\n"
+               "Paper shape: ST_Rel+Div 2-64x faster than BL, sub-second "
                "everywhere; both grow\nwith k; differences persist across "
                "lambda and w.\n";
   return 0;

@@ -4,20 +4,26 @@
 // engine, and the eps-cache hit rate, plus the legacy no-cache sequential
 // path (fresh EpsAugmentedMaps per query — the pre-engine cost model) for
 // context. Machine-readable results go to BENCH_soi_throughput.json in
-// the working directory so the perf trajectory is trackable across PRs.
+// the working directory so the perf trajectory is trackable across PRs;
+// every engine run now embeds its per-phase time breakdown (source-list
+// construction / filtering / refinement / eps-map builds) and work
+// counters, computed as metrics-registry deltas around the timed batch,
+// and the final 8-thread batch of the first city is captured as a Chrome
+// trace (TRACE_soi_throughput.json; open in chrome://tracing or
+// https://ui.perfetto.dev).
 //
 // Every engine run is checked bit-identical to the 1-thread run (the
 // determinism contract of DESIGN.md "Threading model").
 
-#include <fstream>
 #include <iostream>
-#include <sstream>
+#include <string>
 
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/query_engine.h"
 #include "eval/table_printer.h"
+#include "obs/obs.h"
 
 namespace soi {
 namespace {
@@ -29,6 +35,9 @@ struct EngineRun {
   double speedup_vs_1thread = 0.0;
   double cache_hit_rate = 0.0;
   QueryEngine::CacheStats cache;
+  // Registry activity of the timed batch only (empty when observability
+  // is compiled out).
+  obs::MetricsSnapshot metrics;
 };
 
 struct CityRun {
@@ -79,7 +88,10 @@ void CheckSameAnswers(const std::vector<SoiResult>& got,
   }
 }
 
-CityRun MeasureCity(const bench_util::CityContext& city) {
+// `capture_trace`: record the timed max-thread batch into the global
+// trace recorder (left stopped afterwards, events retained for export).
+CityRun MeasureCity(const bench_util::CityContext& city,
+                    bool capture_trace) {
   CityRun out;
   out.city = city.profile.name;
   std::vector<SoiQuery> batch = MakeBatch(city.dataset);
@@ -99,8 +111,9 @@ CityRun MeasureCity(const bench_util::CityContext& city) {
         static_cast<double>(batch.size()) / out.baseline_nocache_seconds;
   }
 
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
   std::vector<SoiResult> reference;
-  for (int threads : {1, 2, 4, 8}) {
+  for (int threads : thread_counts) {
     QueryEngineOptions options;
     options.num_threads = threads;
     QueryEngine engine(city.dataset.network, city.indexes->poi_grid,
@@ -109,11 +122,16 @@ CityRun MeasureCity(const bench_util::CityContext& city) {
     // Warm-up pass (first-touch allocations, cache population), then the
     // timed pass on a warm cache — the steady-state serving shape.
     engine.RunBatch(batch);
+    bool tracing = capture_trace && threads == thread_counts.back();
+    if (tracing) obs::TraceRecorder::Global().Start();
+    obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
     Stopwatch timer;
     std::vector<SoiResult> results = engine.RunBatch(batch);
     EngineRun run;
     run.threads = threads;
     run.seconds = timer.ElapsedSeconds();
+    run.metrics = obs::Registry::Global().Snapshot().Since(before);
+    if (tracing) obs::TraceRecorder::Global().Stop();
     run.qps = static_cast<double>(batch.size()) / run.seconds;
     run.cache = engine.cache_stats();
     run.cache_hit_rate = run.cache.HitRate();
@@ -132,37 +150,74 @@ CityRun MeasureCity(const bench_util::CityContext& city) {
   return out;
 }
 
-void WriteJson(const std::vector<CityRun>& cities, double scale,
-               size_t batch_size, const std::string& path) {
-  std::ostringstream json;
-  json << "{\n  \"benchmark\": \"soi_throughput\",\n"
-       << "  \"scale\": " << scale << ",\n"
-       << "  \"batch_size\": " << batch_size << ",\n  \"cities\": [\n";
-  for (size_t c = 0; c < cities.size(); ++c) {
-    const CityRun& city = cities[c];
-    json << "    {\n      \"city\": \"" << city.city << "\",\n"
-         << "      \"baseline_nocache_qps\": "
-         << FormatDouble(city.baseline_nocache_qps, 2) << ",\n"
-         << "      \"runs\": [\n";
-    for (size_t r = 0; r < city.runs.size(); ++r) {
-      const EngineRun& run = city.runs[r];
-      json << "        {\"threads\": " << run.threads
-           << ", \"seconds\": " << FormatDouble(run.seconds, 6)
-           << ", \"qps\": " << FormatDouble(run.qps, 2)
-           << ", \"speedup_vs_1thread\": "
-           << FormatDouble(run.speedup_vs_1thread, 3)
-           << ", \"cache_hit_rate\": "
-           << FormatDouble(run.cache_hit_rate, 3)
-           << ", \"cache_hits\": " << run.cache.hits
-           << ", \"cache_misses\": " << run.cache.misses << "}"
-           << (r + 1 < city.runs.size() ? "," : "") << "\n";
-    }
-    json << "      ]\n    }" << (c + 1 < cities.size() ? "," : "") << "\n";
+double HistogramSum(const obs::MetricsSnapshot& metrics,
+                    const std::string& name) {
+  const obs::Histogram::Snapshot* histogram = metrics.FindHistogram(name);
+  return histogram != nullptr ? histogram->sum : 0.0;
+}
+
+void WriteRunJson(JsonWriter* json, const EngineRun& run) {
+  json->BeginObject();
+  json->KeyValue("threads", run.threads);
+  json->KeyValue("seconds", run.seconds);
+  json->KeyValue("qps", run.qps);
+  json->KeyValue("speedup_vs_1thread", run.speedup_vs_1thread);
+  json->KeyValue("cache_hit_rate", run.cache_hit_rate);
+  json->KeyValue("cache_hits", run.cache.hits);
+  json->KeyValue("cache_misses", run.cache.misses);
+  json->KeyValue("cache_evictions", run.cache.evictions);
+
+  // Per-phase wall-clock totals of the timed batch, summed across
+  // worker threads (so phases can exceed `seconds` when threads > 1).
+  json->Key("phases");
+  json->BeginObject();
+  json->KeyValue("index_build_seconds",
+                 HistogramSum(run.metrics, "soi.cache.build_seconds"));
+  json->KeyValue("lists_seconds",
+                 HistogramSum(run.metrics, "soi.query.lists_seconds"));
+  json->KeyValue("filter_seconds",
+                 HistogramSum(run.metrics, "soi.query.filter_seconds"));
+  json->KeyValue("refine_seconds",
+                 HistogramSum(run.metrics, "soi.query.refine_seconds"));
+  json->KeyValue("pool_queue_wait_seconds",
+                 HistogramSum(run.metrics, "soi.pool.queue_wait_seconds"));
+  json->EndObject();
+
+  json->Key("counters");
+  json->BeginObject();
+  for (const char* name :
+       {"soi.query.count", "soi.query.iterations", "soi.query.cells_popped",
+        "soi.query.segments_popped", "soi.query.segments_seen",
+        "soi.query.segments_finalized_in_refinement",
+        "soi.query.poi_distance_checks", "soi.cache.builds",
+        "soi.pool.tasks"}) {
+    json->KeyValue(name, run.metrics.CounterOr0(name));
   }
-  json << "  ]\n}\n";
-  std::ofstream file(path);
-  SOI_CHECK(file.good()) << "cannot write " << path;
-  file << json.str();
+  json->EndObject();
+  json->EndObject();
+}
+
+void WriteJson(const std::vector<CityRun>& cities,
+               const bench_util::BenchOptions& options, size_t batch_size,
+               const std::string& path) {
+  bench_util::BenchJsonFile out("soi_throughput", options, path);
+  JsonWriter* json = out.json();
+  json->KeyValue("batch_size", static_cast<int64_t>(batch_size));
+  json->KeyValue("observability", obs::kEnabled);
+  json->Key("cities");
+  json->BeginArray();
+  for (const CityRun& city : cities) {
+    json->BeginObject();
+    json->KeyValue("city", city.city);
+    json->KeyValue("baseline_nocache_qps", city.baseline_nocache_qps);
+    json->Key("runs");
+    json->BeginArray();
+    for (const EngineRun& run : city.runs) WriteRunJson(json, run);
+    json->EndArray();
+    json->EndObject();
+  }
+  json->EndArray();
+  out.Close();
 }
 
 int Run(int argc, char** argv) {
@@ -176,7 +231,9 @@ int Run(int argc, char** argv) {
     batch_size = MakeBatch(city->dataset).size();
     std::cout << "\nQueryEngine throughput (" << city->profile.name
               << "): " << batch_size << " mixed-eps queries\n\n";
-    CityRun run = MeasureCity(*city);
+    // One Chrome trace per bench invocation: the 8-thread batch of the
+    // first city.
+    CityRun run = MeasureCity(*city, /*capture_trace=*/measured.empty());
     TablePrinter table({"threads", "batch time", "queries/s",
                         "speedup vs 1t", "cache hit rate"});
     for (const EngineRun& engine_run : run.runs) {
@@ -197,15 +254,41 @@ int Run(int argc, char** argv) {
                       "x slower",
                   "-"});
     table.Print(&std::cout);
+
+    if (obs::kEnabled && !run.runs.empty()) {
+      // Per-phase breakdown of the 1-thread timed batch (thread counts
+      // only shift work across cores; the per-phase shape is the same).
+      const EngineRun& first = run.runs.front();
+      std::cout << "\nPer-phase wall clock (1 thread): lists "
+                << FormatMillis(HistogramSum(first.metrics,
+                                             "soi.query.lists_seconds"))
+                << ", filter "
+                << FormatMillis(HistogramSum(first.metrics,
+                                             "soi.query.filter_seconds"))
+                << ", refine "
+                << FormatMillis(HistogramSum(first.metrics,
+                                             "soi.query.refine_seconds"))
+                << ", eps-map builds "
+                << FormatMillis(HistogramSum(first.metrics,
+                                             "soi.cache.build_seconds"))
+                << "\n";
+    }
     measured.push_back(run);
   }
 
-  WriteJson(measured, options.scale, batch_size,
-            "BENCH_soi_throughput.json");
+  WriteJson(measured, options, batch_size, "BENCH_soi_throughput.json");
   std::cout << "\nWrote BENCH_soi_throughput.json. Thread speedups track "
                "the host's core count\n(single-core machines bottleneck at "
                "1x); the engine's cache advantage over the\nlegacy "
                "per-query augmentation shows in the last row.\n";
+  if (obs::kEnabled) {
+    Status trace_status = obs::TraceRecorder::Global().WriteChromeTrace(
+        "TRACE_soi_throughput.json");
+    SOI_CHECK(trace_status.ok()) << trace_status.ToString();
+    std::cout << "Wrote TRACE_soi_throughput.json ("
+              << obs::TraceRecorder::Global().Collect().size()
+              << " spans; open in chrome://tracing or ui.perfetto.dev).\n";
+  }
   return 0;
 }
 

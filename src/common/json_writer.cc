@@ -1,0 +1,191 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace soi {
+
+JsonWriter::JsonWriter(std::ostream* out, bool pretty)
+    : out_(out), pretty_(pretty) {
+  SOI_CHECK(out != nullptr);
+}
+
+bool JsonWriter::done() const { return root_written_ && scopes_.empty(); }
+
+void JsonWriter::Newline() {
+  if (!pretty_) return;
+  *out_ << '\n';
+  for (size_t i = 0; i < scopes_.size(); ++i) *out_ << "  ";
+}
+
+void JsonWriter::BeforeValue() {
+  if (scopes_.empty()) {
+    SOI_CHECK(!root_written_) << "JsonWriter: more than one root value";
+    root_written_ = true;
+    return;
+  }
+  if (scopes_.back() == Scope::kObject) {
+    SOI_CHECK(key_pending_) << "JsonWriter: value in object without a key";
+    key_pending_ = false;
+    return;
+  }
+  if (has_entry_.back()) *out_ << ',';
+  has_entry_.back() = true;
+  Newline();
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  *out_ << '{';
+  scopes_.push_back(Scope::kObject);
+  has_entry_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  SOI_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject &&
+            !key_pending_)
+      << "JsonWriter: mismatched EndObject";
+  bool had_entry = has_entry_.back();
+  scopes_.pop_back();
+  has_entry_.pop_back();
+  if (had_entry) Newline();
+  *out_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  *out_ << '[';
+  scopes_.push_back(Scope::kArray);
+  has_entry_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  SOI_CHECK(!scopes_.empty() && scopes_.back() == Scope::kArray)
+      << "JsonWriter: mismatched EndArray";
+  bool had_entry = has_entry_.back();
+  scopes_.pop_back();
+  has_entry_.pop_back();
+  if (had_entry) Newline();
+  *out_ << ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  SOI_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject &&
+            !key_pending_)
+      << "JsonWriter: key outside an object";
+  if (has_entry_.back()) *out_ << ',';
+  has_entry_.back() = true;
+  Newline();
+  WriteEscaped(key);
+  *out_ << (pretty_ ? ": " : ":");
+  key_pending_ = true;
+}
+
+void JsonWriter::WriteEscaped(std::string_view text) {
+  *out_ << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out_ << "\\\"";
+        break;
+      case '\\':
+        *out_ << "\\\\";
+        break;
+      case '\n':
+        *out_ << "\\n";
+        break;
+      case '\t':
+        *out_ << "\\t";
+        break;
+      case '\r':
+        *out_ << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out_ << buffer;
+        } else {
+          *out_ << c;
+        }
+    }
+  }
+  *out_ << '"';
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  WriteEscaped(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  *out_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    *out_ << "null";
+    return;
+  }
+  // Shortest representation that round-trips a double.
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  double reparsed = 0.0;
+  std::sscanf(buffer, "%lg", &reparsed);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    std::sscanf(shorter, "%lg", &reparsed);
+    if (reparsed == value) {
+      *out_ << shorter;
+      return;
+    }
+  }
+  *out_ << buffer;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  *out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  *out_ << "null";
+}
+
+void JsonWriter::KeyValue(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+void JsonWriter::KeyValue(std::string_view key, const char* value) {
+  Key(key);
+  String(value);
+}
+void JsonWriter::KeyValue(std::string_view key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+void JsonWriter::KeyValue(std::string_view key, int32_t value) {
+  Key(key);
+  Int(value);
+}
+void JsonWriter::KeyValue(std::string_view key, uint64_t value) {
+  Key(key);
+  Int(static_cast<int64_t>(value));
+}
+void JsonWriter::KeyValue(std::string_view key, double value) {
+  Key(key);
+  Double(value);
+}
+void JsonWriter::KeyValue(std::string_view key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+}  // namespace soi

@@ -1,0 +1,74 @@
+#ifndef SOI_COMMON_JSON_WRITER_H_
+#define SOI_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace soi {
+
+/// A minimal streaming JSON emitter: objects, arrays, and scalar values
+/// with automatic comma placement and two-space pretty indentation. The
+/// single JSON producer of the repository — the BENCH_*.json envelopes,
+/// the metrics-registry export, and the Chrome trace export all go
+/// through it (no external JSON dependency).
+///
+/// Usage is push-style and validated by SOI_CHECK: keys only inside
+/// objects, values only at the document root / inside an array / after a
+/// key, one root value per writer.
+class JsonWriter {
+ public:
+  /// Writes to `out` (not owned; must outlive the writer). `pretty`
+  /// selects indented multi-line output vs compact single-line.
+  explicit JsonWriter(std::ostream* out, bool pretty = true);
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; the next call must emit its value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  /// Non-finite doubles are emitted as null (JSON has no Inf/NaN).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Key + value in one call (objects only).
+  void KeyValue(std::string_view key, std::string_view value);
+  void KeyValue(std::string_view key, const char* value);
+  void KeyValue(std::string_view key, int64_t value);
+  void KeyValue(std::string_view key, int32_t value);
+  void KeyValue(std::string_view key, uint64_t value);
+  void KeyValue(std::string_view key, double value);
+  void KeyValue(std::string_view key, bool value);
+
+  /// True once the root value is complete (all containers closed).
+  bool done() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void BeforeValue();
+  void WriteEscaped(std::string_view text);
+  void Newline();
+
+  std::ostream* out_;
+  bool pretty_;
+  bool root_written_ = false;
+  bool key_pending_ = false;
+  // Per open container: scope kind and whether it already has an entry.
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_entry_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_COMMON_JSON_WRITER_H_

@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include "common/stopwatch.h"
+#include "obs/obs.h"
+
 namespace soi {
 
 namespace {
@@ -25,6 +28,7 @@ ThreadPool::ThreadPool(int num_threads) {
   for (int i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  SOI_OBS_GAUGE_ADD("soi.pool.threads", num_workers);
 }
 
 ThreadPool::~ThreadPool() {
@@ -33,13 +37,32 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   wake_.notify_all();
+  SOI_OBS_GAUGE_ADD("soi.pool.threads",
+                    -static_cast<int64_t>(workers_.size()));
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+#if SOI_OBS_ENABLED
+  // Wrap to measure queue wait (submit -> dequeue) and task run time.
+  // The wrapper exists only in instrumented builds, so the compiled-out
+  // pool submits the caller's closure untouched.
+  Stopwatch queued;
+  task = [task = std::move(task), queued]() {
+    SOI_OBS_HISTOGRAM_OBSERVE("soi.pool.queue_wait_seconds",
+                              queued.ElapsedSeconds());
+    Stopwatch running;
+    task();
+    SOI_OBS_HISTOGRAM_OBSERVE("soi.pool.task_seconds",
+                              running.ElapsedSeconds());
+  };
+  SOI_OBS_COUNTER_ADD("soi.pool.tasks", 1);
+#endif
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    SOI_OBS_GAUGE_SET("soi.pool.queue_depth",
+                      static_cast<int64_t>(queue_.size()));
   }
   wake_.notify_one();
 }
@@ -53,6 +76,8 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
+      SOI_OBS_GAUGE_SET("soi.pool.queue_depth",
+                        static_cast<int64_t>(queue_.size()));
     }
     task();
   }

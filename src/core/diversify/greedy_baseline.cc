@@ -2,12 +2,14 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "obs/obs.h"
 
 namespace soi {
 
 DiversifyResult GreedyBaselineSelect(const PhotoScorer& scorer,
                                      const DiversifyParams& params) {
   SOI_CHECK(params.k > 0);
+  SOI_TRACE_SPAN("div.greedy_baseline");
   Stopwatch timer;
   DiversifyResult result;
   int64_t n = scorer.num_photos();
@@ -30,6 +32,11 @@ DiversifyResult GreedyBaselineSelect(const PhotoScorer& scorer,
     result.selected.push_back(best);
   }
   result.stats.seconds = timer.ElapsedSeconds();
+  SOI_OBS_COUNTER_ADD("soi.div.greedy_baseline.selections", 1);
+  SOI_OBS_COUNTER_ADD("soi.div.greedy_baseline.mmr_evaluations",
+                      result.stats.mmr_evaluations);
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.div.greedy_baseline.seconds",
+                            result.stats.seconds);
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "obs/obs.h"
 
 namespace soi {
 
@@ -31,6 +32,7 @@ DiversifyResult StRelDivSelect(const PhotoScorer& scorer,
                                const CellBoundsCalculator& bounds,
                                const DiversifyParams& params) {
   SOI_CHECK(params.k > 0);
+  SOI_TRACE_SPAN("div.st_rel_div");
   Stopwatch timer;
   const PhotoGridIndex& index = bounds.index();
   DiversifyResult result;
@@ -78,6 +80,7 @@ DiversifyResult StRelDivSelect(const PhotoScorer& scorer,
   int64_t target = std::min<int64_t>(params.k, n);
   std::vector<CellCandidate> surviving;
   while (static_cast<int64_t>(result.selected.size()) < target) {
+    SOI_TRACE_SPAN("div.iteration");
     // --- filtering phase: per-cell mmr bounds from the cached sums ------
     double mmr_min = 0.0;
     bool have_min = false;
@@ -160,6 +163,15 @@ DiversifyResult StRelDivSelect(const PhotoScorer& scorer,
     }
   }
   result.stats.seconds = timer.ElapsedSeconds();
+  SOI_OBS_COUNTER_ADD("soi.div.st_rel_div.selections", 1);
+  SOI_OBS_COUNTER_ADD("soi.div.st_rel_div.mmr_evaluations",
+                      result.stats.mmr_evaluations);
+  SOI_OBS_COUNTER_ADD("soi.div.st_rel_div.cells_refined",
+                      result.stats.cells_refined);
+  SOI_OBS_COUNTER_ADD("soi.div.st_rel_div.cells_pruned",
+                      result.stats.cells_pruned);
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.div.st_rel_div.seconds",
+                            result.stats.seconds);
   return result;
 }
 

@@ -1,9 +1,14 @@
 #include "core/query_engine.h"
 
+#include <sstream>
 #include <utility>
 
 #include "common/check.h"
+#include "common/json_writer.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/json_export.h"
+#include "obs/obs.h"
 
 namespace soi {
 
@@ -36,13 +41,15 @@ std::shared_ptr<const EpsAugmentedMaps> QueryEngine::GetMaps(double eps) {
     ++cache_tick_;
     auto it = cache_.find(eps);
     if (it != cache_.end()) {
-      ++cache_stats_.hits;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      SOI_OBS_COUNTER_ADD("soi.cache.hits", 1);
       it->second.last_used = cache_tick_;
       MapsFuture future = it->second.maps;
       lock.unlock();
       return future.get();  // may block on a build in flight
     }
-    ++cache_stats_.misses;
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    SOI_OBS_COUNTER_ADD("soi.cache.misses", 1);
     if (cache_.size() >= options_.eps_cache_capacity) {
       auto victim = cache_.begin();
       for (auto entry = cache_.begin(); entry != cache_.end(); ++entry) {
@@ -51,40 +58,82 @@ std::shared_ptr<const EpsAugmentedMaps> QueryEngine::GetMaps(double eps) {
         }
       }
       cache_.erase(victim);  // holders keep the maps via their shared_ptr
-      ++cache_stats_.evictions;
+      cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+      SOI_OBS_COUNTER_ADD("soi.cache.evictions", 1);
     }
     cache_.emplace(eps,
                    CacheEntry{promise.get_future().share(), cache_tick_});
+    SOI_OBS_GAUGE_SET("soi.cache.size",
+                      static_cast<int64_t>(cache_.size()));
   }
   // Build outside the lock so other eps values proceed concurrently;
   // same-eps requesters block on the shared future instead of duplicating
   // the build. From a batch worker the inner parallel loops run inline.
+  SOI_TRACE_SPAN("cache.build_maps");
+  Stopwatch build_timer;
   auto maps =
       std::make_shared<const EpsAugmentedMaps>(*segment_cells_, eps,
                                                pool_.get());
+  SOI_OBS_COUNTER_ADD("soi.cache.builds", 1);
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.cache.build_seconds",
+                            build_timer.ElapsedSeconds());
   promise.set_value(maps);
   return maps;
 }
 
 SoiResult QueryEngine::Run(const SoiQuery& query) {
+  SOI_TRACE_SPAN("engine.query");
+  Stopwatch timer;
   std::shared_ptr<const EpsAugmentedMaps> maps = GetMaps(query.eps);
-  return algorithm_.TopK(query, *maps, options_.algorithm);
+  SoiResult result = algorithm_.TopK(query, *maps, options_.algorithm);
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.engine.query_seconds",
+                            timer.ElapsedSeconds());
+  return result;
 }
 
 std::vector<SoiResult> QueryEngine::RunBatch(
     const std::vector<SoiQuery>& queries) {
+  SOI_TRACE_SPAN("engine.run_batch");
+  Stopwatch timer;
+  SOI_OBS_COUNTER_ADD("soi.engine.batches", 1);
+  SOI_OBS_COUNTER_ADD("soi.engine.batch_queries",
+                      static_cast<int64_t>(queries.size()));
   std::vector<SoiResult> results(queries.size());
   ParallelFor(pool_.get(), 0, static_cast<int64_t>(queries.size()),
               [&](int64_t i) {
                 results[static_cast<size_t>(i)] =
                     Run(queries[static_cast<size_t>(i)]);
               });
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.engine.batch_seconds",
+                            timer.ElapsedSeconds());
   return results;
 }
 
 QueryEngine::CacheStats QueryEngine::cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_stats_;
+  CacheStats stats;
+  stats.hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.evictions = cache_evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::string QueryEngine::MetricsJson() const {
+  CacheStats cache = cache_stats();
+  std::ostringstream out;
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("cache");
+  json.BeginObject();
+  json.KeyValue("hits", cache.hits);
+  json.KeyValue("misses", cache.misses);
+  json.KeyValue("evictions", cache.evictions);
+  json.KeyValue("hit_rate", cache.HitRate());
+  json.EndObject();
+  json.KeyValue("num_threads", static_cast<int64_t>(num_threads()));
+  json.Key("registry");
+  obs::WriteMetricsJson(obs::Registry::Global().Snapshot(), &json);
+  json.EndObject();
+  return out.str();
 }
 
 }  // namespace soi

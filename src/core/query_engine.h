@@ -1,10 +1,12 @@
 #ifndef SOI_CORE_QUERY_ENGINE_H_
 #define SOI_CORE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -84,7 +86,20 @@ class QueryEngine {
                        : 0.0;
     }
   };
+
+  /// Reads the cache counters without taking `cache_mutex_`: each field
+  /// is a relaxed atomic load, so scraping metrics never blocks (nor is
+  /// blocked by) an in-flight batch. Consistency contract: every counter
+  /// is individually monotone and exact; a read concurrent with a lookup
+  /// may observe the hit/miss of that lookup before or after — there is
+  /// no cross-counter atomicity, which scrapers must (and do) tolerate.
   CacheStats cache_stats() const;
+
+  /// A JSON object with this engine's cache counters plus a snapshot of
+  /// the global metrics registry (counters/gauges/histograms; empty
+  /// sections under SOI_OBSERVABILITY=OFF). This is the serving-path
+  /// metrics export the bench harnesses embed in BENCH_*.json.
+  std::string MetricsJson() const;
 
   int num_threads() const;
   const SoiAlgorithm& algorithm() const { return algorithm_; }
@@ -106,7 +121,11 @@ class QueryEngine {
   mutable std::mutex cache_mutex_;
   std::unordered_map<double, CacheEntry> cache_;
   uint64_t cache_tick_ = 0;
-  CacheStats cache_stats_;
+  // Updated under cache_mutex_ (writers), read lock-free by
+  // cache_stats() (see its contract above).
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> cache_evictions_{0};
 };
 
 }  // namespace soi

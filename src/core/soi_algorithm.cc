@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "core/interest.h"
 #include "core/soi_baseline.h"
+#include "obs/obs.h"
 
 namespace soi {
 
@@ -579,17 +580,52 @@ void Run::RefinementPhase() {
 }
 
 SoiResult Run::Execute() {
+  // Phase timings flow to two places: the per-run SoiQueryStats fields
+  // (the public per-query view, kept for Figure 4 and the tests) and the
+  // cumulative registry histograms/spans (the fleet-wide view; compiled
+  // out under SOI_OBSERVABILITY=OFF).
+  SOI_TRACE_SPAN("soi.query");
   Stopwatch timer;
-  BuildSourceLists();
+  {
+    SOI_TRACE_SPAN("soi.lists");
+    BuildSourceLists();
+  }
   result_.stats.list_construction_seconds = timer.ElapsedSeconds();
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.query.lists_seconds",
+                            result_.stats.list_construction_seconds);
 
   timer.Reset();
-  FilteringPhase();
+  {
+    SOI_TRACE_SPAN("soi.filter");
+    FilteringPhase();
+  }
   result_.stats.filtering_seconds = timer.ElapsedSeconds();
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.query.filter_seconds",
+                            result_.stats.filtering_seconds);
 
   timer.Reset();
-  RefinementPhase();
+  {
+    SOI_TRACE_SPAN("soi.refine");
+    RefinementPhase();
+  }
   result_.stats.refinement_seconds = timer.ElapsedSeconds();
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.query.refine_seconds",
+                            result_.stats.refinement_seconds);
+
+  // Work counters, folded into the registry once per query (never on the
+  // per-(segment, cell) hot path).
+  SOI_OBS_COUNTER_ADD("soi.query.count", 1);
+  SOI_OBS_COUNTER_ADD("soi.query.iterations", result_.stats.iterations);
+  SOI_OBS_COUNTER_ADD("soi.query.cells_popped",
+                      result_.stats.cells_popped);
+  SOI_OBS_COUNTER_ADD("soi.query.segments_popped",
+                      result_.stats.segments_popped);
+  SOI_OBS_COUNTER_ADD("soi.query.segments_seen",
+                      result_.stats.segments_seen);
+  SOI_OBS_COUNTER_ADD("soi.query.segments_finalized_in_refinement",
+                      result_.stats.segments_finalized_in_refinement);
+  SOI_OBS_COUNTER_ADD("soi.query.poi_distance_checks",
+                      result_.stats.poi_distance_checks);
   return std::move(result_);
 }
 

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/interest.h"
+#include "obs/obs.h"
 
 namespace soi {
 
@@ -43,11 +44,15 @@ SoiResult SoiBaseline::TopK(const SoiQuery& query,
                             const EpsAugmentedMaps& maps) const {
   SOI_CHECK(query.k > 0);
   SOI_CHECK(query.eps > 0);
+  SOI_TRACE_SPAN("soi.baseline_query");
   SoiResult result;
   Stopwatch timer;
   std::vector<double> interests = AllSegmentInterests(query, maps);
   result.streets = RankStreets(*network_, interests, query.k);
   result.stats.filtering_seconds = timer.ElapsedSeconds();
+  SOI_OBS_COUNTER_ADD("soi.baseline.query_count", 1);
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.baseline.query_seconds",
+                            result.stats.filtering_seconds);
   return result;
 }
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "geometry/distance.h"
+#include "obs/obs.h"
 
 namespace soi {
 
@@ -39,6 +41,8 @@ void InvertSegmentCells(
 SegmentCellIndex::SegmentCellIndex(const RoadNetwork& network,
                                    GridGeometry geometry, ThreadPool* pool)
     : geometry_(std::move(geometry)), network_(&network) {
+  SOI_TRACE_SPAN("grid.build_segment_cells");
+  Stopwatch build_timer;
   segment_cells_.resize(static_cast<size_t>(network.num_segments()));
   ParallelFor(pool, 0, network.num_segments(), [&](int64_t id) {
     const Segment& seg =
@@ -57,6 +61,9 @@ SegmentCellIndex::SegmentCellIndex(const RoadNetwork& network,
   });
   InvertSegmentCells(segment_cells_, geometry_.num_cells(), pool,
                      &cell_segments_);
+  SOI_OBS_COUNTER_ADD("soi.index.segment_cells_builds", 1);
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.index.segment_cells_build_seconds",
+                            build_timer.ElapsedSeconds());
 }
 
 const std::vector<CellId>& SegmentCellIndex::SegmentCells(SegmentId id) const {
@@ -75,6 +82,8 @@ EpsAugmentedMaps::EpsAugmentedMaps(const SegmentCellIndex& base, double eps,
                                    ThreadPool* pool)
     : eps_(eps), geometry_(&base.geometry()) {
   SOI_CHECK(eps >= 0) << "eps must be non-negative";
+  SOI_TRACE_SPAN("grid.eps_augment");
+  Stopwatch build_timer;
   const RoadNetwork& network = base.network();
   segment_cells_.resize(static_cast<size_t>(network.num_segments()));
   ParallelFor(pool, 0, network.num_segments(), [&](int64_t id) {
@@ -92,6 +101,9 @@ EpsAugmentedMaps::EpsAugmentedMaps(const SegmentCellIndex& base, double eps,
   });
   InvertSegmentCells(segment_cells_, geometry_->num_cells(), pool,
                      &cell_segments_);
+  SOI_OBS_COUNTER_ADD("soi.index.eps_augment_builds", 1);
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.index.eps_augment_seconds",
+                            build_timer.ElapsedSeconds());
 }
 
 const std::vector<CellId>& EpsAugmentedMaps::SegmentCells(

@@ -1,0 +1,70 @@
+#include "obs/json_export.h"
+
+#include <sstream>
+
+namespace soi {
+namespace obs {
+
+void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter* json) {
+  json->BeginObject();
+
+  json->Key("counters");
+  json->BeginObject();
+  for (const MetricsSnapshot::CounterValue& counter : snapshot.counters) {
+    json->KeyValue(counter.name, counter.value);
+  }
+  json->EndObject();
+
+  json->Key("gauges");
+  json->BeginObject();
+  for (const MetricsSnapshot::GaugeValue& gauge : snapshot.gauges) {
+    json->KeyValue(gauge.name, gauge.value);
+  }
+  json->EndObject();
+
+  json->Key("histograms");
+  json->BeginObject();
+  for (const Histogram::Snapshot& histogram : snapshot.histograms) {
+    json->Key(histogram.name);
+    json->BeginObject();
+    json->KeyValue("count", histogram.total_count);
+    json->KeyValue("sum", histogram.sum);
+    json->KeyValue("mean", histogram.Mean());
+    if (histogram.total_count > 0) {
+      json->KeyValue("p50", histogram.Quantile(0.5));
+      json->KeyValue("p90", histogram.Quantile(0.9));
+      json->KeyValue("p99", histogram.Quantile(0.99));
+      json->Key("buckets");
+      json->BeginArray();
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < histogram.counts.size(); ++i) {
+        cumulative += histogram.counts[i];
+        // Sparse cumulative form: only buckets whose count changes.
+        if (histogram.counts[i] == 0) continue;
+        json->BeginObject();
+        if (i < histogram.bounds.size()) {
+          json->KeyValue("le", histogram.bounds[i]);
+        } else {
+          json->KeyValue("le", "+inf");
+        }
+        json->KeyValue("count", cumulative);
+        json->EndObject();
+      }
+      json->EndArray();
+    }
+    json->EndObject();
+  }
+  json->EndObject();
+
+  json->EndObject();
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  JsonWriter json(&out);
+  WriteMetricsJson(snapshot, &json);
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace soi

@@ -1,0 +1,237 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace soi {
+namespace obs {
+
+namespace internal_metrics {
+
+namespace {
+std::atomic<int> next_thread_slot{0};
+}  // namespace
+
+int ThreadShard() {
+  thread_local int slot =
+      next_thread_slot.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return slot;
+}
+
+}  // namespace internal_metrics
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const internal_metrics::CounterShard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+const std::vector<double>& DefaultLatencyBounds() {
+  // 1-2-5 ladder, 1us .. 50s; the overflow bucket catches the rest.
+  static const std::vector<double> kBounds = [] {
+    std::vector<double> bounds;
+    for (double decade = 1e-6; decade < 99.0; decade *= 10.0) {
+      bounds.push_back(decade);
+      bounds.push_back(2 * decade);
+      bounds.push_back(5 * decade);
+    }
+    while (bounds.back() > 99.0) bounds.pop_back();
+    return bounds;
+  }();
+  return kBounds;
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  SOI_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  SOI_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  for (Shard& shard : shards_) shard.Init(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& shard = shards_[internal_metrics::ThreadShard()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snapshot;
+  snapshot.name = name_;
+  snapshot.bounds = bounds_;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      snapshot.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (int64_t count : snapshot.counts) snapshot.total_count += count;
+  return snapshot;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (total_count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(total_count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    int64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target) {
+      // Observations beyond the last finite bound clamp to it.
+      if (i >= bounds.size()) return bounds.back();
+      double lo = i == 0 ? 0.0 : bounds[i - 1];
+      double hi = bounds[i];
+      double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      return lo + within * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
+
+int64_t MetricsSnapshot::CounterOr0(const std::string& name) const {
+  for (const CounterValue& counter : counters) {
+    if (counter.name == name) return counter.value;
+  }
+  return 0;
+}
+
+const Histogram::Snapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const Histogram::Snapshot& histogram : histograms) {
+    if (histogram.name == name) return &histogram;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::Since(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta = *this;
+  for (CounterValue& counter : delta.counters) {
+    counter.value -= earlier.CounterOr0(counter.name);
+  }
+  for (Histogram::Snapshot& histogram : delta.histograms) {
+    const Histogram::Snapshot* base = earlier.FindHistogram(histogram.name);
+    if (base == nullptr || base->bounds != histogram.bounds) continue;
+    for (size_t i = 0; i < histogram.counts.size(); ++i) {
+      histogram.counts[i] -= base->counts[i];
+    }
+    histogram.total_count -= base->total_count;
+    histogram.sum -= base->sum;
+  }
+  return delta;
+}
+
+Registry& Registry::Global() {
+  // Leaked on purpose: instrumentation in static destructors of other
+  // translation units may still write during shutdown.
+  static Registry* const global = new Registry();
+  return *global;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SOI_CHECK(gauges_.find(name) == gauges_.end() &&
+            histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered with another kind";
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SOI_CHECK(counters_.find(name) == counters_.end() &&
+            histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered with another kind";
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  {
+    // Bounds-agnostic lookup: an existing histogram is returned whatever
+    // its bounds (only the explicit-bounds overload asserts agreement).
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second.get();
+  }
+  return GetHistogram(name, DefaultLatencyBounds());
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SOI_CHECK(counters_.find(name) == counters_.end() &&
+            gauges_.find(name) == gauges_.end())
+      << "metric '" << name << "' already registered with another kind";
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(name, std::move(bounds))))
+             .first;
+  } else {
+    SOI_CHECK(it->second->bounds() == bounds)
+        << "histogram '" << name << "' re-registered with different bounds";
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back(histogram->Snap());
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    for (internal_metrics::CounterShard& shard : counter->shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, gauge] : gauges_) gauge->Set(0);
+  for (auto& [name, histogram] : histograms_) {
+    for (Histogram::Shard& shard : histogram->shards_) {
+      for (size_t i = 0; i <= histogram->bounds_.size(); ++i) {
+        shard.counts[i].store(0, std::memory_order_relaxed);
+      }
+      shard.sum.store(0.0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace soi

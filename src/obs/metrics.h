@@ -1,0 +1,217 @@
+#ifndef SOI_OBS_METRICS_H_
+#define SOI_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace soi {
+namespace obs {
+
+/// Number of per-metric accumulation shards. Each writing thread hashes to
+/// one shard (a stable per-thread slot), so concurrent writers on
+/// different cores touch different cache lines and a counter add is a
+/// single relaxed fetch_add with no shared contention up to kNumShards
+/// concurrent writers.
+inline constexpr int kNumShards = 16;
+
+namespace internal_metrics {
+
+/// The stable shard slot of the calling thread (assigned round-robin on
+/// first use, so up to kNumShards threads get private shards).
+int ThreadShard();
+
+struct alignas(64) CounterShard {
+  std::atomic<int64_t> value{0};
+};
+
+}  // namespace internal_metrics
+
+/// A named monotonic counter with per-thread sharded accumulation.
+/// Writers call Add/Increment (wait-free, one relaxed fetch_add on the
+/// calling thread's shard); readers call Value (sums the shards).
+///
+/// Metric objects are created and owned by a Registry; pointers returned
+/// by Registry::GetCounter are valid for the registry's lifetime, so hot
+/// call sites cache them (see SOI_OBS_COUNTER_ADD in obs.h).
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    shards_[internal_metrics::ThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over the shards. Monotone across calls (writers only add).
+  int64_t Value() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  internal_metrics::CounterShard shards_[kNumShards];
+};
+
+/// A named integer gauge: a last-write-wins instantaneous level (queue
+/// depth, cache size). Set/Add/Value are single relaxed atomic ops — a
+/// gauge is one value, not a sum, so it is deliberately unsharded.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// The default Histogram bucket bounds for latencies in seconds: a
+/// 1-2-5 exponential ladder from 1 microsecond to 50 seconds (25 finite
+/// buckets plus the implicit overflow bucket).
+const std::vector<double>& DefaultLatencyBounds();
+
+/// A named fixed-bucket histogram with per-thread sharded accumulation.
+/// Bucket i counts observations <= bounds[i] (bounds ascending); one
+/// extra overflow bucket counts the rest. Observe is wait-free: one
+/// relaxed fetch_add for the bucket plus a CAS loop folding the value
+/// into the shard's running sum.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  /// Point-in-time read of one histogram. Each shard is read once with
+  /// relaxed loads; because writers only add, every field is a lower
+  /// bound of the true cumulative value at read time and is monotone
+  /// across snapshots.
+  struct Snapshot {
+    std::string name;
+    std::vector<double> bounds;
+    /// counts.size() == bounds.size() + 1 (last = overflow bucket).
+    std::vector<int64_t> counts;
+    int64_t total_count = 0;
+    double sum = 0.0;
+
+    double Mean() const {
+      return total_count > 0 ? sum / static_cast<double>(total_count) : 0.0;
+    }
+    /// Linear-interpolated quantile estimate from the bucket counts
+    /// (q in [0, 1]); observations in the overflow bucket clamp to the
+    /// last finite bound.
+    double Quantile(double q) const;
+  };
+  Snapshot Snap() const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::vector<double> bounds);
+
+  struct alignas(64) Shard {
+    void Init(size_t num_buckets) {
+      counts.reset(new std::atomic<int64_t>[num_buckets]);
+      for (size_t i = 0; i < num_buckets; ++i) counts[i].store(0);
+    }
+    std::unique_ptr<std::atomic<int64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;
+  Shard shards_[kNumShards];
+};
+
+/// A consistent point-in-time view of every metric in a Registry, sorted
+/// by name within each kind. "Consistent" means: each individual metric
+/// is a valid monotone lower bound of its true value at snapshot time
+/// (relaxed reads; no metric can appear to run backwards across
+/// snapshots), while no cross-metric atomicity is promised — a scrape
+/// concurrent with an in-flight query may see e.g. the query counter but
+/// not yet its latency observation.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<Histogram::Snapshot> histograms;
+
+  /// The counter's value, or 0 if absent.
+  int64_t CounterOr0(const std::string& name) const;
+  /// The histogram snapshot, or nullptr if absent.
+  const Histogram::Snapshot* FindHistogram(const std::string& name) const;
+
+  /// This snapshot minus `earlier` (counters and histogram counts/sums
+  /// subtract; gauges keep this snapshot's level): the metric activity of
+  /// the interval between the two snapshots. Metrics absent from
+  /// `earlier` pass through unchanged.
+  MetricsSnapshot Since(const MetricsSnapshot& earlier) const;
+};
+
+/// The metric namespace: owns the named metrics, hands out stable
+/// pointers, and produces snapshots. Get* takes a mutex but is only on
+/// the cold path — call sites cache the returned pointer (the
+/// SOI_OBS_* macros in obs.h do this with a function-local static).
+///
+/// Thread-safe. Metrics live until the registry dies; the global
+/// registry (Global()) never dies.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry that the library's instrumentation writes
+  /// to.
+  static Registry& Global();
+
+  /// The named metric, created on first request. A name identifies one
+  /// kind: requesting an existing name as a different kind is a checked
+  /// fatal error, as is re-requesting a histogram with different explicit
+  /// bounds. The bounds-less GetHistogram returns an existing histogram
+  /// whatever its bounds, and creates with DefaultLatencyBounds().
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric value (objects and pointers stay valid). For
+  /// tests and between-bench-run isolation only: concurrent writers may
+  /// leave residues, so callers must quiesce instrumentation first.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: snapshot order == lexicographic name order, stable JSON.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace soi
+
+#endif  // SOI_OBS_METRICS_H_

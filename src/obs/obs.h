@@ -1,0 +1,112 @@
+#ifndef SOI_OBS_OBS_H_
+#define SOI_OBS_OBS_H_
+
+/// The umbrella header instrumentation sites include: the SOI_OBS_*
+/// macros write to the global metrics registry and SOI_TRACE_SPAN opens a
+/// scoped span on the global trace recorder.
+///
+/// Compile-out contract: configuring with -DSOI_OBSERVABILITY=OFF defines
+/// SOI_OBSERVABILITY_DISABLED, every macro below expands to nothing, and
+/// instrumented code paths compile to exactly their un-instrumented form
+/// (bit-identical results, no measurable slowdown — asserted by
+/// tests/obs_determinism_test.cc against the pure sequential algorithm in
+/// both build modes). The obs classes themselves (Registry, TraceRecorder,
+/// ...) are compiled unconditionally and keep identical layouts in both
+/// modes, so a translation unit built with the define links cleanly
+/// against a library built without it (tests/obs_compile_out_test.cc).
+///
+/// Naming scheme (see DESIGN.md "Observability"): dot-separated
+/// `soi.<subsystem>.<what>[_seconds]`, e.g. `soi.query.filter_seconds`,
+/// `soi.cache.hits`, `soi.pool.queue_depth`. Span names mirror the
+/// metric subsystem segment: "soi.query" > "soi.lists" / "soi.filter" /
+/// "soi.refine", "cache.build_maps", "div.st_rel_div", ...
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#ifdef SOI_OBSERVABILITY_DISABLED
+#define SOI_OBS_ENABLED 0
+#else
+#define SOI_OBS_ENABLED 1
+#endif
+
+namespace soi {
+namespace obs {
+
+/// True in builds with observability compiled in (the default). Prefer
+/// the macros below for instrumentation; this constant is for tests and
+/// for gating exporter output.
+inline constexpr bool kEnabled = SOI_OBS_ENABLED != 0;
+
+}  // namespace obs
+}  // namespace soi
+
+#define SOI_OBS_CONCAT_INNER_(a, b) a##b
+#define SOI_OBS_CONCAT_(a, b) SOI_OBS_CONCAT_INNER_(a, b)
+
+#if SOI_OBS_ENABLED
+
+/// Records a scoped span named `name` (a string literal) from here to the
+/// end of the enclosing block, when trace recording is active.
+#define SOI_TRACE_SPAN(name)                                        \
+  ::soi::obs::ScopedSpan SOI_OBS_CONCAT_(soi_obs_span_, __LINE__) { \
+    name                                                            \
+  }
+
+/// Adds `delta` to the global counter `name`. The registry lookup runs
+/// once per call site (function-local static); the add itself is a
+/// wait-free sharded fetch_add.
+#define SOI_OBS_COUNTER_ADD(name, delta)                            \
+  do {                                                              \
+    static ::soi::obs::Counter* const soi_obs_counter_ =            \
+        ::soi::obs::Registry::Global().GetCounter(name);            \
+    soi_obs_counter_->Add(delta);                                   \
+  } while (false)
+
+/// Adds `delta` to the global gauge `name` (use negative deltas to
+/// decrement).
+#define SOI_OBS_GAUGE_ADD(name, delta)                              \
+  do {                                                              \
+    static ::soi::obs::Gauge* const soi_obs_gauge_ =                \
+        ::soi::obs::Registry::Global().GetGauge(name);              \
+    soi_obs_gauge_->Add(delta);                                     \
+  } while (false)
+
+/// Sets the global gauge `name`.
+#define SOI_OBS_GAUGE_SET(name, value)                              \
+  do {                                                              \
+    static ::soi::obs::Gauge* const soi_obs_gauge_ =                \
+        ::soi::obs::Registry::Global().GetGauge(name);              \
+    soi_obs_gauge_->Set(value);                                     \
+  } while (false)
+
+/// Observes `value` (seconds) in the global latency histogram `name`
+/// (default 1us..50s exponential buckets).
+#define SOI_OBS_HISTOGRAM_OBSERVE(name, value)                      \
+  do {                                                              \
+    static ::soi::obs::Histogram* const soi_obs_histogram_ =        \
+        ::soi::obs::Registry::Global().GetHistogram(name);          \
+    soi_obs_histogram_->Observe(value);                             \
+  } while (false)
+
+#else  // !SOI_OBS_ENABLED
+
+#define SOI_TRACE_SPAN(name) \
+  do {                       \
+  } while (false)
+#define SOI_OBS_COUNTER_ADD(name, delta) \
+  do {                                   \
+  } while (false)
+#define SOI_OBS_GAUGE_ADD(name, delta) \
+  do {                                 \
+  } while (false)
+#define SOI_OBS_GAUGE_SET(name, value) \
+  do {                                 \
+  } while (false)
+#define SOI_OBS_HISTOGRAM_OBSERVE(name, value) \
+  do {                                         \
+  } while (false)
+
+#endif  // SOI_OBS_ENABLED
+
+#endif  // SOI_OBS_OBS_H_

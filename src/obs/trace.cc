@@ -1,0 +1,189 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "common/json_writer.h"
+
+namespace soi {
+namespace obs {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-thread span nesting depth (for the current thread, any recorder).
+thread_local int32_t span_depth = 0;
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked on purpose, like Registry::Global(): spans may still end
+  // during static destruction.
+  static TraceRecorder* const global = new TraceRecorder();
+  return *global;
+}
+
+int64_t TraceRecorder::NowNs() const {
+  return SteadyNowNs() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+void TraceRecorder::Start(size_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_.store(std::max<size_t>(events_per_thread, 1),
+                  std::memory_order_relaxed);
+  epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  // Bumping the session invalidates ring contents lazily: buffers are
+  // cleared on the next write (or skipped at Collect) instead of being
+  // touched here while their owner threads may be writing.
+  session_.fetch_add(1, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Stop() {
+  active_.store(false, std::memory_order_release);
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  thread_local const TraceRecorder* owner = nullptr;
+  if (buffer == nullptr || owner != this) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffer = buffers_.back().get();
+    buffer->thread_id = static_cast<int32_t>(buffers_.size()) - 1;
+    owner = this;
+  }
+  return buffer;
+}
+
+void TraceRecorder::Record(const char* name, int64_t start_ns,
+                           int64_t duration_ns, int32_t depth,
+                           uint64_t session) {
+  if (!active_.load(std::memory_order_relaxed) ||
+      session != session_.load(std::memory_order_relaxed)) {
+    return;  // recording stopped, or span began before the last Start()
+  }
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  size_t capacity = capacity_.load(std::memory_order_relaxed);
+  if (buffer->session != session || buffer->ring.size() != capacity) {
+    buffer->session = session;
+    buffer->ring.assign(capacity, TraceEvent{});
+    buffer->next = 0;
+    buffer->count = 0;
+    buffer->dropped = 0;
+  }
+  if (buffer->count == buffer->ring.size()) {
+    ++buffer->dropped;  // overwrites the oldest event
+  } else {
+    ++buffer->count;
+  }
+  TraceEvent& event = buffer->ring[buffer->next];
+  event.name = name;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.thread_id = buffer->thread_id;
+  event.depth = depth;
+  buffer->next = (buffer->next + 1) % buffer->ring.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::Collect() const {
+  std::vector<TraceEvent> events;
+  uint64_t session = session_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      if (buffer->session != session) continue;
+      // Ring order: oldest live event first.
+      size_t first =
+          (buffer->next + buffer->ring.size() - buffer->count) %
+          buffer->ring.size();
+      for (size_t i = 0; i < buffer->count; ++i) {
+        events.push_back(buffer->ring[(first + i) % buffer->ring.size()]);
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.thread_id != b.thread_id) {
+                return a.thread_id < b.thread_id;
+              }
+              return a.depth < b.depth;
+            });
+  return events;
+}
+
+int64_t TraceRecorder::dropped() const {
+  int64_t total = 0;
+  uint64_t session = session_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    if (buffer->session == session) total += buffer->dropped;
+  }
+  return total;
+}
+
+void TraceRecorder::ExportChromeJson(std::ostream* out) const {
+  std::vector<TraceEvent> events = Collect();
+  JsonWriter json(out, /*pretty=*/false);
+  json.BeginObject();
+  json.KeyValue("displayTimeUnit", "ms");
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const TraceEvent& event : events) {
+    json.BeginObject();
+    json.KeyValue("name", event.name);
+    json.KeyValue("cat", "soi");
+    json.KeyValue("ph", "X");
+    // Chrome expects microseconds; keep sub-microsecond precision.
+    json.KeyValue("ts", static_cast<double>(event.start_ns) / 1e3);
+    json.KeyValue("dur", static_cast<double>(event.duration_ns) / 1e3);
+    json.KeyValue("pid", int64_t{1});
+    json.KeyValue("tid", int64_t{event.thread_id});
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  *out << "\n";
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.good()) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  ExportChromeJson(&file);
+  if (!file.good()) {
+    return Status::IOError("failed writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.active()) return;
+  recording_ = true;
+  session_ = recorder.session_.load(std::memory_order_relaxed);
+  depth_ = span_depth++;
+  start_ns_ = recorder.NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!recording_) return;
+  --span_depth;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  int64_t end_ns = recorder.NowNs();
+  recorder.Record(name_, start_ns_, end_ns - start_ns_, depth_, session_);
+}
+
+}  // namespace obs
+}  // namespace soi

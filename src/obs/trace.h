@@ -1,0 +1,130 @@
+#ifndef SOI_OBS_TRACE_H_
+#define SOI_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace soi {
+namespace obs {
+
+/// One completed span: a named begin/end interval on one thread.
+/// `name` must be a string literal (spans are recorded by pointer; no
+/// allocation on the hot path).
+struct TraceEvent {
+  const char* name = nullptr;
+  /// Nanoseconds since the recorder was started.
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  /// Small stable id assigned per recording thread (0, 1, ...).
+  int32_t thread_id = 0;
+  /// Span nesting depth on its thread at begin time (0 = outermost).
+  int32_t depth = 0;
+};
+
+/// Collects spans into fixed-capacity per-thread ring buffers while a
+/// recording session is active, and exports them as Chrome trace_event
+/// JSON (load chrome://tracing or https://ui.perfetto.dev).
+///
+/// Lifecycle: Start(capacity) arms recording and clears previous events;
+/// Stop() disarms (buffers stay readable); Collect()/ExportChromeJson()
+/// read back. Spans opened while recording is off cost two relaxed loads
+/// and record nothing. When a thread's ring fills, its oldest events are
+/// overwritten and counted in dropped().
+///
+/// Thread-safe; span recording takes only the recording thread's own
+/// buffer mutex (uncontended except against a concurrent Collect).
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The process-wide recorder that SOI_TRACE_SPAN writes to.
+  static TraceRecorder& Global();
+
+  /// Arms recording with `events_per_thread` ring slots per thread and
+  /// clears previously collected events. Restarting while active is
+  /// allowed (in-flight spans whose begin predates the restart are
+  /// dropped on end).
+  void Start(size_t events_per_thread = 1 << 14);
+
+  /// Disarms recording. Spans currently open complete without recording.
+  void Stop();
+
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// All recorded events, sorted by start time (ties: deeper span last so
+  /// parents order before their children).
+  std::vector<TraceEvent> Collect() const;
+
+  /// Events overwritten because a per-thread ring filled.
+  int64_t dropped() const;
+
+  /// Writes the events as a Chrome trace_event JSON document
+  /// ({"traceEvents": [...]}, complete "X" events, microsecond units).
+  void ExportChromeJson(std::ostream* out) const;
+
+  /// ExportChromeJson to a file.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  friend class ScopedSpan;
+
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    int32_t thread_id = 0;
+    std::vector<TraceEvent> ring;
+    size_t next = 0;       // next write position
+    size_t count = 0;      // live events (<= ring.size())
+    int64_t dropped = 0;
+    uint64_t session = 0;  // session the ring contents belong to
+  };
+
+  /// The calling thread's buffer, created and registered on first use.
+  ThreadBuffer* LocalBuffer();
+  void Record(const char* name, int64_t start_ns, int64_t duration_ns,
+              int32_t depth, uint64_t session);
+
+  /// Nanoseconds since the current session's epoch.
+  int64_t NowNs() const;
+
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> session_{0};
+  std::atomic<int64_t> epoch_ns_{0};  // steady_clock epoch of the session
+  std::atomic<size_t> capacity_{1 << 14};
+
+  mutable std::mutex mutex_;  // guards buffers_ registration/iteration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: records one TraceEvent on the global recorder from
+/// construction to destruction, if a recording session is active at
+/// construction time. Use through SOI_TRACE_SPAN (obs.h) so the span
+/// compiles out entirely under SOI_OBSERVABILITY=OFF.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_ns_ = 0;
+  uint64_t session_ = 0;
+  int32_t depth_ = 0;
+  bool recording_ = false;
+};
+
+}  // namespace obs
+}  // namespace soi
+
+#endif  // SOI_OBS_TRACE_H_

@@ -35,6 +35,30 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
 }
 
+TEST(StatusTest, StatusCodeToStringIsExhaustive) {
+  // Every enumerator maps to a distinct, meaningful name; adding a code
+  // without extending StatusCodeToString trips the distinctness check
+  // (new values fall through to the "Unknown" fallback).
+  const StatusCode all_codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kIOError,      StatusCode::kNotFound,
+      StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+      StatusCode::kInternal,
+  };
+  std::set<std::string> names;
+  for (StatusCode code : all_codes) {
+    std::string name = StatusCodeToString(code);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "Unknown") << "unmapped code "
+                               << static_cast<int>(code);
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), std::size(all_codes)) << "duplicate code names";
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  // Out-of-range values hit the fallback instead of invoking UB.
+  EXPECT_STREQ(StatusCodeToString(static_cast<StatusCode>(999)), "Unknown");
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> result(42);
   ASSERT_TRUE(result.ok());

@@ -1,0 +1,73 @@
+// Guards the SOI_OBSERVABILITY=OFF path inside the default build: this
+// translation unit is compiled with SOI_OBSERVABILITY_DISABLED (see
+// tests/CMakeLists.txt) while linking against the regular library, which
+// the obs layering contract explicitly supports — the obs classes are
+// compiled unconditionally with identical layouts in both modes, only
+// the macros change meaning. Every SOI_OBS_* macro here must expand to
+// nothing: no registry writes, no spans, no evaluation of arguments'
+// side effects beyond normal C++ (the macros never evaluate them).
+
+#ifndef SOI_OBSERVABILITY_DISABLED
+#error "obs_compile_out_test must be compiled with SOI_OBSERVABILITY_DISABLED"
+#endif
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/obs.h"
+
+namespace soi {
+namespace obs {
+namespace {
+
+static_assert(SOI_OBS_ENABLED == 0,
+              "SOI_OBSERVABILITY_DISABLED must force SOI_OBS_ENABLED to 0");
+static_assert(!kEnabled, "kEnabled must be false in a disabled TU");
+
+TEST(ObsCompileOutTest, MacrosDoNotTouchTheRegistry) {
+  const std::string name = "compile_out.should_never_exist";
+  SOI_OBS_COUNTER_ADD("compile_out.should_never_exist", 1);
+  SOI_OBS_GAUGE_SET("compile_out.should_never_exist.g", 42);
+  SOI_OBS_GAUGE_ADD("compile_out.should_never_exist.g", 1);
+  SOI_OBS_HISTOGRAM_OBSERVE("compile_out.should_never_exist.h", 0.5);
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  EXPECT_EQ(snap.CounterOr0(name), 0);
+  for (const MetricsSnapshot::CounterValue& counter : snap.counters) {
+    EXPECT_NE(counter.name, name);
+  }
+  for (const MetricsSnapshot::GaugeValue& gauge : snap.gauges) {
+    EXPECT_NE(gauge.name, name + ".g");
+  }
+  EXPECT_EQ(snap.FindHistogram(name + ".h"), nullptr);
+}
+
+TEST(ObsCompileOutTest, TraceSpanMacroRecordsNothing) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    SOI_TRACE_SPAN("compile_out.span");
+  }
+  recorder.Stop();
+  EXPECT_TRUE(recorder.Collect().empty());
+}
+
+TEST(ObsCompileOutTest, ClassApiStillLinksAndWorks) {
+  // The classes themselves stay functional in a disabled TU (exporters
+  // and tests may use them directly); only the macro layer is disabled.
+  Registry registry;
+  registry.GetCounter("direct")->Add(3);
+  EXPECT_EQ(registry.Snapshot().CounterOr0("direct"), 3);
+
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    ScopedSpan span("direct.span");
+  }
+  recorder.Stop();
+  ASSERT_EQ(recorder.Collect().size(), 1u);
+  EXPECT_STREQ(recorder.Collect()[0].name, "direct.span");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace soi
