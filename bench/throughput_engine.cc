@@ -190,7 +190,13 @@ void WriteRunJson(JsonWriter* json, const EngineRun& run) {
         "soi.query.segments_popped", "soi.query.segments_seen",
         "soi.query.segments_finalized_in_refinement",
         "soi.query.poi_distance_checks", "soi.cache.builds",
-        "soi.pool.tasks"}) {
+        "soi.pool.tasks",
+        // Serving-path failure counters (DESIGN.md "Failure model") —
+        // all zero in this healthy unbounded workload, recorded so a
+        // regression that starts shedding or timing out is visible in
+        // the trajectory.
+        "soi.engine.shed", "soi.engine.deadline_exceeded",
+        "soi.engine.cancelled"}) {
     json->KeyValue(name, run.metrics.CounterOr0(name));
   }
   json->EndObject();

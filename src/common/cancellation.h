@@ -1,0 +1,127 @@
+#ifndef SOI_COMMON_CANCELLATION_H_
+#define SOI_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace soi {
+
+/// A cooperative cancellation handle for the serving path (DESIGN.md
+/// "Failure model"): a shared atomic cancel flag plus an optional
+/// deadline. Long-running loops (the filter loop, the refinement loop,
+/// the eps-augmentation build) call Check() at cell/segment granularity
+/// and return kCancelled / kDeadlineExceeded promptly when it fires.
+///
+/// Copies share state — cancelling any copy cancels them all. The
+/// default-constructed token is *inert*: it has no shared state, never
+/// fires, and Check() is a single null test, so threading a token
+/// through a hot loop costs nothing for callers that don't use one.
+///
+/// Thread-safe: Cancel/IsCancelled/Check may race freely across threads.
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// The inert token: never cancelled, no deadline.
+  CancellationToken() = default;
+
+  /// A token that can be cancelled explicitly but has no deadline.
+  static CancellationToken Cancellable() {
+    return CancellationToken(std::make_shared<State>());
+  }
+
+  /// A token that expires `seconds` from now (<= 0 means already
+  /// expired). Also cancellable explicitly.
+  static CancellationToken WithDeadline(double seconds) {
+    auto state = std::make_shared<State>();
+    state->has_deadline = true;
+    state->deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    return CancellationToken(std::move(state));
+  }
+
+  /// A token that expires at `deadline`. Also cancellable explicitly.
+  static CancellationToken WithDeadlineAt(Clock::time_point deadline) {
+    auto state = std::make_shared<State>();
+    state->has_deadline = true;
+    state->deadline = deadline;
+    return CancellationToken(std::move(state));
+  }
+
+  /// True unless this is the inert default token.
+  bool cancellable() const { return state_ != nullptr; }
+
+  /// Requests cancellation; every copy of this token observes it. It is
+  /// a checked fatal error to cancel the inert token.
+  void Cancel() const {
+    SOI_CHECK(state_ != nullptr) << "Cancel() on an inert token";
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  /// True once Cancel() has been called (deadline expiry not included).
+  bool IsCancelled() const {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// OK while the operation may proceed; kCancelled after Cancel(),
+  /// kDeadlineExceeded once the deadline has passed. This is the
+  /// cooperative check long loops call per cell / segment / iteration.
+  Status Check() const {
+    if (state_ == nullptr) return Status::OK();
+    if (state_->cancelled.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (state_->has_deadline && Clock::now() >= state_->deadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;  // immutable after construction
+    Clock::time_point deadline;
+  };
+
+  explicit CancellationToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Thrown to unwind a cancelled/expired operation out of code that
+/// cannot return Status (constructors, parallel chunk bodies). Caught at
+/// the serving boundary (QueryEngine::TryRun / TryGetMaps) and converted
+/// back to the carried Status — it never escapes the library's public
+/// Status-returning API. This is the same deliberate exception-to-the-
+/// no-exceptions-rule as ParallelFor's chunk error propagation.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Throws CancelledError if `token` has fired. For use inside builds and
+/// parallel chunks where a Status cannot propagate.
+inline void ThrowIfCancelled(const CancellationToken& token) {
+  Status status = token.Check();
+  if (!status.ok()) throw CancelledError(std::move(status));
+}
+
+}  // namespace soi
+
+#endif  // SOI_COMMON_CANCELLATION_H_

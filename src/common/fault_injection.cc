@@ -1,0 +1,78 @@
+#include "common/fault_injection.h"
+
+namespace soi {
+namespace fault {
+
+namespace {
+
+// SplitMix64: the per-hit Bernoulli draw is a pure function of
+// (seed, hit index), so probabilistic plans replay identically.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double UnitDraw(uint64_t seed, uint64_t hit) {
+  return static_cast<double>(Mix64(seed ^ Mix64(hit)) >> 11) *
+         (1.0 / 9007199254740992.0);  // 53-bit mantissa / 2^53
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // intentionally leaked
+  return *registry;
+}
+
+void Registry::Arm(const std::string& site, FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[site];
+  s.plan = plan;
+  s.armed = true;
+  s.hits = 0;
+  s.fires = 0;
+}
+
+void Registry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.armed = false;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+}
+
+bool Registry::Hit(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[site];
+  uint64_t hit_index = s.hits++;
+  if (!s.armed) return false;
+  const FaultPlan& plan = s.plan;
+  if (hit_index < plan.after) return false;
+  if (plan.count != 0 && s.fires >= plan.count) return false;
+  if (plan.probability < 1.0 &&
+      UnitDraw(plan.seed, hit_index) >= plan.probability) {
+    return false;
+  }
+  ++s.fires;
+  return true;
+}
+
+int64_t Registry::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it != sites_.end() ? static_cast<int64_t>(it->second.hits) : 0;
+}
+
+int64_t Registry::FireCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it != sites_.end() ? static_cast<int64_t>(it->second.fires) : 0;
+}
+
+}  // namespace fault
+}  // namespace soi

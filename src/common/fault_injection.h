@@ -1,0 +1,154 @@
+#ifndef SOI_COMMON_FAULT_INJECTION_H_
+#define SOI_COMMON_FAULT_INJECTION_H_
+
+/// Deterministic fault injection for the serving path (DESIGN.md
+/// "Failure model").
+///
+/// Instrumented code marks failure-eligible sites with
+/// `SOI_FAULT_POINT("site")`. In default builds the macro expands to
+/// nothing (zero cost, like the SOI_OBS_* macros). Configuring with
+/// `-DSOI_FAULT_INJECTION=ON` (the `fault` preset) defines
+/// SOI_FAULT_INJECTION_ENABLED and each hit consults the global fault
+/// Registry: if the site's armed FaultPlan fires, the point throws
+/// FaultInjectedError, which the serving boundary (QueryEngine::TryRun /
+/// TryGetMaps, ParallelFor's chunk capture) converts into a per-query
+/// kInternal Status. Firing is deterministic: a plan fires as a pure
+/// function of (site hit index, seed), never of wall clock or thread
+/// identity — reruns of a sequential workload fault identically.
+///
+/// The Registry and ScopedFault compile unconditionally in both modes so
+/// tests build everywhere and branch on `fault::kEnabled`.
+///
+/// Site catalog: see DESIGN.md "Failure model".
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace soi {
+namespace fault {
+
+#ifdef SOI_FAULT_INJECTION_ENABLED
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Thrown by a firing fault point. Converted to Status::Internal at the
+/// serving boundary; tests may also catch it directly.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& site)
+      : std::runtime_error("injected fault at " + site), site_(site) {}
+
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// When (and how often) an armed site fires, as a pure function of the
+/// site's hit index: hit h fires iff h >= after, fewer than count fires
+/// have happened, and the seeded per-hit Bernoulli draw (probability)
+/// passes. The defaults fire exactly once, on the next hit.
+struct FaultPlan {
+  /// Hits skipped before the plan becomes eligible.
+  uint64_t after = 0;
+  /// Maximum number of fires; 0 means unlimited.
+  uint64_t count = 1;
+  /// Per-eligible-hit fire probability, drawn deterministically from
+  /// (seed, hit index). 1.0 fires every eligible hit.
+  double probability = 1.0;
+  /// Seed of the per-hit Bernoulli draws (only used when
+  /// probability < 1.0).
+  uint64_t seed = 0;
+};
+
+/// The process-global fault site registry: tracks per-site hit/fire
+/// counters and the armed plans. Thread-safe; the per-hit cost is one
+/// mutex acquisition, acceptable because fault points sit on coarse
+/// operations (an index build, a chunk dispatch, a segment
+/// finalization), never per-(segment, cell) work — and in default builds
+/// the points compile out entirely.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Global();
+
+  /// Arms `site` with `plan`, replacing any previous plan and resetting
+  /// the site's hit/fire counters (so plans compose predictably in
+  /// sequence).
+  void Arm(const std::string& site, FaultPlan plan);
+
+  /// Disarms `site`; its counters are kept until Reset().
+  void Disarm(const std::string& site);
+
+  /// Disarms every site and zeroes all counters.
+  void Reset();
+
+  /// Records a hit on `site` and returns true iff the armed plan fires.
+  /// Called by SOI_FAULT_POINT; hits on unarmed sites are counted too,
+  /// so tests can assert a point is actually wired.
+  bool Hit(const std::string& site);
+
+  /// Cumulative hits / fires on `site` since the last Reset/Arm.
+  int64_t HitCount(const std::string& site) const;
+  int64_t FireCount(const std::string& site) const;
+
+ private:
+  struct Site {
+    FaultPlan plan;
+    bool armed = false;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Site> sites_;
+};
+
+/// RAII arming for tests: arms `site` on construction, disarms on scope
+/// exit.
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string site, FaultPlan plan = {})
+      : site_(std::move(site)) {
+    Registry::Global().Arm(site_, plan);
+  }
+  ~ScopedFault() { Registry::Global().Disarm(site_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace fault
+}  // namespace soi
+
+#ifdef SOI_FAULT_INJECTION_ENABLED
+
+/// Marks a failure-eligible site. Throws FaultInjectedError when the
+/// site's armed plan fires; no-op (compiled out) in default builds.
+#define SOI_FAULT_POINT(site)                                  \
+  do {                                                         \
+    if (::soi::fault::Registry::Global().Hit(site)) {          \
+      throw ::soi::fault::FaultInjectedError(site);            \
+    }                                                          \
+  } while (false)
+
+#else
+
+#define SOI_FAULT_POINT(site) \
+  do {                        \
+  } while (false)
+
+#endif  // SOI_FAULT_INJECTION_ENABLED
+
+#endif  // SOI_COMMON_FAULT_INJECTION_H_

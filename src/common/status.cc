@@ -2,6 +2,14 @@
 
 namespace soi {
 
+// Forces kNumStatusCodes (and with it the runtime exhaustiveness test in
+// tests/common_test.cc) to track the enum; the switch below additionally
+// fails to compile (-Wswitch -Werror) when a case is missing.
+static_assert(static_cast<int>(StatusCode::kResourceExhausted) + 1 ==
+                  kNumStatusCodes,
+              "update kNumStatusCodes (and StatusCodeToString) when adding "
+              "a StatusCode");
+
 const char* StatusCodeToString(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
@@ -18,6 +26,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Out of range";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

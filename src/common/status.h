@@ -19,7 +19,18 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kInternal,
+  // Serving-path codes (DESIGN.md "Failure model"): a query past its
+  // deadline, a query cancelled by its caller, and a query shed by
+  // admission control under overload.
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
+
+/// Number of StatusCode enumerators. Keep in sync when adding codes; the
+/// static_assert in status.cc and the exhaustiveness test in
+/// tests/common_test.cc both key off this.
+inline constexpr int kNumStatusCodes = 10;
 
 /// Returns a human-readable name for a status code ("Invalid argument", ...).
 const char* StatusCodeToString(StatusCode code);
@@ -54,6 +65,15 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

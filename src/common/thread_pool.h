@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
+
 namespace soi {
 
 /// A fixed-size worker pool for the library's data-parallel loops.
@@ -129,6 +131,10 @@ void ParallelForChunks(ThreadPool* pool, int64_t begin, int64_t end,
   auto run_chunk = [&state, &fn](int64_t lo, int64_t hi) {
     internal_pool::ParallelRegionGuard guard;
     try {
+      // Inside the try: a fired fault is captured exactly like any other
+      // chunk failure — siblings complete, the first error is rethrown
+      // on the calling thread, the pool is never wedged.
+      SOI_FAULT_POINT("pool.run_chunk");
       fn(lo, hi);
     } catch (...) {
       state.RecordError(std::current_exception());

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/json_writer.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -11,6 +12,38 @@
 #include "obs/obs.h"
 
 namespace soi {
+
+namespace {
+
+// Bumps the per-failure-class serving counters and passes the status
+// through, so failure paths read `return CountQueryFailure(st);`.
+Status CountQueryFailure(Status status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      SOI_OBS_COUNTER_ADD("soi.engine.deadline_exceeded", 1);
+      break;
+    case StatusCode::kCancelled:
+      SOI_OBS_COUNTER_ADD("soi.engine.cancelled", 1);
+      break;
+    default:
+      break;
+  }
+  return status;
+}
+
+// RAII decrement of the in-flight query gauge.
+class InflightGuard {
+ public:
+  explicit InflightGuard(std::atomic<int64_t>* counter) : counter_(counter) {}
+  ~InflightGuard() { counter_->fetch_sub(1, std::memory_order_relaxed); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  std::atomic<int64_t>* counter_;
+};
+
+}  // namespace
 
 QueryEngine::QueryEngine(const RoadNetwork& network, const PoiGridIndex& grid,
                          const GlobalInvertedIndex& global_index,
@@ -35,78 +68,228 @@ int QueryEngine::num_threads() const {
 }
 
 std::shared_ptr<const EpsAugmentedMaps> QueryEngine::GetMaps(double eps) {
-  std::promise<std::shared_ptr<const EpsAugmentedMaps>> promise;
-  {
-    std::unique_lock<std::mutex> lock(cache_mutex_);
-    ++cache_tick_;
-    auto it = cache_.find(eps);
-    if (it != cache_.end()) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      SOI_OBS_COUNTER_ADD("soi.cache.hits", 1);
-      it->second.last_used = cache_tick_;
-      MapsFuture future = it->second.maps;
-      lock.unlock();
-      return future.get();  // may block on a build in flight
-    }
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    SOI_OBS_COUNTER_ADD("soi.cache.misses", 1);
-    if (cache_.size() >= options_.eps_cache_capacity) {
-      auto victim = cache_.begin();
-      for (auto entry = cache_.begin(); entry != cache_.end(); ++entry) {
-        if (entry->second.last_used < victim->second.last_used) {
-          victim = entry;
+  Result<std::shared_ptr<const EpsAugmentedMaps>> maps = TryGetMaps(eps);
+  SOI_CHECK(maps.ok()) << "eps augmentation build failed: "
+                       << maps.status().ToString();
+  return std::move(maps).ValueOrDie();
+}
+
+Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
+    double eps, const CancellationToken* cancel) {
+  // Bounded retry: a waiter that observes a peer's failed build loops
+  // around and — the failed entry having been evicted by its builder —
+  // typically becomes the new builder. The bound only guards against a
+  // pathological fault plan failing every rebuild.
+  constexpr int kMaxAttempts = 8;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::promise<MapsPayload> promise;
+    MapsFuture future;
+    uint64_t my_id = 0;
+    bool builder = false;
+    {
+      std::unique_lock<std::mutex> lock(cache_mutex_);
+      ++cache_tick_;
+      auto it = cache_.find(eps);
+      if (it != cache_.end()) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        SOI_OBS_COUNTER_ADD("soi.cache.hits", 1);
+        it->second.last_used = cache_tick_;
+        future = it->second.maps;
+      } else {
+        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        SOI_OBS_COUNTER_ADD("soi.cache.misses", 1);
+        if (cache_.size() >= options_.eps_cache_capacity) {
+          auto victim = cache_.begin();
+          for (auto entry = cache_.begin(); entry != cache_.end();
+               ++entry) {
+            if (entry->second.last_used < victim->second.last_used) {
+              victim = entry;
+            }
+          }
+          cache_.erase(victim);  // holders keep maps via their shared_ptr
+          cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+          SOI_OBS_COUNTER_ADD("soi.cache.evictions", 1);
         }
+        my_id = ++next_entry_id_;
+        future = promise.get_future().share();
+        cache_.emplace(eps, CacheEntry{future, cache_tick_, my_id});
+        builder = true;
+        SOI_OBS_GAUGE_SET("soi.cache.size",
+                          static_cast<int64_t>(cache_.size()));
       }
-      cache_.erase(victim);  // holders keep the maps via their shared_ptr
-      cache_evictions_.fetch_add(1, std::memory_order_relaxed);
-      SOI_OBS_COUNTER_ADD("soi.cache.evictions", 1);
     }
-    cache_.emplace(eps,
-                   CacheEntry{promise.get_future().share(), cache_tick_});
-    SOI_OBS_GAUGE_SET("soi.cache.size",
-                      static_cast<int64_t>(cache_.size()));
+
+    if (!builder) {
+      MapsPayload payload = future.get();  // may block on build in flight
+      if (payload.status.ok()) return payload.maps;
+      continue;  // peer's build failed and was evicted; retry
+    }
+
+    // Build outside the lock so other eps values proceed concurrently;
+    // same-eps requesters block on the shared future instead of
+    // duplicating the build. From a batch worker the inner parallel
+    // loops run inline. Exceptions are the two sanctioned unwinding
+    // paths (DESIGN.md "Failure model"): cooperative cancellation and
+    // injected faults, both converted to Status right here.
+    MapsPayload payload;
+    try {
+      SOI_TRACE_SPAN("cache.build_maps");
+      Stopwatch build_timer;
+      SOI_FAULT_POINT("cache.build_maps");
+      payload.maps = std::make_shared<const EpsAugmentedMaps>(
+          *segment_cells_, eps, pool_.get(), cancel);
+      SOI_OBS_COUNTER_ADD("soi.cache.builds", 1);
+      SOI_OBS_HISTOGRAM_OBSERVE("soi.cache.build_seconds",
+                                build_timer.ElapsedSeconds());
+    } catch (const CancelledError& e) {
+      payload.status = e.status();
+    } catch (const std::exception& e) {
+      payload.status = Status::Internal(
+          std::string("eps augmentation build failed: ") + e.what());
+    }
+
+    if (!payload.status.ok()) {
+      // Evict our own entry BEFORE publishing the failure, so a waiter
+      // that wakes on the failed payload retries against a clean slot.
+      // The id check keeps a healthy replacement entry (raced in after
+      // our eviction by a retrying waiter) untouched.
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto it = cache_.find(eps);
+      if (it != cache_.end() && it->second.id == my_id) {
+        cache_.erase(it);
+        SOI_OBS_GAUGE_SET("soi.cache.size",
+                          static_cast<int64_t>(cache_.size()));
+      }
+    }
+    promise.set_value(payload);
+    if (payload.status.ok()) return payload.maps;
+    return payload.status;  // the builder reports its own failure
   }
-  // Build outside the lock so other eps values proceed concurrently;
-  // same-eps requesters block on the shared future instead of duplicating
-  // the build. From a batch worker the inner parallel loops run inline.
-  SOI_TRACE_SPAN("cache.build_maps");
-  Stopwatch build_timer;
-  auto maps =
-      std::make_shared<const EpsAugmentedMaps>(*segment_cells_, eps,
-                                               pool_.get());
-  SOI_OBS_COUNTER_ADD("soi.cache.builds", 1);
-  SOI_OBS_HISTOGRAM_OBSERVE("soi.cache.build_seconds",
-                            build_timer.ElapsedSeconds());
-  promise.set_value(maps);
-  return maps;
+  return Status::Internal("eps augmentation build failed repeatedly for "
+                          "eps=" + std::to_string(eps));
 }
 
 SoiResult QueryEngine::Run(const SoiQuery& query) {
+  Result<SoiResult> result = TryRun(query);
+  SOI_CHECK(result.ok()) << "Run failed: " << result.status().ToString()
+                         << " (use TryRun for per-query Status)";
+  return std::move(result).ValueOrDie();
+}
+
+Result<SoiResult> QueryEngine::TryRun(const SoiQuery& query) {
+  return TryRun(query, options_.algorithm.cancel);
+}
+
+Result<SoiResult> QueryEngine::TryRun(const SoiQuery& query,
+                                      const CancellationToken& cancel) {
+  // Validation precedes every other step — in particular the eps cache
+  // lookup, so a NaN eps (NaN != NaN would miss and insert on every
+  // call) can never become a cache key.
+  SOI_RETURN_NOT_OK(query.Validate());
+
+  int64_t inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  InflightGuard guard(&inflight_);
+  if (options_.max_inflight_queries > 0 &&
+      inflight > static_cast<int64_t>(options_.max_inflight_queries)) {
+    SOI_OBS_COUNTER_ADD("soi.engine.shed", 1);
+    return Status::ResourceExhausted(
+        "query shed: " + std::to_string(inflight) + " in-flight queries "
+        "exceeds max_inflight_queries=" +
+        std::to_string(options_.max_inflight_queries));
+  }
+
   SOI_TRACE_SPAN("engine.query");
   Stopwatch timer;
-  std::shared_ptr<const EpsAugmentedMaps> maps = GetMaps(query.eps);
-  SoiResult result = algorithm_.TopK(query, *maps, options_.algorithm);
-  SOI_OBS_HISTOGRAM_OBSERVE("soi.engine.query_seconds",
-                            timer.ElapsedSeconds());
-  return result;
+  Status admitted = cancel.Check();
+  if (!admitted.ok()) return CountQueryFailure(std::move(admitted));
+
+  std::shared_ptr<const EpsAugmentedMaps> maps;
+  {
+    auto maps_result =
+        TryGetMaps(query.eps, cancel.cancellable() ? &cancel : nullptr);
+    if (!maps_result.ok()) {
+      return CountQueryFailure(maps_result.status());
+    }
+    maps = std::move(maps_result).ValueOrDie();
+  }
+
+  SoiAlgorithmOptions algorithm_options = options_.algorithm;
+  algorithm_options.cancel = cancel;
+  // TryTopK is Status-based, but an injected fault inside its parallel
+  // refinement still unwinds as an exception; convert it here so the
+  // serving boundary is exception-free.
+  try {
+    Result<SoiResult> result =
+        algorithm_.TryTopK(query, *maps, algorithm_options);
+    if (!result.ok()) return CountQueryFailure(result.status());
+    SOI_OBS_HISTOGRAM_OBSERVE("soi.engine.query_seconds",
+                              timer.ElapsedSeconds());
+    return result;
+  } catch (const CancelledError& e) {
+    return CountQueryFailure(e.status());
+  } catch (const std::exception& e) {
+    return CountQueryFailure(Status::Internal(
+        std::string("query evaluation failed: ") + e.what()));
+  }
 }
 
 std::vector<SoiResult> QueryEngine::RunBatch(
     const std::vector<SoiQuery>& queries) {
+  std::vector<Result<SoiResult>> tried = TryRunBatch(queries);
+  std::vector<SoiResult> results;
+  results.reserve(tried.size());
+  for (Result<SoiResult>& result : tried) {
+    SOI_CHECK(result.ok())
+        << "RunBatch failed: " << result.status().ToString()
+        << " (use TryRunBatch for per-query Status)";
+    results.push_back(std::move(result).ValueOrDie());
+  }
+  return results;
+}
+
+std::vector<Result<SoiResult>> QueryEngine::TryRunBatch(
+    const std::vector<SoiQuery>& queries) {
+  return TryRunBatch(queries, {});
+}
+
+std::vector<Result<SoiResult>> QueryEngine::TryRunBatch(
+    const std::vector<SoiQuery>& queries,
+    const std::vector<CancellationToken>& cancels) {
+  SOI_CHECK(cancels.empty() || cancels.size() == queries.size())
+      << "TryRunBatch: cancels must be empty or one per query, got "
+      << cancels.size() << " tokens for " << queries.size() << " queries";
   SOI_TRACE_SPAN("engine.run_batch");
   Stopwatch timer;
   SOI_OBS_COUNTER_ADD("soi.engine.batches", 1);
   SOI_OBS_COUNTER_ADD("soi.engine.batch_queries",
                       static_cast<int64_t>(queries.size()));
-  std::vector<SoiResult> results(queries.size());
-  ParallelFor(pool_.get(), 0, static_cast<int64_t>(queries.size()),
-              [&](int64_t i) {
-                results[static_cast<size_t>(i)] =
-                    Run(queries[static_cast<size_t>(i)]);
-              });
+  std::vector<Result<SoiResult>> results(
+      queries.size(),
+      Result<SoiResult>(Status::Internal(
+          "query not evaluated: batch aborted before this entry ran")));
+  try {
+    ParallelFor(pool_.get(), 0, static_cast<int64_t>(queries.size()),
+                [&](int64_t i) {
+                  size_t idx = static_cast<size_t>(i);
+                  const CancellationToken& cancel =
+                      cancels.empty() ? options_.algorithm.cancel
+                                      : cancels[idx];
+                  results[idx] = TryRun(queries[idx], cancel);
+                });
+  } catch (const std::exception&) {
+    // Only reachable when an injected "pool.run_chunk" fault hits the
+    // batch's own outer loop: TryRun itself never throws. The chunk's
+    // unevaluated entries keep their placeholder Internal status;
+    // entries evaluated by sibling chunks are unaffected.
+  }
   SOI_OBS_HISTOGRAM_OBSERVE("soi.engine.batch_seconds",
                             timer.ElapsedSeconds());
   return results;
+}
+
+size_t QueryEngine::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
 }
 
 QueryEngine::CacheStats QueryEngine::cache_stats() const {

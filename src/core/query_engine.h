@@ -30,6 +30,14 @@ struct QueryEngineOptions {
   /// maps alive through shared_ptr handoff. Must be >= 1.
   size_t eps_cache_capacity = 8;
 
+  /// Admission control (DESIGN.md "Failure model"): when positive,
+  /// TryRun sheds any query that would raise the number of in-flight
+  /// queries beyond this bound, returning kResourceExhausted without
+  /// touching the cache or the pool. 0 (default) = unbounded. Run and
+  /// RunBatch treat shedding as fatal, so bounded configurations should
+  /// serve through TryRun/TryRunBatch.
+  size_t max_inflight_queries = 0;
+
   /// Per-query algorithm options. The `pool` field is overridden by the
   /// engine's own pool.
   SoiAlgorithmOptions algorithm;
@@ -47,8 +55,13 @@ struct QueryEngineOptions {
 /// evaluated sequentially — for any num_threads, cache capacity, or batch
 /// composition. Timing fields of SoiQueryStats are excluded (wall-clock).
 ///
-/// Thread-safe: Run, RunBatch, and GetMaps may be called from multiple
-/// threads. The referenced network and indices must outlive the engine.
+/// Thread-safe: Run/RunBatch, TryRun/TryRunBatch, and GetMaps/TryGetMaps
+/// may be called from multiple threads. The referenced network and
+/// indices must outlive the engine.
+///
+/// Failure semantics of the Try* serving path — validation, admission
+/// control, deadlines/cancellation, and the no-cache-poisoning guarantee
+/// for failed eps builds — are specified in DESIGN.md "Failure model".
 class QueryEngine {
  public:
   /// All indices must be built over the same grid geometry (checked per
@@ -62,16 +75,64 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Evaluates one query through the eps cache.
+  /// Evaluates one query through the eps cache. A query TryRun would
+  /// reject (validation failure, shed, deadline, cancellation, injected
+  /// fault) is a fatal error here; this is the convenience entry point
+  /// for trusted, unbounded configurations.
   SoiResult Run(const SoiQuery& query);
 
   /// Evaluates the batch, up to num_threads queries concurrently, and
-  /// returns the results in input order.
+  /// returns the results in input order. Fatal on any per-query failure,
+  /// like Run.
   std::vector<SoiResult> RunBatch(const std::vector<SoiQuery>& queries);
+
+  /// The hardened serving entry point (DESIGN.md "Failure model").
+  /// Returns, instead of the result:
+  ///  - kInvalidArgument if the query fails SoiQuery::Validate() —
+  ///    checked before the eps cache is consulted, so a NaN eps can
+  ///    never be used as a cache key;
+  ///  - kResourceExhausted if admission control sheds the query
+  ///    (see QueryEngineOptions::max_inflight_queries);
+  ///  - kDeadlineExceeded / kCancelled if `cancel` fires before or
+  ///    during evaluation (checked cooperatively per filtering
+  ///    iteration, per refinement segment, and per segment of an eps
+  ///    augmentation build);
+  ///  - kInternal for an injected fault (SOI_FAULT_INJECTION builds).
+  /// A failed eps-cache build never leaves a poisoned entry behind:
+  /// the builder evicts its own entry before publishing the failure,
+  /// and concurrent waiters retry against a clean slot.
+  Result<SoiResult> TryRun(const SoiQuery& query);
+
+  /// TryRun with a per-query cancellation/deadline token (overrides the
+  /// engine-wide options.algorithm.cancel for this query only).
+  Result<SoiResult> TryRun(const SoiQuery& query,
+                           const CancellationToken& cancel);
+
+  /// Evaluates the batch through TryRun, up to num_threads queries
+  /// concurrently, returning one Result per query in input order.
+  /// Failures are per-entry: invalid, shed, expired, or faulted queries
+  /// report their Status while the rest return results bit-identical to
+  /// the sequential reference.
+  std::vector<Result<SoiResult>> TryRunBatch(
+      const std::vector<SoiQuery>& queries);
+
+  /// TryRunBatch with one cancellation token per query. `cancels` must
+  /// be empty (engine-wide token for all) or match queries.size().
+  std::vector<Result<SoiResult>> TryRunBatch(
+      const std::vector<SoiQuery>& queries,
+      const std::vector<CancellationToken>& cancels);
 
   /// The memoized eps augmentation for `eps`, building (and caching) it
   /// on first use. Concurrent requests for the same eps share one build.
+  /// Fatal on a failed build; serving paths use TryGetMaps.
   std::shared_ptr<const EpsAugmentedMaps> GetMaps(double eps);
+
+  /// Status-returning GetMaps: a build aborted by `cancel` (may be
+  /// null) or an injected fault surfaces as kCancelled /
+  /// kDeadlineExceeded / kInternal, after the failed entry has been
+  /// evicted so later requests rebuild from scratch.
+  Result<std::shared_ptr<const EpsAugmentedMaps>> TryGetMaps(
+      double eps, const CancellationToken* cancel = nullptr);
 
   /// Cumulative eps-cache counters (monotone since construction).
   struct CacheStats {
@@ -104,13 +165,27 @@ class QueryEngine {
   int num_threads() const;
   const SoiAlgorithm& algorithm() const { return algorithm_; }
 
+  /// Number of live eps-cache entries (test/diagnostic hook; takes
+  /// cache_mutex_).
+  size_t cache_size() const;
+
  private:
-  using MapsFuture =
-      std::shared_future<std::shared_ptr<const EpsAugmentedMaps>>;
+  /// What a cache entry's future resolves to: the maps on success, or
+  /// the build failure. Publishing a Status (rather than broken-promise
+  /// exceptions) keeps waiters on the no-exceptions serving path.
+  struct MapsPayload {
+    std::shared_ptr<const EpsAugmentedMaps> maps;
+    Status status;
+  };
+  using MapsFuture = std::shared_future<MapsPayload>;
 
   struct CacheEntry {
     MapsFuture maps;
     uint64_t last_used = 0;
+    /// Distinguishes this entry from any later entry for the same eps,
+    /// so a failed builder evicts only its own entry (never a healthy
+    /// replacement raced in by a retrying waiter).
+    uint64_t id = 0;
   };
 
   const SegmentCellIndex* segment_cells_;
@@ -121,6 +196,9 @@ class QueryEngine {
   mutable std::mutex cache_mutex_;
   std::unordered_map<double, CacheEntry> cache_;
   uint64_t cache_tick_ = 0;
+  uint64_t next_entry_id_ = 0;
+  // Queries currently inside TryRun (admission control).
+  std::atomic<int64_t> inflight_{0};
   // Updated under cache_mutex_ (writers), read lock-free by
   // cache_stats() (see its contract above).
   std::atomic<int64_t> cache_hits_{0};

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/interest.h"
@@ -117,7 +118,7 @@ class Run {
         states_(static_cast<size_t>(network.num_segments())),
         street_best_(static_cast<size_t>(network.num_streets()), -1.0) {}
 
-  SoiResult Execute();
+  Result<SoiResult> Execute();
 
  private:
   // --- per-segment state -------------------------------------------------
@@ -166,8 +167,11 @@ class Run {
   void PopSegment(Source source);
 
   // --- phases ------------------------------------------------------------
-  void FilteringPhase();
-  void RefinementPhase();
+  // Both phases check options_.cancel cooperatively and return its
+  // kCancelled / kDeadlineExceeded status when it fires; partial state
+  // is discarded by the caller.
+  Status FilteringPhase();
+  Status RefinementPhase();
 
   const RoadNetwork& network_;
   const PoiGridIndex& grid_;
@@ -439,8 +443,11 @@ void Run::PopSegment(Source source) {
   FinalizeSegment(id);
 }
 
-void Run::FilteringPhase() {
+Status Run::FilteringPhase() {
   for (;;) {
+    // One check per iteration = per popped cell or finalized segment,
+    // the cell-granularity promptness the serving path promises.
+    SOI_RETURN_NOT_OK(options_.cancel.Check());
     upper_bound_ = ComputeUpperBound();
     MaybeRefreshLowerBoundK();
     if (options_.observer) {
@@ -463,9 +470,10 @@ void Run::FilteringPhase() {
   }
   result_.stats.final_upper_bound = upper_bound_;
   result_.stats.final_lower_bound = lower_bound_k_;
+  return Status::OK();
 }
 
-void Run::RefinementPhase() {
+Status Run::RefinementPhase() {
   // Collect the seen segments; under pruning, process them by decreasing
   // interest lower bound so the exact-score threshold rises quickly.
   std::vector<SegmentId> pending;
@@ -535,6 +543,7 @@ void Run::RefinementPhase() {
   }
 
   for (size_t i = 0; i < pending.size(); ++i) {
+    SOI_RETURN_NOT_OK(options_.cancel.Check());
     SegmentId id = pending[i];
     const SegmentState& state = states_[static_cast<size_t>(id)];
     const NetworkSegment& segment = network_.segment(id);
@@ -543,6 +552,7 @@ void Run::RefinementPhase() {
       continue;  // Cannot reach the top-k.
     }
     if (state.remaining > 0) {
+      SOI_FAULT_POINT("soi.refine.finalize");
       ++result_.stats.segments_finalized_in_refinement;
       FinalizeSegment(id);
     }
@@ -577,9 +587,10 @@ void Run::RefinementPhase() {
                     by_interest);
   ranked.resize(keep);
   result_.streets = std::move(ranked);
+  return Status::OK();
 }
 
-SoiResult Run::Execute() {
+Result<SoiResult> Run::Execute() {
   // Phase timings flow to two places: the per-run SoiQueryStats fields
   // (the public per-query view, kept for Figure 4 and the tests) and the
   // cumulative registry histograms/spans (the fleet-wide view; compiled
@@ -597,7 +608,7 @@ SoiResult Run::Execute() {
   timer.Reset();
   {
     SOI_TRACE_SPAN("soi.filter");
-    FilteringPhase();
+    SOI_RETURN_NOT_OK(FilteringPhase());
   }
   result_.stats.filtering_seconds = timer.ElapsedSeconds();
   SOI_OBS_HISTOGRAM_OBSERVE("soi.query.filter_seconds",
@@ -606,7 +617,7 @@ SoiResult Run::Execute() {
   timer.Reset();
   {
     SOI_TRACE_SPAN("soi.refine");
-    RefinementPhase();
+    SOI_RETURN_NOT_OK(RefinementPhase());
   }
   result_.stats.refinement_seconds = timer.ElapsedSeconds();
   SOI_OBS_HISTOGRAM_OBSERVE("soi.query.refine_seconds",
@@ -652,6 +663,10 @@ SoiAlgorithm::SoiAlgorithm(const RoadNetwork& network,
 SoiResult SoiAlgorithm::TopK(const SoiQuery& query,
                              const EpsAugmentedMaps& maps,
                              const SoiAlgorithmOptions& options) const {
+  // The legacy checked entry point: the same preconditions TryTopK
+  // reports as Status are fatal here. Deliberately *not* routed through
+  // SoiQuery::Validate() so pre-serving callers keep their semantics
+  // (e.g. an empty keyword set is a legal degenerate query here).
   SOI_CHECK(query.k > 0) << "k must be positive";
   SOI_CHECK(query.eps > 0) << "eps must be positive";
   SOI_CHECK(maps.eps() == query.eps)
@@ -660,6 +675,29 @@ SoiResult SoiAlgorithm::TopK(const SoiQuery& query,
   SOI_CHECK(grid_->geometry().bounds() == maps.geometry().bounds() &&
             grid_->geometry().cell_size() == maps.geometry().cell_size())
       << "POI grid and segment maps use different grid geometries";
+  Run run(*network_, *grid_, *global_index_, segments_by_length_, query,
+          maps, options);
+  Result<SoiResult> result = run.Execute();
+  SOI_CHECK(result.ok()) << "TopK aborted: " << result.status().ToString()
+                         << " (use TryTopK for cancellable queries)";
+  return std::move(result).ValueOrDie();
+}
+
+Result<SoiResult> SoiAlgorithm::TryTopK(
+    const SoiQuery& query, const EpsAugmentedMaps& maps,
+    const SoiAlgorithmOptions& options) const {
+  SOI_RETURN_NOT_OK(query.Validate());
+  if (maps.eps() != query.eps) {
+    return Status::InvalidArgument(
+        "EpsAugmentedMaps built for eps=" + std::to_string(maps.eps()) +
+        " but query has eps=" + std::to_string(query.eps));
+  }
+  if (!(grid_->geometry().bounds() == maps.geometry().bounds()) ||
+      grid_->geometry().cell_size() != maps.geometry().cell_size()) {
+    return Status::InvalidArgument(
+        "POI grid and segment maps use different grid geometries");
+  }
+  SOI_RETURN_NOT_OK(options.cancel.Check());
   Run run(*network_, *grid_, *global_index_, segments_by_length_, query,
           maps, options);
   return run.Execute();

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "core/soi_query.h"
 #include "grid/global_inverted_index.h"
 #include "grid/poi_grid_index.h"
@@ -49,6 +50,16 @@ struct SoiAlgorithmOptions {
   /// so this is purely a latency knob.
   ThreadPool* pool = nullptr;
 
+  /// Cooperative cancellation/deadline handle, checked once per
+  /// filtering iteration and once per refinement segment. The default
+  /// inert token never fires and costs one null test per check, so the
+  /// determinism contract and hot-path cost are untouched for callers
+  /// that don't use it. TryTopK surfaces a fired token as
+  /// kCancelled / kDeadlineExceeded; TopK (the ValueOrDie wrapper)
+  /// treats firing as a fatal error — serve cancellable queries through
+  /// TryTopK / QueryEngine::TryRun.
+  CancellationToken cancel;
+
   /// Test/diagnostic hook invoked once per filtering iteration, after the
   /// bounds are recomputed and before the termination check.
   struct FilterSnapshot {
@@ -78,9 +89,21 @@ class SoiAlgorithm {
                ThreadPool* pool = nullptr);
 
   /// Evaluates the query. `maps` must be the eps augmentation for
-  /// query.eps over the same network and grid geometry.
+  /// query.eps over the same network and grid geometry. Malformed
+  /// queries and a fired cancellation token are fatal here; use TryTopK
+  /// for per-query Status.
   SoiResult TopK(const SoiQuery& query, const EpsAugmentedMaps& maps,
                  const SoiAlgorithmOptions& options = {}) const;
+
+  /// The Status-returning serving-path variant of TopK: kInvalidArgument
+  /// for a query that fails SoiQuery::Validate() or maps built for a
+  /// different eps/geometry, kCancelled / kDeadlineExceeded when
+  /// options.cancel fires mid-run (checked per filtering iteration and
+  /// per refinement segment). On success the result is bit-identical to
+  /// TopK's.
+  Result<SoiResult> TryTopK(const SoiQuery& query,
+                            const EpsAugmentedMaps& maps,
+                            const SoiAlgorithmOptions& options = {}) const;
 
   /// Segment ids sorted by increasing length (the offline SL3 list).
   const std::vector<SegmentId>& segments_by_length() const {

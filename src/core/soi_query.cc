@@ -1,0 +1,24 @@
+#include "core/soi_query.h"
+
+#include <cmath>
+#include <string>
+
+namespace soi {
+
+Status SoiQuery::Validate() const {
+  if (!std::isfinite(eps) || eps <= 0.0) {
+    return Status::InvalidArgument("query eps must be a finite positive "
+                                   "number, got " +
+                                   std::to_string(eps));
+  }
+  if (k <= 0) {
+    return Status::InvalidArgument("query k must be positive, got " +
+                                   std::to_string(k));
+  }
+  if (keywords.empty()) {
+    return Status::InvalidArgument("query keyword set Psi must not be empty");
+  }
+  return Status::OK();
+}
+
+}  // namespace soi

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "network/road_network.h"
 #include "text/keyword_set.h"
 
@@ -16,6 +17,13 @@ struct SoiQuery {
   KeywordSet keywords;
   int32_t k = 10;
   double eps = 0.0005;
+
+  /// Admission validation of the serving path (DESIGN.md "Failure
+  /// model"): kInvalidArgument for a NaN/inf/non-positive eps, k <= 0,
+  /// or an empty keyword set. Rejecting NaN here matters doubly: a NaN
+  /// eps can never match itself, so it would defeat the engine's
+  /// eps-keyed cache (every lookup a miss that inserts a new entry).
+  Status Validate() const;
 };
 
 /// One street of the k-SOI answer.

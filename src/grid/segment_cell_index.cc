@@ -79,7 +79,8 @@ const std::vector<SegmentId>& SegmentCellIndex::CellSegments(
 }
 
 EpsAugmentedMaps::EpsAugmentedMaps(const SegmentCellIndex& base, double eps,
-                                   ThreadPool* pool)
+                                   ThreadPool* pool,
+                                   const CancellationToken* cancel)
     : eps_(eps), geometry_(&base.geometry()) {
   SOI_CHECK(eps >= 0) << "eps must be non-negative";
   SOI_TRACE_SPAN("grid.eps_augment");
@@ -87,6 +88,7 @@ EpsAugmentedMaps::EpsAugmentedMaps(const SegmentCellIndex& base, double eps,
   const RoadNetwork& network = base.network();
   segment_cells_.resize(static_cast<size_t>(network.num_segments()));
   ParallelFor(pool, 0, network.num_segments(), [&](int64_t id) {
+    if (cancel != nullptr) ThrowIfCancelled(*cancel);
     const Segment& seg =
         network.segment(static_cast<SegmentId>(id)).geometry;
     std::vector<CellId>& cells = segment_cells_[static_cast<size_t>(id)];

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/cancellation.h"
 #include "grid/grid_geometry.h"
 #include "network/road_network.h"
 
@@ -55,9 +56,15 @@ class EpsAugmentedMaps {
  public:
   /// `pool` (may be null) parallelizes the per-segment eps dilation and
   /// the inversion into L_eps(c); the result is bit-identical to the
-  /// sequential construction for every thread count.
+  /// sequential construction for every thread count. `cancel` (may be
+  /// null) is checked once per segment during the dilation pass; a fired
+  /// token aborts construction by throwing CancelledError, which the
+  /// serving path (QueryEngine::TryRun) converts back to a Status — this
+  /// is the one sanctioned use of exceptions besides parallel-chunk
+  /// capture (DESIGN.md "Failure model").
   EpsAugmentedMaps(const SegmentCellIndex& base, double eps,
-                   ThreadPool* pool = nullptr);
+                   ThreadPool* pool = nullptr,
+                   const CancellationToken* cancel = nullptr);
 
   double eps() const { return eps_; }
   const GridGeometry& geometry() const { return *geometry_; }

@@ -1,7 +1,9 @@
 #include "network/network_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -76,6 +78,9 @@ Result<RoadNetwork> ReadNetwork(std::istream* in) {
       }
       SOI_ASSIGN_OR_RETURN(double x, ParseDouble(fields[1]));
       SOI_ASSIGN_OR_RETURN(double y, ParseDouble(fields[2]));
+      if (!std::isfinite(x) || !std::isfinite(y)) {
+        return Status::IOError("non-finite vertex coordinate" + where);
+      }
       builder.AddVertex(Point{x, y});
     } else if (fields[0] == "S") {
       if (fields.size() != 3) {
@@ -84,6 +89,12 @@ Result<RoadNetwork> ReadNetwork(std::istream* in) {
       std::vector<VertexId> path;
       for (const std::string& part : Split(fields[2], ';')) {
         SOI_ASSIGN_OR_RETURN(int64_t v, ParseInt64(part));
+        // Range-check before the narrowing cast: an id like 2^32 would
+        // otherwise wrap to 0 and silently reference the wrong vertex.
+        if (v < 0 || v > std::numeric_limits<VertexId>::max()) {
+          return Status::IOError("vertex id out of range" + where + ": " +
+                                 part);
+        }
         path.push_back(static_cast<VertexId>(v));
       }
       SOI_ASSIGN_OR_RETURN(StreetId unused,

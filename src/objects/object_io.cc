@@ -1,5 +1,6 @@
 #include "objects/object_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -33,8 +34,8 @@ inline Status WriteExtraField(const Photo& photo, std::ostream* out) {
 
 inline Status ParseExtraField(const std::string& field, Poi* poi) {
   SOI_ASSIGN_OR_RETURN(double weight, ParseDouble(field));
-  if (weight < 0) {
-    return Status::IOError("negative POI weight");
+  if (!std::isfinite(weight) || weight < 0) {
+    return Status::IOError("POI weight must be finite and non-negative");
   }
   poi->weight = weight;
   return Status::OK();
@@ -101,6 +102,12 @@ Result<std::vector<T>> ReadObjects(std::istream* in, Vocabulary* vocabulary) {
     }
     SOI_ASSIGN_OR_RETURN(double x, ParseDouble(fields[0]));
     SOI_ASSIGN_OR_RETURN(double y, ParseDouble(fields[1]));
+    if (!std::isfinite(x) || !std::isfinite(y)) {
+      // ParseDouble rejects NaN but admits "inf"; an infinite position
+      // would poison grid-geometry bounds downstream.
+      return Status::IOError("non-finite coordinate at line " +
+                             std::to_string(line_number));
+    }
     std::vector<KeywordId> ids;
     if (!fields[2].empty()) {
       for (const std::string& keyword : Split(fields[2], ';')) {

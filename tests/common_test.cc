@@ -33,28 +33,35 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusTest, StatusCodeToStringIsExhaustive) {
-  // Every enumerator maps to a distinct, meaningful name; adding a code
-  // without extending StatusCodeToString trips the distinctness check
-  // (new values fall through to the "Unknown" fallback).
-  const StatusCode all_codes[] = {
-      StatusCode::kOk,           StatusCode::kInvalidArgument,
-      StatusCode::kIOError,      StatusCode::kNotFound,
-      StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
-      StatusCode::kInternal,
-  };
+  // Every enumerator in [0, kNumStatusCodes) maps to a distinct,
+  // meaningful name. Adding a code without a string trips this at
+  // runtime (the new value falls through to the "Unknown" fallback),
+  // and the static_assert in status.cc plus -Wswitch make forgetting to
+  // bump kNumStatusCodes or the switch a compile error.
   std::set<std::string> names;
-  for (StatusCode code : all_codes) {
+  for (int raw = 0; raw < kNumStatusCodes; ++raw) {
+    StatusCode code = static_cast<StatusCode>(raw);
     std::string name = StatusCodeToString(code);
     EXPECT_FALSE(name.empty());
-    EXPECT_NE(name, "Unknown") << "unmapped code "
-                               << static_cast<int>(code);
+    EXPECT_NE(name, "Unknown") << "unmapped code " << raw;
     names.insert(name);
   }
-  EXPECT_EQ(names.size(), std::size(all_codes)) << "duplicate code names";
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumStatusCodes))
+      << "duplicate code names";
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "Deadline exceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "Resource exhausted");
   // Out-of-range values hit the fallback instead of invoking UB.
   EXPECT_STREQ(StatusCodeToString(static_cast<StatusCode>(999)), "Unknown");
 }

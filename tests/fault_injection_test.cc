@@ -1,0 +1,151 @@
+// Tests for the deterministic fault-injection registry (DESIGN.md
+// "Failure model"). The Registry compiles in every configuration; the
+// SOI_FAULT_POINT macro itself only fires under -DSOI_FAULT_INJECTION=ON
+// (the `fault` preset), so macro-behavior tests branch on fault::kEnabled.
+
+#include "common/fault_injection.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace soi {
+namespace fault {
+namespace {
+
+// Every test starts from a clean registry; the registry is process-global.
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::Global().Reset(); }
+  void TearDown() override { Registry::Global().Reset(); }
+};
+
+TEST_F(FaultRegistryTest, UnarmedSiteCountsHitsButNeverFires) {
+  Registry& registry = Registry::Global();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(registry.Hit("some.site"));
+  }
+  EXPECT_EQ(registry.HitCount("some.site"), 5);
+  EXPECT_EQ(registry.FireCount("some.site"), 0);
+  EXPECT_EQ(registry.HitCount("never.hit"), 0);
+}
+
+TEST_F(FaultRegistryTest, DefaultPlanFiresExactlyOnceOnTheNextHit) {
+  Registry& registry = Registry::Global();
+  registry.Arm("site", FaultPlan{});
+  EXPECT_TRUE(registry.Hit("site"));
+  EXPECT_FALSE(registry.Hit("site"));  // count = 1 exhausted
+  EXPECT_FALSE(registry.Hit("site"));
+  EXPECT_EQ(registry.HitCount("site"), 3);
+  EXPECT_EQ(registry.FireCount("site"), 1);
+}
+
+TEST_F(FaultRegistryTest, AfterSkipsLeadingHits) {
+  Registry& registry = Registry::Global();
+  FaultPlan plan;
+  plan.after = 2;
+  plan.count = 2;
+  registry.Arm("site", plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(registry.Hit("site"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, false,
+                                      false}));
+}
+
+TEST_F(FaultRegistryTest, CountZeroMeansUnlimited) {
+  Registry& registry = Registry::Global();
+  FaultPlan plan;
+  plan.count = 0;
+  registry.Arm("site", plan);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(registry.Hit("site"));
+  EXPECT_EQ(registry.FireCount("site"), 10);
+}
+
+TEST_F(FaultRegistryTest, ProbabilisticPlanIsDeterministicInHitIndex) {
+  Registry& registry = Registry::Global();
+  FaultPlan plan;
+  plan.count = 0;
+  plan.probability = 0.5;
+  plan.seed = 1234;
+
+  registry.Arm("site", plan);
+  std::vector<bool> first;
+  for (int i = 0; i < 200; ++i) first.push_back(registry.Hit("site"));
+
+  registry.Arm("site", plan);  // re-arming resets the counters
+  std::vector<bool> second;
+  for (int i = 0; i < 200; ++i) second.push_back(registry.Hit("site"));
+
+  EXPECT_EQ(first, second);
+  int64_t fires = 0;
+  for (bool f : first) fires += f ? 1 : 0;
+  // A fair-ish coin over 200 draws: not degenerate either way.
+  EXPECT_GT(fires, 50);
+  EXPECT_LT(fires, 150);
+
+  // A different seed gives a different (still deterministic) pattern.
+  plan.seed = 99;
+  registry.Arm("site", plan);
+  std::vector<bool> other;
+  for (int i = 0; i < 200; ++i) other.push_back(registry.Hit("site"));
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FaultRegistryTest, DisarmStopsFiringButKeepsCounters) {
+  Registry& registry = Registry::Global();
+  FaultPlan plan;
+  plan.count = 0;
+  registry.Arm("site", plan);
+  EXPECT_TRUE(registry.Hit("site"));
+  registry.Disarm("site");
+  EXPECT_FALSE(registry.Hit("site"));
+  EXPECT_EQ(registry.HitCount("site"), 2);
+  EXPECT_EQ(registry.FireCount("site"), 1);
+  registry.Reset();
+  EXPECT_EQ(registry.HitCount("site"), 0);
+  EXPECT_EQ(registry.FireCount("site"), 0);
+}
+
+TEST_F(FaultRegistryTest, ScopedFaultDisarmsOnScopeExit) {
+  Registry& registry = Registry::Global();
+  {
+    ScopedFault armed("site", FaultPlan{.count = 0});
+    EXPECT_TRUE(registry.Hit("site"));
+  }
+  EXPECT_FALSE(registry.Hit("site"));
+}
+
+TEST_F(FaultRegistryTest, ArmReplacesThePreviousPlan) {
+  Registry& registry = Registry::Global();
+  FaultPlan never;
+  never.after = 1000000;
+  registry.Arm("site", never);
+  EXPECT_FALSE(registry.Hit("site"));
+  registry.Arm("site", FaultPlan{});  // fire on next hit
+  EXPECT_TRUE(registry.Hit("site"));
+}
+
+TEST_F(FaultRegistryTest, FaultPointMacroMatchesBuildConfiguration) {
+  Registry& registry = Registry::Global();
+  registry.Arm("macro.site", FaultPlan{.count = 0});
+  if (kEnabled) {
+    // The macro consults the registry and throws on fire.
+    bool threw = false;
+    try {
+      SOI_FAULT_POINT("macro.site");
+    } catch (const FaultInjectedError& e) {
+      threw = true;
+      EXPECT_EQ(e.site(), "macro.site");
+    }
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(registry.HitCount("macro.site"), 1);
+  } else {
+    // Compiled out: no hit recorded, nothing thrown.
+    SOI_FAULT_POINT("macro.site");
+    EXPECT_EQ(registry.HitCount("macro.site"), 0);
+  }
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace soi

@@ -177,6 +177,95 @@ TEST_P(CorruptionTest, CorruptedPhotosNeverCrash) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// Targeted malformed inputs (beyond the randomized corruption above):
+// each must surface as a clean error Status, never a SOI_CHECK abort or a
+// silently wrong dataset.
+TEST(IoRobustnessTest, TruncatedNetworkLinesFailCleanly) {
+  // Vertex line missing a coordinate.
+  {
+    std::stringstream stream("# soi-network v1\nV\t0.5\nS\tMain\t0;1\n");
+    auto result = ReadNetwork(&stream);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  }
+  // Street line missing its vertex path.
+  {
+    std::stringstream stream(
+        "# soi-network v1\nV\t0\t0\nV\t1\t0\nS\tMain\n");
+    EXPECT_FALSE(ReadNetwork(&stream).ok());
+  }
+  // Vertex path cut mid-number leaves a trailing empty field.
+  {
+    std::stringstream stream(
+        "# soi-network v1\nV\t0\t0\nV\t1\t0\nS\tMain\t0;\n");
+    EXPECT_FALSE(ReadNetwork(&stream).ok());
+  }
+}
+
+TEST(IoRobustnessTest, OutOfRangeVertexIdsFailCleanly) {
+  const std::string prefix = "# soi-network v1\nV\t0\t0\nV\t1\t0\n";
+  // Unknown (but in-range) vertex id.
+  {
+    std::stringstream stream(prefix + "S\tMain\t0;7\n");
+    auto result = ReadNetwork(&stream);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Negative vertex id.
+  {
+    std::stringstream stream(prefix + "S\tMain\t0;-1\n");
+    EXPECT_FALSE(ReadNetwork(&stream).ok());
+  }
+  // 2^32 wraps to 0 under a naive int32 cast — it must be rejected, not
+  // silently reattached to vertex 0.
+  {
+    std::stringstream stream(prefix + "S\tMain\t0;4294967296\n");
+    auto result = ReadNetwork(&stream);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST(IoRobustnessTest, DuplicateSegmentsInStreetPathFailCleanly) {
+  const std::string prefix =
+      "# soi-network v1\nV\t0\t0\nV\t1\t0\nV\t1\t1\n";
+  // Revisiting a vertex duplicates a segment: streets are simple paths.
+  {
+    std::stringstream stream(prefix + "S\tLoop\t0;1;0\n");
+    auto result = ReadNetwork(&stream);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Immediate repetition (a zero-length segment) is rejected too.
+  {
+    std::stringstream stream(prefix + "S\tStutter\t0;1;1;2\n");
+    EXPECT_FALSE(ReadNetwork(&stream).ok());
+  }
+}
+
+TEST(IoRobustnessTest, NonFiniteInputsFailCleanly) {
+  // Infinite vertex coordinates pass strtod but would poison the
+  // network bounds (and every grid geometry built from them).
+  {
+    std::stringstream stream(
+        "# soi-network v1\nV\tinf\t0\nV\t1\t0\nS\tMain\t0;1\n");
+    auto result = ReadNetwork(&stream);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  }
+  Vocabulary vocabulary;
+  // Infinite object coordinates.
+  {
+    std::stringstream stream("# soi-objects v1\n-inf\t2\tshop\n");
+    EXPECT_FALSE(ReadPois(&stream, &vocabulary).ok());
+  }
+  // Infinite POI weight.
+  {
+    std::stringstream stream("# soi-objects v1\n1\t2\tshop\tinf\n");
+    EXPECT_FALSE(ReadPois(&stream, &vocabulary).ok());
+  }
+}
+
 TEST(IoRobustnessTest, EmptyStreamFailsCleanly) {
   std::stringstream empty;
   Vocabulary vocabulary;

@@ -5,8 +5,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/random.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace soi {
 namespace {
@@ -111,6 +114,53 @@ TEST(ThreadPoolTest, ParallelSortMatchesStdSort) {
     ParallelSort(&pool, got.begin(), got.end(), cmp);
     EXPECT_EQ(got, expected) << "threads=" << threads;
   }
+}
+
+// An injected chunk-dispatch fault must behave exactly like a thrown
+// chunk body: siblings run to completion, the error reaches the caller,
+// and the pool (and its queue-depth gauge) are left clean. Runs fully
+// only under the `fault` preset; elsewhere it checks the happy path.
+TEST(ThreadPoolTest, InjectedChunkFaultDoesNotTakeDownSiblingsOrPool) {
+  fault::Registry::Global().Reset();
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h = 0;
+  auto count_all = [&](int64_t i) { ++hits[static_cast<size_t>(i)]; };
+
+  {
+    // Fire on the second chunk dispatched, once.
+    fault::FaultPlan plan;
+    plan.after = 1;
+    fault::ScopedFault armed("pool.run_chunk", plan);
+    if (fault::kEnabled) {
+      EXPECT_THROW(ParallelFor(&pool, 0, 64, count_all),
+                   fault::FaultInjectedError);
+      // Exactly one chunk was lost; the sibling chunks all completed.
+      int64_t done = 0;
+      for (const auto& h : hits) done += h;
+      EXPECT_LT(done, 64);
+      EXPECT_GE(done, 64 - (64 / 4 + 1));
+      EXPECT_EQ(fault::Registry::Global().FireCount("pool.run_chunk"), 1);
+    } else {
+      ParallelFor(&pool, 0, 64, count_all);
+      for (const auto& h : hits) EXPECT_EQ(h, 1);
+    }
+  }
+
+  // The pool is not wedged: a follow-up loop covers every index.
+  for (auto& h : hits) h = 0;
+  ParallelFor(&pool, 0, 64, count_all);
+  for (const auto& h : hits) EXPECT_EQ(h, 1);
+
+#if SOI_OBS_ENABLED
+  // All queued tasks were drained, faulted or not.
+  obs::MetricsSnapshot snapshot = obs::Registry::Global().Snapshot();
+  for (const obs::MetricsSnapshot::GaugeValue& gauge : snapshot.gauges) {
+    if (gauge.name == "soi.pool.queue_depth") {
+      EXPECT_EQ(gauge.value, 0);
+    }
+  }
+#endif
 }
 
 TEST(ThreadPoolTest, ParallelSortSmallRangeFallsBack) {
