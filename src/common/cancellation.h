@@ -74,7 +74,7 @@ class CancellationToken {
   /// OK while the operation may proceed; kCancelled after Cancel(),
   /// kDeadlineExceeded once the deadline has passed. This is the
   /// cooperative check long loops call per cell / segment / iteration.
-  Status Check() const {
+  [[nodiscard]] Status Check() const {
     if (state_ == nullptr) return Status::OK();
     if (state_->cancelled.load(std::memory_order_relaxed)) {
       return Status::Cancelled("query cancelled");

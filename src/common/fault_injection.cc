@@ -22,12 +22,13 @@ double UnitDraw(uint64_t seed, uint64_t hit) {
 }  // namespace
 
 Registry& Registry::Global() {
-  static Registry* registry = new Registry();  // intentionally leaked
+  // soi-lint: naked-new (intentionally leaked singleton)
+  static Registry* registry = new Registry();
   return *registry;
 }
 
 void Registry::Arm(const std::string& site, FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Site& s = sites_[site];
   s.plan = plan;
   s.armed = true;
@@ -36,18 +37,18 @@ void Registry::Arm(const std::string& site, FaultPlan plan) {
 }
 
 void Registry::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   if (it != sites_.end()) it->second.armed = false;
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sites_.clear();
 }
 
 bool Registry::Hit(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Site& s = sites_[site];
   uint64_t hit_index = s.hits++;
   if (!s.armed) return false;
@@ -63,13 +64,13 @@ bool Registry::Hit(const std::string& site) {
 }
 
 int64_t Registry::HitCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it != sites_.end() ? static_cast<int64_t>(it->second.hits) : 0;
 }
 
 int64_t Registry::FireCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it != sites_.end() ? static_cast<int64_t>(it->second.fires) : 0;
 }

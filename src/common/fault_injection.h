@@ -23,9 +23,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace soi {
 namespace fault {
@@ -83,22 +85,22 @@ class Registry {
   /// Arms `site` with `plan`, replacing any previous plan and resetting
   /// the site's hit/fire counters (so plans compose predictably in
   /// sequence).
-  void Arm(const std::string& site, FaultPlan plan);
+  void Arm(const std::string& site, FaultPlan plan) SOI_EXCLUDES(mutex_);
 
   /// Disarms `site`; its counters are kept until Reset().
-  void Disarm(const std::string& site);
+  void Disarm(const std::string& site) SOI_EXCLUDES(mutex_);
 
   /// Disarms every site and zeroes all counters.
-  void Reset();
+  void Reset() SOI_EXCLUDES(mutex_);
 
   /// Records a hit on `site` and returns true iff the armed plan fires.
   /// Called by SOI_FAULT_POINT; hits on unarmed sites are counted too,
   /// so tests can assert a point is actually wired.
-  bool Hit(const std::string& site);
+  bool Hit(const std::string& site) SOI_EXCLUDES(mutex_);
 
   /// Cumulative hits / fires on `site` since the last Reset/Arm.
-  int64_t HitCount(const std::string& site) const;
-  int64_t FireCount(const std::string& site) const;
+  int64_t HitCount(const std::string& site) const SOI_EXCLUDES(mutex_);
+  int64_t FireCount(const std::string& site) const SOI_EXCLUDES(mutex_);
 
  private:
   struct Site {
@@ -108,8 +110,8 @@ class Registry {
     uint64_t fires = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Site> sites_;
+  mutable Mutex mutex_;
+  std::map<std::string, Site> sites_ SOI_GUARDED_BY(mutex_);
 };
 
 /// RAII arming for tests: arms `site` on construction, disarms on scope

@@ -1,0 +1,90 @@
+#ifndef SOI_COMMON_MUTEX_H_
+#define SOI_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace soi {
+
+/// The library's mutex: std::mutex wrapped as a Clang thread-safety
+/// *capability* so SOI_GUARDED_BY members and SOI_REQUIRES functions are
+/// checked at compile time under the `check` preset (see
+/// common/thread_annotations.h — libstdc++'s std::mutex carries no
+/// capability annotation, so locking through it is invisible to the
+/// analysis).
+///
+/// Lock through MutexLock; the std-style lock()/unlock() names keep the
+/// type BasicLockable for the rare call site that needs std::scoped_lock
+/// semantics.
+class SOI_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SOI_ACQUIRE() { mutex_.lock(); }
+  void unlock() SOI_RELEASE() { mutex_.unlock(); }
+  bool try_lock() SOI_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII lock of a Mutex, visible to the thread-safety analysis (a
+/// std::lock_guard<soi::Mutex> would compile but the analysis would not
+/// credit the critical section).
+class SOI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SOI_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() SOI_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with Mutex. Wait() must be called with the
+/// mutex held (enforced by SOI_REQUIRES under the analysis) and returns
+/// with it held; spurious wakeups are possible, so callers loop:
+///
+///   MutexLock lock(mutex_);
+///   while (!predicate_over_guarded_state) cv_.Wait(mutex_);
+///
+/// The explicit while-loop idiom (rather than a predicate overload) keeps
+/// the guarded reads in the annotated caller where the analysis can see
+/// the capability — a predicate lambda would be analyzed as an
+/// unannotated function and falsely flagged.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks until notified (or spuriously
+  /// woken), and reacquires `mutex` before returning.
+  void Wait(Mutex& mutex) SOI_REQUIRES(mutex) SOI_NO_THREAD_SAFETY_ANALYSIS {
+    // Adopt the already-held native mutex so the plain (fast)
+    // std::condition_variable can be used, then release the unique_lock
+    // so ownership stays with the caller's MutexLock.
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace soi
+
+#endif  // SOI_COMMON_MUTEX_H_

@@ -39,7 +39,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// Mirrors the Status idiom of Arrow/RocksDB: cheap to copy in the OK case,
 /// explicit at call sites, and usable with the SOI_RETURN_NOT_OK macro.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status is a
+/// compile error under -Werror (every discarded Status is a swallowed
+/// failure). Deliberate discards — e.g. a best-effort cleanup write —
+/// must say so with an explicit `(void)` cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -76,7 +81,7 @@ class Status {
     return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -89,9 +94,10 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Accessing the value of an
-/// errored result is a checked fatal error.
+/// errored result is a checked fatal error. [[nodiscard]] like Status: a
+/// discarded Result drops an error silently.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a result holding a value (implicit, so functions can
   /// `return value;`).
@@ -105,10 +111,10 @@ class Result {
         << "Result constructed from OK status without a value";
   }
 
-  bool ok() const { return std::holds_alternative<T>(payload_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(payload_); }
 
   /// Returns the error status, or OK if a value is present.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(payload_);
   }
 

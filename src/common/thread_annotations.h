@@ -1,0 +1,72 @@
+#ifndef SOI_COMMON_THREAD_ANNOTATIONS_H_
+#define SOI_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes (DESIGN.md "Static analysis &
+/// invariants"), in the macro vocabulary of Abseil's
+/// thread_annotations.h. Under Clang with -Wthread-safety (the `check`
+/// preset, -DSOI_THREAD_SAFETY=ON) the compiler proves lock discipline at
+/// build time: a SOI_GUARDED_BY member touched without its mutex held, a
+/// SOI_REQUIRES function called without the capability, or a mismatched
+/// SOI_ACQUIRE/SOI_RELEASE pair is a hard error. On every other compiler
+/// the macros expand to nothing, so annotated code stays portable.
+///
+/// The annotations only bite on capability types; std::mutex is not one
+/// under libstdc++, which is why the library locks through the annotated
+/// soi::Mutex / soi::MutexLock wrappers (common/mutex.h) instead of raw
+/// standard-library primitives.
+
+#if defined(__clang__)
+#define SOI_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define SOI_THREAD_ANNOTATION_ATTRIBUTE_(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define SOI_CAPABILITY(x) SOI_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SOI_SCOPED_CAPABILITY SOI_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// The member may only be read or written while holding `x`.
+#define SOI_GUARDED_BY(x) SOI_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// The pointee (not the pointer itself) is protected by `x`.
+#define SOI_PT_GUARDED_BY(x) SOI_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities.
+#define SOI_REQUIRES(...) \
+  SOI_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define SOI_ACQUIRE(...) \
+  SOI_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (which must be held).
+#define SOI_RELEASE(...) \
+  SOI_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability; the first argument is
+/// the return value that means success.
+#define SOI_TRY_ACQUIRE(...) \
+  SOI_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the listed capabilities held
+/// (deadlock guard for self-locking public entry points).
+#define SOI_EXCLUDES(...) \
+  SOI_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (for the analysis) that the capability is already held.
+#define SOI_ASSERT_CAPABILITY(x) \
+  SOI_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define SOI_RETURN_CAPABILITY(x) \
+  SOI_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the locking is correct but unprovable.
+#define SOI_NO_THREAD_SAFETY_ANALYSIS \
+  SOI_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // SOI_COMMON_THREAD_ANNOTATIONS_H_

@@ -33,10 +33,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   SOI_OBS_GAUGE_ADD("soi.pool.threads",
                     -static_cast<int64_t>(workers_.size()));
   for (std::thread& worker : workers_) worker.join();
@@ -59,20 +59,20 @@ void ThreadPool::Submit(std::function<void()> task) {
   SOI_OBS_COUNTER_ADD("soi.pool.tasks", 1);
 #endif
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     SOI_OBS_GAUGE_SET("soi.pool.queue_depth",
                       static_cast<int64_t>(queue_.size()));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) wake_.Wait(mutex_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();

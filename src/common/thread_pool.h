@@ -3,16 +3,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace soi {
 
@@ -50,7 +50,7 @@ class ThreadPool {
   /// Enqueues one task. Prefer ParallelFor; this is the low-level hook it
   /// is built on. Tasks must not throw out of `task` (ParallelFor wraps
   /// them to capture exceptions).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SOI_EXCLUDES(mutex_);
 
   /// True while the current thread is executing a chunk of some parallel
   /// loop (on any pool). Nested parallel constructs consult this and run
@@ -58,12 +58,13 @@ class ThreadPool {
   static bool InParallelRegion();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SOI_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar wake_;
+  std::deque<std::function<void()>> queue_ SOI_GUARDED_BY(mutex_);
+  bool stop_ SOI_GUARDED_BY(mutex_) = false;
+  // Written only during construction/destruction (no concurrent access).
   std::vector<std::thread> workers_;
 };
 
@@ -80,22 +81,33 @@ class ParallelRegionGuard {
 
 /// Shared completion/error state of one ParallelFor call.
 struct ForkJoinState {
-  std::mutex mutex;
-  std::condition_variable done;
-  int64_t remaining = 0;
-  std::exception_ptr error;  // first exception wins, the rest are dropped
+  Mutex mutex;
+  CondVar done;
+  int64_t remaining SOI_GUARDED_BY(mutex) = 0;
+  // First exception wins, the rest are dropped.
+  std::exception_ptr error SOI_GUARDED_BY(mutex);
 
-  void FinishChunk() {
-    std::lock_guard<std::mutex> lock(mutex);
-    if (--remaining == 0) done.notify_one();
+  void SetRemaining(int64_t chunks) SOI_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    remaining = chunks;
   }
-  void RecordError(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(mutex);
+  void FinishChunk() SOI_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    if (--remaining == 0) done.NotifyOne();
+  }
+  void RecordError(std::exception_ptr e) SOI_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     if (!error) error = std::move(e);
   }
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mutex);
-    done.wait(lock, [this] { return remaining == 0; });
+  void Wait() SOI_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    while (remaining != 0) done.Wait(mutex);
+  }
+  /// The first captured exception (null if every chunk succeeded). Only
+  /// meaningful after Wait() returned.
+  std::exception_ptr TakeError() SOI_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    return error;
   }
 };
 
@@ -126,7 +138,7 @@ void ParallelForChunks(ThreadPool* pool, int64_t begin, int64_t end,
   int64_t chunks = std::min<int64_t>(threads, n);
   int64_t chunk_size = (n + chunks - 1) / chunks;
   internal_pool::ForkJoinState state;
-  state.remaining = chunks;
+  state.SetRemaining(chunks);
 
   auto run_chunk = [&state, &fn](int64_t lo, int64_t hi) {
     internal_pool::ParallelRegionGuard guard;
@@ -149,7 +161,9 @@ void ParallelForChunks(ThreadPool* pool, int64_t begin, int64_t end,
   }
   run_chunk(begin, std::min(end, begin + chunk_size));
   state.Wait();
-  if (state.error) std::rethrow_exception(state.error);
+  if (std::exception_ptr error = state.TakeError()) {
+    std::rethrow_exception(error);
+  }
 }
 
 /// Element-wise variant: runs `fn(i)` for every i in [begin, end), chunked

@@ -5,8 +5,9 @@
 namespace soi {
 
 const std::vector<SelectionMethod>& AllSelectionMethods() {
+  // Intentionally leaked singleton.
   static const std::vector<SelectionMethod>* methods =
-      new std::vector<SelectionMethod>{
+      new std::vector<SelectionMethod>{  // soi-lint: naked-new
           SelectionMethod::kSRel,   SelectionMethod::kSDiv,
           SelectionMethod::kSRelDiv, SelectionMethod::kTRel,
           SelectionMethod::kTDiv,   SelectionMethod::kTRelDiv,

@@ -14,7 +14,13 @@ double SegmentNeighborhoodArea(double length, double eps) {
 
 double SegmentInterest(double mass, double length, double eps) {
   SOI_DCHECK(mass >= 0);
-  return mass / SegmentNeighborhoodArea(length, eps);
+  double area = SegmentNeighborhoodArea(length, eps);
+  // Degenerate guard (UBSan float-divide-by-zero): a zero-length segment
+  // with eps == 0 has an empty neighborhood — the DCHECKs reject it in
+  // debug builds, but in release the density would be 0/0. Define the
+  // interest of an empty neighborhood as 0 rather than dividing.
+  if (!(area > 0.0)) return 0.0;
+  return mass / area;
 }
 
 double BruteForceSegmentMass(const Segment& segment,

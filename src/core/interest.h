@@ -16,7 +16,9 @@ double SegmentNeighborhoodArea(double length, double eps);
 /// Interest of a segment with the given mass: mass / area (Definition 2).
 /// Mass is a double so the weighted extension (POIs with importance
 /// weights) shares the same code path; with unit weights it is exactly
-/// the POI count. Requires eps > 0 so the area is positive.
+/// the POI count. Requires eps > 0 so the area is positive; the fully
+/// degenerate case (zero-length segment, eps == 0: an empty
+/// neighborhood) yields 0 instead of dividing by zero.
 double SegmentInterest(double mass, double length, double eps);
 
 /// Brute-force segment mass (Definition 1 plus the weighted extension):

@@ -87,7 +87,7 @@ Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
     uint64_t my_id = 0;
     bool builder = false;
     {
-      std::unique_lock<std::mutex> lock(cache_mutex_);
+      MutexLock lock(cache_mutex_);
       ++cache_tick_;
       auto it = cache_.find(eps);
       if (it != cache_.end()) {
@@ -153,7 +153,7 @@ Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
       // that wakes on the failed payload retries against a clean slot.
       // The id check keeps a healthy replacement entry (raced in after
       // our eviction by a retrying waiter) untouched.
-      std::lock_guard<std::mutex> lock(cache_mutex_);
+      MutexLock lock(cache_mutex_);
       auto it = cache_.find(eps);
       if (it != cache_.end() && it->second.id == my_id) {
         cache_.erase(it);
@@ -288,7 +288,7 @@ std::vector<Result<SoiResult>> QueryEngine::TryRunBatch(
 }
 
 size_t QueryEngine::cache_size() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   return cache_.size();
 }
 

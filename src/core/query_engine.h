@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/soi_algorithm.h"
 #include "core/soi_query.h"
 #include "grid/segment_cell_index.h"
@@ -101,38 +102,40 @@ class QueryEngine {
   /// A failed eps-cache build never leaves a poisoned entry behind:
   /// the builder evicts its own entry before publishing the failure,
   /// and concurrent waiters retry against a clean slot.
-  Result<SoiResult> TryRun(const SoiQuery& query);
+  [[nodiscard]] Result<SoiResult> TryRun(const SoiQuery& query);
 
   /// TryRun with a per-query cancellation/deadline token (overrides the
   /// engine-wide options.algorithm.cancel for this query only).
-  Result<SoiResult> TryRun(const SoiQuery& query,
-                           const CancellationToken& cancel);
+  [[nodiscard]] Result<SoiResult> TryRun(const SoiQuery& query,
+                                         const CancellationToken& cancel);
 
   /// Evaluates the batch through TryRun, up to num_threads queries
   /// concurrently, returning one Result per query in input order.
   /// Failures are per-entry: invalid, shed, expired, or faulted queries
   /// report their Status while the rest return results bit-identical to
   /// the sequential reference.
-  std::vector<Result<SoiResult>> TryRunBatch(
+  [[nodiscard]] std::vector<Result<SoiResult>> TryRunBatch(
       const std::vector<SoiQuery>& queries);
 
   /// TryRunBatch with one cancellation token per query. `cancels` must
   /// be empty (engine-wide token for all) or match queries.size().
-  std::vector<Result<SoiResult>> TryRunBatch(
+  [[nodiscard]] std::vector<Result<SoiResult>> TryRunBatch(
       const std::vector<SoiQuery>& queries,
       const std::vector<CancellationToken>& cancels);
 
   /// The memoized eps augmentation for `eps`, building (and caching) it
   /// on first use. Concurrent requests for the same eps share one build.
   /// Fatal on a failed build; serving paths use TryGetMaps.
-  std::shared_ptr<const EpsAugmentedMaps> GetMaps(double eps);
+  std::shared_ptr<const EpsAugmentedMaps> GetMaps(double eps)
+      SOI_EXCLUDES(cache_mutex_);
 
   /// Status-returning GetMaps: a build aborted by `cancel` (may be
   /// null) or an injected fault surfaces as kCancelled /
   /// kDeadlineExceeded / kInternal, after the failed entry has been
   /// evicted so later requests rebuild from scratch.
-  Result<std::shared_ptr<const EpsAugmentedMaps>> TryGetMaps(
-      double eps, const CancellationToken* cancel = nullptr);
+  [[nodiscard]] Result<std::shared_ptr<const EpsAugmentedMaps>> TryGetMaps(
+      double eps, const CancellationToken* cancel = nullptr)
+      SOI_EXCLUDES(cache_mutex_);
 
   /// Cumulative eps-cache counters (monotone since construction).
   struct CacheStats {
@@ -167,7 +170,7 @@ class QueryEngine {
 
   /// Number of live eps-cache entries (test/diagnostic hook; takes
   /// cache_mutex_).
-  size_t cache_size() const;
+  size_t cache_size() const SOI_EXCLUDES(cache_mutex_);
 
  private:
   /// What a cache entry's future resolves to: the maps on success, or
@@ -193,10 +196,10 @@ class QueryEngine {
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
   SoiAlgorithm algorithm_;
 
-  mutable std::mutex cache_mutex_;
-  std::unordered_map<double, CacheEntry> cache_;
-  uint64_t cache_tick_ = 0;
-  uint64_t next_entry_id_ = 0;
+  mutable Mutex cache_mutex_;
+  std::unordered_map<double, CacheEntry> cache_ SOI_GUARDED_BY(cache_mutex_);
+  uint64_t cache_tick_ SOI_GUARDED_BY(cache_mutex_) = 0;
+  uint64_t next_entry_id_ SOI_GUARDED_BY(cache_mutex_) = 0;
   // Queries currently inside TryRun (admission control).
   std::atomic<int64_t> inflight_{0};
   // Updated under cache_mutex_ (writers), read lock-free by

@@ -101,9 +101,9 @@ class SoiAlgorithm {
   /// options.cancel fires mid-run (checked per filtering iteration and
   /// per refinement segment). On success the result is bit-identical to
   /// TopK's.
-  Result<SoiResult> TryTopK(const SoiQuery& query,
-                            const EpsAugmentedMaps& maps,
-                            const SoiAlgorithmOptions& options = {}) const;
+  [[nodiscard]] Result<SoiResult> TryTopK(
+      const SoiQuery& query, const EpsAugmentedMaps& maps,
+      const SoiAlgorithmOptions& options = {}) const;
 
   /// Segment ids sorted by increasing length (the offline SL3 list).
   const std::vector<SegmentId>& segments_by_length() const {

@@ -23,7 +23,7 @@ struct SoiQuery {
   /// or an empty keyword set. Rejecting NaN here matters doubly: a NaN
   /// eps can never match itself, so it would defeat the engine's
   /// eps-keyed cache (every lookup a miss that inserts a new entry).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// One street of the k-SOI answer.

@@ -32,7 +32,7 @@ struct Dataset {
 
 /// Deterministically generates the full dataset of a city profile
 /// (network, POIs, photos, ground truth) from profile.seed.
-Result<Dataset> GenerateCity(const CityProfile& profile);
+[[nodiscard]] Result<Dataset> GenerateCity(const CityProfile& profile);
 
 /// The offline index suite of Sections 3.2.1 / 4.2.1 over one dataset:
 /// shared grid geometry, POI grid with local inverted indices, global
@@ -57,11 +57,12 @@ std::unique_ptr<DatasetIndexes> BuildIndexes(const Dataset& dataset,
 /// Persists a dataset as <prefix>.network / <prefix>.pois / <prefix>.photos
 /// (the planted ground truth is derivable by regenerating; it is not
 /// serialized).
-Status SaveDataset(const Dataset& dataset, const std::string& prefix);
+[[nodiscard]] Status SaveDataset(const Dataset& dataset,
+                                 const std::string& prefix);
 
 /// Loads a dataset written by SaveDataset.
-Result<Dataset> LoadDataset(const std::string& name,
-                            const std::string& prefix);
+[[nodiscard]] Result<Dataset> LoadDataset(const std::string& name,
+                                          const std::string& prefix);
 
 }  // namespace soi
 

@@ -160,7 +160,7 @@ Status GridBuilder::BuildLine(bool horizontal, int32_t line_index) {
   return Status::OK();
 }
 
-Status GridBuilder::BuildArterial(int32_t index) {
+Status GridBuilder::BuildArterial(int32_t /*index*/) {
   // A long polyline crossing the city with few, long segments; these
   // produce the large max-segment-length tail of Table 1.
   bool west_east = rng_->Bernoulli(0.5);

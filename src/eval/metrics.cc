@@ -48,7 +48,8 @@ std::vector<double> NormalizeByMax(const std::vector<double>& scores) {
     SOI_CHECK(score >= 0) << "NormalizeByMax requires non-negative scores";
     max_score = std::max(max_score, score);
   }
-  if (max_score == 0.0) return scores;
+  // Exact sentinel: all-zero scores normalize to themselves.
+  if (max_score == 0.0) return scores;  // soi-lint: float-eq
   std::vector<double> normalized;
   normalized.reserve(scores.size());
   for (double score : scores) normalized.push_back(score / max_score);

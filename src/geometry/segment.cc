@@ -7,7 +7,9 @@ namespace soi {
 Point Segment::ClosestPointTo(const Point& p) const {
   Point d = b - a;
   double len_sq = Dot(d, d);
-  if (len_sq == 0.0) return a;  // Degenerate segment.
+  // Exact check: a degenerate (zero-length) segment projects to its
+  // endpoint; any nonzero length, however tiny, divides fine.
+  if (len_sq == 0.0) return a;  // soi-lint: float-eq
   double t = Dot(p - a, d) / len_sq;
   t = std::clamp(t, 0.0, 1.0);
   return Interpolate(t);

@@ -7,8 +7,9 @@ namespace soi {
 namespace {
 
 const std::vector<GlobalInvertedIndex::Entry>& EmptyEntries() {
+  // Intentionally leaked singleton.
   static const std::vector<GlobalInvertedIndex::Entry>* empty =
-      new std::vector<GlobalInvertedIndex::Entry>();
+      new std::vector<GlobalInvertedIndex::Entry>();  // soi-lint: naked-new
   return *empty;
 }
 

@@ -42,6 +42,7 @@ class PointGrid {
 
  private:
   static const std::vector<Id>& kEmpty() {
+    // soi-lint: naked-new (intentionally leaked singleton)
     static const std::vector<Id>* empty = new std::vector<Id>();
     return *empty;
   }

@@ -53,6 +53,9 @@ SegmentCellIndex::SegmentCellIndex(const RoadNetwork& network,
     // test below filters the rest out.
     Box probe = seg.BoundingBox().Expanded(geometry_.cell_size());
     geometry_.ForEachCellInBox(probe, [&](CellId cell) {
+      // Exact zero: SegmentBoxDistance returns 0.0 identically when
+      // the segment touches the (closed) box.
+      // soi-lint: float-eq
       if (SegmentBoxDistance(seg, geometry_.CellBox(cell)) == 0.0) {
         cells.push_back(cell);
       }

@@ -16,13 +16,15 @@ namespace soi {
 ///   S <tab> name <tab> v0;v1;...;vn    (one per street, in id order)
 ///
 /// Street names may contain spaces but not tabs or newlines.
-Status WriteNetwork(const RoadNetwork& network, std::ostream* out);
-Status WriteNetworkToFile(const RoadNetwork& network,
-                          const std::string& path);
+[[nodiscard]] Status WriteNetwork(const RoadNetwork& network,
+                                  std::ostream* out);
+[[nodiscard]] Status WriteNetworkToFile(const RoadNetwork& network,
+                                        const std::string& path);
 
 /// Parses the format written by WriteNetwork.
-Result<RoadNetwork> ReadNetwork(std::istream* in);
-Result<RoadNetwork> ReadNetworkFromFile(const std::string& path);
+[[nodiscard]] Result<RoadNetwork> ReadNetwork(std::istream* in);
+[[nodiscard]] Result<RoadNetwork> ReadNetworkFromFile(
+    const std::string& path);
 
 }  // namespace soi
 

@@ -18,7 +18,9 @@ constexpr char kHeader[] = "# soi-objects v1";
 // importance weight (the weighted extension), photos their visual
 // descriptor (the visual extension, '|'-separated floats).
 inline Status WriteExtraField(const Poi& poi, std::ostream* out) {
-  if (poi.weight != 1.0) *out << "\t" << poi.weight;
+  // Exact sentinel: 1.0 is the unweighted default and round-trips
+  // through the text format bit-exactly.
+  if (poi.weight != 1.0) *out << "\t" << poi.weight;  // soi-lint: float-eq
   return Status::OK();
 }
 inline Status WriteExtraField(const Photo& photo, std::ostream* out) {

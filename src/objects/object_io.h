@@ -20,23 +20,27 @@ namespace soi {
 /// Keywords are written as strings resolved through `vocabulary` so files
 /// are portable across vocabularies; reading interns them into the target
 /// vocabulary. Keywords must not contain tabs, semicolons, or newlines.
-Status WritePois(const std::vector<Poi>& pois, const Vocabulary& vocabulary,
-                 std::ostream* out);
-Status WritePoisToFile(const std::vector<Poi>& pois,
-                       const Vocabulary& vocabulary, const std::string& path);
-Result<std::vector<Poi>> ReadPois(std::istream* in, Vocabulary* vocabulary);
-Result<std::vector<Poi>> ReadPoisFromFile(const std::string& path,
-                                          Vocabulary* vocabulary);
+[[nodiscard]] Status WritePois(const std::vector<Poi>& pois,
+                               const Vocabulary& vocabulary,
+                               std::ostream* out);
+[[nodiscard]] Status WritePoisToFile(const std::vector<Poi>& pois,
+                                     const Vocabulary& vocabulary,
+                                     const std::string& path);
+[[nodiscard]] Result<std::vector<Poi>> ReadPois(std::istream* in,
+                                                Vocabulary* vocabulary);
+[[nodiscard]] Result<std::vector<Poi>> ReadPoisFromFile(
+    const std::string& path, Vocabulary* vocabulary);
 
-Status WritePhotos(const std::vector<Photo>& photos,
-                   const Vocabulary& vocabulary, std::ostream* out);
-Status WritePhotosToFile(const std::vector<Photo>& photos,
-                         const Vocabulary& vocabulary,
-                         const std::string& path);
-Result<std::vector<Photo>> ReadPhotos(std::istream* in,
-                                      Vocabulary* vocabulary);
-Result<std::vector<Photo>> ReadPhotosFromFile(const std::string& path,
-                                              Vocabulary* vocabulary);
+[[nodiscard]] Status WritePhotos(const std::vector<Photo>& photos,
+                                 const Vocabulary& vocabulary,
+                                 std::ostream* out);
+[[nodiscard]] Status WritePhotosToFile(const std::vector<Photo>& photos,
+                                       const Vocabulary& vocabulary,
+                                       const std::string& path);
+[[nodiscard]] Result<std::vector<Photo>> ReadPhotos(std::istream* in,
+                                                    Vocabulary* vocabulary);
+[[nodiscard]] Result<std::vector<Photo>> ReadPhotosFromFile(
+    const std::string& path, Vocabulary* vocabulary);
 
 }  // namespace soi
 

@@ -138,12 +138,13 @@ MetricsSnapshot MetricsSnapshot::Since(
 Registry& Registry::Global() {
   // Leaked on purpose: instrumentation in static destructors of other
   // translation units may still write during shutdown.
+  // soi-lint: naked-new (intentionally leaked singleton)
   static Registry* const global = new Registry();
   return *global;
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SOI_CHECK(gauges_.find(name) == gauges_.end() &&
             histograms_.find(name) == histograms_.end())
       << "metric '" << name << "' already registered with another kind";
@@ -156,7 +157,7 @@ Counter* Registry::GetCounter(const std::string& name) {
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SOI_CHECK(counters_.find(name) == counters_.end() &&
             histograms_.find(name) == histograms_.end())
       << "metric '" << name << "' already registered with another kind";
@@ -171,7 +172,7 @@ Histogram* Registry::GetHistogram(const std::string& name) {
   {
     // Bounds-agnostic lookup: an existing histogram is returned whatever
     // its bounds (only the explicit-bounds overload asserts agreement).
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = histograms_.find(name);
     if (it != histograms_.end()) return it->second.get();
   }
@@ -180,7 +181,7 @@ Histogram* Registry::GetHistogram(const std::string& name) {
 
 Histogram* Registry::GetHistogram(const std::string& name,
                                   std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SOI_CHECK(counters_.find(name) == counters_.end() &&
             gauges_.find(name) == gauges_.end())
       << "metric '" << name << "' already registered with another kind";
@@ -198,7 +199,7 @@ Histogram* Registry::GetHistogram(const std::string& name,
 }
 
 MetricsSnapshot Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -216,7 +217,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) {
     for (internal_metrics::CounterShard& shard : counter->shards_) {
       shard.value.store(0, std::memory_order_relaxed);

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace soi {
 namespace obs {
@@ -190,25 +192,30 @@ class Registry {
   /// fatal error, as is re-requesting a histogram with different explicit
   /// bounds. The bounds-less GetHistogram returns an existing histogram
   /// whatever its bounds, and creates with DefaultLatencyBounds().
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) SOI_EXCLUDES(mutex_);
+  Gauge* GetGauge(const std::string& name) SOI_EXCLUDES(mutex_);
+  Histogram* GetHistogram(const std::string& name) SOI_EXCLUDES(mutex_);
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<double> bounds);
+                          std::vector<double> bounds) SOI_EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const SOI_EXCLUDES(mutex_);
 
   /// Zeroes every metric value (objects and pointers stay valid). For
   /// tests and between-bench-run isolation only: concurrent writers may
   /// leave residues, so callers must quiesce instrumentation first.
-  void Reset();
+  void Reset() SOI_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // std::map: snapshot order == lexicographic name order, stable JSON.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The metric objects themselves are internally thread-safe; the mutex
+  // guards the name -> object maps (registration and iteration).
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SOI_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      SOI_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SOI_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

@@ -25,6 +25,7 @@ thread_local int32_t span_depth = 0;
 TraceRecorder& TraceRecorder::Global() {
   // Leaked on purpose, like Registry::Global(): spans may still end
   // during static destruction.
+  // soi-lint: naked-new (intentionally leaked singleton)
   static TraceRecorder* const global = new TraceRecorder();
   return *global;
 }
@@ -34,7 +35,7 @@ int64_t TraceRecorder::NowNs() const {
 }
 
 void TraceRecorder::Start(size_t events_per_thread) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   capacity_.store(std::max<size_t>(events_per_thread, 1),
                   std::memory_order_relaxed);
   epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
@@ -53,7 +54,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
   thread_local ThreadBuffer* buffer = nullptr;
   thread_local const TraceRecorder* owner = nullptr;
   if (buffer == nullptr || owner != this) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     buffers_.push_back(std::make_unique<ThreadBuffer>());
     buffer = buffers_.back().get();
     buffer->thread_id = static_cast<int32_t>(buffers_.size()) - 1;
@@ -70,7 +71,7 @@ void TraceRecorder::Record(const char* name, int64_t start_ns,
     return;  // recording stopped, or span began before the last Start()
   }
   ThreadBuffer* buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer->mutex);
+  MutexLock lock(buffer->mutex);
   size_t capacity = capacity_.load(std::memory_order_relaxed);
   if (buffer->session != session || buffer->ring.size() != capacity) {
     buffer->session = session;
@@ -97,9 +98,9 @@ std::vector<TraceEvent> TraceRecorder::Collect() const {
   std::vector<TraceEvent> events;
   uint64_t session = session_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      MutexLock buffer_lock(buffer->mutex);
       if (buffer->session != session) continue;
       // Ring order: oldest live event first.
       size_t first =
@@ -124,9 +125,9 @@ std::vector<TraceEvent> TraceRecorder::Collect() const {
 int64_t TraceRecorder::dropped() const {
   int64_t total = 0;
   uint64_t session = session_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(buffer->mutex);
     if (buffer->session == session) total += buffer->dropped;
   }
   return total;

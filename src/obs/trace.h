@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace soi {
 namespace obs {
@@ -53,7 +54,7 @@ class TraceRecorder {
   /// clears previously collected events. Restarting while active is
   /// allowed (in-flight spans whose begin predates the restart are
   /// dropped on end).
-  void Start(size_t events_per_thread = 1 << 14);
+  void Start(size_t events_per_thread = 1 << 14) SOI_EXCLUDES(mutex_);
 
   /// Disarms recording. Spans currently open complete without recording.
   void Stop();
@@ -62,33 +63,36 @@ class TraceRecorder {
 
   /// All recorded events, sorted by start time (ties: deeper span last so
   /// parents order before their children).
-  std::vector<TraceEvent> Collect() const;
+  std::vector<TraceEvent> Collect() const SOI_EXCLUDES(mutex_);
 
   /// Events overwritten because a per-thread ring filled.
-  int64_t dropped() const;
+  int64_t dropped() const SOI_EXCLUDES(mutex_);
 
   /// Writes the events as a Chrome trace_event JSON document
   /// ({"traceEvents": [...]}, complete "X" events, microsecond units).
   void ExportChromeJson(std::ostream* out) const;
 
   /// ExportChromeJson to a file.
-  Status WriteChromeTrace(const std::string& path) const;
+  [[nodiscard]] Status WriteChromeTrace(const std::string& path) const;
 
  private:
   friend class ScopedSpan;
 
   struct ThreadBuffer {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
+    // Assigned once at registration (under the recorder's mutex_), then
+    // read-only; not guarded.
     int32_t thread_id = 0;
-    std::vector<TraceEvent> ring;
-    size_t next = 0;       // next write position
-    size_t count = 0;      // live events (<= ring.size())
-    int64_t dropped = 0;
-    uint64_t session = 0;  // session the ring contents belong to
+    std::vector<TraceEvent> ring SOI_GUARDED_BY(mutex);
+    size_t next SOI_GUARDED_BY(mutex) = 0;   // next write position
+    size_t count SOI_GUARDED_BY(mutex) = 0;  // live events (<= ring size)
+    int64_t dropped SOI_GUARDED_BY(mutex) = 0;
+    // Session the ring contents belong to.
+    uint64_t session SOI_GUARDED_BY(mutex) = 0;
   };
 
   /// The calling thread's buffer, created and registered on first use.
-  ThreadBuffer* LocalBuffer();
+  ThreadBuffer* LocalBuffer() SOI_EXCLUDES(mutex_);
   void Record(const char* name, int64_t start_ns, int64_t duration_ns,
               int32_t depth, uint64_t session);
 
@@ -100,8 +104,8 @@ class TraceRecorder {
   std::atomic<int64_t> epoch_ns_{0};  // steady_clock epoch of the session
   std::atomic<size_t> capacity_{1 << 14};
 
-  mutable std::mutex mutex_;  // guards buffers_ registration/iteration
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mutex_;  // guards buffers_ registration/iteration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ SOI_GUARDED_BY(mutex_);
 };
 
 /// RAII span: records one TraceEvent on the global recorder from

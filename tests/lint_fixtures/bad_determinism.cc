@@ -1,0 +1,7 @@
+// Fixture: exactly one `determinism` violation (ambient RNG).
+#include <random>
+
+int AmbientDraw() {
+  std::random_device device;
+  return static_cast<int>(device());
+}

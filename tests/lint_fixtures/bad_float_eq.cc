@@ -1,0 +1,7 @@
+// Fixture: exactly one `float-eq` violation (raw == on a double
+// literal). The string and comment below must NOT fire: "x == 1.5".
+bool Matches(double x) {
+  const char* label = "x == 2.5";  // == 3.5 in a comment is also inert
+  (void)label;
+  return x == 1.5;
+}

@@ -1,0 +1,9 @@
+#ifndef SOI_TESTS_LINT_FIXTURES_BAD_HEADER_H_
+#define SOI_TESTS_LINT_FIXTURES_BAD_HEADER_H_
+
+// Fixture: not self-contained — uses std::vector without including
+// <vector>, so the generated single-include TU fails to compile.
+
+inline std::vector<int> MakeInts() { return {1, 2, 3}; }
+
+#endif  // SOI_TESTS_LINT_FIXTURES_BAD_HEADER_H_

@@ -1,0 +1,5 @@
+// Fixture: exactly one `io-stream` violation (library writes to a
+// standard stream).
+#include <iostream>
+
+void Shout() { std::cout << "hello\n"; }

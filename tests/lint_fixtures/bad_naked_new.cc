@@ -1,0 +1,9 @@
+// Fixture: exactly one `naked-new` violation (ownership not taken on
+// the same statement). The wrapped forms below must NOT fire.
+#include <memory>
+
+int* Leak() { return new int(42); }
+
+std::unique_ptr<int> Owned() { return std::unique_ptr<int>(new int(7)); }
+
+void ResetOwned(std::unique_ptr<int>* p) { p->reset(new int(9)); }

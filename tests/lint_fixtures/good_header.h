@@ -1,0 +1,10 @@
+#ifndef SOI_TESTS_LINT_FIXTURES_GOOD_HEADER_H_
+#define SOI_TESTS_LINT_FIXTURES_GOOD_HEADER_H_
+
+// Fixture: fully self-contained counterpart of bad_header.h.
+
+#include <vector>
+
+inline std::vector<int> MakeInts() { return {1, 2, 3}; }
+
+#endif  // SOI_TESTS_LINT_FIXTURES_GOOD_HEADER_H_

@@ -1,0 +1,23 @@
+// Fixture: one violation of each text rule, every one suppressed with
+// the inline marker — soi-lint must report nothing for this file.
+#include <iostream>
+#include <memory>
+#include <random>
+
+int AmbientDraw() {
+  std::random_device device;  // soi-lint: determinism (fixture)
+  return static_cast<int>(device());
+}
+
+bool Matches(double x) {
+  return x == 1.5;  // soi-lint: float-eq (fixture)
+}
+
+void Shout() {
+  // soi-lint: io-stream (fixture, marker on the line above)
+  std::cout << "hello\n";
+}
+
+int* Leak() {
+  return new int(42);  // soi-lint: naked-new (fixture)
+}

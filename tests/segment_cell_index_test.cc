@@ -21,6 +21,8 @@ TEST(SegmentCellIndexTest, BaseMapsMatchBruteForce) {
     const Segment& seg = network.segment(id).geometry;
     std::set<CellId> expected;
     for (CellId cell = 0; cell < geometry.num_cells(); ++cell) {
+      // Mirrors the exact touch test in segment_cell_index.cc.
+      // soi-lint: float-eq
       if (SegmentBoxDistance(seg, geometry.CellBox(cell)) == 0.0) {
         expected.insert(cell);
       }

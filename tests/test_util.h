@@ -30,19 +30,28 @@ inline RoadNetwork MakeGridNetwork(int32_t rows, int32_t cols,
           Point{origin.x + j * spacing, origin.y + i * spacing});
     }
   }
+  // Street names are built with operator+= instead of
+  // `"H" + std::to_string(i)`: GCC 12 emits a false-positive
+  // -Wrestrict diagnostic (GCC PR105651) when the
+  // operator+(const char*, string&&) overload is inlined at -O3, and
+  // the default build treats it as an error.
   for (int32_t i = 0; i < rows; ++i) {
     std::vector<VertexId> path;
     for (int32_t j = 0; j < cols; ++j) {
       path.push_back(ids[static_cast<size_t>(i) * cols + j]);
     }
-    SOI_CHECK(builder.AddStreet("H" + std::to_string(i), path).ok());
+    std::string name = "H";
+    name += std::to_string(i);
+    SOI_CHECK(builder.AddStreet(name, path).ok());
   }
   for (int32_t j = 0; j < cols; ++j) {
     std::vector<VertexId> path;
     for (int32_t i = 0; i < rows; ++i) {
       path.push_back(ids[static_cast<size_t>(i) * cols + j]);
     }
-    SOI_CHECK(builder.AddStreet("V" + std::to_string(j), path).ok());
+    std::string name = "V";
+    name += std::to_string(j);
+    SOI_CHECK(builder.AddStreet(name, path).ok());
   }
   auto network = std::move(builder).Build();
   SOI_CHECK(network.ok());

@@ -37,7 +37,12 @@ TEST(VocabularyTest, NameRoundTrip) {
 TEST(VocabularyTest, IdsAreDense) {
   Vocabulary vocabulary;
   for (int i = 0; i < 100; ++i) {
-    EXPECT_EQ(vocabulary.Intern("w" + std::to_string(i)), i);
+    // operator+= instead of `"w" + std::to_string(i)`: GCC 12's inliner
+    // trips a false-positive -Werror=restrict (GCC PR105651) on the
+    // operator+(const char*, string&&) overload at -O3.
+    std::string word = "w";
+    word += std::to_string(i);
+    EXPECT_EQ(vocabulary.Intern(word), i);
   }
 }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The one-command pre-merge gate: configures, builds, and tests the
+# `default`, `check`, `tsan`, and `fault` presets in sequence, failing
+# on the first error. Covers, in order:
+#   default — the tier-1 suite plus soi-lint (ctest -L lint runs inside),
+#   check   — the static-analysis build (Clang thread-safety as -Werror;
+#             on non-Clang compilers the annotations are no-ops and the
+#             preset degrades to a plain rebuild),
+#   tsan    — the full suite under ThreadSanitizer,
+#   fault   — fault-injection hooks armed under ASan+UBSan.
+# Usage: tools/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+for preset in default check tsan fault; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "==== [$preset] test ===="
+  ctest --preset "$preset" -j "$JOBS" --output-on-failure "$@"
+done
+
+echo "==== all presets green ===="

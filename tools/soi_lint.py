@@ -1,0 +1,367 @@
+#!/usr/bin/env python3
+"""soi-lint: project-invariant checks the C++ compiler cannot enforce.
+
+Dependency-free (python3 standard library only). Wired into ctest under
+the `lint` label; see DESIGN.md "Static analysis & invariants" for what
+each rule protects.
+
+Rules
+-----
+determinism   No ambient randomness outside src/common/random.cc: no
+              std::random_device, rand()/srand(), std:: engine types, or
+              time()-derived seeds. Every stochastic component must draw
+              from an explicitly seeded soi::Rng, or datasets and
+              experiments stop being reproducible.
+float-eq      No raw ==/!= against a floating-point literal. Exact
+              equality on computed doubles is the bug class behind the
+              PR-1 FP-argmax defect; the blessed patterns are comparing
+              through an epsilon, or an explicitly suppressed exact
+              sentinel check.
+io-stream     Library code (src/) must not write to std::cout/std::cerr
+              or C stdio: obs/ and common/json_writer own all output, so
+              embedding libsoi never spams a host process's streams.
+              (check.h's fatal-error reporter is allowlisted.)
+naked-new     Every `new` must transfer ownership on the same statement
+              (std::unique_ptr/std::shared_ptr construction or .reset).
+              Intentionally leaked singletons carry a suppression.
+headers       (--headers mode) Every src/**/*.h compiles standalone via
+              a generated single-include TU, so include order never
+              matters and no header leans on a transitive include.
+
+Suppressions
+------------
+A finding is suppressed by a comment containing `soi-lint: <rule>` on
+the offending line or the line directly above it, e.g.
+
+    static Registry* const g = new Registry();  // soi-lint: naked-new
+
+File-level allowlists live in ALLOWLIST below; fixture trees used by the
+self-test are excluded entirely (EXCLUDE_DIRS).
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+import argparse
+import concurrent.futures
+import fnmatch
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+# Directories scanned per rule, relative to --root.
+RULE_SCOPE = {
+    "determinism": ("src", "bench", "tests", "examples"),
+    "float-eq": ("src", "bench", "tests", "examples"),
+    "io-stream": ("src",),
+    "naked-new": ("src",),
+}
+
+# Per-rule path allowlist (fnmatch globs against the /-separated path
+# relative to --root). The allowlisted owner of each invariant.
+ALLOWLIST = {
+    "determinism": ["src/common/random.cc"],
+    "io-stream": ["src/common/check.h"],
+    "float-eq": [],
+    "naked-new": [],
+}
+
+# Never scanned: lint self-test fixtures (they plant violations).
+EXCLUDE_DIRS = ("tests/lint_fixtures",)
+
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
+
+SUPPRESS_MARKER = "soi-lint:"
+
+# One finding: (path, line_number, rule, message).
+
+_FLOAT_LITERAL = r"[-+]?(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?f?"
+
+RULE_PATTERNS = {
+    "determinism": re.compile(
+        r"std::random_device|std::mt19937|std::minstd_rand"
+        r"|std::default_random_engine|std::ranlux|std::knuth_b"
+        r"|\bsrand\s*\(|(?<![\w:.])rand\s*\("
+        r"|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+    ),
+    "float-eq": re.compile(
+        r"(?:==|!=)\s*" + _FLOAT_LITERAL + r"(?![\w.])"
+        r"|" + _FLOAT_LITERAL + r"\s*(?:==|!=)(?!=)"
+    ),
+    "io-stream": re.compile(
+        r"std::cout|std::cerr|(?<![\w:])printf\s*\("
+        r"|\bfprintf\s*\(|(?<![\w:])puts\s*\("
+    ),
+    "naked-new": re.compile(r"\bnew\b(?:\s*\(\s*std::nothrow\s*\))?\s*[\w:<(]"),
+}
+
+RULE_MESSAGES = {
+    "determinism": (
+        "ambient randomness; draw from an explicitly seeded soi::Rng "
+        "(src/common/random.h) instead"
+    ),
+    "float-eq": (
+        "raw ==/!= against a floating-point literal; compare through an "
+        "epsilon, or suppress an exact sentinel check with "
+        "'// soi-lint: float-eq'"
+    ),
+    "io-stream": (
+        "library code must not write to stdout/stderr; route output "
+        "through obs/ or common/json_writer"
+    ),
+    "naked-new": (
+        "naked new; transfer ownership on the same statement "
+        "(make_unique / unique_ptr(new ...) / .reset(new ...))"
+    ),
+}
+
+# A `new` is owned if the statement context shows an immediate wrapper.
+_OWNED_NEW = re.compile(r"unique_ptr\s*<|shared_ptr\s*<|\.reset\s*\(")
+
+
+def strip_comments_and_strings(text):
+    """Returns `text` with comments and string/char literal contents
+    blanked (newlines preserved), so patterns never match inside them."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            out.append(" " * 0)
+            out.extend(ch if ch == "\n" else " " for ch in text[i:end])
+            i = end
+        elif c == "R" and nxt == '"':
+            # Raw string literal: R"delim( ... )delim".
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if not m:
+                out.append(c)
+                i += 1
+                continue
+            closer = ")" + m.group(1) + '"'
+            end = text.find(closer, i + m.end())
+            end = n if end == -1 else end + len(closer)
+            out.extend(ch if ch == "\n" else " " for ch in text[i:end])
+            i = end
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote)
+            out.extend(ch if ch == "\n" else " " for ch in text[i + 1 : j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def is_suppressed(raw_lines, line_index, rule):
+    """True if the offending line or the one above carries the marker."""
+    for idx in (line_index, line_index - 1):
+        if 0 <= idx < len(raw_lines):
+            line = raw_lines[idx]
+            marker = line.find(SUPPRESS_MARKER)
+            if marker != -1 and rule in line[marker:]:
+                return True
+    return False
+
+
+def lint_file(path, rel_path, rules):
+    """Runs the given text rules over one file; returns findings."""
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [(rel_path, 0, "io-error", str(e))]
+    raw_lines = text.splitlines()
+    code_lines = strip_comments_and_strings(text).splitlines()
+    findings = []
+    for rule in rules:
+        if any(fnmatch.fnmatch(rel_path, g) for g in ALLOWLIST[rule]):
+            continue
+        pattern = RULE_PATTERNS[rule]
+        for i, line in enumerate(code_lines):
+            if not pattern.search(line):
+                continue
+            if rule == "naked-new":
+                prev = code_lines[i - 1] if i > 0 else ""
+                if _OWNED_NEW.search(prev + " " + line):
+                    continue
+            if is_suppressed(raw_lines, i, rule):
+                continue
+            findings.append((rel_path, i + 1, rule, RULE_MESSAGES[rule]))
+    return findings
+
+
+def iter_source_files(root, subdirs):
+    for subdir in subdirs:
+        top = os.path.join(root, subdir)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            rel_dir = os.path.relpath(dirpath, root).replace(os.sep, "/")
+            if any(
+                rel_dir == ex or rel_dir.startswith(ex + "/")
+                for ex in EXCLUDE_DIRS
+            ):
+                dirnames[:] = []
+                continue
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def run_text_rules(root, explicit_paths=None, rules=None):
+    """Lints the repo tree (or explicit files, all rules) and returns
+    findings sorted by path/line."""
+    rules = list(rules or RULE_PATTERNS)
+    findings = []
+    if explicit_paths:
+        for path in explicit_paths:
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            findings.extend(lint_file(path, rel, rules))
+    else:
+        seen = set()
+        for rule in rules:
+            for path in iter_source_files(root, RULE_SCOPE[rule]):
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                key = (rel, rule)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.extend(lint_file(path, rel, [rule]))
+    return sorted(findings)
+
+
+def check_header(compiler, std, include_dir, root, header):
+    """Compiles one header standalone; returns a finding or None."""
+    rel = os.path.relpath(header, root).replace(os.sep, "/")
+    include_rel = os.path.relpath(header, include_dir).replace(os.sep, "/")
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".cc", prefix="soi_hdr_", delete=False
+    ) as tu:
+        # Include twice: catches both missing includes and a missing or
+        # broken include guard.
+        tu.write('#include "%s"\n#include "%s"\n' % (include_rel, include_rel))
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [
+                compiler,
+                "-std=" + std,
+                "-fsyntax-only",
+                "-Wall",
+                "-Wextra",
+                "-I",
+                include_dir,
+                "-x",
+                "c++",
+                tu_path,
+            ],
+            capture_output=True,
+            text=True,
+        )
+    finally:
+        os.unlink(tu_path)
+    if proc.returncode != 0:
+        detail = (proc.stderr or proc.stdout).strip().splitlines()
+        summary = detail[0] if detail else "compilation failed"
+        return (rel, 1, "headers", "not self-contained: " + summary)
+    return None
+
+
+def run_header_rule(root, compiler, std, headers=None, include_dir=None):
+    include_dir = include_dir or os.path.join(root, "src")
+    if headers is None:
+        headers = [
+            p
+            for p in iter_source_files(root, ("src",))
+            if p.endswith(".h")
+        ]
+    findings = []
+    with concurrent.futures.ThreadPoolExecutor(
+        max_workers=os.cpu_count() or 4
+    ) as pool:
+        for result in pool.map(
+            lambda h: check_header(compiler, std, include_dir, root, h),
+            headers,
+        ):
+            if result is not None:
+                findings.append(result)
+    return sorted(findings)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=".", help="repository root (default: cwd)"
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated subset of rules (default: all text rules)",
+    )
+    parser.add_argument(
+        "--headers",
+        action="store_true",
+        help="run the header self-containment check instead of text rules",
+    )
+    parser.add_argument(
+        "--compiler",
+        default=os.environ.get("SOI_LINT_CXX", "c++"),
+        help="C++ compiler for --headers (default: $SOI_LINT_CXX or c++)",
+    )
+    parser.add_argument(
+        "--std", default="c++20", help="-std= value for --headers"
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="explicit files to lint with every text rule (default: the "
+        "per-rule repo scopes)",
+    )
+    args = parser.parse_args(argv)
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print("soi-lint: no such root: %s" % root, file=sys.stderr)
+        return 2
+
+    if args.headers:
+        findings = run_header_rule(root, args.compiler, args.std)
+    else:
+        rules = args.rules.split(",") if args.rules else None
+        if rules:
+            unknown = [r for r in rules if r not in RULE_PATTERNS]
+            if unknown:
+                print(
+                    "soi-lint: unknown rules: %s" % ", ".join(unknown),
+                    file=sys.stderr,
+                )
+                return 2
+        findings = run_text_rules(root, args.paths or None, rules)
+
+    for rel, line, rule, message in findings:
+        print("%s:%d: [%s] %s" % (rel, line, rule, message))
+    if findings:
+        print(
+            "soi-lint: %d finding(s); see tools/soi_lint.py docstring "
+            "for the rule rationale and suppression syntax" % len(findings),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
