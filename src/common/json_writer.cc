@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/string_util.h"
 
 namespace soi {
 
@@ -132,21 +133,7 @@ void JsonWriter::Double(double value) {
     *out_ << "null";
     return;
   }
-  // Shortest representation that round-trips a double.
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  double reparsed = 0.0;
-  std::sscanf(buffer, "%lg", &reparsed);
-  for (int precision = 1; precision < 17; ++precision) {
-    char shorter[32];
-    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
-    std::sscanf(shorter, "%lg", &reparsed);
-    if (reparsed == value) {
-      *out_ << shorter;
-      return;
-    }
-  }
-  *out_ << buffer;
+  *out_ << FormatDouble(value);
 }
 
 void JsonWriter::Bool(bool value) {

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace soi {
@@ -51,6 +52,20 @@ std::string Join(const std::vector<std::string>& parts,
     result += parts[i];
   }
   return result;
+}
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  // Shortest representation that round-trips: raise the precision until
+  // strtod reads back the exact same bits. 17 significant digits always
+  // suffice for IEEE-754 binary64, so the loop cannot fall through.
+  char buffer[32];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
 }
 
 Result<double> ParseDouble(std::string_view text) {

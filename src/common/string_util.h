@@ -23,6 +23,14 @@ std::string ToLowerAscii(std::string_view text);
 std::string Join(const std::vector<std::string>& parts,
                  std::string_view separator);
 
+/// Formats `value` with the fewest significant digits that round-trip
+/// bit-exactly through strtod. Distinct doubles always format to
+/// distinct strings (std::to_string's fixed 6 digits collapse nearby
+/// values such as cache keys 0.0005 and 0.0005000001). Non-finite
+/// values render as "nan" / "inf" / "-inf". Shared by JsonWriter and
+/// every error/log message that embeds a floating-point cache key.
+std::string FormatDouble(double value);
+
 /// Parses a double; rejects trailing garbage, empty input, and NaN.
 Result<double> ParseDouble(std::string_view text);
 

@@ -7,6 +7,7 @@
 #include "common/fault_injection.h"
 #include "common/json_writer.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "obs/json_export.h"
 #include "obs/obs.h"
@@ -61,6 +62,36 @@ QueryEngine::QueryEngine(const RoadNetwork& network, const PoiGridIndex& grid,
   options_.algorithm.pool = pool_.get();
 }
 
+QueryEngine::QueryEngine(
+    const RoadNetwork& network, const PoiGridIndex& grid,
+    const GlobalInvertedIndex& global_index,
+    const SegmentCellIndex& segment_cells, QueryEngineOptions options,
+    std::vector<std::shared_ptr<const EpsAugmentedMaps>> preloaded)
+    : QueryEngine(network, grid, global_index, segment_cells,
+                  std::move(options)) {
+  SOI_CHECK(preloaded.size() <= options_.eps_cache_capacity)
+      << "warm start: " << preloaded.size()
+      << " preloaded maps exceed eps_cache_capacity="
+      << options_.eps_cache_capacity;
+  MutexLock lock(cache_mutex_);
+  for (std::shared_ptr<const EpsAugmentedMaps>& maps : preloaded) {
+    SOI_CHECK(maps != nullptr) << "warm start: null preloaded maps";
+    double eps = maps->eps();
+    std::promise<MapsPayload> promise;
+    MapsFuture future = promise.get_future().share();
+    promise.set_value(MapsPayload{std::move(maps), Status::OK()});
+    ++cache_tick_;
+    bool inserted =
+        cache_
+            .emplace(eps, CacheEntry{std::move(future), cache_tick_,
+                                     ++next_entry_id_, /*building=*/false})
+            .second;
+    SOI_CHECK(inserted) << "warm start: duplicate preloaded eps="
+                        << FormatDouble(eps);
+  }
+  SOI_OBS_GAUGE_SET("soi.cache.size", static_cast<int64_t>(cache_.size()));
+}
+
 QueryEngine::~QueryEngine() = default;
 
 int QueryEngine::num_threads() const {
@@ -99,20 +130,32 @@ Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
         cache_misses_.fetch_add(1, std::memory_order_relaxed);
         SOI_OBS_COUNTER_ADD("soi.cache.misses", 1);
         if (cache_.size() >= options_.eps_cache_capacity) {
-          auto victim = cache_.begin();
+          // LRU among *completed* entries only: evicting an in-flight
+          // build would detach the shared future concurrent same-eps
+          // requesters are about to wait on, and the next same-eps
+          // request would start a duplicate build. If every entry is in
+          // flight, nothing is evictable and the cache temporarily runs
+          // over capacity (bounded by the number of concurrent
+          // distinct-eps builds).
+          auto victim = cache_.end();
           for (auto entry = cache_.begin(); entry != cache_.end();
                ++entry) {
-            if (entry->second.last_used < victim->second.last_used) {
+            if (entry->second.building) continue;
+            if (victim == cache_.end() ||
+                entry->second.last_used < victim->second.last_used) {
               victim = entry;
             }
           }
-          cache_.erase(victim);  // holders keep maps via their shared_ptr
-          cache_evictions_.fetch_add(1, std::memory_order_relaxed);
-          SOI_OBS_COUNTER_ADD("soi.cache.evictions", 1);
+          if (victim != cache_.end()) {
+            cache_.erase(victim);  // holders keep maps via their shared_ptr
+            cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+            SOI_OBS_COUNTER_ADD("soi.cache.evictions", 1);
+          }
         }
         my_id = ++next_entry_id_;
         future = promise.get_future().share();
-        cache_.emplace(eps, CacheEntry{future, cache_tick_, my_id});
+        cache_.emplace(eps, CacheEntry{future, cache_tick_, my_id,
+                                       /*building=*/true});
         builder = true;
         SOI_OBS_GAUGE_SET("soi.cache.size",
                           static_cast<int64_t>(cache_.size()));
@@ -132,6 +175,7 @@ Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
     // paths (DESIGN.md "Failure model"): cooperative cancellation and
     // injected faults, both converted to Status right here.
     MapsPayload payload;
+    if (options_.build_observer) options_.build_observer(eps);
     try {
       SOI_TRACE_SPAN("cache.build_maps");
       Stopwatch build_timer;
@@ -160,13 +204,24 @@ Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
         SOI_OBS_GAUGE_SET("soi.cache.size",
                           static_cast<int64_t>(cache_.size()));
       }
+    } else {
+      // Mark the build complete BEFORE publishing the value: once
+      // waiters can see the payload the entry must already be a normal
+      // evictable cache resident. The id check is defensive — eviction
+      // skips in-flight entries and only this builder erases its own,
+      // so the entry is still ours here.
+      MutexLock lock(cache_mutex_);
+      auto it = cache_.find(eps);
+      if (it != cache_.end() && it->second.id == my_id) {
+        it->second.building = false;
+      }
     }
     promise.set_value(payload);
     if (payload.status.ok()) return payload.maps;
     return payload.status;  // the builder reports its own failure
   }
   return Status::Internal("eps augmentation build failed repeatedly for "
-                          "eps=" + std::to_string(eps));
+                          "eps=" + FormatDouble(eps));
 }
 
 SoiResult QueryEngine::Run(const SoiQuery& query) {

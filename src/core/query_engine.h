@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -27,8 +28,14 @@ struct QueryEngineOptions {
   int num_threads = 1;
 
   /// Maximum number of memoized EpsAugmentedMaps (one per distinct eps).
-  /// The LRU entry is evicted beyond this; in-flight queries keep their
-  /// maps alive through shared_ptr handoff. Must be >= 1.
+  /// The LRU *completed* entry is evicted beyond this; entries whose
+  /// build is still in flight are exempt (evicting one would detach the
+  /// shared future concurrent same-eps requesters wait on and force a
+  /// duplicate build). When every entry is in flight the cache briefly
+  /// exceeds capacity — bounded by the number of concurrent distinct-eps
+  /// builds — and shrinks back as builds complete and become evictable.
+  /// In-flight queries keep their maps alive through shared_ptr handoff.
+  /// Must be >= 1.
   size_t eps_cache_capacity = 8;
 
   /// Admission control (DESIGN.md "Failure model"): when positive,
@@ -42,6 +49,12 @@ struct QueryEngineOptions {
   /// Per-query algorithm options. The `pool` field is overridden by the
   /// engine's own pool.
   SoiAlgorithmOptions algorithm;
+
+  /// Test/diagnostic hook: invoked outside the cache lock at the start
+  /// of every eps-maps cache build, with the eps being built. The
+  /// eviction regression tests use it to hold a build in flight
+  /// deterministically; it must not call back into the engine.
+  std::function<void(double)> build_observer;
 };
 
 /// The multi-query front end of the reproduction (the serving-path
@@ -71,6 +84,23 @@ class QueryEngine {
               const GlobalInvertedIndex& global_index,
               const SegmentCellIndex& segment_cells,
               QueryEngineOptions options = {});
+
+  /// Warm-start construction (DESIGN.md "Persistence & warm start"):
+  /// like the primary constructor, but pre-seeds the eps cache with
+  /// already-built augmented maps — typically restored from a snapshot
+  /// (src/snapshot) — so the first queries skip the augmentation build.
+  /// Every entry must be non-null and built over `segment_cells`'s grid
+  /// geometry, the eps values must be distinct, and preloaded.size()
+  /// must not exceed options.eps_cache_capacity. Serving through a
+  /// warm-started engine is bit-identical to a cold engine that built
+  /// the same maps itself; the seeded entries count as neither hits nor
+  /// misses until first use.
+  QueryEngine(
+      const RoadNetwork& network, const PoiGridIndex& grid,
+      const GlobalInvertedIndex& global_index,
+      const SegmentCellIndex& segment_cells, QueryEngineOptions options,
+      std::vector<std::shared_ptr<const EpsAugmentedMaps>> preloaded);
+
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
@@ -189,6 +219,12 @@ class QueryEngine {
     /// so a failed builder evicts only its own entry (never a healthy
     /// replacement raced in by a retrying waiter).
     uint64_t id = 0;
+    /// True while the builder is still producing the future's value.
+    /// In-flight entries are exempt from eviction (see
+    /// QueryEngineOptions::eps_cache_capacity); the builder clears the
+    /// flag under cache_mutex_ on success, and erases the entry on
+    /// failure.
+    bool building = false;
   };
 
   const SegmentCellIndex* segment_cells_;

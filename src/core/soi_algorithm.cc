@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/interest.h"
 #include "core/soi_baseline.h"
@@ -689,8 +690,8 @@ Result<SoiResult> SoiAlgorithm::TryTopK(
   SOI_RETURN_NOT_OK(query.Validate());
   if (maps.eps() != query.eps) {
     return Status::InvalidArgument(
-        "EpsAugmentedMaps built for eps=" + std::to_string(maps.eps()) +
-        " but query has eps=" + std::to_string(query.eps));
+        "EpsAugmentedMaps built for eps=" + FormatDouble(maps.eps()) +
+        " but query has eps=" + FormatDouble(query.eps));
   }
   if (!(grid_->geometry().bounds() == maps.geometry().bounds()) ||
       grid_->geometry().cell_size() != maps.geometry().cell_size()) {

@@ -3,13 +3,15 @@
 #include <cmath>
 #include <string>
 
+#include "common/string_util.h"
+
 namespace soi {
 
 Status SoiQuery::Validate() const {
   if (!std::isfinite(eps) || eps <= 0.0) {
     return Status::InvalidArgument("query eps must be a finite positive "
                                    "number, got " +
-                                   std::to_string(eps));
+                                   FormatDouble(eps));
   }
   if (k <= 0) {
     return Status::InvalidArgument("query k must be positive, got " +

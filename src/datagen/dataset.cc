@@ -24,14 +24,19 @@ Result<Dataset> GenerateCity(const CityProfile& profile) {
   return dataset;
 }
 
-std::unique_ptr<DatasetIndexes> BuildIndexes(const Dataset& dataset,
-                                             double cell_size,
-                                             ThreadPool* pool) {
+Box ComputeDatasetBounds(const Dataset& dataset) {
   Box bounds = dataset.network.bounds();
   for (const Poi& poi : dataset.pois) bounds.ExtendToCover(poi.position);
   for (const Photo& photo : dataset.photos) {
     bounds.ExtendToCover(photo.position);
   }
+  return bounds;
+}
+
+std::unique_ptr<DatasetIndexes> BuildIndexes(const Dataset& dataset,
+                                             double cell_size,
+                                             ThreadPool* pool) {
+  Box bounds = ComputeDatasetBounds(dataset);
   GridGeometry geometry(bounds, cell_size);
 
   std::vector<Point> photo_positions;

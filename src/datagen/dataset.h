@@ -46,8 +46,14 @@ struct DatasetIndexes {
   PointGrid<PhotoId> photo_grid;
 };
 
+/// The grid extent BuildIndexes covers: the union of the network, POI,
+/// and photo bounding boxes. Exposed so warm-start consumers
+/// (src/snapshot, tests) can check a restored geometry against the one a
+/// fresh build would derive.
+Box ComputeDatasetBounds(const Dataset& dataset);
+
 /// Builds all offline indices with square grid cells of side `cell_size`.
-/// The grid covers the union of the network, POI, and photo extents.
+/// The grid covers ComputeDatasetBounds(dataset).
 /// `pool` (may be null) parallelizes the segment<->cell map construction;
 /// it is not retained.
 std::unique_ptr<DatasetIndexes> BuildIndexes(const Dataset& dataset,

@@ -42,6 +42,10 @@ GlobalInvertedIndex::GlobalInvertedIndex(const PoiGridIndex& grid) {
   }
 }
 
+GlobalInvertedIndex::GlobalInvertedIndex(
+    std::unordered_map<KeywordId, std::vector<Entry>> lists)
+    : lists_(std::move(lists)) {}
+
 const std::vector<GlobalInvertedIndex::Entry>& GlobalInvertedIndex::Entries(
     KeywordId keyword) const {
   auto it = lists_.find(keyword);

@@ -33,6 +33,13 @@ class GlobalInvertedIndex {
   /// Builds from an already-built POI grid (offline, once per dataset).
   explicit GlobalInvertedIndex(const PoiGridIndex& grid);
 
+  /// Snapshot adoption path (src/snapshot): wraps restored per-keyword
+  /// entry lists, which must already be sorted decreasingly on weight
+  /// with the ascending-cell-id tie-break (the order a fresh build
+  /// produces and the snapshot writer preserves).
+  explicit GlobalInvertedIndex(
+      std::unordered_map<KeywordId, std::vector<Entry>> lists);
+
   /// Entries for `keyword`, sorted decreasingly on weight. Empty if the
   /// keyword occurs nowhere.
   const std::vector<Entry>& Entries(KeywordId keyword) const;

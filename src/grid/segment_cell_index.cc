@@ -69,6 +69,21 @@ SegmentCellIndex::SegmentCellIndex(const RoadNetwork& network,
                             build_timer.ElapsedSeconds());
 }
 
+SegmentCellIndex::SegmentCellIndex(
+    const RoadNetwork& network, GridGeometry geometry,
+    std::vector<std::vector<CellId>> segment_cells, ThreadPool* pool)
+    : geometry_(std::move(geometry)),
+      network_(&network),
+      segment_cells_(std::move(segment_cells)) {
+  SOI_CHECK(segment_cells_.size() ==
+            static_cast<size_t>(network.num_segments()))
+      << "adopted segment cell lists do not match the network: "
+      << segment_cells_.size() << " lists for " << network.num_segments()
+      << " segments";
+  InvertSegmentCells(segment_cells_, geometry_.num_cells(), pool,
+                     &cell_segments_);
+}
+
 const std::vector<CellId>& SegmentCellIndex::SegmentCells(SegmentId id) const {
   SOI_DCHECK(id >= 0 &&
              static_cast<size_t>(id) < segment_cells_.size());
@@ -109,6 +124,22 @@ EpsAugmentedMaps::EpsAugmentedMaps(const SegmentCellIndex& base, double eps,
   SOI_OBS_COUNTER_ADD("soi.index.eps_augment_builds", 1);
   SOI_OBS_HISTOGRAM_OBSERVE("soi.index.eps_augment_seconds",
                             build_timer.ElapsedSeconds());
+}
+
+EpsAugmentedMaps::EpsAugmentedMaps(
+    const SegmentCellIndex& base, double eps,
+    std::vector<std::vector<CellId>> segment_cells, ThreadPool* pool)
+    : eps_(eps),
+      geometry_(&base.geometry()),
+      segment_cells_(std::move(segment_cells)) {
+  SOI_CHECK(eps >= 0) << "eps must be non-negative";
+  SOI_CHECK(segment_cells_.size() ==
+            static_cast<size_t>(base.network().num_segments()))
+      << "adopted eps cell lists do not match the network: "
+      << segment_cells_.size() << " lists for "
+      << base.network().num_segments() << " segments";
+  InvertSegmentCells(segment_cells_, geometry_->num_cells(), pool,
+                     &cell_segments_);
 }
 
 const std::vector<CellId>& EpsAugmentedMaps::SegmentCells(

@@ -27,6 +27,15 @@ class SegmentCellIndex {
   SegmentCellIndex(const RoadNetwork& network, GridGeometry geometry,
                    ThreadPool* pool = nullptr);
 
+  /// Snapshot adoption path (src/snapshot): wraps already-computed
+  /// per-segment cell lists — one sorted list per segment of `network`,
+  /// validated by the caller against `geometry` — and re-derives only
+  /// the per-cell inversion. Bit-identical to a fresh build over the
+  /// same network/geometry for any thread count.
+  SegmentCellIndex(const RoadNetwork& network, GridGeometry geometry,
+                   std::vector<std::vector<CellId>> segment_cells,
+                   ThreadPool* pool = nullptr);
+
   const GridGeometry& geometry() const { return geometry_; }
   const RoadNetwork& network() const { return *network_; }
 
@@ -65,6 +74,14 @@ class EpsAugmentedMaps {
   EpsAugmentedMaps(const SegmentCellIndex& base, double eps,
                    ThreadPool* pool = nullptr,
                    const CancellationToken* cancel = nullptr);
+
+  /// Snapshot adoption path (src/snapshot): wraps restored per-segment
+  /// eps-dilated cell lists (one sorted list per segment, validated by
+  /// the caller) and re-derives only the inversion. Bit-identical to a
+  /// fresh build for the same base/eps.
+  EpsAugmentedMaps(const SegmentCellIndex& base, double eps,
+                   std::vector<std::vector<CellId>> segment_cells,
+                   ThreadPool* pool = nullptr);
 
   double eps() const { return eps_; }
   const GridGeometry& geometry() const { return *geometry_; }

@@ -1,12 +1,16 @@
 #include "network/network_io.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/string_util.h"
@@ -105,7 +109,61 @@ Result<RoadNetwork> ReadNetwork(std::istream* in) {
                              where);
     }
   }
-  return std::move(builder).Build();
+  SOI_ASSIGN_OR_RETURN(RoadNetwork network, std::move(builder).Build());
+  SOI_RETURN_NOT_OK(ValidateNetworkUniqueness(network));
+  return network;
+}
+
+Status ValidateNetworkUniqueness(const RoadNetwork& network) {
+  // Duplicate vertices: compare coordinate *bit patterns* (the identity
+  // the id-by-file-order format preserves), not geometric proximity.
+  using VertexKey = std::pair<std::pair<uint64_t, uint64_t>, VertexId>;
+  std::vector<VertexKey> vertex_keys;
+  vertex_keys.reserve(network.vertices().size());
+  for (size_t i = 0; i < network.vertices().size(); ++i) {
+    const Point& p = network.vertices()[i].position;
+    vertex_keys.push_back({{std::bit_cast<uint64_t>(p.x),
+                            std::bit_cast<uint64_t>(p.y)},
+                           static_cast<VertexId>(i)});
+  }
+  std::sort(vertex_keys.begin(), vertex_keys.end());
+  for (size_t i = 1; i < vertex_keys.size(); ++i) {
+    if (vertex_keys[i].first == vertex_keys[i - 1].first) {
+      const Point& p =
+          network.vertices()[static_cast<size_t>(vertex_keys[i].second)]
+              .position;
+      return Status::InvalidArgument(
+          "duplicate vertex: ids " +
+          std::to_string(vertex_keys[i - 1].second) + " and " +
+          std::to_string(vertex_keys[i].second) + " share position (" +
+          FormatDouble(p.x) + ", " + FormatDouble(p.y) + ")");
+    }
+  }
+
+  // Duplicate segments: the same undirected edge in more than one
+  // segment, within or across streets.
+  using EdgeKey = std::pair<std::pair<VertexId, VertexId>, SegmentId>;
+  std::vector<EdgeKey> edge_keys;
+  edge_keys.reserve(network.segments().size());
+  for (size_t i = 0; i < network.segments().size(); ++i) {
+    const NetworkSegment& seg = network.segments()[i];
+    VertexId lo = std::min(seg.from, seg.to);
+    VertexId hi = std::max(seg.from, seg.to);
+    edge_keys.push_back({{lo, hi}, static_cast<SegmentId>(i)});
+  }
+  std::sort(edge_keys.begin(), edge_keys.end());
+  for (size_t i = 1; i < edge_keys.size(); ++i) {
+    if (edge_keys[i].first == edge_keys[i - 1].first) {
+      return Status::InvalidArgument(
+          "duplicate segment: ids " +
+          std::to_string(edge_keys[i - 1].second) + " and " +
+          std::to_string(edge_keys[i].second) +
+          " connect the same vertices " +
+          std::to_string(edge_keys[i].first.first) + " and " +
+          std::to_string(edge_keys[i].first.second));
+    }
+  }
+  return Status::OK();
 }
 
 Result<RoadNetwork> ReadNetworkFromFile(const std::string& path) {

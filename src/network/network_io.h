@@ -26,6 +26,16 @@ namespace soi {
 [[nodiscard]] Result<RoadNetwork> ReadNetworkFromFile(
     const std::string& path);
 
+/// Rejects networks carrying duplicated records: two vertex ids with
+/// bit-identical coordinates, or the same undirected edge appearing in
+/// more than one segment. Text vertices/segments are identified by file
+/// order, so a duplicated line silently becomes a distinct id that
+/// corrupts index construction downstream (double-counted cell weights,
+/// ambiguous street membership) — duplicates are an input error, not a
+/// tolerated redundancy. Shared by ReadNetwork and snapshot loading
+/// (src/snapshot); returns kInvalidArgument naming the colliding ids.
+[[nodiscard]] Status ValidateNetworkUniqueness(const RoadNetwork& network);
+
 }  // namespace soi
 
 #endif  // SOI_NETWORK_NETWORK_IO_H_

@@ -1,10 +1,14 @@
 #include "objects/object_io.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -53,6 +57,63 @@ inline Status ParseExtraField(const std::string& field, Photo* photo) {
   }
   photo->visual = std::move(visual);
   return Status::OK();
+}
+
+// Identity keys for duplicate detection: coordinate and float payload
+// *bit patterns* plus keyword ids, so two records are duplicates exactly
+// when they would have been written as the same line.
+inline void AppendRaw(uint64_t bits, std::string* key) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    key->push_back(static_cast<char>((bits >> shift) & 0xff));
+  }
+}
+inline void AppendExtraKey(const Poi& poi, std::string* key) {
+  AppendRaw(std::bit_cast<uint64_t>(poi.weight), key);
+}
+inline void AppendExtraKey(const Photo& photo, std::string* key) {
+  for (float value : photo.visual) {
+    AppendRaw(std::bit_cast<uint32_t>(value), key);
+  }
+}
+template <typename T>
+std::string ObjectKey(const T& object) {
+  std::string key;
+  AppendRaw(std::bit_cast<uint64_t>(object.position.x), &key);
+  AppendRaw(std::bit_cast<uint64_t>(object.position.y), &key);
+  for (KeywordId id : object.keywords.ids()) {
+    AppendRaw(static_cast<uint64_t>(static_cast<uint32_t>(id)), &key);
+  }
+  key.push_back('|');  // keyword/payload boundary
+  AppendExtraKey(object, &key);
+  return key;
+}
+
+template <typename T>
+Status ValidateObjectUniqueness(const std::vector<T>& objects,
+                                const char* kind) {
+  std::vector<std::pair<std::string, size_t>> keys;
+  keys.reserve(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    keys.emplace_back(ObjectKey(objects[i]), i);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i].first == keys[i - 1].first) {
+      return Status::InvalidArgument(
+          std::string("duplicate ") + kind + ": records " +
+          std::to_string(keys[i - 1].second) + " and " +
+          std::to_string(keys[i].second) +
+          " have identical position, keywords, and payload");
+    }
+  }
+  return Status::OK();
+}
+
+inline Status ValidateUniqueness(const std::vector<Poi>& pois) {
+  return ValidateObjectUniqueness(pois, "POI");
+}
+inline Status ValidateUniqueness(const std::vector<Photo>& photos) {
+  return ValidateObjectUniqueness(photos, "photo");
 }
 
 // Shared row codec: Poi and Photo share the on-disk shape, with an
@@ -132,6 +193,7 @@ Result<std::vector<T>> ReadObjects(std::istream* in, Vocabulary* vocabulary) {
     }
     objects.push_back(std::move(object));
   }
+  SOI_RETURN_NOT_OK(ValidateUniqueness(objects));
   return objects;
 }
 
@@ -197,6 +259,14 @@ Result<std::vector<Photo>> ReadPhotos(std::istream* in,
 Result<std::vector<Photo>> ReadPhotosFromFile(const std::string& path,
                                               Vocabulary* vocabulary) {
   return ReadObjectsFromFile<Photo>(path, vocabulary);
+}
+
+Status ValidatePoiUniqueness(const std::vector<Poi>& pois) {
+  return ValidateUniqueness(pois);
+}
+
+Status ValidatePhotoUniqueness(const std::vector<Photo>& photos) {
+  return ValidateUniqueness(photos);
 }
 
 }  // namespace soi

@@ -42,6 +42,17 @@ namespace soi {
 [[nodiscard]] Result<std::vector<Photo>> ReadPhotosFromFile(
     const std::string& path, Vocabulary* vocabulary);
 
+/// Rejects object sets carrying duplicated records: two objects with
+/// bit-identical coordinates, the same keyword set, and the same
+/// type-specific payload (POI weight / photo visual descriptor). Object
+/// ids are positional, so a duplicated line silently becomes a second id
+/// that double-counts cell weights and photo densities downstream.
+/// Shared by ReadPois/ReadPhotos and snapshot loading (src/snapshot);
+/// returns kInvalidArgument naming the colliding indices.
+[[nodiscard]] Status ValidatePoiUniqueness(const std::vector<Poi>& pois);
+[[nodiscard]] Status ValidatePhotoUniqueness(
+    const std::vector<Photo>& photos);
+
 }  // namespace soi
 
 #endif  // SOI_OBJECTS_OBJECT_IO_H_

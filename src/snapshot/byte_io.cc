@@ -1,0 +1,157 @@
+#include "snapshot/byte_io.h"
+
+#include <array>
+#include <bit>
+
+namespace soi {
+
+namespace {
+
+// Truncation is the one failure this layer can produce; section decoders
+// add their own context on top.
+Status Truncated(size_t wanted, size_t remaining) {
+  return Status::IOError("snapshot payload truncated: need " +
+                         std::to_string(wanted) + " bytes, " +
+                         std::to_string(remaining) + " remain");
+}
+
+}  // namespace
+
+void ByteWriter::PutU8(uint8_t value) {
+  data_.push_back(static_cast<char>(value));
+}
+
+void ByteWriter::PutU32(uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    data_.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    data_.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void ByteWriter::PutI32(int32_t value) {
+  PutU32(static_cast<uint32_t>(value));
+}
+
+void ByteWriter::PutI64(int64_t value) {
+  PutU64(static_cast<uint64_t>(value));
+}
+
+void ByteWriter::PutFloat(float value) {
+  PutU32(std::bit_cast<uint32_t>(value));
+}
+
+void ByteWriter::PutDouble(double value) {
+  PutU64(std::bit_cast<uint64_t>(value));
+}
+
+void ByteWriter::PutString(std::string_view value) {
+  PutU64(value.size());
+  data_.append(value);
+}
+
+Status ByteReader::Take(size_t n, const char** out) {
+  if (n > remaining()) return Truncated(n, remaining());
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU8(uint8_t* out) {
+  const char* bytes = nullptr;
+  SOI_RETURN_NOT_OK(Take(1, &bytes));
+  *out = static_cast<uint8_t>(bytes[0]);
+  return Status::OK();
+}
+
+Status ByteReader::ReadU32(uint32_t* out) {
+  const char* bytes = nullptr;
+  SOI_RETURN_NOT_OK(Take(4, &bytes));
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[i]))
+             << (8 * i);
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU64(uint64_t* out) {
+  const char* bytes = nullptr;
+  SOI_RETURN_NOT_OK(Take(8, &bytes));
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[i]))
+             << (8 * i);
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status ByteReader::ReadI32(int32_t* out) {
+  uint32_t bits = 0;
+  SOI_RETURN_NOT_OK(ReadU32(&bits));
+  *out = static_cast<int32_t>(bits);
+  return Status::OK();
+}
+
+Status ByteReader::ReadI64(int64_t* out) {
+  uint64_t bits = 0;
+  SOI_RETURN_NOT_OK(ReadU64(&bits));
+  *out = static_cast<int64_t>(bits);
+  return Status::OK();
+}
+
+Status ByteReader::ReadFloat(float* out) {
+  uint32_t bits = 0;
+  SOI_RETURN_NOT_OK(ReadU32(&bits));
+  *out = std::bit_cast<float>(bits);
+  return Status::OK();
+}
+
+Status ByteReader::ReadDouble(double* out) {
+  uint64_t bits = 0;
+  SOI_RETURN_NOT_OK(ReadU64(&bits));
+  *out = std::bit_cast<double>(bits);
+  return Status::OK();
+}
+
+Status ByteReader::ReadString(std::string* out) {
+  uint64_t length = 0;
+  SOI_RETURN_NOT_OK(ReadU64(&length));
+  // The length prefix of a truncated payload can claim more bytes than
+  // the section holds; bound it by what actually remains before
+  // allocating.
+  if (length > remaining()) {
+    return Truncated(static_cast<size_t>(length), remaining());
+  }
+  const char* bytes = nullptr;
+  SOI_RETURN_NOT_OK(Take(static_cast<size_t>(length), &bytes));
+  out->assign(bytes, static_cast<size_t>(length));
+  return Status::OK();
+}
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      table[i] = crc;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<uint8_t>(c)) & 0xffu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace soi

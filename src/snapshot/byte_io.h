@@ -1,0 +1,71 @@
+#ifndef SOI_SNAPSHOT_BYTE_IO_H_
+#define SOI_SNAPSHOT_BYTE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace soi {
+
+/// Little-endian binary encoding primitives for the snapshot format
+/// (DESIGN.md "Persistence & warm start"). Integers are written
+/// byte-by-byte in little-endian order (independent of host endianness);
+/// floats and doubles are written as their IEEE-754 bit patterns, so
+/// every value round-trips bit-exactly — the property the warm-start
+/// determinism contract rests on.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t value);
+  void PutU32(uint32_t value);
+  void PutU64(uint64_t value);
+  void PutI32(int32_t value);
+  void PutI64(int64_t value);
+  void PutFloat(float value);
+  void PutDouble(double value);
+  /// u64 length prefix followed by the raw bytes.
+  void PutString(std::string_view value);
+
+  const std::string& data() const { return data_; }
+  std::string TakeData() { return std::move(data_); }
+
+ private:
+  std::string data_;
+};
+
+/// Bounded reader over one encoded section payload. Every read is
+/// range-checked: reading past the end returns kIOError instead of
+/// touching out-of-bounds memory, so a truncated or bit-flipped payload
+/// that slips past the CRC surfaces as a typed error, never a crash.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] Status ReadU8(uint8_t* out);
+  [[nodiscard]] Status ReadU32(uint32_t* out);
+  [[nodiscard]] Status ReadU64(uint64_t* out);
+  [[nodiscard]] Status ReadI32(int32_t* out);
+  [[nodiscard]] Status ReadI64(int64_t* out);
+  [[nodiscard]] Status ReadFloat(float* out);
+  [[nodiscard]] Status ReadDouble(double* out);
+  [[nodiscard]] Status ReadString(std::string* out);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  /// Advances past `n` bytes, or fails with kIOError if fewer remain.
+  [[nodiscard]] Status Take(size_t n, const char** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 reflected polynomial 0xEDB88320) of `data` — the
+/// per-section checksum of the snapshot format.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace soi
+
+#endif  // SOI_SNAPSHOT_BYTE_IO_H_

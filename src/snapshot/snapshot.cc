@@ -1,0 +1,903 @@
+#include "snapshot/snapshot.h"
+
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "network/network_builder.h"
+#include "network/network_io.h"
+#include "objects/object_io.h"
+#include "obs/obs.h"
+#include "snapshot/byte_io.h"
+
+namespace soi {
+
+namespace {
+
+enum SectionId : uint32_t {
+  kSectionMeta = 1,
+  kSectionVocabulary = 2,
+  kSectionNetwork = 3,
+  kSectionGeometry = 4,
+  kSectionPois = 5,
+  kSectionPhotos = 6,
+  kSectionSegmentCells = 7,
+  kSectionGlobalIndex = 8,
+  kSectionEpsMaps = 9,
+};
+
+const char* SectionName(uint32_t id) {
+  switch (id) {
+    case kSectionMeta: return "meta";
+    case kSectionVocabulary: return "vocabulary";
+    case kSectionNetwork: return "network";
+    case kSectionGeometry: return "geometry";
+    case kSectionPois: return "pois";
+    case kSectionPhotos: return "photos";
+    case kSectionSegmentCells: return "segment_cells";
+    case kSectionGlobalIndex: return "global_index";
+    case kSectionEpsMaps: return "eps_maps";
+    default: return "unknown";
+  }
+}
+
+// The fixed non-eps section sequence; eps_maps sections follow, one per
+// cached EpsAugmentedMaps.
+constexpr uint32_t kSectionOrder[] = {
+    kSectionMeta,         kSectionVocabulary, kSectionNetwork,
+    kSectionGeometry,     kSectionPois,       kSectionPhotos,
+    kSectionSegmentCells, kSectionGlobalIndex,
+};
+constexpr size_t kNumFixedSections =
+    sizeof(kSectionOrder) / sizeof(kSectionOrder[0]);
+
+struct Meta {
+  std::string name;
+  uint64_t num_vertices = 0;
+  uint64_t num_segments = 0;
+  uint64_t num_streets = 0;
+  uint64_t num_pois = 0;
+  uint64_t num_photos = 0;
+  uint64_t num_keywords = 0;
+  uint64_t num_eps_maps = 0;
+};
+
+// ---------------------------------------------------------------------
+// Section encoders.
+
+std::string EncodeMeta(const SnapshotContents& contents) {
+  const Dataset& dataset = *contents.dataset;
+  ByteWriter w;
+  w.PutString(dataset.name);
+  w.PutU64(static_cast<uint64_t>(dataset.network.num_vertices()));
+  w.PutU64(static_cast<uint64_t>(dataset.network.num_segments()));
+  w.PutU64(static_cast<uint64_t>(dataset.network.num_streets()));
+  w.PutU64(dataset.pois.size());
+  w.PutU64(dataset.photos.size());
+  w.PutU64(static_cast<uint64_t>(dataset.vocabulary.size()));
+  w.PutU64(contents.eps_maps.size());
+  return w.TakeData();
+}
+
+std::string EncodeVocabulary(const Vocabulary& vocabulary) {
+  ByteWriter w;
+  w.PutU64(static_cast<uint64_t>(vocabulary.size()));
+  for (KeywordId id = 0; id < vocabulary.size(); ++id) {
+    w.PutString(vocabulary.Name(id));
+  }
+  return w.TakeData();
+}
+
+std::string EncodeNetwork(const RoadNetwork& network) {
+  ByteWriter w;
+  w.PutU64(network.vertices().size());
+  for (const Vertex& v : network.vertices()) {
+    w.PutDouble(v.position.x);
+    w.PutDouble(v.position.y);
+  }
+  w.PutU64(network.streets().size());
+  for (const Street& s : network.streets()) {
+    w.PutString(s.name);
+    // A street's vertex path is its first segment's endpoints followed
+    // by the `to` vertex of each further segment (as in WriteNetwork);
+    // segments, lengths, and geometry are recomputed deterministically
+    // by NetworkBuilder on load.
+    w.PutU64(s.segments.size() + 1);
+    for (size_t i = 0; i < s.segments.size(); ++i) {
+      const NetworkSegment& seg = network.segment(s.segments[i]);
+      if (i == 0) w.PutI32(seg.from);
+      w.PutI32(seg.to);
+    }
+  }
+  return w.TakeData();
+}
+
+std::string EncodeGeometry(const GridGeometry& geometry) {
+  ByteWriter w;
+  w.PutDouble(geometry.bounds().min.x);
+  w.PutDouble(geometry.bounds().min.y);
+  w.PutDouble(geometry.bounds().max.x);
+  w.PutDouble(geometry.bounds().max.y);
+  w.PutDouble(geometry.cell_size());
+  return w.TakeData();
+}
+
+std::string EncodePois(const std::vector<Poi>& pois) {
+  ByteWriter w;
+  w.PutU64(pois.size());
+  for (const Poi& poi : pois) {
+    w.PutDouble(poi.position.x);
+    w.PutDouble(poi.position.y);
+    w.PutU32(static_cast<uint32_t>(poi.keywords.size()));
+    for (KeywordId id : poi.keywords.ids()) w.PutI32(id);
+    w.PutDouble(poi.weight);
+  }
+  return w.TakeData();
+}
+
+std::string EncodePhotos(const std::vector<Photo>& photos) {
+  ByteWriter w;
+  w.PutU64(photos.size());
+  for (const Photo& photo : photos) {
+    w.PutDouble(photo.position.x);
+    w.PutDouble(photo.position.y);
+    w.PutU32(static_cast<uint32_t>(photo.keywords.size()));
+    for (KeywordId id : photo.keywords.ids()) w.PutI32(id);
+    w.PutU32(static_cast<uint32_t>(photo.visual.size()));
+    for (float value : photo.visual) w.PutFloat(value);
+  }
+  return w.TakeData();
+}
+
+// Shared by segment_cells and eps_maps sections: only the per-segment
+// cell lists are persisted; the per-cell inversion is recomputed on load
+// (deterministic, cheap relative to the geometric dilation it replaces).
+template <typename IndexT>
+void EncodeSegmentLists(const IndexT& index, int64_t num_segments,
+                        ByteWriter* w) {
+  w->PutU64(static_cast<uint64_t>(num_segments));
+  for (SegmentId id = 0; id < num_segments; ++id) {
+    const std::vector<CellId>& cells = index.SegmentCells(id);
+    w->PutU64(cells.size());
+    for (CellId cell : cells) w->PutI32(cell);
+  }
+}
+
+std::string EncodeSegmentCells(const SegmentCellIndex& index) {
+  ByteWriter w;
+  EncodeSegmentLists(index, index.network().num_segments(), &w);
+  return w.TakeData();
+}
+
+std::string EncodeGlobalIndex(const GlobalInvertedIndex& index,
+                              int64_t vocab_size) {
+  ByteWriter w;
+  std::vector<KeywordId> keywords;
+  for (KeywordId id = 0; id < vocab_size; ++id) {
+    if (!index.Entries(id).empty()) keywords.push_back(id);
+  }
+  w.PutU64(keywords.size());
+  for (KeywordId keyword : keywords) {
+    const std::vector<GlobalInvertedIndex::Entry>& entries =
+        index.Entries(keyword);
+    w.PutI32(keyword);
+    w.PutU64(entries.size());
+    for (const GlobalInvertedIndex::Entry& entry : entries) {
+      w.PutI32(entry.cell);
+      w.PutI64(entry.num_pois);
+      w.PutDouble(entry.weight);
+    }
+  }
+  return w.TakeData();
+}
+
+std::string EncodeEpsMaps(const EpsAugmentedMaps& maps,
+                          int64_t num_segments) {
+  ByteWriter w;
+  w.PutDouble(maps.eps());
+  EncodeSegmentLists(maps, num_segments, &w);
+  return w.TakeData();
+}
+
+// ---------------------------------------------------------------------
+// Section decoders. Structural damage -> kIOError; semantic violations
+// (duplicates, mirroring the text readers) -> kInvalidArgument.
+
+Status SectionError(uint32_t id, const std::string& detail) {
+  return Status::IOError(std::string("corrupt snapshot section '") +
+                         SectionName(id) + "': " + detail);
+}
+
+Status DecodeMeta(ByteReader* r, Meta* meta) {
+  SOI_RETURN_NOT_OK(r->ReadString(&meta->name));
+  SOI_RETURN_NOT_OK(r->ReadU64(&meta->num_vertices));
+  SOI_RETURN_NOT_OK(r->ReadU64(&meta->num_segments));
+  SOI_RETURN_NOT_OK(r->ReadU64(&meta->num_streets));
+  SOI_RETURN_NOT_OK(r->ReadU64(&meta->num_pois));
+  SOI_RETURN_NOT_OK(r->ReadU64(&meta->num_photos));
+  SOI_RETURN_NOT_OK(r->ReadU64(&meta->num_keywords));
+  SOI_RETURN_NOT_OK(r->ReadU64(&meta->num_eps_maps));
+  if (!r->AtEnd()) return SectionError(kSectionMeta, "trailing bytes");
+  return Status::OK();
+}
+
+Status DecodeVocabulary(ByteReader* r, const Meta& meta,
+                        Vocabulary* vocabulary) {
+  uint64_t count = 0;
+  SOI_RETURN_NOT_OK(r->ReadU64(&count));
+  if (count != meta.num_keywords) {
+    return SectionError(kSectionVocabulary,
+                        "keyword count disagrees with meta");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    SOI_RETURN_NOT_OK(r->ReadString(&name));
+    if (name.empty()) {
+      return SectionError(kSectionVocabulary, "empty keyword");
+    }
+    if (vocabulary->Intern(name) != static_cast<KeywordId>(i)) {
+      return SectionError(kSectionVocabulary,
+                          "duplicate keyword '" + name + "'");
+    }
+  }
+  if (!r->AtEnd()) {
+    return SectionError(kSectionVocabulary, "trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status DecodeNetwork(ByteReader* r, const Meta& meta,
+                     RoadNetwork* network) {
+  uint64_t num_vertices = 0;
+  SOI_RETURN_NOT_OK(r->ReadU64(&num_vertices));
+  if (num_vertices != meta.num_vertices) {
+    return SectionError(kSectionNetwork,
+                        "vertex count disagrees with meta");
+  }
+  NetworkBuilder builder;
+  for (uint64_t i = 0; i < num_vertices; ++i) {
+    double x = 0.0;
+    double y = 0.0;
+    SOI_RETURN_NOT_OK(r->ReadDouble(&x));
+    SOI_RETURN_NOT_OK(r->ReadDouble(&y));
+    if (!std::isfinite(x) || !std::isfinite(y)) {
+      return SectionError(kSectionNetwork,
+                          "non-finite vertex coordinate");
+    }
+    builder.AddVertex(Point{x, y});
+  }
+  uint64_t num_streets = 0;
+  SOI_RETURN_NOT_OK(r->ReadU64(&num_streets));
+  if (num_streets != meta.num_streets) {
+    return SectionError(kSectionNetwork,
+                        "street count disagrees with meta");
+  }
+  for (uint64_t s = 0; s < num_streets; ++s) {
+    std::string name;
+    SOI_RETURN_NOT_OK(r->ReadString(&name));
+    uint64_t path_len = 0;
+    SOI_RETURN_NOT_OK(r->ReadU64(&path_len));
+    if (path_len > r->remaining() / 4) {
+      return SectionError(kSectionNetwork, "street path truncated");
+    }
+    std::vector<VertexId> path;
+    path.reserve(static_cast<size_t>(path_len));
+    for (uint64_t i = 0; i < path_len; ++i) {
+      int32_t vertex = 0;
+      SOI_RETURN_NOT_OK(r->ReadI32(&vertex));
+      if (vertex < 0 || static_cast<uint64_t>(vertex) >= num_vertices) {
+        return SectionError(kSectionNetwork, "vertex id out of range");
+      }
+      path.push_back(vertex);
+    }
+    SOI_ASSIGN_OR_RETURN(StreetId unused,
+                         builder.AddStreet(std::move(name), path));
+    (void)unused;
+  }
+  if (!r->AtEnd()) return SectionError(kSectionNetwork, "trailing bytes");
+  SOI_ASSIGN_OR_RETURN(*network, std::move(builder).Build());
+  if (static_cast<uint64_t>(network->num_segments()) !=
+      meta.num_segments) {
+    return SectionError(kSectionNetwork,
+                        "segment count disagrees with meta");
+  }
+  // The same duplicate detection the text reader applies
+  // (network_io.h): duplicated records are input corruption here too.
+  return ValidateNetworkUniqueness(*network);
+}
+
+Status DecodeGeometry(ByteReader* r, std::optional<GridGeometry>* out) {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+  double cell_size = 0.0;
+  SOI_RETURN_NOT_OK(r->ReadDouble(&min_x));
+  SOI_RETURN_NOT_OK(r->ReadDouble(&min_y));
+  SOI_RETURN_NOT_OK(r->ReadDouble(&max_x));
+  SOI_RETURN_NOT_OK(r->ReadDouble(&max_y));
+  SOI_RETURN_NOT_OK(r->ReadDouble(&cell_size));
+  if (!r->AtEnd()) return SectionError(kSectionGeometry, "trailing bytes");
+  // Pre-validate everything GridGeometry's constructor would SOI_CHECK:
+  // corrupted input must surface as a Status, never a crash.
+  if (!std::isfinite(min_x) || !std::isfinite(min_y) ||
+      !std::isfinite(max_x) || !std::isfinite(max_y) ||
+      !std::isfinite(cell_size)) {
+    return SectionError(kSectionGeometry, "non-finite geometry field");
+  }
+  Box bounds = Box{Point{min_x, min_y}, Point{max_x, max_y}};
+  if (bounds.IsEmpty() || cell_size <= 0.0) {
+    return SectionError(kSectionGeometry,
+                        "empty bounds or non-positive cell size");
+  }
+  double nx = std::max(1.0, std::ceil(bounds.Width() / cell_size));
+  double ny = std::max(1.0, std::ceil(bounds.Height() / cell_size));
+  if (!(nx * ny < 2147483648.0)) {
+    return SectionError(kSectionGeometry, "grid too fine");
+  }
+  out->emplace(bounds, cell_size);
+  return Status::OK();
+}
+
+template <typename T>
+Status DecodeObjectCommon(ByteReader* r, const Meta& meta, uint32_t section,
+                          T* object) {
+  double x = 0.0;
+  double y = 0.0;
+  SOI_RETURN_NOT_OK(r->ReadDouble(&x));
+  SOI_RETURN_NOT_OK(r->ReadDouble(&y));
+  if (!std::isfinite(x) || !std::isfinite(y)) {
+    return SectionError(section, "non-finite coordinate");
+  }
+  uint32_t num_keywords = 0;
+  SOI_RETURN_NOT_OK(r->ReadU32(&num_keywords));
+  if (num_keywords > r->remaining() / 4) {
+    return SectionError(section, "keyword list truncated");
+  }
+  std::vector<KeywordId> ids;
+  ids.reserve(num_keywords);
+  for (uint32_t i = 0; i < num_keywords; ++i) {
+    int32_t id = 0;
+    SOI_RETURN_NOT_OK(r->ReadI32(&id));
+    if (id < 0 || static_cast<uint64_t>(id) >= meta.num_keywords) {
+      return SectionError(section, "keyword id out of range");
+    }
+    ids.push_back(id);
+  }
+  object->position = Point{x, y};
+  object->keywords = KeywordSet(std::move(ids));
+  return Status::OK();
+}
+
+Status DecodePois(ByteReader* r, const Meta& meta,
+                  std::vector<Poi>* pois) {
+  uint64_t count = 0;
+  SOI_RETURN_NOT_OK(r->ReadU64(&count));
+  if (count != meta.num_pois) {
+    return SectionError(kSectionPois, "POI count disagrees with meta");
+  }
+  pois->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    Poi poi;
+    SOI_RETURN_NOT_OK(DecodeObjectCommon(r, meta, kSectionPois, &poi));
+    SOI_RETURN_NOT_OK(r->ReadDouble(&poi.weight));
+    if (!std::isfinite(poi.weight) || poi.weight < 0) {
+      return SectionError(kSectionPois,
+                          "POI weight must be finite and non-negative");
+    }
+    pois->push_back(std::move(poi));
+  }
+  if (!r->AtEnd()) return SectionError(kSectionPois, "trailing bytes");
+  return ValidatePoiUniqueness(*pois);
+}
+
+Status DecodePhotos(ByteReader* r, const Meta& meta,
+                    std::vector<Photo>* photos) {
+  uint64_t count = 0;
+  SOI_RETURN_NOT_OK(r->ReadU64(&count));
+  if (count != meta.num_photos) {
+    return SectionError(kSectionPhotos,
+                        "photo count disagrees with meta");
+  }
+  photos->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    Photo photo;
+    SOI_RETURN_NOT_OK(
+        DecodeObjectCommon(r, meta, kSectionPhotos, &photo));
+    uint32_t visual_dim = 0;
+    SOI_RETURN_NOT_OK(r->ReadU32(&visual_dim));
+    if (visual_dim > r->remaining() / 4) {
+      return SectionError(kSectionPhotos, "visual descriptor truncated");
+    }
+    photo.visual.reserve(visual_dim);
+    for (uint32_t d = 0; d < visual_dim; ++d) {
+      float value = 0.0f;
+      SOI_RETURN_NOT_OK(r->ReadFloat(&value));
+      photo.visual.push_back(value);
+    }
+    if (!photos->empty() &&
+        photo.visual.size() != photos->front().visual.size()) {
+      return SectionError(kSectionPhotos,
+                          "inconsistent visual descriptor dimension");
+    }
+    photos->push_back(std::move(photo));
+  }
+  if (!r->AtEnd()) return SectionError(kSectionPhotos, "trailing bytes");
+  return ValidatePhotoUniqueness(*photos);
+}
+
+// Shared by segment_cells and eps_maps: per-segment cell lists, each
+// strictly ascending with every cell inside the grid (the invariants the
+// fresh build guarantees and the inversion pass indexes by).
+Status DecodeSegmentLists(ByteReader* r, uint32_t section, const Meta& meta,
+                          int64_t num_cells,
+                          std::vector<std::vector<CellId>>* lists) {
+  uint64_t num_segments = 0;
+  SOI_RETURN_NOT_OK(r->ReadU64(&num_segments));
+  if (num_segments != meta.num_segments) {
+    return SectionError(section, "segment count disagrees with meta");
+  }
+  lists->resize(static_cast<size_t>(num_segments));
+  for (uint64_t s = 0; s < num_segments; ++s) {
+    uint64_t count = 0;
+    SOI_RETURN_NOT_OK(r->ReadU64(&count));
+    if (count > r->remaining() / 4) {
+      return SectionError(section, "cell list truncated");
+    }
+    std::vector<CellId>& cells = (*lists)[static_cast<size_t>(s)];
+    cells.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      int32_t cell = 0;
+      SOI_RETURN_NOT_OK(r->ReadI32(&cell));
+      if (cell < 0 || cell >= num_cells) {
+        return SectionError(section, "cell id out of range");
+      }
+      if (!cells.empty() && cell <= cells.back()) {
+        return SectionError(section, "cell list not strictly ascending");
+      }
+      cells.push_back(cell);
+    }
+  }
+  if (!r->AtEnd()) return SectionError(section, "trailing bytes");
+  return Status::OK();
+}
+
+Status DecodeGlobalIndex(
+    ByteReader* r, const Meta& meta, int64_t num_cells,
+    std::unordered_map<KeywordId, std::vector<GlobalInvertedIndex::Entry>>*
+        lists) {
+  uint64_t num_lists = 0;
+  SOI_RETURN_NOT_OK(r->ReadU64(&num_lists));
+  if (num_lists > meta.num_keywords) {
+    return SectionError(kSectionGlobalIndex,
+                        "more entry lists than keywords");
+  }
+  int64_t previous_keyword = -1;
+  for (uint64_t k = 0; k < num_lists; ++k) {
+    int32_t keyword = 0;
+    SOI_RETURN_NOT_OK(r->ReadI32(&keyword));
+    if (keyword <= previous_keyword ||
+        static_cast<uint64_t>(keyword) >= meta.num_keywords) {
+      return SectionError(kSectionGlobalIndex,
+                          "keyword ids not ascending or out of range");
+    }
+    previous_keyword = keyword;
+    uint64_t num_entries = 0;
+    SOI_RETURN_NOT_OK(r->ReadU64(&num_entries));
+    if (num_entries == 0 || num_entries > r->remaining() / 20) {
+      return SectionError(kSectionGlobalIndex, "entry list truncated");
+    }
+    std::vector<GlobalInvertedIndex::Entry>& entries = (*lists)[keyword];
+    entries.reserve(static_cast<size_t>(num_entries));
+    for (uint64_t i = 0; i < num_entries; ++i) {
+      GlobalInvertedIndex::Entry entry{};
+      SOI_RETURN_NOT_OK(r->ReadI32(&entry.cell));
+      SOI_RETURN_NOT_OK(r->ReadI64(&entry.num_pois));
+      SOI_RETURN_NOT_OK(r->ReadDouble(&entry.weight));
+      if (entry.cell < 0 || entry.cell >= num_cells) {
+        return SectionError(kSectionGlobalIndex, "cell id out of range");
+      }
+      if (entry.num_pois <= 0 || !std::isfinite(entry.weight)) {
+        return SectionError(kSectionGlobalIndex,
+                            "non-positive count or non-finite weight");
+      }
+      if (!entries.empty()) {
+        const GlobalInvertedIndex::Entry& prev = entries.back();
+        // The fresh-build order: weight descending, ascending cell id
+        // as the deterministic tie-break.
+        bool ordered = prev.weight > entry.weight ||
+                       (prev.weight == entry.weight &&
+                        prev.cell < entry.cell);
+        if (!ordered) {
+          return SectionError(kSectionGlobalIndex,
+                              "entries not sorted by weight");
+        }
+      }
+      entries.push_back(entry);
+    }
+  }
+  if (!r->AtEnd()) {
+    return SectionError(kSectionGlobalIndex, "trailing bytes");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Stream plumbing.
+
+Status ReadExact(std::istream* in, size_t n, std::string* out) {
+  out->resize(n);
+  in->read(out->data(), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in->gcount()) != n) {
+    return Status::IOError("snapshot truncated: expected " +
+                           std::to_string(n) + " bytes, got " +
+                           std::to_string(in->gcount()));
+  }
+  return Status::OK();
+}
+
+struct SectionHeader {
+  uint32_t id = 0;
+  uint64_t payload_bytes = 0;
+  uint32_t crc32 = 0;
+};
+
+Status ReadSectionHeader(std::istream* in, SectionHeader* header) {
+  std::string bytes;
+  SOI_RETURN_NOT_OK(ReadExact(in, 16, &bytes));
+  ByteReader r(bytes);
+  SOI_RETURN_NOT_OK(r.ReadU32(&header->id));
+  SOI_RETURN_NOT_OK(r.ReadU64(&header->payload_bytes));
+  SOI_RETURN_NOT_OK(r.ReadU32(&header->crc32));
+  return Status::OK();
+}
+
+// Reads and CRC-verifies one section. The payload size comes from an
+// unprotected header field, so bound it against the bytes actually left
+// in the stream before allocating.
+Status ReadSectionPayload(std::istream* in, const SectionHeader& header,
+                          std::string* payload) {
+  Status read = ReadExact(in, static_cast<size_t>(header.payload_bytes),
+                          payload);
+  if (!read.ok()) {
+    return Status::IOError(std::string("section '") +
+                           SectionName(header.id) +
+                           "' truncated: " + std::string(read.message()));
+  }
+  if (Crc32(*payload) != header.crc32) {
+    return Status::IOError(std::string("CRC mismatch in section '") +
+                           SectionName(header.id) +
+                           "' (snapshot corrupted)");
+  }
+  return Status::OK();
+}
+
+// Validates magic + version and returns the section count.
+Status ReadFileHeader(std::istream* in, uint32_t* version,
+                      uint32_t* section_count) {
+  std::string magic;
+  SOI_RETURN_NOT_OK(ReadExact(in, sizeof(kSnapshotMagic), &magic));
+  if (magic != std::string_view(kSnapshotMagic, sizeof(kSnapshotMagic))) {
+    return Status::IOError("not a snapshot file (bad magic)");
+  }
+  std::string rest;
+  SOI_RETURN_NOT_OK(ReadExact(in, 8, &rest));
+  ByteReader r(rest);
+  SOI_RETURN_NOT_OK(r.ReadU32(version));
+  SOI_RETURN_NOT_OK(r.ReadU32(section_count));
+  if (*version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot format version " + std::to_string(*version) +
+        " (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) +
+        "); regenerate the snapshot");
+  }
+  // 8 fixed sections plus one eps section per cached map; anything past
+  // this bound is header corruption, not a plausible snapshot.
+  constexpr uint32_t kMaxSections = 1u << 20;
+  if (*section_count < kNumFixedSections ||
+      *section_count > kMaxSections) {
+    return Status::IOError("implausible section count: " +
+                           std::to_string(*section_count));
+  }
+  return Status::OK();
+}
+
+Status WriteSection(std::ostream* out, uint32_t id,
+                    const std::string& payload) {
+  SOI_FAULT_POINT("snapshot.write_section");
+  ByteWriter header;
+  header.PutU32(id);
+  header.PutU64(payload.size());
+  header.PutU32(Crc32(payload));
+  out->write(header.data().data(),
+             static_cast<std::streamsize>(header.data().size()));
+  out->write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+  if (!out->good()) {
+    return Status::IOError(std::string("failed writing section '") +
+                           SectionName(id) + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveSnapshot(const SnapshotContents& contents, std::ostream* out) {
+  SOI_CHECK(out != nullptr);
+  SOI_CHECK(contents.dataset != nullptr && contents.indexes != nullptr)
+      << "SaveSnapshot: dataset and indexes are required";
+  SOI_TRACE_SPAN("snapshot.save");
+  Stopwatch timer;
+  const Dataset& dataset = *contents.dataset;
+  const DatasetIndexes& indexes = *contents.indexes;
+
+  std::vector<std::pair<uint32_t, std::string>> sections;
+  sections.emplace_back(kSectionMeta, EncodeMeta(contents));
+  sections.emplace_back(kSectionVocabulary,
+                        EncodeVocabulary(dataset.vocabulary));
+  sections.emplace_back(kSectionNetwork, EncodeNetwork(dataset.network));
+  sections.emplace_back(kSectionGeometry,
+                        EncodeGeometry(indexes.geometry));
+  sections.emplace_back(kSectionPois, EncodePois(dataset.pois));
+  sections.emplace_back(kSectionPhotos, EncodePhotos(dataset.photos));
+  sections.emplace_back(kSectionSegmentCells,
+                        EncodeSegmentCells(indexes.segment_cells));
+  sections.emplace_back(
+      kSectionGlobalIndex,
+      EncodeGlobalIndex(indexes.global_index, dataset.vocabulary.size()));
+  for (const EpsAugmentedMaps* maps : contents.eps_maps) {
+    SOI_CHECK(maps != nullptr) << "SaveSnapshot: null eps maps";
+    sections.emplace_back(
+        kSectionEpsMaps,
+        EncodeEpsMaps(*maps, dataset.network.num_segments()));
+  }
+
+  ByteWriter header;
+  for (char c : kSnapshotMagic) header.PutU8(static_cast<uint8_t>(c));
+  header.PutU32(kSnapshotFormatVersion);
+  header.PutU32(static_cast<uint32_t>(sections.size()));
+  out->write(header.data().data(),
+             static_cast<std::streamsize>(header.data().size()));
+  if (!out->good()) {
+    return Status::IOError("failed writing snapshot header");
+  }
+
+  uint64_t total_bytes = header.data().size();
+  try {
+    for (const auto& [id, payload] : sections) {
+      SOI_RETURN_NOT_OK(WriteSection(out, id, payload));
+      total_bytes += 16 + payload.size();
+    }
+  } catch (const fault::FaultInjectedError& e) {
+    return Status::Internal(e.what());
+  }
+  out->flush();
+  if (!out->good()) return Status::IOError("failed flushing snapshot");
+  SOI_OBS_COUNTER_ADD("soi.snapshot.saves", 1);
+  SOI_OBS_COUNTER_ADD("soi.snapshot.bytes_written",
+                      static_cast<int64_t>(total_bytes));
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.snapshot.save_seconds",
+                            timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status SaveSnapshotToFile(const SnapshotContents& contents,
+                          const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  return SaveSnapshot(contents, &file);
+}
+
+Result<LoadedSnapshot> LoadSnapshot(std::istream* in, ThreadPool* pool) {
+  SOI_CHECK(in != nullptr);
+  SOI_TRACE_SPAN("snapshot.load");
+  Stopwatch timer;
+
+  uint32_t version = 0;
+  uint32_t section_count = 0;
+  SOI_RETURN_NOT_OK(ReadFileHeader(in, &version, &section_count));
+
+  Meta meta;
+  auto dataset = std::make_unique<Dataset>();
+  std::optional<GridGeometry> geometry;
+  std::vector<std::vector<CellId>> segment_lists;
+  std::unordered_map<KeywordId, std::vector<GlobalInvertedIndex::Entry>>
+      global_lists;
+  std::vector<std::pair<double, std::vector<std::vector<CellId>>>>
+      eps_sections;
+  std::unordered_set<uint64_t> seen_eps_bits;
+  uint64_t total_bytes = 16;
+
+  try {
+    for (uint32_t s = 0; s < section_count; ++s) {
+      SOI_FAULT_POINT("snapshot.read_section");
+      SectionHeader header;
+      SOI_RETURN_NOT_OK(ReadSectionHeader(in, &header));
+      // Fixed prefix order, then only eps_maps sections.
+      uint32_t expected = s < kNumFixedSections
+                              ? kSectionOrder[s]
+                              : static_cast<uint32_t>(kSectionEpsMaps);
+      if (header.id != expected) {
+        return Status::IOError(
+            std::string("unexpected section '") + SectionName(header.id) +
+            "' (wanted '" + SectionName(expected) +
+            "'); snapshot corrupted or written by an incompatible "
+            "version");
+      }
+      std::string payload;
+      SOI_RETURN_NOT_OK(ReadSectionPayload(in, header, &payload));
+      total_bytes += 16 + payload.size();
+      ByteReader r(payload);
+      switch (header.id) {
+        case kSectionMeta:
+          SOI_RETURN_NOT_OK(DecodeMeta(&r, &meta));
+          dataset->name = meta.name;
+          if (section_count !=
+              kNumFixedSections + meta.num_eps_maps) {
+            return Status::IOError(
+                "section count disagrees with meta eps map count");
+          }
+          break;
+        case kSectionVocabulary:
+          SOI_RETURN_NOT_OK(
+              DecodeVocabulary(&r, meta, &dataset->vocabulary));
+          break;
+        case kSectionNetwork:
+          SOI_RETURN_NOT_OK(DecodeNetwork(&r, meta, &dataset->network));
+          break;
+        case kSectionGeometry:
+          SOI_RETURN_NOT_OK(DecodeGeometry(&r, &geometry));
+          break;
+        case kSectionPois:
+          SOI_RETURN_NOT_OK(DecodePois(&r, meta, &dataset->pois));
+          break;
+        case kSectionPhotos:
+          SOI_RETURN_NOT_OK(DecodePhotos(&r, meta, &dataset->photos));
+          break;
+        case kSectionSegmentCells:
+          SOI_RETURN_NOT_OK(DecodeSegmentLists(
+              &r, kSectionSegmentCells, meta, geometry->num_cells(),
+              &segment_lists));
+          break;
+        case kSectionGlobalIndex:
+          SOI_RETURN_NOT_OK(DecodeGlobalIndex(
+              &r, meta, geometry->num_cells(), &global_lists));
+          break;
+        case kSectionEpsMaps: {
+          double eps = 0.0;
+          SOI_RETURN_NOT_OK(r.ReadDouble(&eps));
+          if (!std::isfinite(eps) || eps < 0) {
+            return SectionError(kSectionEpsMaps, "invalid eps");
+          }
+          if (!seen_eps_bits.insert(std::bit_cast<uint64_t>(eps))
+                   .second) {
+            return SectionError(kSectionEpsMaps,
+                                "duplicate eps " + FormatDouble(eps));
+          }
+          std::vector<std::vector<CellId>> lists;
+          SOI_RETURN_NOT_OK(DecodeSegmentLists(&r, kSectionEpsMaps, meta,
+                                               geometry->num_cells(),
+                                               &lists));
+          eps_sections.emplace_back(eps, std::move(lists));
+          break;
+        }
+        default:
+          return Status::IOError("unreachable section id");
+      }
+    }
+  } catch (const fault::FaultInjectedError& e) {
+    return Status::Internal(e.what());
+  } catch (const std::bad_alloc&) {
+    return Status::IOError(
+        "snapshot load failed: allocation rejected (corrupt size field?)");
+  }
+
+  // Reassemble the index suite. The grid-derived members (POI grid,
+  // photo grid, per-cell inversions) are recomputed from the restored
+  // data — deterministic and bit-identical to a cold BuildIndexes.
+  std::vector<Point> photo_positions;
+  photo_positions.reserve(dataset->photos.size());
+  for (const Photo& photo : dataset->photos) {
+    photo_positions.push_back(photo.position);
+  }
+  PoiGridIndex poi_grid(geometry->bounds(), geometry->cell_size(),
+                        dataset->pois);
+  GlobalInvertedIndex global_index(std::move(global_lists));
+  SegmentCellIndex segment_cells(dataset->network, *geometry,
+                                 std::move(segment_lists), pool);
+  PointGrid<PhotoId> photo_grid(*geometry, photo_positions);
+
+  LoadedSnapshot loaded;
+  loaded.dataset = std::move(dataset);
+  loaded.indexes = std::make_unique<DatasetIndexes>(DatasetIndexes{
+      *geometry, std::move(poi_grid), std::move(global_index),
+      std::move(segment_cells), std::move(photo_grid)});
+  loaded.eps_maps.reserve(eps_sections.size());
+  for (auto& [eps, lists] : eps_sections) {
+    loaded.eps_maps.push_back(std::make_shared<const EpsAugmentedMaps>(
+        loaded.indexes->segment_cells, eps, std::move(lists), pool));
+  }
+
+  SOI_OBS_COUNTER_ADD("soi.snapshot.loads", 1);
+  SOI_OBS_COUNTER_ADD("soi.snapshot.bytes_read",
+                      static_cast<int64_t>(total_bytes));
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.snapshot.load_seconds",
+                            timer.ElapsedSeconds());
+  return loaded;
+}
+
+Result<LoadedSnapshot> LoadSnapshotFromFile(const std::string& path,
+                                            ThreadPool* pool) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  return LoadSnapshot(&file, pool);
+}
+
+Result<SnapshotInfo> InspectSnapshot(std::istream* in) {
+  SOI_CHECK(in != nullptr);
+  SnapshotInfo info;
+  uint32_t section_count = 0;
+  SOI_RETURN_NOT_OK(
+      ReadFileHeader(in, &info.format_version, &section_count));
+  info.total_bytes = 16;
+  Meta meta;
+  try {
+    for (uint32_t s = 0; s < section_count; ++s) {
+      SectionHeader header;
+      SOI_RETURN_NOT_OK(ReadSectionHeader(in, &header));
+      if (SectionName(header.id) == std::string_view("unknown")) {
+        return Status::IOError("unknown section id " +
+                               std::to_string(header.id));
+      }
+      std::string payload;
+      SOI_RETURN_NOT_OK(ReadSectionPayload(in, header, &payload));
+      info.total_bytes += 16 + payload.size();
+      ByteReader r(payload);
+      if (header.id == kSectionMeta) {
+        SOI_RETURN_NOT_OK(DecodeMeta(&r, &meta));
+        info.dataset_name = meta.name;
+        info.num_vertices = meta.num_vertices;
+        info.num_segments = meta.num_segments;
+        info.num_streets = meta.num_streets;
+        info.num_pois = meta.num_pois;
+        info.num_photos = meta.num_photos;
+        info.num_keywords = meta.num_keywords;
+      } else if (header.id == kSectionEpsMaps) {
+        double eps = 0.0;
+        SOI_RETURN_NOT_OK(r.ReadDouble(&eps));
+        info.eps_values.push_back(eps);
+      }
+      info.sections.push_back(SnapshotSectionInfo{
+          SectionName(header.id), payload.size(), header.crc32});
+    }
+  } catch (const std::bad_alloc&) {
+    return Status::IOError(
+        "snapshot inspect failed: allocation rejected "
+        "(corrupt size field?)");
+  }
+  return info;
+}
+
+Result<SnapshotInfo> InspectSnapshotFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  return InspectSnapshot(&file);
+}
+
+}  // namespace soi

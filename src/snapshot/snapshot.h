@@ -1,0 +1,125 @@
+#ifndef SOI_SNAPSHOT_SNAPSHOT_H_
+#define SOI_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/dataset.h"
+#include "grid/segment_cell_index.h"
+
+namespace soi {
+
+class ThreadPool;
+
+/// Versioned, checksummed binary snapshots of one dataset plus its index
+/// suite — the checkpoint/restore path of the serving stack (DESIGN.md
+/// "Persistence & warm start").
+///
+/// File layout (all integers little-endian, floats/doubles as IEEE-754
+/// bit patterns, see snapshot/byte_io.h):
+///
+///   magic[8] = "SOISNAP1"
+///   u32 format_version
+///   u32 section_count
+///   section_count x { u32 section_id, u64 payload_bytes,
+///                     u32 payload_crc32, payload }
+///
+/// Sections appear in the fixed order meta, vocabulary, network,
+/// geometry, pois, photos, segment_cells, global_index, then one
+/// eps_maps section per cached EpsAugmentedMaps. Loading verifies magic,
+/// version, section order, and every CRC, then revalidates the decoded
+/// data with the same range/finiteness/uniqueness checks the text
+/// readers apply — corruption always surfaces as a typed Status
+/// (kIOError for structural damage, kInvalidArgument for semantic
+/// violations such as duplicate records), never a crash.
+///
+/// Versioning/compat policy: readers accept exactly
+/// kSnapshotFormatVersion and fail closed on anything else (including
+/// unknown section ids); any format change bumps the version. Snapshots
+/// are rebuildable artifacts — on mismatch, regenerate from source data
+/// rather than migrating in place.
+
+inline constexpr char kSnapshotMagic[8] = {'S', 'O', 'I', 'S',
+                                           'N', 'A', 'P', '1'};
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// What SaveSnapshot serializes: one dataset, its offline index suite,
+/// and any eps-augmented maps worth shipping to pre-seed the serving
+/// cache (may be empty). All pointers are borrowed and must stay valid
+/// for the duration of the call. The planted ground truth is not
+/// serialized (it is derivable by regenerating, mirroring SaveDataset).
+struct SnapshotContents {
+  const Dataset* dataset = nullptr;
+  const DatasetIndexes* indexes = nullptr;
+  std::vector<const EpsAugmentedMaps*> eps_maps;
+};
+
+/// What LoadSnapshot restores. `indexes` holds pointers into `*dataset`
+/// and the eps maps point into `indexes->segment_cells`, so the members
+/// must be kept together and destroyed in reverse order (which the
+/// declaration order below guarantees). The eps maps are shared_ptr so
+/// they can be handed to QueryEngine's warm-start constructor directly.
+struct LoadedSnapshot {
+  std::unique_ptr<Dataset> dataset;
+  std::unique_ptr<DatasetIndexes> indexes;
+  std::vector<std::shared_ptr<const EpsAugmentedMaps>> eps_maps;
+};
+
+/// One section's entry in SnapshotInfo.
+struct SnapshotSectionInfo {
+  std::string name;
+  uint64_t bytes = 0;    // payload only, excluding the section header
+  uint32_t crc32 = 0;
+};
+
+/// Header + per-section summary returned by InspectSnapshot. Counts come
+/// from the meta section; `eps_values` lists the eps of each eps_maps
+/// section in file order.
+struct SnapshotInfo {
+  uint32_t format_version = 0;
+  std::string dataset_name;
+  uint64_t num_vertices = 0;
+  uint64_t num_segments = 0;
+  uint64_t num_streets = 0;
+  uint64_t num_pois = 0;
+  uint64_t num_photos = 0;
+  uint64_t num_keywords = 0;
+  std::vector<double> eps_values;
+  std::vector<SnapshotSectionInfo> sections;
+  uint64_t total_bytes = 0;
+};
+
+/// Serializes `contents` to `out` (a binary stream). Fault point
+/// "snapshot.write_section" fires once per section in fault-injection
+/// builds and surfaces as kInternal.
+[[nodiscard]] Status SaveSnapshot(const SnapshotContents& contents,
+                                  std::ostream* out);
+[[nodiscard]] Status SaveSnapshotToFile(const SnapshotContents& contents,
+                                        const std::string& path);
+
+/// Restores a snapshot written by SaveSnapshot. The restored indices are
+/// bit-identical to a fresh BuildIndexes over the restored dataset, and
+/// the restored eps maps to fresh EpsAugmentedMaps builds — the
+/// warm-start determinism contract (asserted by tests/snapshot_test.cc).
+/// `pool` (may be null) parallelizes the index inversion passes only.
+/// Fault point "snapshot.read_section" fires once per section in
+/// fault-injection builds and surfaces as kInternal.
+[[nodiscard]] Result<LoadedSnapshot> LoadSnapshot(std::istream* in,
+                                                  ThreadPool* pool = nullptr);
+[[nodiscard]] Result<LoadedSnapshot> LoadSnapshotFromFile(
+    const std::string& path, ThreadPool* pool = nullptr);
+
+/// Reads the header and section table, verifying magic, version, and
+/// every section CRC, but decodes only the meta and eps headers — the
+/// cheap integrity check behind `soi_snapshot inspect`/`verify`.
+[[nodiscard]] Result<SnapshotInfo> InspectSnapshot(std::istream* in);
+[[nodiscard]] Result<SnapshotInfo> InspectSnapshotFile(
+    const std::string& path);
+
+}  // namespace soi
+
+#endif  // SOI_SNAPSHOT_SNAPSHOT_H_

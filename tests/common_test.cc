@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -284,6 +285,44 @@ TEST(StringUtilTest, ParseInt64RejectsGarbage) {
   EXPECT_FALSE(ParseInt64("12.5").ok());
   EXPECT_FALSE(ParseInt64("").ok());
   EXPECT_FALSE(ParseInt64("ten").ok());
+}
+
+TEST(StringUtilTest, FormatDoubleRoundTripsExactly) {
+  // The shared round-trippable formatter (error messages, JSON output):
+  // parsing the formatted string must recover the identical bits. Sweep
+  // values where the default %.6g collapses distinct doubles.
+  const double values[] = {0.0,
+                           1.0,
+                           -1.0,
+                           0.1,
+                           1.0 / 3.0,
+                           0.0005,
+                           0.00049999999999999999,
+                           1e-300,
+                           1.7976931348623157e308,
+                           3.141592653589793,
+                           std::nextafter(0.0005, 1.0)};
+  for (double value : values) {
+    std::string text = FormatDouble(value);
+    Result<double> reparsed = ParseDouble(text);
+    ASSERT_TRUE(reparsed.ok()) << text;
+    EXPECT_EQ(reparsed.ValueOrDie(), value) << text;
+  }
+  // Adjacent doubles format to distinct strings (the bug this replaces:
+  // std::to_string's fixed 6 decimals collapsed distinct eps values).
+  EXPECT_NE(FormatDouble(0.0005), FormatDouble(std::nextafter(0.0005, 1.0)));
+}
+
+TEST(StringUtilTest, FormatDoublePrefersShortForms) {
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(-2.0), "-2");
+}
+
+TEST(StringUtilTest, FormatDoubleHandlesNonFinite) {
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-inf");
 }
 
 }  // namespace

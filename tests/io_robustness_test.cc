@@ -266,6 +266,77 @@ TEST(IoRobustnessTest, NonFiniteInputsFailCleanly) {
   }
 }
 
+TEST(IoRobustnessTest, DuplicateVerticesFailCleanly) {
+  // Two vertices at the bit-identical position: the ids are implicit
+  // (line order), so a duplicated vertex line is input corruption that
+  // used to be silently accepted.
+  std::stringstream stream(
+      "# soi-network v1\nV\t0\t0\nV\t1\t0\nV\t0\t0\n"
+      "S\tMain\t0;1\nS\tSide\t1;2\n");
+  auto result = ReadNetwork(&stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("duplicate vertex"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(IoRobustnessTest, DuplicateSegmentsAcrossStreetsFailCleanly) {
+  // Two streets covering the same undirected edge (0,1) — once forward,
+  // once reversed — duplicate the segment.
+  std::stringstream stream(
+      "# soi-network v1\nV\t0\t0\nV\t1\t0\nV\t1\t1\n"
+      "S\tMain\t0;1;2\nS\tBack\t1;0\n");
+  auto result = ReadNetwork(&stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("duplicate segment"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(IoRobustnessTest, DuplicatePoisFailCleanly) {
+  Vocabulary vocabulary;
+  // Bit-identical position + keywords + weight: a duplicated record.
+  {
+    std::stringstream stream(
+        "# soi-objects v1\n1\t2\tshop\n3\t4\tfood\n1\t2\tshop\n");
+    auto result = ReadPois(&stream, &vocabulary);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().ToString().find("duplicate POI"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+  // Same position but different keywords or weight is two distinct POIs
+  // (co-located businesses), not a duplicate.
+  {
+    std::stringstream stream(
+        "# soi-objects v1\n1\t2\tshop\n1\t2\tfood\n1\t2\tshop\t2\n");
+    EXPECT_TRUE(ReadPois(&stream, &vocabulary).ok());
+  }
+}
+
+TEST(IoRobustnessTest, DuplicatePhotosFailCleanly) {
+  Vocabulary vocabulary;
+  {
+    std::stringstream stream(
+        "# soi-objects v1\n1\t2\tcrowd\t0.5|0.25\n1\t2\tcrowd\t0.5|0.25\n");
+    auto result = ReadPhotos(&stream, &vocabulary);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().ToString().find("duplicate photo"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+  // A different visual descriptor distinguishes the records.
+  {
+    std::stringstream stream(
+        "# soi-objects v1\n1\t2\tcrowd\t0.5|0.25\n1\t2\tcrowd\t0.5|0.5\n");
+    EXPECT_TRUE(ReadPhotos(&stream, &vocabulary).ok());
+  }
+}
+
 TEST(IoRobustnessTest, EmptyStreamFailsCleanly) {
   std::stringstream empty;
   Vocabulary vocabulary;

@@ -1,5 +1,10 @@
 #include "core/query_engine.h"
 
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -184,6 +189,164 @@ TEST(QueryEngineTest, CacheEvictsLeastRecentlyUsedAtCapacity) {
   EXPECT_EQ(engine.cache_stats().misses, 4);
   // The evicted shared_ptr handed out earlier remains valid for holders.
   EXPECT_EQ(a->eps(), 0.001);
+}
+
+// Regression test for in-flight eviction: at capacity 1, an insert for a
+// second eps used to evict the entry whose build was still running,
+// detaching the shared future concurrent same-eps requesters join on and
+// forcing duplicate builds. In-flight entries are now exempt. The
+// build_observer hook makes the race deterministic: the first build is
+// held in flight while the eviction pressure and the concurrent same-eps
+// request happen.
+TEST(QueryEngineTest, EvictionExemptsInFlightBuilds) {
+  Instance instance(13, 0.003, 300, 6);
+  constexpr double kHotEps = 0.001;
+  constexpr double kPressureEps = 0.002;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool hot_started = false;
+  bool release_hot = false;
+  std::atomic<int> hot_builds{0};
+
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.eps_cache_capacity = 1;
+  options.build_observer = [&](double eps) {
+    if (eps != kHotEps) return;
+    hot_builds.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mutex);
+    hot_started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release_hot; });
+  };
+  QueryEngine engine(instance.network, instance.grid, instance.global_index,
+                     instance.segment_cells, options);
+
+  std::thread builder([&] { engine.GetMaps(kHotEps); });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return hot_started; });
+  }
+  // The hot build is in flight and the cache is at capacity. This insert
+  // must NOT evict it (the cache briefly exceeds capacity instead).
+  engine.GetMaps(kPressureEps);
+
+  // A concurrent same-eps request must join the in-flight build (a hit),
+  // not start a second one.
+  std::thread joiner([&] { engine.GetMaps(kHotEps); });
+  while (engine.cache_stats().hits < 1) {
+    std::this_thread::yield();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    release_hot = true;
+    cv.notify_all();
+  }
+  builder.join();
+  joiner.join();
+
+  EXPECT_EQ(hot_builds.load(), 1)
+      << "in-flight entry was evicted and rebuilt";
+  EXPECT_EQ(engine.cache_stats().evictions, 0);
+  // Completed entries are evictable again: a third eps now evicts the
+  // LRU completed one.
+  engine.GetMaps(0.003);
+  EXPECT_GE(engine.cache_stats().evictions, 1);
+}
+
+// The non-deterministic companion: hammer one eps from many threads at
+// capacity 1 with occasional distinct-eps eviction pressure. Every hot
+// rebuild requires its completed entry to have been evicted by a
+// pressure insert first, so hot builds are bounded by pressure builds +
+// 1; evicting in-flight builds breaks that bound (and used to).
+TEST(QueryEngineTest, HammeringOneEpsAtCapacityOneNeverDuplicatesBuilds) {
+  Instance instance(15, 0.003, 200, 6);
+  constexpr double kHotEps = 0.001;
+  std::atomic<int> hot_builds{0};
+  std::atomic<int> pressure_builds{0};
+
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.eps_cache_capacity = 1;
+  options.build_observer = [&](double eps) {
+    (eps == kHotEps ? hot_builds : pressure_builds).fetch_add(1);
+  };
+  QueryEngine engine(instance.network, instance.grid, instance.global_index,
+                     instance.segment_cells, options);
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        if (t == 0 && i % 5 == 4) {
+          // Eviction pressure: a distinct eps per round so it always
+          // misses and inserts over the hot entry's slot.
+          auto maps = engine.GetMaps(0.002 + i * 0.0001);
+          ASSERT_NE(maps, nullptr);
+        } else {
+          auto maps = engine.GetMaps(kHotEps);
+          ASSERT_NE(maps, nullptr);
+          EXPECT_EQ(maps->eps(), kHotEps);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_LE(hot_builds.load(), pressure_builds.load() + 1)
+      << "more hot rebuilds than eviction pressure can explain: an "
+         "in-flight build was evicted";
+}
+
+TEST(QueryEngineTest, WarmStartSeedsTheCacheWithoutCountingMisses) {
+  Instance instance(17, 0.003, 300, 6);
+  auto a = std::make_shared<const EpsAugmentedMaps>(instance.segment_cells,
+                                                    0.001);
+  auto b = std::make_shared<const EpsAugmentedMaps>(instance.segment_cells,
+                                                    0.002);
+  QueryEngineOptions options;
+  options.eps_cache_capacity = 2;
+  QueryEngine engine(instance.network, instance.grid, instance.global_index,
+                     instance.segment_cells, options, {a, b});
+
+  EXPECT_EQ(engine.cache_size(), 2u);
+  EXPECT_EQ(engine.cache_stats().hits, 0);
+  EXPECT_EQ(engine.cache_stats().misses, 0);
+
+  // Both eps serve from the seeded maps (the identical objects).
+  EXPECT_EQ(engine.GetMaps(0.001).get(), a.get());
+  EXPECT_EQ(engine.GetMaps(0.002).get(), b.get());
+  EXPECT_EQ(engine.cache_stats().hits, 2);
+  EXPECT_EQ(engine.cache_stats().misses, 0);
+
+  // Seeded entries participate in LRU like any completed entry.
+  engine.GetMaps(0.001);            // 0.002 becomes LRU
+  engine.GetMaps(0.003);            // evicts 0.002
+  EXPECT_EQ(engine.cache_stats().evictions, 1);
+  EXPECT_EQ(engine.GetMaps(0.001).get(), a.get());
+}
+
+TEST(QueryEngineTest, WarmStartServesBitIdenticalToColdEngine) {
+  Instance instance(19, 0.003, 400, 6);
+  std::vector<SoiQuery> batch = MakeBatch(29, 12);
+  auto preloaded = std::make_shared<const EpsAugmentedMaps>(
+      instance.segment_cells, 0.0008);
+
+  QueryEngineOptions options;
+  options.num_threads = 2;
+  QueryEngine cold(instance.network, instance.grid, instance.global_index,
+                   instance.segment_cells, options);
+  QueryEngine warm(instance.network, instance.grid, instance.global_index,
+                   instance.segment_cells, options, {preloaded});
+  std::vector<SoiResult> want = cold.RunBatch(batch);
+  std::vector<SoiResult> got = warm.RunBatch(batch);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ExpectIdenticalResults(got[i], want[i], "warm-vs-cold");
+  }
 }
 
 TEST(QueryEngineTest, SingleRunMatchesBatch) {

@@ -24,4 +24,11 @@ for preset in default check tsan fault; do
   ctest --preset "$preset" -j "$JOBS" --output-on-failure "$@"
 done
 
+# The snapshot suite runs inside the full sweeps above; re-run it by
+# label under the fault build so persistence corruption handling is
+# exercised with fault points armed-able even when extra ctest args
+# filtered it out of the main pass.
+echo "==== [fault-snapshot] test ===="
+ctest --preset fault-snapshot -j "$JOBS" --output-on-failure
+
 echo "==== all presets green ===="

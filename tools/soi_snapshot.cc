@@ -1,0 +1,185 @@
+// Snapshot management CLI (DESIGN.md "Persistence & warm start").
+//
+//   soi_snapshot create --out=<path> [--city=London] [--scale=0.05]
+//                       [--cell-size=0.0005] [--eps=0.0004,0.0005]
+//       Generates the named preset city, builds its index suite and the
+//       requested eps-augmented maps, and writes a snapshot.
+//
+//   soi_snapshot inspect <path>
+//       Prints the snapshot header, counts, eps values, and per-section
+//       byte/CRC table as JSON (verifies every CRC on the way).
+//
+//   soi_snapshot verify <path>
+//       Full LoadSnapshot: decodes and revalidates every section,
+//       rebuilds the index suite. Exit 0 iff the snapshot is loadable.
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/json_writer.h"
+#include "core/query_engine.h"
+#include "datagen/city_profile.h"
+#include "datagen/dataset.h"
+#include "snapshot/snapshot.h"
+
+namespace soi {
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  soi_snapshot create --out=<path> [--city=London] "
+         "[--scale=0.05]\n"
+         "                      [--cell-size=0.0005] "
+         "[--eps=0.0004,0.0005]\n"
+         "  soi_snapshot inspect <path>\n"
+         "  soi_snapshot verify <path>\n";
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::cerr << "soi_snapshot: " << status.ToString() << "\n";
+  return 1;
+}
+
+struct CreateOptions {
+  std::string city = "London";
+  double scale = 0.05;
+  double cell_size = 0.0005;
+  std::vector<double> eps_values = {0.0005};
+  std::string out;
+};
+
+int RunCreate(const std::vector<std::string>& args) {
+  CreateOptions options;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--city=", 0) == 0) {
+      options.city = arg.substr(7);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      Result<double> value = ParseDouble(arg.substr(8));
+      if (!value.ok()) return Fail(value.status());
+      options.scale = value.ValueOrDie();
+    } else if (arg.rfind("--cell-size=", 0) == 0) {
+      Result<double> value = ParseDouble(arg.substr(12));
+      if (!value.ok()) return Fail(value.status());
+      options.cell_size = value.ValueOrDie();
+    } else if (arg.rfind("--eps=", 0) == 0) {
+      options.eps_values.clear();
+      for (const std::string& field : Split(arg.substr(6), ',')) {
+        Result<double> value = ParseDouble(field);
+        if (!value.ok()) return Fail(value.status());
+        options.eps_values.push_back(value.ValueOrDie());
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      options.out = arg.substr(6);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return Usage();
+    }
+  }
+  if (options.out.empty()) {
+    std::cerr << "create requires --out=<path>\n";
+    return Usage();
+  }
+
+  const CityProfile* profile = nullptr;
+  std::vector<CityProfile> profiles = AllCityProfiles(options.scale);
+  for (const CityProfile& candidate : profiles) {
+    if (candidate.name == options.city) profile = &candidate;
+  }
+  if (profile == nullptr) {
+    std::cerr << "unknown city '" << options.city << "' (presets:";
+    for (const CityProfile& candidate : profiles) {
+      std::cerr << " " << candidate.name;
+    }
+    std::cerr << ")\n";
+    return 2;
+  }
+
+  Result<Dataset> dataset = GenerateCity(*profile);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::unique_ptr<DatasetIndexes> indexes =
+      BuildIndexes(dataset.ValueOrDie(), options.cell_size);
+
+  std::vector<std::unique_ptr<EpsAugmentedMaps>> maps;
+  SnapshotContents contents;
+  contents.dataset = &dataset.ValueOrDie();
+  contents.indexes = indexes.get();
+  for (double eps : options.eps_values) {
+    maps.push_back(std::make_unique<EpsAugmentedMaps>(
+        indexes->segment_cells, eps));
+    contents.eps_maps.push_back(maps.back().get());
+  }
+
+  Status saved = SaveSnapshotToFile(contents, options.out);
+  if (!saved.ok()) return Fail(saved);
+  Result<SnapshotInfo> info = InspectSnapshotFile(options.out);
+  if (!info.ok()) return Fail(info.status());
+  std::cout << "wrote " << options.out << " ("
+            << info.ValueOrDie().total_bytes << " bytes, "
+            << info.ValueOrDie().sections.size() << " sections)\n";
+  return 0;
+}
+
+int RunInspect(const std::string& path) {
+  Result<SnapshotInfo> result = InspectSnapshotFile(path);
+  if (!result.ok()) return Fail(result.status());
+  const SnapshotInfo& info = result.ValueOrDie();
+  JsonWriter json(&std::cout);
+  json.BeginObject();
+  json.KeyValue("format_version",
+                static_cast<int64_t>(info.format_version));
+  json.KeyValue("dataset", info.dataset_name);
+  json.KeyValue("num_vertices", info.num_vertices);
+  json.KeyValue("num_segments", info.num_segments);
+  json.KeyValue("num_streets", info.num_streets);
+  json.KeyValue("num_pois", info.num_pois);
+  json.KeyValue("num_photos", info.num_photos);
+  json.KeyValue("num_keywords", info.num_keywords);
+  json.Key("eps_values");
+  json.BeginArray();
+  for (double eps : info.eps_values) json.Double(eps);
+  json.EndArray();
+  json.Key("sections");
+  json.BeginArray();
+  for (const SnapshotSectionInfo& section : info.sections) {
+    json.BeginObject();
+    json.KeyValue("name", section.name);
+    json.KeyValue("bytes", section.bytes);
+    json.KeyValue("crc32", static_cast<int64_t>(section.crc32));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.KeyValue("total_bytes", info.total_bytes);
+  json.EndObject();
+  std::cout << "\n";
+  return 0;
+}
+
+int RunVerify(const std::string& path) {
+  Result<LoadedSnapshot> loaded = LoadSnapshotFromFile(path);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const LoadedSnapshot& snapshot = loaded.ValueOrDie();
+  std::cout << "ok: " << path << " (" << snapshot.dataset->name << ", "
+            << snapshot.dataset->network.num_streets() << " streets, "
+            << snapshot.eps_maps.size() << " cached eps maps)\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "create") return RunCreate(args);
+  if (command == "inspect" && args.size() == 1) return RunInspect(args[0]);
+  if (command == "verify" && args.size() == 1) return RunVerify(args[0]);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace soi
+
+int main(int argc, char** argv) { return soi::Main(argc, argv); }
