@@ -1,0 +1,40 @@
+#ifndef SOI_BENCH_THROUGHPUT_BASELINE_H_
+#define SOI_BENCH_THROUGHPUT_BASELINE_H_
+
+#include <string>
+
+namespace soi {
+namespace bench_util {
+
+/// Recorded steady-state 1-thread QPS of the pre-CSR serving path
+/// (nested-vector indexes, per-query allocation, no batch coalescing),
+/// measured by this same benchmark at --scale=0.1 on the reference
+/// container. The throughput gate requires the current serving path to
+/// clear 2x these numbers; bump them deliberately (with the bench output
+/// in the PR) when the floor moves.
+struct ThroughputBaseline {
+  const char* city;
+  double scale;
+  double qps_1thread;
+};
+
+inline constexpr ThroughputBaseline kSeedThroughputBaselines[] = {
+    {"London", 0.1, 83.2},
+    {"Berlin", 0.1, 126.5},
+    {"Vienna", 0.1, 303.5},
+};
+
+/// The recorded baseline for (city, scale), or nullptr when none was
+/// recorded (non-default scale or city — the 2x gate does not apply).
+inline const ThroughputBaseline* FindSeedBaseline(const std::string& city,
+                                                  double scale) {
+  for (const ThroughputBaseline& baseline : kSeedThroughputBaselines) {
+    if (city == baseline.city && scale == baseline.scale) return &baseline;
+  }
+  return nullptr;
+}
+
+}  // namespace bench_util
+}  // namespace soi
+
+#endif  // SOI_BENCH_THROUGHPUT_BASELINE_H_

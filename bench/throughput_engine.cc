@@ -7,16 +7,30 @@
 // the working directory so the perf trajectory is trackable across PRs;
 // every engine run now embeds its per-phase time breakdown (source-list
 // construction / filtering / refinement / eps-map builds) and work
-// counters, computed as metrics-registry deltas around the timed batch,
-// and the final 8-thread batch of the first city is captured as a Chrome
-// trace (TRACE_soi_throughput.json; open in chrome://tracing or
+// counters, computed as metrics-registry deltas around the timed batch
+// (each thread count reports the best of three warm passes — min-time
+// filters scheduler jitter the gates would otherwise trip on), and one
+// 8-thread batch of the first city is captured as a Chrome trace
+// (TRACE_soi_throughput.json; open in chrome://tracing or
 // https://ui.perfetto.dev).
 //
 // Every engine run is checked bit-identical to the 1-thread run (the
 // determinism contract of DESIGN.md "Threading model").
+//
+// The bench is also a perf GATE (exit code 1 on violation):
+//  - scaling: QPS must not degrade as threads grow — monotone up to a 5%
+//    noise allowance through min(8, hardware threads), and within a 20%
+//    allowance for oversubscribed thread counts beyond the hardware;
+//  - floor: at the recorded-baseline scale (0.1), 1-thread QPS must be at
+//    least 2x the seed serving path's (bench/throughput_baseline.h).
+// `--smoke` runs a reduced thread set {1, 2} with the scaling gate only,
+// sized for the `perf`-labeled ctest smoke run at small scale.
 
+#include <algorithm>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/random.h"
@@ -24,6 +38,7 @@
 #include "core/query_engine.h"
 #include "eval/table_printer.h"
 #include "obs/obs.h"
+#include "throughput_baseline.h"
 
 namespace soi {
 namespace {
@@ -91,6 +106,7 @@ void CheckSameAnswers(const std::vector<SoiResult>& got,
 // `capture_trace`: record the timed max-thread batch into the global
 // trace recorder (left stopped afterwards, events retained for export).
 CityRun MeasureCity(const bench_util::CityContext& city,
+                    const std::vector<int>& thread_counts,
                     bool capture_trace) {
   CityRun out;
   out.city = city.profile.name;
@@ -111,7 +127,11 @@ CityRun MeasureCity(const bench_util::CityContext& city,
         static_cast<double>(batch.size()) / out.baseline_nocache_seconds;
   }
 
-  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  // Each thread count reports the best of kTimedRepeats warm passes: a
+  // single batch can lose double-digit percentages to scheduler jitter
+  // on a noisy or oversubscribed host, and the scaling gates below
+  // compare these numbers directly — min-time is the standard filter.
+  constexpr int kTimedRepeats = 3;
   std::vector<SoiResult> reference;
   for (int threads : thread_counts) {
     QueryEngineOptions options;
@@ -120,26 +140,34 @@ CityRun MeasureCity(const bench_util::CityContext& city,
                        city.indexes->global_index,
                        city.indexes->segment_cells, options);
     // Warm-up pass (first-touch allocations, cache population), then the
-    // timed pass on a warm cache — the steady-state serving shape.
+    // timed passes on a warm cache — the steady-state serving shape.
     engine.RunBatch(batch);
     bool tracing = capture_trace && threads == thread_counts.back();
-    if (tracing) obs::TraceRecorder::Global().Start();
-    obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
-    Stopwatch timer;
-    std::vector<SoiResult> results = engine.RunBatch(batch);
     EngineRun run;
     run.threads = threads;
-    run.seconds = timer.ElapsedSeconds();
-    run.metrics = obs::Registry::Global().Snapshot().Since(before);
-    if (tracing) obs::TraceRecorder::Global().Stop();
+    for (int rep = 0; rep < kTimedRepeats; ++rep) {
+      bool trace_this = tracing && rep == 0;
+      if (trace_this) obs::TraceRecorder::Global().Start();
+      obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
+      Stopwatch timer;
+      std::vector<SoiResult> results = engine.RunBatch(batch);
+      double seconds = timer.ElapsedSeconds();
+      obs::MetricsSnapshot delta =
+          obs::Registry::Global().Snapshot().Since(before);
+      if (trace_this) obs::TraceRecorder::Global().Stop();
+      if (reference.empty()) {
+        reference = std::move(results);  // the 1-thread rep 0 pass
+      } else {
+        CheckSameAnswers(results, reference);
+      }
+      if (rep == 0 || seconds < run.seconds) {
+        run.seconds = seconds;
+        run.metrics = std::move(delta);
+      }
+    }
     run.qps = static_cast<double>(batch.size()) / run.seconds;
     run.cache = engine.cache_stats();
     run.cache_hit_rate = run.cache.HitRate();
-    if (threads == 1) {
-      reference = results;
-    } else {
-      CheckSameAnswers(results, reference);
-    }
     out.runs.push_back(run);
   }
   for (EngineRun& run : out.runs) {
@@ -154,6 +182,84 @@ double HistogramSum(const obs::MetricsSnapshot& metrics,
                     const std::string& name) {
   const obs::Histogram::Snapshot* histogram = metrics.FindHistogram(name);
   return histogram != nullptr ? histogram->sum : 0.0;
+}
+
+struct GateResult {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+// The scaling gate: adding threads must not lose throughput. Within the
+// hardware's core budget the requirement is monotone QPS between
+// adjacent thread counts up to a 5% measurement-noise allowance. Thread
+// counts beyond the hardware (every count > 1 on a 1-core CI box) only
+// assert that oversubscription does not *collapse* throughput, and they
+// compare against the best within-hardware run rather than the adjacent
+// count: adjacent oversubscribed points are both noisy, so chaining
+// their ratios multiplies jitter into spurious failures, while a real
+// contention collapse (a lock convoy, a refcount storm) loses several
+// multiples — far below the 40% allowance that covers honest
+// context-switch overhead on a sub-hardware box.
+constexpr double kMonotoneNoiseFactor = 0.95;
+constexpr double kOversubscribedCollapseFactor = 0.60;
+
+std::vector<GateResult> CheckGates(const CityRun& city, double scale,
+                                   bool smoke, unsigned hardware_threads) {
+  std::vector<GateResult> gates;
+  // The 1-thread run is always within the hardware budget, so it
+  // anchors the best-within-hardware reference unconditionally.
+  double best_within_hw = city.runs.empty() ? 0.0 : city.runs.front().qps;
+  for (const EngineRun& run : city.runs) {
+    if (static_cast<unsigned>(run.threads) <= hardware_threads) {
+      best_within_hw = std::max(best_within_hw, run.qps);
+    }
+  }
+  for (size_t i = 1; i < city.runs.size(); ++i) {
+    const EngineRun& prev = city.runs[i - 1];
+    const EngineRun& next = city.runs[i];
+    bool within_hw =
+        static_cast<unsigned>(next.threads) <= hardware_threads;
+    GateResult gate;
+    if (within_hw) {
+      gate.name = "scaling_" + std::to_string(prev.threads) + "t_to_" +
+                  std::to_string(next.threads) + "t";
+      gate.pass = next.qps >= kMonotoneNoiseFactor * prev.qps;
+      gate.detail = FormatDouble(next.qps, 1) + " qps at " +
+                    std::to_string(next.threads) + "t vs " +
+                    FormatDouble(prev.qps, 1) + " at " +
+                    std::to_string(prev.threads) + "t (floor " +
+                    FormatDouble(kMonotoneNoiseFactor * prev.qps, 1) +
+                    ", within hardware)";
+    } else {
+      gate.name = "no_collapse_" + std::to_string(next.threads) + "t";
+      gate.pass =
+          next.qps >= kOversubscribedCollapseFactor * best_within_hw;
+      gate.detail = FormatDouble(next.qps, 1) + " qps at " +
+                    std::to_string(next.threads) + "t vs best " +
+                    FormatDouble(best_within_hw, 1) +
+                    " within hardware (floor " +
+                    FormatDouble(
+                        kOversubscribedCollapseFactor * best_within_hw, 1) +
+                    ", oversubscribed)";
+    }
+    gates.push_back(std::move(gate));
+  }
+  if (!smoke) {
+    const bench_util::ThroughputBaseline* baseline =
+        bench_util::FindSeedBaseline(city.city, scale);
+    if (baseline != nullptr && !city.runs.empty()) {
+      const EngineRun& single = city.runs.front();
+      GateResult gate;
+      gate.name = "qps_2x_seed_baseline";
+      gate.pass = single.qps >= 2.0 * baseline->qps_1thread;
+      gate.detail = FormatDouble(single.qps, 1) + " qps at 1t vs seed " +
+                    FormatDouble(baseline->qps_1thread, 1) + " (floor " +
+                    FormatDouble(2.0 * baseline->qps_1thread, 1) + ")";
+      gates.push_back(std::move(gate));
+    }
+  }
+  return gates;
 }
 
 void WriteRunJson(JsonWriter* json, const EngineRun& run) {
@@ -191,6 +297,12 @@ void WriteRunJson(JsonWriter* json, const EngineRun& run) {
         "soi.query.segments_finalized_in_refinement",
         "soi.query.poi_distance_checks", "soi.cache.builds",
         "soi.pool.tasks",
+        // Allocation / contention shape of the timed batch: scratch-arena
+        // reuse (created should be ~num_threads, reused everything else),
+        // coalesced duplicate queries, and how often the eps lookup had
+        // to take cache_mutex_ (0 on a warm cache = contention-free).
+        "soi.scratch.created", "soi.scratch.reused",
+        "soi.engine.batch_coalesced", "soi.cache.locked_path",
         // Serving-path failure counters (DESIGN.md "Failure model") —
         // all zero in this healthy unbounded workload, recorded so a
         // regression that starts shedding or timing out is visible in
@@ -204,21 +316,37 @@ void WriteRunJson(JsonWriter* json, const EngineRun& run) {
 }
 
 void WriteJson(const std::vector<CityRun>& cities,
+               const std::vector<std::vector<GateResult>>& gates,
                const bench_util::BenchOptions& options, size_t batch_size,
+               bool smoke, unsigned hardware_threads,
                const std::string& path) {
   bench_util::BenchJsonFile out("soi_throughput", options, path);
   JsonWriter* json = out.json();
   json->KeyValue("batch_size", static_cast<int64_t>(batch_size));
   json->KeyValue("observability", obs::kEnabled);
+  json->KeyValue("smoke", smoke);
+  json->KeyValue("hardware_threads",
+                 static_cast<int64_t>(hardware_threads));
   json->Key("cities");
   json->BeginArray();
-  for (const CityRun& city : cities) {
+  for (size_t c = 0; c < cities.size(); ++c) {
+    const CityRun& city = cities[c];
     json->BeginObject();
     json->KeyValue("city", city.city);
     json->KeyValue("baseline_nocache_qps", city.baseline_nocache_qps);
     json->Key("runs");
     json->BeginArray();
     for (const EngineRun& run : city.runs) WriteRunJson(json, run);
+    json->EndArray();
+    json->Key("gates");
+    json->BeginArray();
+    for (const GateResult& gate : gates[c]) {
+      json->BeginObject();
+      json->KeyValue("name", gate.name);
+      json->KeyValue("pass", gate.pass);
+      json->KeyValue("detail", gate.detail);
+      json->EndObject();
+    }
     json->EndArray();
     json->EndObject();
   }
@@ -227,19 +355,37 @@ void WriteJson(const std::vector<CityRun>& cities,
 }
 
 int Run(int argc, char** argv) {
-  bench_util::BenchOptions options =
-      bench_util::ParseBenchOptions(argc, argv);
+  // --smoke is this binary's own flag; strip it before the shared parser
+  // (which rejects flags it does not know).
+  bool smoke = false;
+  std::vector<char*> filtered_argv;
+  filtered_argv.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    filtered_argv.push_back(argv[i]);
+  }
+  bench_util::BenchOptions options = bench_util::ParseBenchOptions(
+      static_cast<int>(filtered_argv.size()), filtered_argv.data());
   auto cities = bench_util::LoadCities(options);
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  const unsigned hardware_threads =
+      std::max(1u, std::thread::hardware_concurrency());
 
   std::vector<CityRun> measured;
+  std::vector<std::vector<GateResult>> gates;
   size_t batch_size = 0;
   for (const auto& city : cities) {
     batch_size = MakeBatch(city->dataset).size();
     std::cout << "\nQueryEngine throughput (" << city->profile.name
               << "): " << batch_size << " mixed-eps queries\n\n";
-    // One Chrome trace per bench invocation: the 8-thread batch of the
+    // One Chrome trace per bench invocation: the max-thread batch of the
     // first city.
-    CityRun run = MeasureCity(*city, /*capture_trace=*/measured.empty());
+    CityRun run =
+        MeasureCity(*city, thread_counts, /*capture_trace=*/measured.empty());
     TablePrinter table({"threads", "batch time", "queries/s",
                         "speedup vs 1t", "cache hit rate"});
     for (const EngineRun& engine_run : run.runs) {
@@ -279,14 +425,34 @@ int Run(int argc, char** argv) {
                                              "soi.cache.build_seconds"))
                 << "\n";
     }
+    gates.push_back(
+        CheckGates(run, options.scale, smoke, hardware_threads));
     measured.push_back(run);
   }
 
-  WriteJson(measured, options, batch_size, "BENCH_soi_throughput.json");
+  WriteJson(measured, gates, options, batch_size, smoke, hardware_threads,
+            "BENCH_soi_throughput.json");
   std::cout << "\nWrote BENCH_soi_throughput.json. Thread speedups track "
                "the host's core count\n(single-core machines bottleneck at "
                "1x); the engine's cache advantage over the\nlegacy "
                "per-query augmentation shows in the last row.\n";
+
+  bool gates_pass = true;
+  std::cout << "\nPerf gates (" << hardware_threads
+            << " hardware thread(s)):\n";
+  for (size_t c = 0; c < measured.size(); ++c) {
+    for (const GateResult& gate : gates[c]) {
+      std::cout << "  [" << (gate.pass ? "PASS" : "FAIL") << "] "
+                << measured[c].city << " " << gate.name << ": "
+                << gate.detail << "\n";
+      gates_pass = gates_pass && gate.pass;
+    }
+  }
+  if (!gates_pass) {
+    std::cout << "\nPERF GATE FAILURE: the serving path regressed (or the "
+                 "recorded baseline in\nbench/throughput_baseline.h is "
+                 "stale — update it deliberately, with numbers).\n";
+  }
   if (obs::kEnabled) {
     Status trace_status = obs::TraceRecorder::Global().WriteChromeTrace(
         "TRACE_soi_throughput.json");
@@ -295,7 +461,7 @@ int Run(int argc, char** argv) {
               << obs::TraceRecorder::Global().Collect().size()
               << " spans; open in chrome://tracing or ui.perfetto.dev).\n";
   }
-  return 0;
+  return gates_pass ? 0 : 1;
 }
 
 }  // namespace

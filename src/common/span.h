@@ -1,0 +1,100 @@
+#ifndef SOI_COMMON_SPAN_H_
+#define SOI_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+namespace soi {
+
+/// A non-owning read-only view over a contiguous run of `T`, used by the
+/// CSR index accessors (grid/csr-backed indexes) so call sites keep
+/// range-for / size() / operator[] idioms while the storage lives in one
+/// flat arena per index instead of one heap block per row.
+///
+/// Intentionally minimal (no std::span dependency in public headers, and
+/// a stable printable/comparable surface for tests): pointer + length,
+/// trivially copyable, implicitly constructible from std::vector<T>.
+template <typename T>
+class Span {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  constexpr Span() : data_(nullptr), size_(0) {}
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  /// Implicit: lets nested-vector reference data (tests, conversion
+  /// paths) flow into span-taking call sites unchanged.
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+  /// Materializes an owning copy (snapshot writers, test assertions).
+  std::vector<T> ToVector() const {
+    return std::vector<T>(begin(), end());
+  }
+
+ private:
+  const T* data_;
+  size_t size_;
+};
+
+/// Element-wise equality (requires T comparable); spans of different
+/// lengths are unequal. Used heavily by the determinism tests.
+template <typename T>
+bool operator==(Span<T> a, Span<T> b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+template <typename T>
+bool operator!=(Span<T> a, Span<T> b) {
+  return !(a == b);
+}
+
+template <typename T>
+bool operator==(Span<T> a, const std::vector<T>& b) {
+  return a == Span<T>(b);
+}
+
+template <typename T>
+bool operator==(const std::vector<T>& a, Span<T> b) {
+  return Span<T>(a) == b;
+}
+
+template <typename T>
+bool operator!=(Span<T> a, const std::vector<T>& b) {
+  return !(a == b);
+}
+
+template <typename T>
+bool operator!=(const std::vector<T>& a, Span<T> b) {
+  return !(a == b);
+}
+
+/// Debug/gtest printing (requires T streamable).
+template <typename T>
+std::ostream& operator<<(std::ostream& os, Span<T> s) {
+  os << "[";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << s[i];
+  }
+  return os << "]";
+}
+
+}  // namespace soi
+
+#endif  // SOI_COMMON_SPAN_H_

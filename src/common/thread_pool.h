@@ -175,6 +175,64 @@ void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, Fn&& fn) {
   });
 }
 
+/// Dynamic work-grabbing variant of ParallelFor: every participating
+/// thread repeatedly claims the next unclaimed index from a shared atomic
+/// counter, so one slow element cannot idle the remaining threads the way
+/// ParallelFor's static chunking can (a chunk containing a slow element
+/// serializes everything behind it in that chunk).
+///
+/// Use ONLY where per-element cost is wildly uneven AND `fn` is
+/// order-independent (e.g. each element writes its own slot): the claim
+/// order is timing-dependent, so this construct sits outside the static
+/// determinism contract above. Results must not depend on execution
+/// order — the batch path satisfies this by writing results[i] from
+/// fn(i) only.
+///
+/// Exceptions from `fn` are captured per-element; the first is rethrown
+/// on the calling thread after all spawned participants finish.
+template <typename Fn>
+void ParallelForDynamic(ThreadPool* pool, int64_t begin, int64_t end,
+                        Fn&& fn) {
+  int64_t n = end - begin;
+  if (n <= 0) return;
+  int threads = pool ? pool->num_threads() : 1;
+  if (threads <= 1 || n == 1 || ThreadPool::InParallelRegion()) {
+    internal_pool::ParallelRegionGuard guard;
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  int64_t participants = std::min<int64_t>(threads, n);
+  // Stack lifetime is safe: state.Wait() below outlives every participant.
+  std::atomic<int64_t> next(begin);
+  internal_pool::ForkJoinState state;
+  state.SetRemaining(participants);
+
+  auto run_participant = [&state, &fn, &next, end]() {
+    internal_pool::ParallelRegionGuard guard;
+    try {
+      SOI_FAULT_POINT("pool.run_chunk");
+      for (;;) {
+        int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) break;
+        fn(i);
+      }
+    } catch (...) {
+      state.RecordError(std::current_exception());
+    }
+    state.FinishChunk();
+  };
+
+  for (int64_t p = 1; p < participants; ++p) {
+    pool->Submit([&run_participant] { run_participant(); });
+  }
+  run_participant();
+  state.Wait();
+  if (std::exception_ptr error = state.TakeError()) {
+    std::rethrow_exception(error);
+  }
+}
+
 /// Parallel sort: per-chunk std::sort followed by a tree of pairwise
 /// std::inplace_merge passes (merges at the same level run in parallel).
 ///

@@ -1,6 +1,9 @@
 #include "core/query_engine.h"
 
+#include <memory>
 #include <sstream>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
@@ -44,6 +47,24 @@ class InflightGuard {
   std::atomic<int64_t>* counter_;
 };
 
+// Canonical byte key of a query's full identity <Psi, k, eps> for batch
+// coalescing. KeywordSet ids are sorted and deduplicated, so identical
+// queries produce identical keys. Raw double bits keep the key exact
+// (coalescing must never merge queries whose eps merely prints alike).
+std::string QueryIdentityKey(const SoiQuery& query) {
+  const std::vector<KeywordId>& ids = query.keywords.ids();
+  std::string key;
+  key.reserve(sizeof(query.eps) + sizeof(query.k) +
+              ids.size() * sizeof(KeywordId));
+  auto append = [&key](const void* bytes, size_t n) {
+    key.append(static_cast<const char*>(bytes), n);
+  };
+  append(&query.eps, sizeof(query.eps));
+  append(&query.k, sizeof(query.k));
+  for (KeywordId id : ids) append(&id, sizeof(id));
+  return key;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(const RoadNetwork& network, const PoiGridIndex& grid,
@@ -73,23 +94,58 @@ QueryEngine::QueryEngine(
       << "warm start: " << preloaded.size()
       << " preloaded maps exceed eps_cache_capacity="
       << options_.eps_cache_capacity;
-  MutexLock lock(cache_mutex_);
-  for (std::shared_ptr<const EpsAugmentedMaps>& maps : preloaded) {
-    SOI_CHECK(maps != nullptr) << "warm start: null preloaded maps";
-    double eps = maps->eps();
-    std::promise<MapsPayload> promise;
-    MapsFuture future = promise.get_future().share();
-    promise.set_value(MapsPayload{std::move(maps), Status::OK()});
-    ++cache_tick_;
-    bool inserted =
-        cache_
-            .emplace(eps, CacheEntry{std::move(future), cache_tick_,
-                                     ++next_entry_id_, /*building=*/false})
-            .second;
-    SOI_CHECK(inserted) << "warm start: duplicate preloaded eps="
-                        << FormatDouble(eps);
+  size_t cache_size_after = 0;
+  {
+    MutexLock lock(cache_mutex_);
+    for (std::shared_ptr<const EpsAugmentedMaps>& maps : preloaded) {
+      SOI_CHECK(maps != nullptr) << "warm start: null preloaded maps";
+      double eps = maps->eps();
+      std::promise<MapsPayload> promise;
+      CacheEntry entry;
+      entry.maps = promise.get_future().share();
+      entry.ready_maps = maps;
+      promise.set_value(MapsPayload{std::move(maps), Status::OK()});
+      entry.last_used = std::make_shared<std::atomic<uint64_t>>(
+          cache_tick_.fetch_add(1, std::memory_order_relaxed) + 1);
+      entry.id = ++next_entry_id_;
+      bool inserted = cache_.emplace(eps, std::move(entry)).second;
+      SOI_CHECK(inserted) << "warm start: duplicate preloaded eps="
+                          << FormatDouble(eps);
+    }
+    RebuildHitTableLocked();
+    cache_size_after = cache_.size();
   }
-  SOI_OBS_GAUGE_SET("soi.cache.size", static_cast<int64_t>(cache_.size()));
+  SOI_OBS_GAUGE_SET("soi.cache.size",
+                    static_cast<int64_t>(cache_size_after));
+}
+
+void QueryEngine::RebuildHitTableLocked() {
+  auto table = std::make_unique<HitTable>();
+  table->reserve(cache_.size());
+  for (const auto& [eps, entry] : cache_) {
+    if (entry.ready_maps == nullptr) continue;  // still building
+    table->emplace(eps, HitEntry{entry.ready_maps, entry.last_used});
+  }
+  hit_table_.store(table.get(), std::memory_order_seq_cst);
+  hit_table_storage_.push_back(std::move(table));
+  // Grace-period reclamation. Every reader increments hit_readers_
+  // (seq_cst) *before* loading hit_table_ (seq_cst); we stored the new
+  // generation (seq_cst) before loading the counter (seq_cst). So in the
+  // single total order on seq_cst operations, a reader not visible in
+  // the counter here either finished (its release decrement
+  // happens-before this load, so its table use is done) or has not yet
+  // loaded the pointer — and will then observe this store or a later
+  // one, never a retired generation. Observing 0 therefore proves no
+  // reader can reach any generation but the newest. If readers are in
+  // flight, retired generations simply survive until a later rebuild
+  // observes quiescence.
+  if (hit_table_storage_.size() > 1 &&
+      hit_readers_.load(std::memory_order_seq_cst) == 0) {
+    std::unique_ptr<const HitTable> current =
+        std::move(hit_table_storage_.back());
+    hit_table_storage_.clear();
+    hit_table_storage_.push_back(std::move(current));
+  }
 }
 
 QueryEngine::~QueryEngine() = default;
@@ -107,6 +163,37 @@ std::shared_ptr<const EpsAugmentedMaps> QueryEngine::GetMaps(double eps) {
 
 Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
     double eps, const CancellationToken* cancel) {
+  // Contention-free hit path: resolve against the read-mostly snapshot
+  // of completed entries. In the steady state (the cache warmed to the
+  // serving eps values) every query takes this branch and the batch
+  // threads never serialize on cache_mutex_. A hit racing an eviction
+  // may resolve against the just-evicted snapshot — the maps stay alive
+  // through the shared_ptr, so this only blurs LRU recency by one tick.
+  {
+    // Wait-free reader registration: the increment must precede the
+    // pointer load (both seq_cst) for the grace-period argument in
+    // RebuildHitTableLocked to hold. The shared_ptr is copied out of the
+    // table before deregistering, so the maps outlive any reclamation.
+    hit_readers_.fetch_add(1, std::memory_order_seq_cst);
+    const HitTable* table = hit_table_.load(std::memory_order_seq_cst);
+    std::shared_ptr<const EpsAugmentedMaps> maps;
+    if (table != nullptr) {
+      auto hit = table->find(eps);
+      if (hit != table->end()) {
+        hit->second.last_used->store(
+            cache_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+        maps = hit->second.maps;
+      }
+    }
+    hit_readers_.fetch_sub(1, std::memory_order_release);
+    if (maps != nullptr) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      SOI_OBS_COUNTER_ADD("soi.cache.hits", 1);
+      return maps;
+    }
+  }
+
   // Bounded retry: a waiter that observes a peer's failed build loops
   // around and — the failed entry having been evicted by its builder —
   // typically becomes the new builder. The bound only guards against a
@@ -117,18 +204,27 @@ Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
     MapsFuture future;
     uint64_t my_id = 0;
     bool builder = false;
+    bool hit = false;
+    bool evicted = false;
+    size_t cache_size_after = 0;
+    uint64_t tick = cache_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Contention proxy for the bench: how often the serving path had to
+    // take cache_mutex_ at all (0 per batch once the cache is warm).
+    SOI_OBS_COUNTER_ADD("soi.cache.locked_path", 1);
     {
+      // Critical section: map bookkeeping only (cache_mutex_ is a leaf
+      // lock — see query_engine.h); counters and gauges are emitted
+      // after release.
       MutexLock lock(cache_mutex_);
-      ++cache_tick_;
       auto it = cache_.find(eps);
       if (it != cache_.end()) {
-        cache_hits_.fetch_add(1, std::memory_order_relaxed);
-        SOI_OBS_COUNTER_ADD("soi.cache.hits", 1);
-        it->second.last_used = cache_tick_;
+        // In-flight entry (completed ones resolve lock-free above, but
+        // an entry completed between the snapshot load and here also
+        // lands in this branch — both count as hits).
+        hit = true;
+        it->second.last_used->store(tick, std::memory_order_relaxed);
         future = it->second.maps;
       } else {
-        cache_misses_.fetch_add(1, std::memory_order_relaxed);
-        SOI_OBS_COUNTER_ADD("soi.cache.misses", 1);
         if (cache_.size() >= options_.eps_cache_capacity) {
           // LRU among *completed* entries only: evicting an in-flight
           // build would detach the shared future concurrent same-eps
@@ -142,24 +238,42 @@ Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
                ++entry) {
             if (entry->second.building) continue;
             if (victim == cache_.end() ||
-                entry->second.last_used < victim->second.last_used) {
+                entry->second.last_used->load(std::memory_order_relaxed) <
+                    victim->second.last_used->load(
+                        std::memory_order_relaxed)) {
               victim = entry;
             }
           }
           if (victim != cache_.end()) {
             cache_.erase(victim);  // holders keep maps via their shared_ptr
-            cache_evictions_.fetch_add(1, std::memory_order_relaxed);
-            SOI_OBS_COUNTER_ADD("soi.cache.evictions", 1);
+            RebuildHitTableLocked();
+            evicted = true;
           }
         }
         my_id = ++next_entry_id_;
         future = promise.get_future().share();
-        cache_.emplace(eps, CacheEntry{future, cache_tick_, my_id,
-                                       /*building=*/true});
+        CacheEntry entry;
+        entry.maps = future;
+        entry.last_used = std::make_shared<std::atomic<uint64_t>>(tick);
+        entry.id = my_id;
+        entry.building = true;
+        cache_.emplace(eps, std::move(entry));
         builder = true;
-        SOI_OBS_GAUGE_SET("soi.cache.size",
-                          static_cast<int64_t>(cache_.size()));
+        cache_size_after = cache_.size();
       }
+    }
+    if (hit) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      SOI_OBS_COUNTER_ADD("soi.cache.hits", 1);
+    } else {
+      cache_misses_.fetch_add(1, std::memory_order_relaxed);
+      SOI_OBS_COUNTER_ADD("soi.cache.misses", 1);
+      if (evicted) {
+        cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+        SOI_OBS_COUNTER_ADD("soi.cache.evictions", 1);
+      }
+      SOI_OBS_GAUGE_SET("soi.cache.size",
+                        static_cast<int64_t>(cache_size_after));
     }
 
     if (!builder) {
@@ -196,24 +310,36 @@ Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
       // Evict our own entry BEFORE publishing the failure, so a waiter
       // that wakes on the failed payload retries against a clean slot.
       // The id check keeps a healthy replacement entry (raced in after
-      // our eviction by a retrying waiter) untouched.
-      MutexLock lock(cache_mutex_);
-      auto it = cache_.find(eps);
-      if (it != cache_.end() && it->second.id == my_id) {
-        cache_.erase(it);
+      // our eviction by a retrying waiter) untouched. No hit-table
+      // republish: an in-flight entry was never in the snapshot.
+      size_t size_after = 0;
+      bool erased = false;
+      {
+        MutexLock lock(cache_mutex_);
+        auto it = cache_.find(eps);
+        if (it != cache_.end() && it->second.id == my_id) {
+          cache_.erase(it);
+          erased = true;
+          size_after = cache_.size();
+        }
+      }
+      if (erased) {
         SOI_OBS_GAUGE_SET("soi.cache.size",
-                          static_cast<int64_t>(cache_.size()));
+                          static_cast<int64_t>(size_after));
       }
     } else {
       // Mark the build complete BEFORE publishing the value: once
       // waiters can see the payload the entry must already be a normal
-      // evictable cache resident. The id check is defensive — eviction
-      // skips in-flight entries and only this builder erases its own,
-      // so the entry is still ours here.
+      // evictable cache resident — and in the lock-free hit snapshot.
+      // The id check is defensive — eviction skips in-flight entries
+      // and only this builder erases its own, so the entry is still
+      // ours here.
       MutexLock lock(cache_mutex_);
       auto it = cache_.find(eps);
       if (it != cache_.end() && it->second.id == my_id) {
         it->second.building = false;
+        it->second.ready_maps = payload.maps;
+        RebuildHitTableLocked();
       }
     }
     promise.set_value(payload);
@@ -318,24 +444,65 @@ std::vector<Result<SoiResult>> QueryEngine::TryRunBatch(
   SOI_OBS_COUNTER_ADD("soi.engine.batches", 1);
   SOI_OBS_COUNTER_ADD("soi.engine.batch_queries",
                       static_cast<int64_t>(queries.size()));
+  // Coalesce duplicates (identical <Psi, k, eps>) onto one evaluation.
+  // leader[i] == i marks an entry that runs; a duplicate points at the
+  // earlier identical query (always a smaller index, so the forward
+  // fan-out pass below is well-ordered). Per-query tokens disable
+  // coalescing: two duplicates may differ in when their tokens fire.
+  std::vector<int64_t> leader(queries.size());
+  int64_t coalesced = 0;
+  if (cancels.empty() && queries.size() > 1) {
+    std::unordered_map<std::string, int64_t> first_by_key;
+    first_by_key.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto [it, inserted] = first_by_key.emplace(
+          QueryIdentityKey(queries[i]), static_cast<int64_t>(i));
+      leader[i] = it->second;
+      if (!inserted) ++coalesced;
+    }
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      leader[i] = static_cast<int64_t>(i);
+    }
+  }
+  if (coalesced > 0) {
+    SOI_OBS_COUNTER_ADD("soi.engine.batch_coalesced", coalesced);
+  }
+
   std::vector<Result<SoiResult>> results(
       queries.size(),
       Result<SoiResult>(Status::Internal(
           "query not evaluated: batch aborted before this entry ran")));
   try {
-    ParallelFor(pool_.get(), 0, static_cast<int64_t>(queries.size()),
-                [&](int64_t i) {
-                  size_t idx = static_cast<size_t>(i);
-                  const CancellationToken& cancel =
-                      cancels.empty() ? options_.algorithm.cancel
-                                      : cancels[idx];
-                  results[idx] = TryRun(queries[idx], cancel);
-                });
+    // Dynamic work-grabbing (not static chunking): per-query cost is
+    // wildly uneven — a cold eps build can take orders of magnitude
+    // longer than a warm-cache query — and a static chunk containing
+    // one slow query serializes every query behind it in that chunk.
+    // Each entry writes only results[i], so the timing-dependent claim
+    // order cannot affect the (bit-identical) per-query results.
+    ParallelForDynamic(pool_.get(), 0,
+                       static_cast<int64_t>(queries.size()),
+                       [&](int64_t i) {
+                         size_t idx = static_cast<size_t>(i);
+                         if (leader[idx] != i) return;  // coalesced dup
+                         const CancellationToken& cancel =
+                             cancels.empty() ? options_.algorithm.cancel
+                                             : cancels[idx];
+                         results[idx] = TryRun(queries[idx], cancel);
+                       });
   } catch (const std::exception&) {
     // Only reachable when an injected "pool.run_chunk" fault hits the
-    // batch's own outer loop: TryRun itself never throws. The chunk's
+    // batch's own outer loop: TryRun itself never throws. The loop's
     // unevaluated entries keep their placeholder Internal status;
-    // entries evaluated by sibling chunks are unaffected.
+    // entries evaluated by sibling participants are unaffected.
+  }
+  // Fan the leader results back out to their coalesced duplicates
+  // (Result<SoiResult> is copyable; an aborted leader propagates its
+  // placeholder status).
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (leader[i] != static_cast<int64_t>(i)) {
+      results[i] = results[static_cast<size_t>(leader[i])];
+    }
   }
   SOI_OBS_HISTOGRAM_OBSERVE("soi.engine.batch_seconds",
                             timer.ElapsedSeconds());
@@ -343,6 +510,9 @@ std::vector<Result<SoiResult>> QueryEngine::TryRunBatch(
 }
 
 size_t QueryEngine::cache_size() const {
+  // Test/diagnostic hook. Must count in-flight entries too, so it reads
+  // cache_ (not the completed-only hit snapshot); the critical section
+  // is a single size() read.
   MutexLock lock(cache_mutex_);
   return cache_.size();
 }

@@ -149,13 +149,26 @@ class QueryEngine {
 
   /// TryRunBatch with one cancellation token per query. `cancels` must
   /// be empty (engine-wide token for all) or match queries.size().
+  ///
+  /// Duplicate coalescing: when `cancels` is empty, queries with the same
+  /// full identity <Psi, k, eps> are evaluated once — the first occurrence
+  /// (the leader) runs, and the later duplicates receive a copy of its
+  /// Result. Bit-identity is preserved because an identical query yields
+  /// an identical evaluation (only the wall-clock timing fields, excluded
+  /// from the contract, are shared instead of re-measured). With per-query
+  /// tokens nothing is coalesced: two duplicates may legitimately differ
+  /// in when their tokens fire. Coalesced duplicates are counted in
+  /// soi.engine.batch_coalesced.
   [[nodiscard]] std::vector<Result<SoiResult>> TryRunBatch(
       const std::vector<SoiQuery>& queries,
       const std::vector<CancellationToken>& cancels);
 
   /// The memoized eps augmentation for `eps`, building (and caching) it
   /// on first use. Concurrent requests for the same eps share one build.
-  /// Fatal on a failed build; serving paths use TryGetMaps.
+  /// A hit on a completed entry is contention-free: it resolves against a
+  /// read-mostly snapshot of the completed-entry table without touching
+  /// cache_mutex_ (see hit_table_ below). Fatal on a failed build;
+  /// serving paths use TryGetMaps.
   std::shared_ptr<const EpsAugmentedMaps> GetMaps(double eps)
       SOI_EXCLUDES(cache_mutex_);
 
@@ -214,7 +227,14 @@ class QueryEngine {
 
   struct CacheEntry {
     MapsFuture maps;
-    uint64_t last_used = 0;
+    /// Set under cache_mutex_ once the build has succeeded; non-null is
+    /// the "completed" signal RebuildHitTableLocked keys on (it must
+    /// never block on the future while holding the lock).
+    std::shared_ptr<const EpsAugmentedMaps> ready_maps;
+    /// LRU clock, shared with the hit-table snapshot so contention-free
+    /// hits keep the recency the evictor reads. Heap-allocated because
+    /// the snapshot may outlive the cache entry across an eviction.
+    std::shared_ptr<std::atomic<uint64_t>> last_used;
     /// Distinguishes this entry from any later entry for the same eps,
     /// so a failed builder evicts only its own entry (never a healthy
     /// replacement raced in by a retrying waiter).
@@ -227,14 +247,59 @@ class QueryEngine {
     bool building = false;
   };
 
+  /// The contention-free hit path: an immutable map of the *completed*
+  /// cache entries, republished copy-on-write whenever that set changes
+  /// — build completion, eviction, warm-start preload. A hit registers
+  /// itself in hit_readers_, loads the current generation pointer, looks
+  /// up eps, bumps the shared LRU clock, and returns — wait-free, no
+  /// mutex. Misses and in-flight entries fall through to the locked slow
+  /// path. A lookup racing an eviction may still hit the just-retired
+  /// generation; the maps stay alive through the HitEntry shared_ptr and
+  /// the counters tolerate the blur (see cache_stats()).
+  ///
+  /// Why not std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic
+  /// releases its embedded spinlock with a *relaxed* RMW, so its plain
+  /// control-block accesses carry no happens-before edge — formally a
+  /// data race, and TSan reports it. Publication here uses a plain
+  /// atomic pointer instead, with generation ownership kept in
+  /// hit_table_storage_ under cache_mutex_ and retired generations
+  /// reclaimed only after hit_readers_ is observed at zero (see
+  /// RebuildHitTableLocked for the seq_cst argument).
+  struct HitEntry {
+    std::shared_ptr<const EpsAugmentedMaps> maps;
+    std::shared_ptr<std::atomic<uint64_t>> last_used;
+  };
+  using HitTable = std::unordered_map<double, HitEntry>;
+
+  /// Republishes hit_table_ from the completed entries of cache_.
+  void RebuildHitTableLocked() SOI_REQUIRES(cache_mutex_);
+
   const SegmentCellIndex* segment_cells_;
   QueryEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
   SoiAlgorithm algorithm_;
 
+  // Lock-ordering invariant: cache_mutex_ is a LEAF lock. While holding
+  // it, the engine never submits pool work, never blocks on a future,
+  // never runs user callbacks (build_observer runs before the build,
+  // outside the lock), and never takes another engine lock. Builds and
+  // observability exports happen outside the critical sections, which
+  // are limited to map bookkeeping.
   mutable Mutex cache_mutex_;
   std::unordered_map<double, CacheEntry> cache_ SOI_GUARDED_BY(cache_mutex_);
-  uint64_t cache_tick_ SOI_GUARDED_BY(cache_mutex_) = 0;
+  // Fast-path view: the current hit-table generation (null until the
+  // first entry completes). Points into hit_table_storage_, whose last
+  // element is the current generation and whose earlier elements are
+  // retired generations a concurrent reader may still be traversing.
+  std::atomic<const HitTable*> hit_table_{nullptr};
+  // Readers currently inside the fast-path lookup (wait-free guard for
+  // generation reclamation).
+  std::atomic<int64_t> hit_readers_{0};
+  std::vector<std::unique_ptr<const HitTable>> hit_table_storage_
+      SOI_GUARDED_BY(cache_mutex_);
+  // Monotone logical clock for LRU recency; atomic so lock-free hits can
+  // bump it without cache_mutex_.
+  std::atomic<uint64_t> cache_tick_{0};
   uint64_t next_entry_id_ SOI_GUARDED_BY(cache_mutex_) = 0;
   // Queries currently inside TryRun (admission control).
   std::atomic<int64_t> inflight_{0};

@@ -1,10 +1,13 @@
 #include "core/soi_algorithm.h"
 
 #include <algorithm>
-#include <queue>
+#include <memory>
+#include <vector>
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/mutex.h"
+#include "common/span.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -14,7 +17,108 @@
 
 namespace soi {
 
+// ---------------------------------------------------------------------
+// Reusable per-query scratch arenas.
+//
+// Every TopK call needs dense per-segment / per-street arrays, the three
+// source-list buffers, and the refinement candidate heap. Allocating them
+// per query dominated the allocator traffic of the serving hot path, so
+// they live here instead: a query leases one QueryScratch from the pool,
+// resets it with assign()/clear() (which preserve heap capacity), and
+// returns it when done. Steady-state serving therefore allocates nothing.
+struct SoiScratchPool {
+  // Dense per-segment state of one run (validity gated by `seen`).
+  struct SegmentState {
+    double mass = 0;
+    // Number of cells of C_eps(l) not yet visited for this segment.
+    int64_t remaining = 0;
+    // Bitmap over the positions of C_eps(l).
+    std::vector<uint64_t> visited_bits;
+
+    bool IsVisited(size_t pos) const {
+      return (visited_bits[pos >> 6] >> (pos & 63)) & 1;
+    }
+    void MarkVisited(size_t pos) {
+      visited_bits[pos >> 6] |= 1ull << (pos & 63);
+    }
+  };
+
+  struct TrackerEntry {
+    double value;
+    StreetId street;
+  };
+
+  struct QueryScratch {
+    // Filtering phase.
+    std::vector<char> seen;
+    std::vector<SegmentState> states;
+    std::vector<double> street_best;
+    std::vector<GlobalInvertedIndex::Entry> sl1;
+    std::vector<double> cell_relevant_bound;
+    std::vector<SegmentId> sl2;
+    std::vector<double> lbk;
+    GlobalInvertedIndex::QueryCellScratch cell_list;
+    // FinalizeSegment parallel path.
+    std::vector<size_t> unvisited;
+    std::vector<double> finalize_mass;
+    std::vector<int64_t> finalize_checks;
+    // Refinement phase.
+    std::vector<SegmentId> pending;
+    std::vector<double> street_exact;
+    std::vector<SegmentId> street_exact_segment;
+    std::vector<double> optimistic;
+    // KthBestTracker storage.
+    std::vector<double> tracker_value;
+    std::vector<char> tracker_live;
+    std::vector<TrackerEntry> tracker_heap;
+  };
+
+  std::unique_ptr<QueryScratch> Acquire() SOI_EXCLUDES(mutex_) {
+    std::unique_ptr<QueryScratch> scratch;
+    {
+      MutexLock lock(mutex_);
+      if (!free_.empty()) {
+        scratch = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    if (scratch != nullptr) {
+      SOI_OBS_COUNTER_ADD("soi.scratch.reused", 1);
+      return scratch;
+    }
+    SOI_OBS_COUNTER_ADD("soi.scratch.created", 1);
+    return std::make_unique<QueryScratch>();
+  }
+
+  void Release(std::unique_ptr<QueryScratch> scratch) SOI_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    free_.push_back(std::move(scratch));
+  }
+
+ private:
+  Mutex mutex_;
+  std::vector<std::unique_ptr<QueryScratch>> free_ SOI_GUARDED_BY(mutex_);
+};
+
 namespace {
+
+// RAII lease so the scratch returns to the pool on every exit path
+// (including the exceptions fault injection and parallel chunks may
+// rethrow through Execute).
+class ScratchLease {
+ public:
+  explicit ScratchLease(SoiScratchPool* pool)
+      : pool_(pool), scratch_(pool->Acquire()) {}
+  ~ScratchLease() { pool_->Release(std::move(scratch_)); }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  SoiScratchPool::QueryScratch& operator*() { return *scratch_; }
+
+ private:
+  SoiScratchPool* pool_;
+  std::unique_ptr<SoiScratchPool::QueryScratch> scratch_;
+};
 
 // Which source list an iteration consumes.
 enum class Source { kSl1, kSl2, kSl3, kNone };
@@ -25,17 +129,24 @@ enum class Source { kSl1, kSl2, kSl3, kNone };
 // larger value for the same street, or displaced out of the top-k, go
 // stale and are purged when they surface at the top). Amortized O(log k)
 // per update, O(1) per threshold read — replacing the O(k) rbegin/advance
-// walk of a full std::multiset.
+// walk of a full std::multiset. Heap and dense arrays live in the leased
+// scratch, so constructing a tracker allocates nothing steady-state.
 //
 // Correctness rests on monotonicity: street values only grow and the heap
 // minimum over live entries never decreases, so a value evicted as the
 // minimum of k+1 live entries can never re-enter the top-k.
 class KthBestTracker {
  public:
-  KthBestTracker(int32_t k, int64_t num_streets)
+  KthBestTracker(int32_t k, int64_t num_streets,
+                 SoiScratchPool::QueryScratch* scratch)
       : k_(k),
-        value_(static_cast<size_t>(num_streets), -1.0),
-        live_flag_(static_cast<size_t>(num_streets), 0) {}
+        value_(scratch->tracker_value),
+        live_flag_(scratch->tracker_live),
+        heap_(scratch->tracker_heap) {
+    value_.assign(static_cast<size_t>(num_streets), -1.0);
+    live_flag_.assign(static_cast<size_t>(num_streets), 0);
+    heap_.clear();
+  }
 
   // Raises `street`'s value to `value`; no-op unless it strictly grows
   // (first values are >= 0, so the initial -1 sentinel always grows).
@@ -51,7 +162,8 @@ class KthBestTracker {
       --num_live_;
     }
     current = value;
-    heap_.push(Entry{value, street});
+    heap_.push_back(SoiScratchPool::TrackerEntry{value, street});
+    std::push_heap(heap_.begin(), heap_.end(), MinOnTop());
     live_flag_[static_cast<size_t>(street)] = 1;
     ++num_live_;
     while (num_live_ > k_) EvictMinLive();
@@ -61,28 +173,33 @@ class KthBestTracker {
   // one (matching the refinement's "no threshold yet" semantics).
   double Kth() {
     if (num_streets_ < k_) return 0.0;
-    while (!IsLive(heap_.top())) heap_.pop();
-    return heap_.top().value;
+    while (!IsLive(heap_.front())) PopTop();
+    return heap_.front().value;
   }
 
  private:
-  struct Entry {
-    double value;
-    StreetId street;
-    bool operator<(const Entry& other) const {  // min-heap via greater
-      return value > other.value;
+  // Min-heap: the smallest tracked value surfaces at front().
+  struct MinOnTop {
+    bool operator()(const SoiScratchPool::TrackerEntry& a,
+                    const SoiScratchPool::TrackerEntry& b) const {
+      return a.value > b.value;
     }
   };
 
-  bool IsLive(const Entry& e) const {
+  bool IsLive(const SoiScratchPool::TrackerEntry& e) const {
     return live_flag_[static_cast<size_t>(e.street)] &&
            value_[static_cast<size_t>(e.street)] == e.value;
   }
 
+  void PopTop() {
+    std::pop_heap(heap_.begin(), heap_.end(), MinOnTop());
+    heap_.pop_back();
+  }
+
   void EvictMinLive() {
     for (;;) {
-      Entry top = heap_.top();
-      heap_.pop();
+      SoiScratchPool::TrackerEntry top = heap_.front();
+      PopTop();
       if (IsLive(top)) {
         live_flag_[static_cast<size_t>(top.street)] = 0;
         --num_live_;
@@ -92,22 +209,26 @@ class KthBestTracker {
   }
 
   int32_t k_;
-  std::vector<double> value_;
-  std::vector<char> live_flag_;
-  std::priority_queue<Entry> heap_;
+  std::vector<double>& value_;
+  std::vector<char>& live_flag_;
+  std::vector<SoiScratchPool::TrackerEntry>& heap_;
   int64_t num_streets_ = 0;
   int64_t num_live_ = 0;
 };
 
 // Mutable per-run state of Algorithm 1. Scoped to one TopK call so the
-// SoiAlgorithm instance stays immutable.
+// SoiAlgorithm instance stays immutable; the backing storage comes from
+// the leased QueryScratch and is reset here, never reallocated.
 class Run {
  public:
+  using SegmentState = SoiScratchPool::SegmentState;
+
   Run(const RoadNetwork& network, const PoiGridIndex& grid,
       const GlobalInvertedIndex& global_index,
       const std::vector<SegmentId>& segments_by_length,
       const SoiQuery& query, const EpsAugmentedMaps& maps,
-      const SoiAlgorithmOptions& options)
+      const SoiAlgorithmOptions& options,
+      SoiScratchPool::QueryScratch* scratch)
       : network_(network),
         grid_(grid),
         global_index_(global_index),
@@ -115,27 +236,25 @@ class Run {
         query_(query),
         maps_(maps),
         options_(options),
-        seen_(static_cast<size_t>(network.num_segments()), 0),
-        states_(static_cast<size_t>(network.num_segments())),
-        street_best_(static_cast<size_t>(network.num_streets()), -1.0) {}
+        s_(*scratch),
+        seen_(s_.seen),
+        states_(s_.states),
+        street_best_(s_.street_best),
+        sl1_(s_.sl1),
+        cell_relevant_bound_(s_.cell_relevant_bound),
+        sl2_(s_.sl2) {
+    const size_t num_segments =
+        static_cast<size_t>(network.num_segments());
+    seen_.assign(num_segments, 0);
+    // Element contents are stale from the previous lease; validity is
+    // gated by seen_ and GetOrCreateState re-initializes on first touch.
+    if (states_.size() < num_segments) states_.resize(num_segments);
+    street_best_.assign(static_cast<size_t>(network.num_streets()), -1.0);
+  }
 
   Result<SoiResult> Execute();
 
  private:
-  // --- per-segment state -------------------------------------------------
-  struct SegmentState {
-    double mass = 0;
-    // Number of cells of C_eps(l) not yet visited for this segment.
-    int64_t remaining = 0;
-    // Bitmap over the positions of C_eps(l).
-    std::vector<uint64_t> visited_bits;
-
-    bool IsVisited(size_t pos) const {
-      return (visited_bits[pos >> 6] >> (pos & 63)) & 1;
-    }
-    void MarkVisited(size_t pos) { visited_bits[pos >> 6] |= 1ull << (pos & 63); }
-  };
-
   SegmentState& GetOrCreateState(SegmentId id);
   // Relevant mass of `cell` for the query w.r.t. `geometry` (the body of
   // procedure UpdateInterest), accumulated locally so sequential and
@@ -182,27 +301,27 @@ class Run {
   const EpsAugmentedMaps& maps_;
   const SoiAlgorithmOptions& options_;
 
-  // SL1: cells with relevant POIs, by decreasing |P_Psi(c)|.
-  std::vector<GlobalInvertedIndex::Entry> sl1_;
-  size_t sl1_pos_ = 0;
-  // Relevant-weight upper bound per cell (0 for cells off SL1), for the
-  // pruned refinement. Dense: indexed by CellId.
-  std::vector<double> cell_relevant_bound_;
-  // SL2: segments by decreasing |C_eps(l)|.
-  std::vector<SegmentId> sl2_;
-  size_t sl2_pos_ = 0;
-  size_t sl3_pos_ = 0;
-
-  std::vector<char> seen_;
+  SoiScratchPool::QueryScratch& s_;
+  std::vector<char>& seen_;
   // Dense per-segment state, lazily initialized on first touch (seen_
   // flags gate validity). A vector beats a hash map here: GetOrCreateState
   // runs once per (segment, cell) pair.
-  std::vector<SegmentState> states_;
+  std::vector<SegmentState>& states_;
   // street_best_[s] = best int^-(l) over seen segments of s; -1 if unseen.
-  std::vector<double> street_best_;
+  std::vector<double>& street_best_;
+  // SL1: cells with relevant POIs, by decreasing |P_Psi(c)|.
+  std::vector<GlobalInvertedIndex::Entry>& sl1_;
+  // Relevant-weight upper bound per cell (0 for cells off SL1), for the
+  // pruned refinement. Dense: indexed by CellId.
+  std::vector<double>& cell_relevant_bound_;
+  // SL2: segments by decreasing |C_eps(l)|.
+  std::vector<SegmentId>& sl2_;
+
+  size_t sl1_pos_ = 0;
+  size_t sl2_pos_ = 0;
+  size_t sl3_pos_ = 0;
+
   int64_t num_seen_streets_ = 0;
-  // Scratch buffer reused by MaybeRefreshLowerBoundK.
-  std::vector<double> lbk_scratch_;
   int64_t next_lbk_refresh_ = 0;
 
   double upper_bound_ = 0.0;
@@ -216,6 +335,7 @@ Run::SegmentState& Run::GetOrCreateState(SegmentId id) {
   SegmentState& state = states_[static_cast<size_t>(id)];
   if (seen_[static_cast<size_t>(id)]) return state;
   int64_t num_cells = maps_.NumSegmentCells(id);
+  state.mass = 0.0;
   state.remaining = num_cells;
   state.visited_bits.assign(static_cast<size_t>((num_cells + 63) / 64), 0);
   seen_[static_cast<size_t>(id)] = 1;
@@ -250,7 +370,7 @@ double Run::CellMass(const Segment& geometry, CellId cell,
 
 void Run::UpdateInterest(SegmentId id, CellId cell) {
   SegmentState& state = GetOrCreateState(id);
-  const std::vector<CellId>& cells = maps_.SegmentCells(id);
+  Span<CellId> cells = maps_.SegmentCells(id);
   auto it = std::lower_bound(cells.begin(), cells.end(), cell);
   SOI_DCHECK(it != cells.end() && *it == cell)
       << "cell " << cell << " not in C_eps of segment " << id;
@@ -269,7 +389,7 @@ void Run::UpdateInterest(SegmentId id, CellId cell) {
 void Run::FinalizeSegment(SegmentId id) {
   SegmentState& state = GetOrCreateState(id);
   if (state.remaining == 0) return;
-  const std::vector<CellId>& cells = maps_.SegmentCells(id);
+  Span<CellId> cells = maps_.SegmentCells(id);
 
   // Parallel path: the per-cell masses are pure reads, so compute them
   // concurrently and fold them into the segment state sequentially, in
@@ -279,14 +399,16 @@ void Run::FinalizeSegment(SegmentId id) {
   constexpr int64_t kMinParallelCells = 32;
   if (options_.pool != nullptr && state.remaining >= kMinParallelCells &&
       !ThreadPool::InParallelRegion()) {
-    std::vector<size_t> unvisited;
-    unvisited.reserve(static_cast<size_t>(state.remaining));
+    std::vector<size_t>& unvisited = s_.unvisited;
+    unvisited.clear();
     for (size_t pos = 0; pos < cells.size(); ++pos) {
       if (!state.IsVisited(pos)) unvisited.push_back(pos);
     }
     const NetworkSegment& segment = network_.segment(id);
-    std::vector<double> cell_mass(unvisited.size(), 0.0);
-    std::vector<int64_t> checks(unvisited.size(), 0);
+    std::vector<double>& cell_mass = s_.finalize_mass;
+    cell_mass.assign(unvisited.size(), 0.0);
+    std::vector<int64_t>& checks = s_.finalize_checks;
+    checks.assign(unvisited.size(), 0);
     ParallelFor(options_.pool, 0, static_cast<int64_t>(unvisited.size()),
                 [&](int64_t j) {
                   cell_mass[static_cast<size_t>(j)] = CellMass(
@@ -313,7 +435,8 @@ void Run::FinalizeSegment(SegmentId id) {
 }
 
 void Run::BuildSourceLists() {
-  sl1_ = global_index_.BuildQueryCellList(query_.keywords, grid_);
+  global_index_.BuildQueryCellList(query_.keywords, grid_, &s_.cell_list,
+                                   &sl1_);
   cell_relevant_bound_.assign(
       static_cast<size_t>(grid_.geometry().num_cells()), 0.0);
   for (const GlobalInvertedIndex::Entry& entry : sl1_) {
@@ -363,15 +486,16 @@ void Run::MaybeRefreshLowerBoundK() {
   if (result_.stats.iterations < next_lbk_refresh_) return;
   constexpr int64_t kRefreshInterval = 16;
   next_lbk_refresh_ = result_.stats.iterations + kRefreshInterval;
-  lbk_scratch_.clear();
+  std::vector<double>& lbk_scratch = s_.lbk;
+  lbk_scratch.clear();
   for (double best : street_best_) {
-    if (best >= 0.0) lbk_scratch_.push_back(best);
+    if (best >= 0.0) lbk_scratch.push_back(best);
   }
   size_t kth = static_cast<size_t>(query_.k - 1);
-  std::nth_element(lbk_scratch_.begin(), lbk_scratch_.begin() + kth,
-                   lbk_scratch_.end(), std::greater<double>());
+  std::nth_element(lbk_scratch.begin(), lbk_scratch.begin() + kth,
+                   lbk_scratch.end(), std::greater<double>());
   // LB_k is monotone over the run; keep the larger of old and new.
-  lower_bound_k_ = std::max(lower_bound_k_, lbk_scratch_[kth]);
+  lower_bound_k_ = std::max(lower_bound_k_, lbk_scratch[kth]);
 }
 
 Source Run::ChooseSource() {
@@ -477,21 +601,23 @@ Status Run::FilteringPhase() {
 Status Run::RefinementPhase() {
   // Collect the seen segments; under pruning, process them by decreasing
   // interest lower bound so the exact-score threshold rises quickly.
-  std::vector<SegmentId> pending;
+  std::vector<SegmentId>& pending = s_.pending;
+  pending.clear();
   pending.reserve(static_cast<size_t>(result_.stats.segments_seen));
   for (SegmentId id = 0; id < network_.num_segments(); ++id) {
     if (seen_[static_cast<size_t>(id)]) pending.push_back(id);
   }
 
-  std::vector<double> street_exact(
-      static_cast<size_t>(network_.num_streets()), -1.0);
+  std::vector<double>& street_exact = s_.street_exact;
+  street_exact.assign(static_cast<size_t>(network_.num_streets()), -1.0);
   // The segment attaining street_exact, tracked while updating instead of
   // recovered afterwards by re-deriving the score and matching on exact
   // floating-point equality (fragile). With the pending order below, ties
   // resolve to the lowest segment id in both refinement modes.
-  std::vector<SegmentId> street_exact_segment(
-      static_cast<size_t>(network_.num_streets()), -1);
-  KthBestTracker tracker(query_.k, network_.num_streets());
+  std::vector<SegmentId>& street_exact_segment = s_.street_exact_segment;
+  street_exact_segment.assign(static_cast<size_t>(network_.num_streets()),
+                              -1);
+  KthBestTracker tracker(query_.k, network_.num_streets(), &s_);
   auto update_exact = [&](StreetId street, double interest, SegmentId seg) {
     double& best = street_exact[static_cast<size_t>(street)];
     if (best < 0.0 || interest > best) {
@@ -521,7 +647,7 @@ Status Run::RefinementPhase() {
   // relevant-POI bound): pure reads of the post-filtering state, so they
   // are computed for all pending segments in parallel up front. Each
   // bound accumulates in the same cell order as the former inline loop.
-  std::vector<double> optimistic;
+  std::vector<double>& optimistic = s_.optimistic;
   if (options_.pruned_refinement) {
     optimistic.resize(pending.size());
     ParallelFor(
@@ -531,7 +657,7 @@ Status Run::RefinementPhase() {
           const SegmentState& state = states_[static_cast<size_t>(id)];
           double optimistic_mass = state.mass;
           if (state.remaining > 0) {
-            const std::vector<CellId>& cells = maps_.SegmentCells(id);
+            Span<CellId> cells = maps_.SegmentCells(id);
             for (size_t pos = 0; pos < cells.size(); ++pos) {
               if (state.IsVisited(pos)) continue;
               optimistic_mass +=
@@ -647,7 +773,10 @@ SoiAlgorithm::SoiAlgorithm(const RoadNetwork& network,
                            const PoiGridIndex& grid,
                            const GlobalInvertedIndex& global_index,
                            ThreadPool* pool)
-    : network_(&network), grid_(&grid), global_index_(&global_index) {
+    : network_(&network),
+      grid_(&grid),
+      global_index_(&global_index),
+      scratch_pool_(std::make_unique<SoiScratchPool>()) {
   segments_by_length_.resize(static_cast<size_t>(network.num_segments()));
   for (SegmentId id = 0; id < network.num_segments(); ++id) {
     segments_by_length_[static_cast<size_t>(id)] = id;
@@ -660,6 +789,8 @@ SoiAlgorithm::SoiAlgorithm(const RoadNetwork& network,
                  return a < b;
                });
 }
+
+SoiAlgorithm::~SoiAlgorithm() = default;
 
 SoiResult SoiAlgorithm::TopK(const SoiQuery& query,
                              const EpsAugmentedMaps& maps,
@@ -676,8 +807,9 @@ SoiResult SoiAlgorithm::TopK(const SoiQuery& query,
   SOI_CHECK(grid_->geometry().bounds() == maps.geometry().bounds() &&
             grid_->geometry().cell_size() == maps.geometry().cell_size())
       << "POI grid and segment maps use different grid geometries";
+  ScratchLease lease(scratch_pool_.get());
   Run run(*network_, *grid_, *global_index_, segments_by_length_, query,
-          maps, options);
+          maps, options, &*lease);
   Result<SoiResult> result = run.Execute();
   SOI_CHECK(result.ok()) << "TopK aborted: " << result.status().ToString()
                          << " (use TryTopK for cancellable queries)";
@@ -699,8 +831,9 @@ Result<SoiResult> SoiAlgorithm::TryTopK(
         "POI grid and segment maps use different grid geometries");
   }
   SOI_RETURN_NOT_OK(options.cancel.Check());
+  ScratchLease lease(scratch_pool_.get());
   Run run(*network_, *grid_, *global_index_, segments_by_length_, query,
-          maps, options);
+          maps, options, &*lease);
   return run.Execute();
 }
 

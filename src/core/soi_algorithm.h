@@ -2,6 +2,7 @@
 #define SOI_CORE_SOI_ALGORITHM_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/cancellation.h"
@@ -14,6 +15,13 @@
 namespace soi {
 
 class ThreadPool;
+
+/// Pool of reusable per-query scratch arenas (dense per-segment /
+/// per-street arrays, candidate heaps, source-list buffers). Defined in
+/// soi_algorithm.cc; sized by the bound dataset and shared by concurrent
+/// TopK calls so the serving hot path performs no steady-state heap
+/// allocation.
+struct SoiScratchPool;
 
 /// Order in which the filtering phase consumes the three ranked source
 /// lists of Section 3.2.2.
@@ -88,6 +96,12 @@ class SoiAlgorithm {
                const GlobalInvertedIndex& global_index,
                ThreadPool* pool = nullptr);
 
+  /// Out of line: SoiScratchPool is incomplete here.
+  ~SoiAlgorithm();
+
+  SoiAlgorithm(const SoiAlgorithm&) = delete;
+  SoiAlgorithm& operator=(const SoiAlgorithm&) = delete;
+
   /// Evaluates the query. `maps` must be the eps augmentation for
   /// query.eps over the same network and grid geometry. Malformed
   /// queries and a fired cancellation token are fatal here; use TryTopK
@@ -115,6 +129,9 @@ class SoiAlgorithm {
   const PoiGridIndex* grid_;
   const GlobalInvertedIndex* global_index_;
   std::vector<SegmentId> segments_by_length_;
+  // Reused across queries; internally synchronized (leases are handed to
+  // concurrent TopK calls under the pool's own mutex).
+  std::unique_ptr<SoiScratchPool> scratch_pool_;
 };
 
 }  // namespace soi

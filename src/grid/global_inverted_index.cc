@@ -6,13 +6,6 @@ namespace soi {
 
 namespace {
 
-const std::vector<GlobalInvertedIndex::Entry>& EmptyEntries() {
-  // Intentionally leaked singleton.
-  static const std::vector<GlobalInvertedIndex::Entry>* empty =
-      new std::vector<GlobalInvertedIndex::Entry>();  // soi-lint: naked-new
-  return *empty;
-}
-
 void SortByWeightDesc(std::vector<GlobalInvertedIndex::Entry>* entries) {
   std::sort(entries->begin(), entries->end(),
             [](const GlobalInvertedIndex::Entry& a,
@@ -26,51 +19,75 @@ void SortByWeightDesc(std::vector<GlobalInvertedIndex::Entry>* entries) {
 
 GlobalInvertedIndex::GlobalInvertedIndex(const PoiGridIndex& grid) {
   const std::vector<Poi>& pois = grid.pois();
+  // Build-time staging only: rows are gathered per keyword, sorted, then
+  // flattened into the serving arena. Offline, once per dataset.
+  std::vector<std::vector<Entry>> rows;
   for (CellId cell : grid.NonEmptyCells()) {
     const PoiGridIndex::Cell* bucket = grid.FindCell(cell);
     for (const auto& [keyword, postings] : bucket->postings) {
+      if (static_cast<size_t>(keyword) >= rows.size()) {
+        rows.resize(static_cast<size_t>(keyword) + 1);
+      }
       double weight = 0.0;
       for (PoiId id : postings) {
         weight += pois[static_cast<size_t>(id)].weight;
       }
-      lists_[keyword].push_back(
+      rows[static_cast<size_t>(keyword)].push_back(
           Entry{cell, static_cast<int64_t>(postings.size()), weight});
     }
   }
-  for (auto& [keyword, entries] : lists_) {
-    SortByWeightDesc(&entries);
+  for (auto& row : rows) {
+    if (row.empty()) continue;
+    ++num_nonempty_;
+    SortByWeightDesc(&row);
   }
+  lists_ = CsrArray<Entry>::FromRows(rows);
 }
 
-GlobalInvertedIndex::GlobalInvertedIndex(
-    std::unordered_map<KeywordId, std::vector<Entry>> lists)
-    : lists_(std::move(lists)) {}
-
-const std::vector<GlobalInvertedIndex::Entry>& GlobalInvertedIndex::Entries(
-    KeywordId keyword) const {
-  auto it = lists_.find(keyword);
-  return it == lists_.end() ? EmptyEntries() : it->second;
+GlobalInvertedIndex::GlobalInvertedIndex(CsrArray<Entry> lists)
+    : lists_(std::move(lists)) {
+  for (int64_t k = 0; k < lists_.num_rows(); ++k) {
+    if (lists_.RowSize(k) > 0) ++num_nonempty_;
+  }
 }
 
 std::vector<GlobalInvertedIndex::Entry>
 GlobalInvertedIndex::BuildQueryCellList(const KeywordSet& query,
                                         const PoiGridIndex& grid) const {
-  struct Sums {
-    int64_t count = 0;
-    double weight = 0.0;
-  };
-  std::unordered_map<CellId, Sums> sums;
+  QueryCellScratch scratch;
+  std::vector<Entry> result;
+  BuildQueryCellList(query, grid, &scratch, &result);
+  return result;
+}
+
+void GlobalInvertedIndex::BuildQueryCellList(
+    const KeywordSet& query, const PoiGridIndex& grid,
+    QueryCellScratch* scratch, std::vector<Entry>* result) const {
+  const size_t num_cells =
+      static_cast<size_t>(grid.geometry().num_cells());
+  if (scratch->counts.size() < num_cells) {
+    scratch->counts.assign(num_cells, 0);
+    scratch->weights.assign(num_cells, 0.0);
+  }
+  scratch->touched.clear();
+  // Per-cell accumulation visits (keyword, entry) pairs in exactly the
+  // order the nested-map implementation did, so the summed doubles are
+  // bit-identical. Every entry has num_pois >= 1, so a zero count marks
+  // a first touch.
   for (KeywordId keyword : query.ids()) {
     for (const Entry& entry : Entries(keyword)) {
-      Sums& cell_sums = sums[entry.cell];
-      cell_sums.count += entry.num_pois;
-      cell_sums.weight += entry.weight;
+      const size_t cell = static_cast<size_t>(entry.cell);
+      if (scratch->counts[cell] == 0) {
+        scratch->touched.push_back(entry.cell);
+      }
+      scratch->counts[cell] += entry.num_pois;
+      scratch->weights[cell] += entry.weight;
     }
   }
   const std::vector<Poi>& pois = grid.pois();
-  std::vector<Entry> result;
-  result.reserve(sums.size());
-  for (const auto& [cell, cell_sums] : sums) {
+  result->clear();
+  result->reserve(scratch->touched.size());
+  for (CellId cell : scratch->touched) {
     // min(per-keyword sum, whole-cell total) is a valid upper bound for
     // counts and weights alike.
     double cell_weight = 0.0;
@@ -78,13 +95,16 @@ GlobalInvertedIndex::BuildQueryCellList(const KeywordSet& query,
     for (PoiId id : bucket->pois) {
       cell_weight += pois[static_cast<size_t>(id)].weight;
     }
-    result.push_back(Entry{cell,
-                           std::min(cell_sums.count,
-                                    grid.NumPoisInCell(cell)),
-                           std::min(cell_sums.weight, cell_weight)});
+    const size_t c = static_cast<size_t>(cell);
+    result->push_back(Entry{cell,
+                            std::min(scratch->counts[c],
+                                     grid.NumPoisInCell(cell)),
+                            std::min(scratch->weights[c], cell_weight)});
+    // Restore the all-zero invariant for the next query.
+    scratch->counts[c] = 0;
+    scratch->weights[c] = 0.0;
   }
-  SortByWeightDesc(&result);
-  return result;
+  SortByWeightDesc(result);
 }
 
 }  // namespace soi

@@ -2,9 +2,10 @@
 #define SOI_GRID_GLOBAL_INVERTED_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/csr.h"
+#include "common/span.h"
 #include "grid/grid_geometry.h"
 #include "grid/poi_grid_index.h"
 #include "text/keyword_set.h"
@@ -15,6 +16,12 @@ namespace soi {
 /// The global inverted index of Section 3.2.1: for each keyword psi, the
 /// list of <cell, numPOIs> entries sorted decreasingly on numPOIs, where
 /// numPOIs is the number of POIs in the cell carrying psi.
+///
+/// Storage is a dense KeywordId-indexed CSR arena (common/csr.h): the
+/// per-keyword entry lists live contiguously and Entries() is two offset
+/// loads — no per-call hash lookup on the hot path. Keywords that occur
+/// nowhere (including ids beyond the indexed range and negative ids)
+/// yield an empty span, preserving the old empty-list fallback.
 ///
 /// The entry list for the query keyword is (after per-cell aggregation for
 /// multi-keyword queries) the source list SL1 of Algorithm 1.
@@ -28,21 +35,39 @@ class GlobalInvertedIndex {
     /// the quantity the SL1 ordering and the unseen upper bound use, so
     /// the weighted-mass extension stays sound.
     double weight;
+
+    friend bool operator==(const Entry& a, const Entry& b) {
+      return a.cell == b.cell && a.num_pois == b.num_pois &&
+             a.weight == b.weight;
+    }
+  };
+
+  /// Reusable per-query scratch for BuildQueryCellList: dense per-cell
+  /// accumulators plus the list of touched cells, so repeated queries on
+  /// one thread allocate nothing steady-state. The dense arrays are
+  /// all-zero between calls (BuildQueryCellList restores them).
+  struct QueryCellScratch {
+    std::vector<int64_t> counts;
+    std::vector<double> weights;
+    std::vector<CellId> touched;
   };
 
   /// Builds from an already-built POI grid (offline, once per dataset).
   explicit GlobalInvertedIndex(const PoiGridIndex& grid);
 
   /// Snapshot adoption path (src/snapshot): wraps restored per-keyword
-  /// entry lists, which must already be sorted decreasingly on weight
-  /// with the ascending-cell-id tie-break (the order a fresh build
-  /// produces and the snapshot writer preserves).
-  explicit GlobalInvertedIndex(
-      std::unordered_map<KeywordId, std::vector<Entry>> lists);
+  /// entry rows in a dense KeywordId-indexed CSR (absent keywords are
+  /// empty rows). Every row must already be sorted decreasingly on
+  /// weight with the ascending-cell-id tie-break (the order a fresh
+  /// build produces and the snapshot writer preserves).
+  explicit GlobalInvertedIndex(CsrArray<Entry> lists);
 
   /// Entries for `keyword`, sorted decreasingly on weight. Empty if the
-  /// keyword occurs nowhere.
-  const std::vector<Entry>& Entries(KeywordId keyword) const;
+  /// keyword occurs nowhere (also for out-of-range or negative ids).
+  Span<Entry> Entries(KeywordId keyword) const {
+    if (keyword < 0 || keyword >= lists_.num_rows()) return Span<Entry>();
+    return lists_.Row(keyword);
+  }
 
   /// Builds the SL1 aggregation for a multi-keyword query: for every cell
   /// that appears in some query keyword's list, the upper bound
@@ -53,12 +78,24 @@ class GlobalInvertedIndex {
   std::vector<Entry> BuildQueryCellList(const KeywordSet& query,
                                         const PoiGridIndex& grid) const;
 
-  int64_t num_keywords() const {
-    return static_cast<int64_t>(lists_.size());
-  }
+  /// Allocation-free variant for the serving path: accumulates through
+  /// `scratch` (resized to the grid once, zero-restored on return) and
+  /// writes the sorted list into `*result` (cleared first, capacity
+  /// retained). Produces bit-identical results to the allocating
+  /// overload.
+  void BuildQueryCellList(const KeywordSet& query, const PoiGridIndex& grid,
+                          QueryCellScratch* scratch,
+                          std::vector<Entry>* result) const;
+
+  /// Number of distinct keywords with at least one entry.
+  int64_t num_keywords() const { return num_nonempty_; }
+
+  /// The full dense CSR arena (snapshot writer, determinism tests).
+  const CsrArray<Entry>& lists() const { return lists_; }
 
  private:
-  std::unordered_map<KeywordId, std::vector<Entry>> lists_;
+  CsrArray<Entry> lists_;
+  int64_t num_nonempty_ = 0;
 };
 
 }  // namespace soi

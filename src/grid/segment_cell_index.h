@@ -1,9 +1,9 @@
 #ifndef SOI_GRID_SEGMENT_CELL_INDEX_H_
 #define SOI_GRID_SEGMENT_CELL_INDEX_H_
 
-#include <vector>
-
 #include "common/cancellation.h"
+#include "common/csr.h"
+#include "common/span.h"
 #include "grid/grid_geometry.h"
 #include "network/road_network.h"
 
@@ -15,11 +15,16 @@ class ThreadPool;
 /// each street segment passes through and, inversely, which segments cross
 /// each cell (distance 0).
 ///
+/// Storage is flat CSR (common/csr.h): one contiguous arena per direction
+/// instead of one heap block per segment/cell, so the PopCell hot path
+/// walks contiguous memory with no per-row pointer chase. Accessors
+/// return span views over the arenas.
+///
 /// Construction is data-parallel when a ThreadPool is supplied: the
-/// per-segment cell lists are computed independently, then inverted into
-/// the per-cell lists with a deterministic owner-partition pass. The built
-/// index is identical for every thread count (see DESIGN.md "Threading
-/// model").
+/// per-segment cell lists are computed in deterministic fixed chunks,
+/// then inverted into the per-cell lists with a count/cursor
+/// owner-partition pass. The built index is bit-identical for every
+/// thread count (see DESIGN.md "Threading model").
 class SegmentCellIndex {
  public:
   /// Requires the grid geometry to cover the network bounds. `pool` (may
@@ -28,32 +33,40 @@ class SegmentCellIndex {
                    ThreadPool* pool = nullptr);
 
   /// Snapshot adoption path (src/snapshot): wraps already-computed
-  /// per-segment cell lists — one sorted list per segment of `network`,
-  /// validated by the caller against `geometry` — and re-derives only
-  /// the per-cell inversion. Bit-identical to a fresh build over the
-  /// same network/geometry for any thread count.
+  /// per-segment cell lists — one sorted CSR row per segment of
+  /// `network`, validated by the caller against `geometry` — and
+  /// re-derives only the per-cell inversion. Bit-identical to a fresh
+  /// build over the same network/geometry for any thread count.
   SegmentCellIndex(const RoadNetwork& network, GridGeometry geometry,
-                   std::vector<std::vector<CellId>> segment_cells,
+                   CsrArray<CellId> segment_cells,
                    ThreadPool* pool = nullptr);
 
   const GridGeometry& geometry() const { return geometry_; }
   const RoadNetwork& network() const { return *network_; }
 
   /// Cells intersected by segment `id`, ascending by cell id.
-  const std::vector<CellId>& SegmentCells(SegmentId id) const;
+  Span<CellId> SegmentCells(SegmentId id) const {
+    return segment_cells_.Row(id);
+  }
 
   /// Segments intersecting cell `id` (empty if none), ascending by
   /// segment id.
-  const std::vector<SegmentId>& CellSegments(CellId id) const;
+  Span<SegmentId> CellSegments(CellId id) const {
+    return cell_segments_.Row(id);
+  }
+
+  /// The full segment -> cells arena (snapshot writer, determinism
+  /// tests).
+  const CsrArray<CellId>& segment_cells() const { return segment_cells_; }
 
  private:
   GridGeometry geometry_;
   const RoadNetwork* network_;
-  std::vector<std::vector<CellId>> segment_cells_;
+  CsrArray<CellId> segment_cells_;
   // Dense, indexed by CellId (the algorithm already keeps dense per-cell
   // arrays per query, so this costs nothing new and avoids hash lookups
   // on the PopCell hot path).
-  std::vector<std::vector<SegmentId>> cell_segments_;
+  CsrArray<SegmentId> cell_segments_;
 };
 
 /// The query-time eps augmentation of the maps: C_eps(l) = cells within
@@ -76,33 +89,41 @@ class EpsAugmentedMaps {
                    const CancellationToken* cancel = nullptr);
 
   /// Snapshot adoption path (src/snapshot): wraps restored per-segment
-  /// eps-dilated cell lists (one sorted list per segment, validated by
-  /// the caller) and re-derives only the inversion. Bit-identical to a
-  /// fresh build for the same base/eps.
+  /// eps-dilated cell lists (one sorted CSR row per segment, validated
+  /// by the caller) and re-derives only the inversion. Bit-identical to
+  /// a fresh build for the same base/eps.
   EpsAugmentedMaps(const SegmentCellIndex& base, double eps,
-                   std::vector<std::vector<CellId>> segment_cells,
+                   CsrArray<CellId> segment_cells,
                    ThreadPool* pool = nullptr);
 
   double eps() const { return eps_; }
   const GridGeometry& geometry() const { return *geometry_; }
 
   /// C_eps(l): cells within eps of segment `id`, ascending by cell id.
-  const std::vector<CellId>& SegmentCells(SegmentId id) const;
+  Span<CellId> SegmentCells(SegmentId id) const {
+    return segment_cells_.Row(id);
+  }
 
   /// L_eps(c): segments within eps of cell `id` (empty if none),
   /// ascending by segment id.
-  const std::vector<SegmentId>& CellSegments(CellId id) const;
+  Span<SegmentId> CellSegments(CellId id) const {
+    return cell_segments_.Row(id);
+  }
 
   /// |C_eps(l)| for every segment (the key of source list SL2).
   int64_t NumSegmentCells(SegmentId id) const {
-    return static_cast<int64_t>(SegmentCells(id).size());
+    return segment_cells_.RowSize(id);
   }
+
+  /// The full segment -> cells arena (snapshot writer, determinism
+  /// tests).
+  const CsrArray<CellId>& segment_cells() const { return segment_cells_; }
 
  private:
   double eps_;
   const GridGeometry* geometry_;
-  std::vector<std::vector<CellId>> segment_cells_;
-  std::vector<std::vector<SegmentId>> cell_segments_;
+  CsrArray<CellId> segment_cells_;
+  CsrArray<SegmentId> cell_segments_;
 };
 
 }  // namespace soi

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/csr.h"
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -166,7 +167,7 @@ void EncodeSegmentLists(const IndexT& index, int64_t num_segments,
                         ByteWriter* w) {
   w->PutU64(static_cast<uint64_t>(num_segments));
   for (SegmentId id = 0; id < num_segments; ++id) {
-    const std::vector<CellId>& cells = index.SegmentCells(id);
+    Span<CellId> cells = index.SegmentCells(id);
     w->PutU64(cells.size());
     for (CellId cell : cells) w->PutI32(cell);
   }
@@ -187,8 +188,7 @@ std::string EncodeGlobalIndex(const GlobalInvertedIndex& index,
   }
   w.PutU64(keywords.size());
   for (KeywordId keyword : keywords) {
-    const std::vector<GlobalInvertedIndex::Entry>& entries =
-        index.Entries(keyword);
+    Span<GlobalInvertedIndex::Entry> entries = index.Entries(keyword);
     w.PutI32(keyword);
     w.PutU64(entries.size());
     for (const GlobalInvertedIndex::Entry& entry : entries) {
@@ -437,50 +437,53 @@ Status DecodePhotos(ByteReader* r, const Meta& meta,
 
 // Shared by segment_cells and eps_maps: per-segment cell lists, each
 // strictly ascending with every cell inside the grid (the invariants the
-// fresh build guarantees and the inversion pass indexes by).
+// fresh build guarantees and the inversion pass indexes by). Decodes
+// straight into the CSR arena the adoption constructors ingest — the
+// nested-vector staging copy is gone.
 Status DecodeSegmentLists(ByteReader* r, uint32_t section, const Meta& meta,
-                          int64_t num_cells,
-                          std::vector<std::vector<CellId>>* lists) {
+                          int64_t num_cells, CsrArray<CellId>* lists) {
   uint64_t num_segments = 0;
   SOI_RETURN_NOT_OK(r->ReadU64(&num_segments));
   if (num_segments != meta.num_segments) {
     return SectionError(section, "segment count disagrees with meta");
   }
-  lists->resize(static_cast<size_t>(num_segments));
+  *lists = CsrArray<CellId>();
   for (uint64_t s = 0; s < num_segments; ++s) {
     uint64_t count = 0;
     SOI_RETURN_NOT_OK(r->ReadU64(&count));
     if (count > r->remaining() / 4) {
       return SectionError(section, "cell list truncated");
     }
-    std::vector<CellId>& cells = (*lists)[static_cast<size_t>(s)];
-    cells.reserve(static_cast<size_t>(count));
+    int32_t previous = -1;
     for (uint64_t i = 0; i < count; ++i) {
       int32_t cell = 0;
       SOI_RETURN_NOT_OK(r->ReadI32(&cell));
       if (cell < 0 || cell >= num_cells) {
         return SectionError(section, "cell id out of range");
       }
-      if (!cells.empty() && cell <= cells.back()) {
+      if (cell <= previous) {
         return SectionError(section, "cell list not strictly ascending");
       }
-      cells.push_back(cell);
+      previous = cell;
+      lists->PushValue(cell);
     }
+    lists->FinishRow();
   }
   if (!r->AtEnd()) return SectionError(section, "trailing bytes");
   return Status::OK();
 }
 
-Status DecodeGlobalIndex(
-    ByteReader* r, const Meta& meta, int64_t num_cells,
-    std::unordered_map<KeywordId, std::vector<GlobalInvertedIndex::Entry>>*
-        lists) {
+// Decodes into the dense KeywordId-indexed CSR the adoption constructor
+// ingests: keywords absent from the snapshot become empty rows.
+Status DecodeGlobalIndex(ByteReader* r, const Meta& meta, int64_t num_cells,
+                         CsrArray<GlobalInvertedIndex::Entry>* lists) {
   uint64_t num_lists = 0;
   SOI_RETURN_NOT_OK(r->ReadU64(&num_lists));
   if (num_lists > meta.num_keywords) {
     return SectionError(kSectionGlobalIndex,
                         "more entry lists than keywords");
   }
+  *lists = CsrArray<GlobalInvertedIndex::Entry>();
   int64_t previous_keyword = -1;
   for (uint64_t k = 0; k < num_lists; ++k) {
     int32_t keyword = 0;
@@ -490,14 +493,17 @@ Status DecodeGlobalIndex(
       return SectionError(kSectionGlobalIndex,
                           "keyword ids not ascending or out of range");
     }
+    // Empty rows for the keywords skipped between two present ones.
+    for (int64_t gap = previous_keyword + 1; gap < keyword; ++gap) {
+      lists->FinishRow();
+    }
     previous_keyword = keyword;
     uint64_t num_entries = 0;
     SOI_RETURN_NOT_OK(r->ReadU64(&num_entries));
     if (num_entries == 0 || num_entries > r->remaining() / 20) {
       return SectionError(kSectionGlobalIndex, "entry list truncated");
     }
-    std::vector<GlobalInvertedIndex::Entry>& entries = (*lists)[keyword];
-    entries.reserve(static_cast<size_t>(num_entries));
+    GlobalInvertedIndex::Entry prev{};
     for (uint64_t i = 0; i < num_entries; ++i) {
       GlobalInvertedIndex::Entry entry{};
       SOI_RETURN_NOT_OK(r->ReadI32(&entry.cell));
@@ -510,8 +516,7 @@ Status DecodeGlobalIndex(
         return SectionError(kSectionGlobalIndex,
                             "non-positive count or non-finite weight");
       }
-      if (!entries.empty()) {
-        const GlobalInvertedIndex::Entry& prev = entries.back();
+      if (i > 0) {
         // The fresh-build order: weight descending, ascending cell id
         // as the deterministic tie-break.
         bool ordered = prev.weight > entry.weight ||
@@ -522,8 +527,10 @@ Status DecodeGlobalIndex(
                               "entries not sorted by weight");
         }
       }
-      entries.push_back(entry);
+      prev = entry;
+      lists->PushValue(entry);
     }
+    lists->FinishRow();
   }
   if (!r->AtEnd()) {
     return SectionError(kSectionGlobalIndex, "trailing bytes");
@@ -712,11 +719,9 @@ Result<LoadedSnapshot> LoadSnapshot(std::istream* in, ThreadPool* pool) {
   Meta meta;
   auto dataset = std::make_unique<Dataset>();
   std::optional<GridGeometry> geometry;
-  std::vector<std::vector<CellId>> segment_lists;
-  std::unordered_map<KeywordId, std::vector<GlobalInvertedIndex::Entry>>
-      global_lists;
-  std::vector<std::pair<double, std::vector<std::vector<CellId>>>>
-      eps_sections;
+  CsrArray<CellId> segment_lists;
+  CsrArray<GlobalInvertedIndex::Entry> global_lists;
+  std::vector<std::pair<double, CsrArray<CellId>>> eps_sections;
   std::unordered_set<uint64_t> seen_eps_bits;
   uint64_t total_bytes = 16;
 
@@ -786,7 +791,7 @@ Result<LoadedSnapshot> LoadSnapshot(std::istream* in, ThreadPool* pool) {
             return SectionError(kSectionEpsMaps,
                                 "duplicate eps " + FormatDouble(eps));
           }
-          std::vector<std::vector<CellId>> lists;
+          CsrArray<CellId> lists;
           SOI_RETURN_NOT_OK(DecodeSegmentLists(&r, kSectionEpsMaps, meta,
                                                geometry->num_cells(),
                                                &lists));

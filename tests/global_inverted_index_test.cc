@@ -39,7 +39,19 @@ TEST(GlobalInvertedIndexTest, UnknownKeywordHasNoEntries) {
   pois[0].keywords = KeywordSet({0});
   PoiGridIndex grid(TestBox(), 0.5, pois);
   GlobalInvertedIndex index(grid);
+  // Regression for the dense CSR layout: ids beyond the indexed range
+  // and negative ids must keep the empty-list fallback of the old
+  // hash-map storage (not read out of bounds).
   EXPECT_TRUE(index.Entries(12345).empty());
+  EXPECT_TRUE(index.Entries(index.num_keywords()).empty());
+  EXPECT_TRUE(index.Entries(-1).empty());
+  // A query mixing known and unknown keywords aggregates only the known
+  // ones instead of failing.
+  std::vector<GlobalInvertedIndex::Entry> known =
+      index.BuildQueryCellList(KeywordSet({0}), grid);
+  std::vector<GlobalInvertedIndex::Entry> mixed =
+      index.BuildQueryCellList(KeywordSet({0, 12345}), grid);
+  EXPECT_EQ(known, mixed);
 }
 
 TEST(GlobalInvertedIndexTest, CoversEveryCellContainingKeyword) {

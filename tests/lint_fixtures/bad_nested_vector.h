@@ -1,0 +1,15 @@
+// Fixture: exactly one `nested-vector` violation (a nested-vector data
+// member in a grid-index header). The flat CSR-style members below must
+// NOT fire.
+#ifndef SOI_TESTS_LINT_FIXTURES_BAD_NESTED_VECTOR_H_
+#define SOI_TESTS_LINT_FIXTURES_BAD_NESTED_VECTOR_H_
+
+#include <vector>
+
+struct BadNestedVector {
+  std::vector<std::vector<int>> rows;
+  std::vector<int> offsets;
+  std::vector<int> values;
+};
+
+#endif  // SOI_TESTS_LINT_FIXTURES_BAD_NESTED_VECTOR_H_

@@ -1,0 +1,12 @@
+// Fixture: a nested vector staged in a .cc build path. The
+// `nested-vector` rule applies to headers only (RULE_FILE_GLOB), so
+// this file must lint clean under every rule.
+#include <vector>
+
+std::vector<int> Flatten(const std::vector<std::vector<int>>& rows) {
+  std::vector<int> out;
+  for (const auto& row : rows) {
+    out.insert(out.end(), row.begin(), row.end());
+  }
+  return out;
+}

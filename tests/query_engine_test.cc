@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/soi_algorithm.h"
 #include "gtest/gtest.h"
+#include "obs/obs.h"
 #include "test_util.h"
 
 namespace soi {
@@ -347,6 +348,115 @@ TEST(QueryEngineTest, WarmStartServesBitIdenticalToColdEngine) {
   for (size_t i = 0; i < got.size(); ++i) {
     ExpectIdenticalResults(got[i], want[i], "warm-vs-cold");
   }
+}
+
+TEST(QueryEngineTest, BatchCoalescesDuplicatesBitIdentically) {
+  Instance instance(21, 0.003, 400, 8);
+  // Three distinct queries, each duplicated (the third twice more), in an
+  // interleaved order.
+  std::vector<SoiQuery> unique_queries = MakeBatch(31, 3);
+  std::vector<SoiQuery> batch = {
+      unique_queries[0], unique_queries[1], unique_queries[0],
+      unique_queries[2], unique_queries[2], unique_queries[1],
+      unique_queries[2]};
+
+  // Per-query reference through a separate engine (no batch, nothing to
+  // coalesce).
+  QueryEngineOptions options;
+  options.num_threads = 2;
+  QueryEngine reference_engine(instance.network, instance.grid,
+                               instance.global_index,
+                               instance.segment_cells, options);
+  std::vector<SoiResult> expected;
+  for (const SoiQuery& query : batch) {
+    expected.push_back(reference_engine.Run(query));
+  }
+
+  QueryEngine engine(instance.network, instance.grid, instance.global_index,
+                     instance.segment_cells, options);
+  obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
+  std::vector<Result<SoiResult>> got = engine.TryRunBatch(batch);
+  obs::MetricsSnapshot delta =
+      obs::Registry::Global().Snapshot().Since(before);
+  ASSERT_EQ(got.size(), batch.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].ok()) << "query " << i;
+    ExpectIdenticalResults(got[i].ValueOrDie(), expected[i],
+                           ("query=" + std::to_string(i)).c_str());
+  }
+  if (obs::kEnabled) {
+    // 7 entries, 3 unique: 4 coalesced duplicates.
+    EXPECT_EQ(delta.CounterOr0("soi.engine.batch_coalesced"), 4);
+  }
+}
+
+TEST(QueryEngineTest, PerQueryTokensDisableCoalescing) {
+  Instance instance(23, 0.003, 300, 6);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(instance.network, instance.grid, instance.global_index,
+                     instance.segment_cells, options);
+
+  // Two identical queries with independent tokens, the second already
+  // fired: were they coalesced onto one evaluation, the fired token
+  // could not produce its per-query kCancelled.
+  std::vector<SoiQuery> batch = MakeBatch(41, 1);
+  batch.push_back(batch.front());
+  std::vector<CancellationToken> cancels = {
+      CancellationToken::Cancellable(), CancellationToken::Cancellable()};
+  cancels[1].Cancel();
+  std::vector<Result<SoiResult>> got = engine.TryRunBatch(batch, cancels);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got[0].ok());
+  ASSERT_FALSE(got[1].ok());
+  EXPECT_EQ(got[1].status().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryEngineTest, ConcurrentWarmCacheHitsServeOneMapsObject) {
+  Instance instance(27, 0.003, 300, 6);
+  QueryEngineOptions options;
+  options.num_threads = 4;
+  QueryEngine engine(instance.network, instance.grid, instance.global_index,
+                     instance.segment_cells, options);
+  SoiQuery query = MakeBatch(51, 1).front();
+  SoiResult expected = engine.Run(query);  // warms the cache (one miss)
+
+  // Hammer the warm entry from many threads: every lookup must resolve
+  // on the contention-free snapshot path against the one cached maps
+  // object (no rebuilds — miss count stays 1), bit-identically.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+  std::shared_ptr<const EpsAugmentedMaps> maps = engine.GetMaps(query.eps);
+  std::vector<std::thread> workers;
+  std::vector<Status> failures(kThreads, Status::OK());
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto got_maps = engine.TryGetMaps(query.eps);
+        if (!got_maps.ok()) {
+          failures[static_cast<size_t>(t)] = got_maps.status();
+          return;
+        }
+        if (got_maps.ValueOrDie().get() != maps.get()) {
+          failures[static_cast<size_t>(t)] =
+              Status::Internal("hit returned a different maps object");
+          return;
+        }
+        auto result = engine.TryRun(query);
+        if (!result.ok()) {
+          failures[static_cast<size_t>(t)] = result.status();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const Status& status : failures) EXPECT_TRUE(status.ok());
+  QueryEngine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_GE(stats.hits, kThreads * kPerThread);
+  ExpectIdenticalResults(engine.Run(query), expected, "after hammering");
 }
 
 TEST(QueryEngineTest, SingleRunMatchesBatch) {

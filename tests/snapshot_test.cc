@@ -129,6 +129,29 @@ TEST_F(SnapshotTest, RoundTripRestoresTheDatasetExactly) {
   }
 }
 
+// Byte-format regression for the flat-CSR index layout: decoding a
+// snapshot and re-encoding the loaded contents reproduces the original
+// bytes exactly. A layout change that shifted the on-disk format (or a
+// lossy CSR decode) would break the fixed point; "SOISNAP1" files keep
+// loading with no format bump.
+TEST_F(SnapshotTest, ReEncodingALoadedSnapshotIsByteIdentical) {
+  std::string bytes = Encode();
+  Result<LoadedSnapshot> loaded = Decode(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const LoadedSnapshot& snap = loaded.ValueOrDie();
+
+  SnapshotContents contents;
+  contents.dataset = snap.dataset.get();
+  contents.indexes = snap.indexes.get();
+  for (const std::shared_ptr<const EpsAugmentedMaps>& maps : snap.eps_maps) {
+    contents.eps_maps.push_back(maps.get());
+  }
+  std::ostringstream out;
+  Status saved = SaveSnapshot(contents, &out);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  EXPECT_EQ(std::move(out).str(), bytes);
+}
+
 TEST_F(SnapshotTest, WarmStartServesBitIdenticalTopK) {
   Result<LoadedSnapshot> loaded = Decode(Encode());
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();

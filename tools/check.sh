@@ -6,8 +6,9 @@
 #   check   — the static-analysis build (Clang thread-safety as -Werror;
 #             on non-Clang compilers the annotations are no-ops and the
 #             preset degrades to a plain rebuild),
-#   tsan    — the full suite under ThreadSanitizer,
-#   fault   — fault-injection hooks armed under ASan+UBSan.
+#   tsan    — the full suite under ThreadSanitizer (perf smoke excluded:
+#             sanitizer timings would trip the scaling floors),
+#   fault   — fault-injection hooks armed under ASan+UBSan (ditto).
 # Usage: tools/check.sh [extra ctest args...]
 set -euo pipefail
 
@@ -30,5 +31,12 @@ done
 # filtered it out of the main pass.
 echo "==== [fault-snapshot] test ===="
 ctest --preset fault-snapshot -j "$JOBS" --output-on-failure
+
+# Perf smoke, same rationale: guaranteed one run in the un-sanitized
+# default build with its scaling gates evaluated, even when extra ctest
+# args filtered it above. Run serially — a parallel ctest sweep would
+# perturb the timings the gates check.
+echo "==== [perf] test ===="
+ctest --preset perf --output-on-failure
 
 echo "==== all presets green ===="

@@ -24,6 +24,11 @@ io-stream     Library code (src/) must not write to std::cout/std::cerr
 naked-new     Every `new` must transfer ownership on the same statement
               (std::unique_ptr/std::shared_ptr construction or .reset).
               Intentionally leaked singletons carry a suppression.
+nested-vector Grid-index headers (src/grid/*.h) must not declare
+              std::vector<std::vector<...>> members: the serving indexes
+              store flat CSR arenas (common/csr.h), and a nested-vector
+              member reintroduces the per-row heap blocks the layout
+              work removed. Build-time staging in .cc files is fine.
 headers       (--headers mode) Every src/**/*.h compiles standalone via
               a generated single-include TU, so include order never
               matters and no header leans on a transitive include.
@@ -56,6 +61,14 @@ RULE_SCOPE = {
     "float-eq": ("src", "bench", "tests", "examples"),
     "io-stream": ("src",),
     "naked-new": ("src",),
+    "nested-vector": ("src/grid",),
+}
+
+# Per-rule basename glob: the rule only applies to matching files (both
+# in the tree scan and on explicit paths). Rules absent here apply to
+# every source file in their scope.
+RULE_FILE_GLOB = {
+    "nested-vector": "*.h",
 }
 
 # Per-rule path allowlist (fnmatch globs against the /-separated path
@@ -65,6 +78,7 @@ ALLOWLIST = {
     "io-stream": ["src/common/check.h"],
     "float-eq": [],
     "naked-new": [],
+    "nested-vector": [],
 }
 
 # Never scanned: lint self-test fixtures (they plant violations).
@@ -94,6 +108,7 @@ RULE_PATTERNS = {
         r"|\bfprintf\s*\(|(?<![\w:])puts\s*\("
     ),
     "naked-new": re.compile(r"\bnew\b(?:\s*\(\s*std::nothrow\s*\))?\s*[\w:<(]"),
+    "nested-vector": re.compile(r"std::\s*vector\s*<\s*std::\s*vector\s*<"),
 }
 
 RULE_MESSAGES = {
@@ -113,6 +128,11 @@ RULE_MESSAGES = {
     "naked-new": (
         "naked new; transfer ownership on the same statement "
         "(make_unique / unique_ptr(new ...) / .reset(new ...))"
+    ),
+    "nested-vector": (
+        "nested-vector storage in a grid-index header; serving indexes "
+        "use flat CSR arenas (common/csr.h) — stage nested rows only in "
+        "the .cc build path"
     ),
 }
 
@@ -187,7 +207,11 @@ def lint_file(path, rel_path, rules):
     raw_lines = text.splitlines()
     code_lines = strip_comments_and_strings(text).splitlines()
     findings = []
+    basename = os.path.basename(rel_path)
     for rule in rules:
+        file_glob = RULE_FILE_GLOB.get(rule)
+        if file_glob and not fnmatch.fnmatch(basename, file_glob):
+            continue
         if any(fnmatch.fnmatch(rel_path, g) for g in ALLOWLIST[rule]):
             continue
         pattern = RULE_PATTERNS[rule]

@@ -32,6 +32,7 @@ class TextRuleTest(unittest.TestCase):
         ("bad_float_eq.cc", "float-eq", 6),
         ("bad_io_stream.cc", "io-stream", 5),
         ("bad_naked_new.cc", "naked-new", 5),
+        ("bad_nested_vector.h", "nested-vector", 10),
     ]
 
     def test_each_rule_fires_once_on_its_fixture(self):
@@ -53,6 +54,11 @@ class TextRuleTest(unittest.TestCase):
 
     def test_inline_suppression_silences_every_rule(self):
         self.assertEqual(lint_fixture("suppressed.cc"), [])
+
+    def test_nested_vector_rule_is_header_only(self):
+        # RULE_FILE_GLOB limits nested-vector to *.h: the same pattern in
+        # a .cc build path is the blessed staging idiom and must not fire.
+        self.assertEqual(lint_fixture("good_nested_vector.cc"), [])
 
     def test_allowlist_silences_a_fixture(self):
         rel = "tests/lint_fixtures/bad_determinism.cc"
