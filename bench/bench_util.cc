@@ -1,11 +1,50 @@
 #include "bench_util.h"
 
+#include <algorithm>
+#include <ctime>
+#include <thread>
+
 #include "common/stopwatch.h"
 #include "obs/json_export.h"
 #include "obs/metrics.h"
 
+// Build provenance, injected by bench/CMakeLists.txt at configure time.
+// Fallbacks keep non-CMake compiles (e.g. IDE single-TU checks) building.
+#ifndef SOI_BUILD_GIT_DESCRIBE
+#define SOI_BUILD_GIT_DESCRIBE "unknown"
+#endif
+#ifndef SOI_BUILD_COMPILER
+#define SOI_BUILD_COMPILER "unknown"
+#endif
+#ifndef SOI_BUILD_CXX_FLAGS
+#define SOI_BUILD_CXX_FLAGS ""
+#endif
+#ifndef SOI_BUILD_TYPE
+#define SOI_BUILD_TYPE "unknown"
+#endif
+
 namespace soi {
 namespace bench_util {
+namespace {
+
+// UTC wall-clock of the run start, ISO 8601 ("2026-08-08T12:34:56Z").
+std::string UtcTimestamp() {
+  // soi-lint: determinism (wall-clock provenance stamp, not a seed)
+  std::time_t now = std::time(nullptr);
+  std::tm utc = {};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char buffer[32];
+  if (std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc) == 0) {
+    return "unknown";
+  }
+  return buffer;
+}
+
+}  // namespace
 
 std::vector<std::unique_ptr<CityContext>> LoadCities(
     const BenchOptions& options, double cell_size) {
@@ -60,6 +99,19 @@ BenchJsonFile::BenchJsonFile(const std::string& benchmark,
   json_.BeginArray();
   for (const std::string& city : options.cities) json_.String(city);
   json_.EndArray();
+  // Provenance block: which build, on what hardware, when. Without it a
+  // BENCH_*.json number cannot be compared across PRs.
+  json_.Key("build_info");
+  json_.BeginObject();
+  json_.KeyValue("git_describe", SOI_BUILD_GIT_DESCRIBE);
+  json_.KeyValue("compiler", SOI_BUILD_COMPILER);
+  json_.KeyValue("cxx_flags", SOI_BUILD_CXX_FLAGS);
+  json_.KeyValue("build_type", SOI_BUILD_TYPE);
+  json_.KeyValue(
+      "hardware_threads",
+      static_cast<int64_t>(std::max(1u, std::thread::hardware_concurrency())));
+  json_.KeyValue("timestamp_utc", UtcTimestamp());
+  json_.EndObject();
 }
 
 BenchJsonFile::~BenchJsonFile() {

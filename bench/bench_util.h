@@ -73,6 +73,8 @@ KeywordSet AccumulatedQueryKeywords(const Dataset& dataset, int count);
 /// envelope
 ///
 ///   {"benchmark": <name>, "scale": <--scale>, "cities_requested": [...],
+///    "build_info": {git_describe, compiler, cxx_flags, build_type,
+///                   hardware_threads, timestamp_utc},
 ///    <caller-written fields>, "metrics": <global metrics snapshot>}
 ///
 /// The constructor opens the file and writes the header fields; the

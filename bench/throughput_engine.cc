@@ -27,6 +27,7 @@
 // sized for the `perf`-labeled ctest smoke run at small scale.
 
 #include <algorithm>
+#include <cmath>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -37,6 +38,8 @@
 #include "common/stopwatch.h"
 #include "core/query_engine.h"
 #include "eval/table_printer.h"
+#include "obs/dump.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 #include "throughput_baseline.h"
 
@@ -53,7 +56,22 @@ struct EngineRun {
   // Registry activity of the timed batch only (empty when observability
   // is compiled out).
   obs::MetricsSnapshot metrics;
+  // Per-query wall-clock of the best timed pass, sorted ascending, from
+  // the flight recorder (empty when observability is compiled out).
+  // Coalesced duplicates are excluded: they piggyback on a leader and
+  // would contribute fictitious ~0s samples.
+  std::vector<double> latencies;
 };
+
+// Exact percentile of a sorted sample set (nearest-rank method).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double rank = q * static_cast<double>(sorted.size());
+  size_t index = static_cast<size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
 
 struct CityRun {
   std::string city;
@@ -149,11 +167,28 @@ CityRun MeasureCity(const bench_util::CityContext& city,
       bool trace_this = tracing && rep == 0;
       if (trace_this) obs::TraceRecorder::Global().Start();
       obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
+      // Query ids are monotone, so records of this pass are exactly those
+      // with id > the recorder's watermark taken here.
+      uint64_t flight_watermark = 0;
+      if (obs::kEnabled) {
+        flight_watermark = obs::FlightRecorder::Global().last_query_id();
+      }
       Stopwatch timer;
       std::vector<SoiResult> results = engine.RunBatch(batch);
       double seconds = timer.ElapsedSeconds();
       obs::MetricsSnapshot delta =
           obs::Registry::Global().Snapshot().Since(before);
+      std::vector<double> latencies;
+      if (obs::kEnabled) {
+        obs::FlightRecorder::Snapshot flights =
+            obs::FlightRecorder::Global().Snap();
+        for (const obs::QueryRecord& record : flights.recent) {
+          if (record.query_id > flight_watermark && !record.coalesced) {
+            latencies.push_back(record.total_seconds);
+          }
+        }
+        std::sort(latencies.begin(), latencies.end());
+      }
       if (trace_this) obs::TraceRecorder::Global().Stop();
       if (reference.empty()) {
         reference = std::move(results);  // the 1-thread rep 0 pass
@@ -163,6 +198,7 @@ CityRun MeasureCity(const bench_util::CityContext& city,
       if (rep == 0 || seconds < run.seconds) {
         run.seconds = seconds;
         run.metrics = std::move(delta);
+        run.latencies = std::move(latencies);
       }
     }
     run.qps = static_cast<double>(batch.size()) / run.seconds;
@@ -273,6 +309,21 @@ void WriteRunJson(JsonWriter* json, const EngineRun& run) {
   json->KeyValue("cache_misses", run.cache.misses);
   json->KeyValue("cache_evictions", run.cache.evictions);
 
+  // Per-query latency distribution of the best pass, from the flight
+  // recorder (absent under SOI_OBSERVABILITY=OFF). Exact percentiles
+  // over all executed (non-coalesced) queries of the batch — small
+  // samples, so no histogram-bucket interpolation error.
+  if (!run.latencies.empty()) {
+    json->Key("latency");
+    json->BeginObject();
+    json->KeyValue("samples", static_cast<int64_t>(run.latencies.size()));
+    json->KeyValue("p50_seconds", Percentile(run.latencies, 0.50));
+    json->KeyValue("p99_seconds", Percentile(run.latencies, 0.99));
+    json->KeyValue("p999_seconds", Percentile(run.latencies, 0.999));
+    json->KeyValue("max_seconds", run.latencies.back());
+    json->EndObject();
+  }
+
   // Per-phase wall-clock totals of the timed batch, summed across
   // worker threads (so phases can exceed `seconds` when threads > 1).
   json->Key("phases");
@@ -369,6 +420,12 @@ int Run(int argc, char** argv) {
   }
   bench_util::BenchOptions options = bench_util::ParseBenchOptions(
       static_cast<int>(filtered_argv.size()), filtered_argv.data());
+  // Live introspection: SIGUSR1 snapshots the metrics + flight recorder
+  // of a running (possibly long, full-scale) bench. Best-effort — the
+  // bench must run on platforms without the hook.
+  if (obs::kEnabled) {
+    (void)obs::InstallSignalDump("SOI_STATE_throughput.json");
+  }
   auto cities = bench_util::LoadCities(options);
   const std::vector<int> thread_counts =
       smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};

@@ -1,0 +1,216 @@
+#include "common/json_util.h"
+
+#include <cctype>
+#include <string>
+
+namespace soi {
+
+namespace {
+
+// Recursive-descent JSON validator. Holds the cursor; every Expect*
+// method either advances past one construct or records the first error.
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  Status Run() {
+    SkipWhitespace();
+    SOI_RETURN_NOT_OK(ExpectValue(/*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after the document");
+    }
+    return Status::OK();
+  }
+
+ private:
+  // Deep-enough for any document the library writes; a bound makes the
+  // validator safe to point at arbitrary (adversarial) files without
+  // risking stack exhaustion.
+  static constexpr int kMaxDepth = 256;
+
+  Status Error(const std::string& reason) const {
+    return Status::InvalidArgument("invalid JSON at byte " +
+                                   std::to_string(pos_) + ": " + reason);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  Status ExpectChar(char expected) {
+    if (AtEnd() || Peek() != expected) {
+      return Error(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ExpectLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("expected '" + std::string(literal) + "'");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ExpectString() {
+    SOI_RETURN_NOT_OK(ExpectChar('"'));
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) return Error("unterminated escape");
+        char escape = text_[pos_];
+        switch (escape) {
+          case '"':
+          case '\\':
+          case '/':
+          case 'b':
+          case 'f':
+          case 'n':
+          case 'r':
+          case 't':
+            ++pos_;
+            break;
+          case 'u': {
+            ++pos_;
+            for (int i = 0; i < 4; ++i) {
+              if (AtEnd() ||
+                  !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+                return Error("\\u needs four hex digits");
+              }
+              ++pos_;
+            }
+            break;
+          }
+          default:
+            return Error("invalid escape");
+        }
+      } else {
+        ++pos_;
+      }
+    }
+  }
+
+  Status ExpectNumber() {
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error("expected a digit");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("expected a digit after '.'");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("expected a digit in the exponent");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ExpectObject(int depth) {
+    SOI_RETURN_NOT_OK(ExpectChar('{'));
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      SOI_RETURN_NOT_OK(ExpectString());
+      SkipWhitespace();
+      SOI_RETURN_NOT_OK(ExpectChar(':'));
+      SkipWhitespace();
+      SOI_RETURN_NOT_OK(ExpectValue(depth));
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return ExpectChar('}');
+    }
+  }
+
+  Status ExpectArray(int depth) {
+    SOI_RETURN_NOT_OK(ExpectChar('['));
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      SOI_RETURN_NOT_OK(ExpectValue(depth));
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return ExpectChar(']');
+    }
+  }
+
+  Status ExpectValue(int depth) {
+    if (depth >= kMaxDepth) return Error("nesting deeper than 256");
+    if (AtEnd()) return Error("expected a value");
+    switch (Peek()) {
+      case '{':
+        return ExpectObject(depth + 1);
+      case '[':
+        return ExpectArray(depth + 1);
+      case '"':
+        return ExpectString();
+      case 't':
+        return ExpectLiteral("true");
+      case 'f':
+        return ExpectLiteral("false");
+      case 'n':
+        return ExpectLiteral("null");
+      default:
+        return ExpectNumber();
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(std::string_view text) {
+  return Validator(text).Run();
+}
+
+}  // namespace soi

@@ -1,0 +1,23 @@
+#ifndef SOI_COMMON_JSON_UTIL_H_
+#define SOI_COMMON_JSON_UTIL_H_
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace soi {
+
+/// Validates that `text` is exactly one well-formed JSON document
+/// (RFC 8259: one value — object, array, string, number, true/false/null
+/// — with arbitrary surrounding whitespace). Returns kInvalidArgument
+/// with the byte offset and reason on the first violation.
+///
+/// This is a validator, not a parser: nothing is materialized, so it is
+/// cheap enough for tests and tools (soi_obs check) to run over every
+/// produced document. Writing stays the job of JsonWriter; the library
+/// deliberately has no JSON DOM.
+[[nodiscard]] Status ValidateJson(std::string_view text);
+
+}  // namespace soi
+
+#endif  // SOI_COMMON_JSON_UTIL_H_

@@ -39,13 +39,47 @@ Status CountQueryFailure(Status status) {
 class InflightGuard {
  public:
   explicit InflightGuard(std::atomic<int64_t>* counter) : counter_(counter) {}
-  ~InflightGuard() { counter_->fetch_sub(1, std::memory_order_relaxed); }
+  ~InflightGuard() {
+    counter_->fetch_sub(1, std::memory_order_relaxed);
+    // Last-write-wins level for introspection; a racing Set from a
+    // concurrent query only blurs the gauge by one, never the admission
+    // check (which reads the atomic, not the gauge).
+    SOI_OBS_GAUGE_SET("soi.engine.inflight",
+                      counter_->load(std::memory_order_relaxed));
+  }
   InflightGuard(const InflightGuard&) = delete;
   InflightGuard& operator=(const InflightGuard&) = delete;
 
  private:
   std::atomic<int64_t>* counter_;
 };
+
+// Flight-recorder identity fields of one query (and its fresh id).
+// Callers gate on obs::kEnabled: under SOI_OBSERVABILITY=OFF the id
+// macro yields 0 and nothing is recorded.
+obs::QueryRecord MakeQueryRecord(const SoiQuery& query) {
+  obs::QueryRecord record;
+  record.query_id = SOI_OBS_NEXT_QUERY_ID();
+  record.psi_size = static_cast<int32_t>(query.keywords.size());
+  record.k = query.k;
+  record.eps = query.eps;
+  record.keyword_ids = query.keywords.ids();
+  return record;
+}
+
+// Copies the per-query evaluation stats into the flight record.
+void FillRecordFromStats(const SoiQueryStats& stats,
+                         obs::QueryRecord* record) {
+  record->lists_seconds = stats.list_construction_seconds;
+  record->filter_seconds = stats.filtering_seconds;
+  record->refine_seconds = stats.refinement_seconds;
+  record->iterations = stats.iterations;
+  record->cells_popped = stats.cells_popped;
+  record->segments_popped = stats.segments_popped;
+  record->segments_seen = stats.segments_seen;
+  record->segments_finalized = stats.segments_finalized_in_refinement;
+  record->poi_distance_checks = stats.poi_distance_checks;
+}
 
 // Canonical byte key of a query's full identity <Psi, k, eps> for batch
 // coalescing. KeywordSet ids are sorted and deduplicated, so identical
@@ -94,7 +128,7 @@ QueryEngine::QueryEngine(
       << "warm start: " << preloaded.size()
       << " preloaded maps exceed eps_cache_capacity="
       << options_.eps_cache_capacity;
-  size_t cache_size_after = 0;
+  [[maybe_unused]] size_t cache_size_after = 0;
   {
     MutexLock lock(cache_mutex_);
     for (std::shared_ptr<const EpsAugmentedMaps>& maps : preloaded) {
@@ -162,7 +196,8 @@ std::shared_ptr<const EpsAugmentedMaps> QueryEngine::GetMaps(double eps) {
 }
 
 Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
-    double eps, const CancellationToken* cancel) {
+    double eps, const CancellationToken* cancel, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
   // Contention-free hit path: resolve against the read-mostly snapshot
   // of completed entries. In the steady state (the cache warmed to the
   // serving eps values) every query takes this branch and the batch
@@ -190,6 +225,7 @@ Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
     if (maps != nullptr) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       SOI_OBS_COUNTER_ADD("soi.cache.hits", 1);
+      if (cache_hit != nullptr) *cache_hit = true;
       return maps;
     }
   }
@@ -206,7 +242,7 @@ Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
     bool builder = false;
     bool hit = false;
     bool evicted = false;
-    size_t cache_size_after = 0;
+    [[maybe_unused]] size_t cache_size_after = 0;
     uint64_t tick = cache_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
     // Contention proxy for the bench: how often the serving path had to
     // take cache_mutex_ at all (0 per batch once the cache is warm).
@@ -278,7 +314,10 @@ Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
 
     if (!builder) {
       MapsPayload payload = future.get();  // may block on build in flight
-      if (payload.status.ok()) return payload.maps;
+      if (payload.status.ok()) {
+        if (cache_hit != nullptr) *cache_hit = true;
+        return payload.maps;
+      }
       continue;  // peer's build failed and was evicted; retry
     }
 
@@ -312,7 +351,7 @@ Result<std::shared_ptr<const EpsAugmentedMaps>> QueryEngine::TryGetMaps(
       // The id check keeps a healthy replacement entry (raced in after
       // our eviction by a retrying waiter) untouched. No hit-table
       // republish: an in-flight entry was never in the snapshot.
-      size_t size_after = 0;
+      [[maybe_unused]] size_t size_after = 0;
       bool erased = false;
       {
         MutexLock lock(cache_mutex_);
@@ -363,12 +402,40 @@ Result<SoiResult> QueryEngine::TryRun(const SoiQuery& query) {
 
 Result<SoiResult> QueryEngine::TryRun(const SoiQuery& query,
                                       const CancellationToken& cancel) {
+  // The observability envelope around the evaluation: every TryRun —
+  // success, invalid, shed, expired, faulted — leaves one QueryRecord
+  // in the flight recorder, and successful queries additionally stamp
+  // their id as the soi.engine.query_seconds exemplar of their latency
+  // bucket. Under SOI_OBSERVABILITY=OFF kEnabled is constexpr false and
+  // all of this folds away.
+  obs::QueryRecord record;
+  if (obs::kEnabled) record = MakeQueryRecord(query);
+  Stopwatch timer;
+  Result<SoiResult> result = TryRunInternal(query, cancel, &record);
+  if (obs::kEnabled) {
+    record.total_seconds = timer.ElapsedSeconds();
+    record.status =
+        result.ok() ? StatusCode::kOk : result.status().code();
+    SOI_OBS_FLIGHT_RECORD(record);
+    if (result.ok()) {
+      SOI_OBS_HISTOGRAM_OBSERVE_EXEMPLAR("soi.engine.query_seconds",
+                                         record.total_seconds,
+                                         record.query_id);
+    }
+  }
+  return result;
+}
+
+Result<SoiResult> QueryEngine::TryRunInternal(
+    const SoiQuery& query, const CancellationToken& cancel,
+    obs::QueryRecord* record) {
   // Validation precedes every other step — in particular the eps cache
   // lookup, so a NaN eps (NaN != NaN would miss and insert on every
   // call) can never become a cache key.
   SOI_RETURN_NOT_OK(query.Validate());
 
   int64_t inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  SOI_OBS_GAUGE_SET("soi.engine.inflight", inflight);
   InflightGuard guard(&inflight_);
   if (options_.max_inflight_queries > 0 &&
       inflight > static_cast<int64_t>(options_.max_inflight_queries)) {
@@ -380,14 +447,14 @@ Result<SoiResult> QueryEngine::TryRun(const SoiQuery& query,
   }
 
   SOI_TRACE_SPAN("engine.query");
-  Stopwatch timer;
   Status admitted = cancel.Check();
   if (!admitted.ok()) return CountQueryFailure(std::move(admitted));
 
   std::shared_ptr<const EpsAugmentedMaps> maps;
   {
     auto maps_result =
-        TryGetMaps(query.eps, cancel.cancellable() ? &cancel : nullptr);
+        TryGetMaps(query.eps, cancel.cancellable() ? &cancel : nullptr,
+                   &record->cache_hit);
     if (!maps_result.ok()) {
       return CountQueryFailure(maps_result.status());
     }
@@ -396,6 +463,9 @@ Result<SoiResult> QueryEngine::TryRun(const SoiQuery& query,
 
   SoiAlgorithmOptions algorithm_options = options_.algorithm;
   algorithm_options.cancel = cancel;
+  // Exemplar attribution for the per-phase latency histograms (plain
+  // data; 0 under SOI_OBSERVABILITY=OFF).
+  algorithm_options.query_id = record->query_id;
   // TryTopK is Status-based, but an injected fault inside its parallel
   // refinement still unwinds as an exception; convert it here so the
   // serving boundary is exception-free.
@@ -403,8 +473,9 @@ Result<SoiResult> QueryEngine::TryRun(const SoiQuery& query,
     Result<SoiResult> result =
         algorithm_.TryTopK(query, *maps, algorithm_options);
     if (!result.ok()) return CountQueryFailure(result.status());
-    SOI_OBS_HISTOGRAM_OBSERVE("soi.engine.query_seconds",
-                              timer.ElapsedSeconds());
+    if (obs::kEnabled) {
+      FillRecordFromStats(result.ValueOrDie().stats, record);
+    }
     return result;
   } catch (const CancelledError& e) {
     return CountQueryFailure(e.status());
@@ -498,10 +569,22 @@ std::vector<Result<SoiResult>> QueryEngine::TryRunBatch(
   }
   // Fan the leader results back out to their coalesced duplicates
   // (Result<SoiResult> is copyable; an aborted leader propagates its
-  // placeholder status).
+  // placeholder status). Each duplicate still gets its own flight
+  // record — marked coalesced, carrying the leader's phase stats (the
+  // evaluation that served it) but no wall time of its own.
   for (size_t i = 0; i < queries.size(); ++i) {
     if (leader[i] != static_cast<int64_t>(i)) {
       results[i] = results[static_cast<size_t>(leader[i])];
+      if (obs::kEnabled) {
+        obs::QueryRecord record = MakeQueryRecord(queries[i]);
+        record.coalesced = true;
+        record.status = results[i].ok() ? StatusCode::kOk
+                                        : results[i].status().code();
+        if (results[i].ok()) {
+          FillRecordFromStats(results[i].ValueOrDie().stats, &record);
+        }
+        SOI_OBS_FLIGHT_RECORD(record);
+      }
     }
   }
   SOI_OBS_HISTOGRAM_OBSERVE("soi.engine.batch_seconds",

@@ -20,6 +20,13 @@ namespace soi {
 
 class ThreadPool;
 
+namespace obs {
+// Forward declaration only: the layering rule (DESIGN.md
+// "Observability") keeps obs headers out of non-obs headers. The
+// record is filled and published in query_engine.cc.
+struct QueryRecord;
+}  // namespace obs
+
 /// Tuning knobs for QueryEngine.
 struct QueryEngineOptions {
   /// Total concurrency: RunBatch evaluates up to this many queries at
@@ -175,10 +182,13 @@ class QueryEngine {
   /// Status-returning GetMaps: a build aborted by `cancel` (may be
   /// null) or an injected fault surfaces as kCancelled /
   /// kDeadlineExceeded / kInternal, after the failed entry has been
-  /// evicted so later requests rebuild from scratch.
+  /// evicted so later requests rebuild from scratch. When `cache_hit`
+  /// is non-null it reports whether the lookup resolved without this
+  /// call building (fast-path hit or a wait on an in-flight entry) —
+  /// the per-query flight-recorder view of soi.cache.hits/misses.
   [[nodiscard]] Result<std::shared_ptr<const EpsAugmentedMaps>> TryGetMaps(
-      double eps, const CancellationToken* cancel = nullptr)
-      SOI_EXCLUDES(cache_mutex_);
+      double eps, const CancellationToken* cancel = nullptr,
+      bool* cache_hit = nullptr) SOI_EXCLUDES(cache_mutex_);
 
   /// Cumulative eps-cache counters (monotone since construction).
   struct CacheStats {
@@ -273,6 +283,15 @@ class QueryEngine {
 
   /// Republishes hit_table_ from the completed entries of cache_.
   void RebuildHitTableLocked() SOI_REQUIRES(cache_mutex_);
+
+  /// TryRun's body. `record` (never null; ignored when observability is
+  /// compiled out) accumulates the per-query flight-recorder fields the
+  /// evaluation path knows — cache hit/miss and the phase stats — while
+  /// the caller owns identity, total wall time, final status, and
+  /// publication to the FlightRecorder.
+  Result<SoiResult> TryRunInternal(const SoiQuery& query,
+                                   const CancellationToken& cancel,
+                                   obs::QueryRecord* record);
 
   const SegmentCellIndex* segment_cells_;
   QueryEngineOptions options_;

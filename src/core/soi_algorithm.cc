@@ -75,13 +75,16 @@ struct SoiScratchPool {
 
   std::unique_ptr<QueryScratch> Acquire() SOI_EXCLUDES(mutex_) {
     std::unique_ptr<QueryScratch> scratch;
+    [[maybe_unused]] size_t free_count = 0;
     {
       MutexLock lock(mutex_);
       if (!free_.empty()) {
         scratch = std::move(free_.back());
         free_.pop_back();
       }
+      free_count = free_.size();
     }
+    SOI_OBS_GAUGE_SET("soi.scratch.free", static_cast<int64_t>(free_count));
     if (scratch != nullptr) {
       SOI_OBS_COUNTER_ADD("soi.scratch.reused", 1);
       return scratch;
@@ -91,8 +94,13 @@ struct SoiScratchPool {
   }
 
   void Release(std::unique_ptr<QueryScratch> scratch) SOI_EXCLUDES(mutex_) {
-    MutexLock lock(mutex_);
-    free_.push_back(std::move(scratch));
+    [[maybe_unused]] size_t free_count = 0;
+    {
+      MutexLock lock(mutex_);
+      free_.push_back(std::move(scratch));
+      free_count = free_.size();
+    }
+    SOI_OBS_GAUGE_SET("soi.scratch.free", static_cast<int64_t>(free_count));
   }
 
  private:
@@ -729,8 +737,9 @@ Result<SoiResult> Run::Execute() {
     BuildSourceLists();
   }
   result_.stats.list_construction_seconds = timer.ElapsedSeconds();
-  SOI_OBS_HISTOGRAM_OBSERVE("soi.query.lists_seconds",
-                            result_.stats.list_construction_seconds);
+  SOI_OBS_HISTOGRAM_OBSERVE_EXEMPLAR("soi.query.lists_seconds",
+                                     result_.stats.list_construction_seconds,
+                                     options_.query_id);
 
   timer.Reset();
   {
@@ -738,8 +747,9 @@ Result<SoiResult> Run::Execute() {
     SOI_RETURN_NOT_OK(FilteringPhase());
   }
   result_.stats.filtering_seconds = timer.ElapsedSeconds();
-  SOI_OBS_HISTOGRAM_OBSERVE("soi.query.filter_seconds",
-                            result_.stats.filtering_seconds);
+  SOI_OBS_HISTOGRAM_OBSERVE_EXEMPLAR("soi.query.filter_seconds",
+                                     result_.stats.filtering_seconds,
+                                     options_.query_id);
 
   timer.Reset();
   {
@@ -747,8 +757,9 @@ Result<SoiResult> Run::Execute() {
     SOI_RETURN_NOT_OK(RefinementPhase());
   }
   result_.stats.refinement_seconds = timer.ElapsedSeconds();
-  SOI_OBS_HISTOGRAM_OBSERVE("soi.query.refine_seconds",
-                            result_.stats.refinement_seconds);
+  SOI_OBS_HISTOGRAM_OBSERVE_EXEMPLAR("soi.query.refine_seconds",
+                                     result_.stats.refinement_seconds,
+                                     options_.query_id);
 
   // Work counters, folded into the registry once per query (never on the
   // per-(segment, cell) hot path).

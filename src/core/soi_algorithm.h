@@ -58,6 +58,13 @@ struct SoiAlgorithmOptions {
   /// so this is purely a latency knob.
   ThreadPool* pool = nullptr;
 
+  /// Observability attribution: when nonzero, this query's latency
+  /// histogram samples carry the id as their exemplar, linking the
+  /// bucket back to the query's flight-recorder record. Assigned by
+  /// QueryEngine (FlightRecorder::NextQueryId); 0 = unattributed.
+  /// Plain data — has no effect on the evaluation or its result.
+  uint64_t query_id = 0;
+
   /// Cooperative cancellation/deadline handle, checked once per
   /// filtering iteration and once per refinement segment. The default
   /// inert token never fires and costs one null test per check, so the

@@ -1,0 +1,155 @@
+#include "obs/dump.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#include <signal.h>
+
+#include <thread>
+#endif
+
+#include "common/mutex.h"
+#include "obs/json_export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace soi {
+namespace obs {
+
+void WriteQueryRecordJson(const QueryRecord& record, JsonWriter* json) {
+  json->BeginObject();
+  json->KeyValue("query_id", record.query_id);
+  json->KeyValue("psi_size", record.psi_size);
+  json->KeyValue("k", record.k);
+  json->KeyValue("eps", record.eps);
+  json->Key("keyword_ids");
+  json->BeginArray();
+  for (int32_t id : record.keyword_ids) json->Int(id);
+  json->EndArray();
+  json->KeyValue("total_seconds", record.total_seconds);
+  json->KeyValue("lists_seconds", record.lists_seconds);
+  json->KeyValue("filter_seconds", record.filter_seconds);
+  json->KeyValue("refine_seconds", record.refine_seconds);
+  json->KeyValue("iterations", record.iterations);
+  json->KeyValue("cells_popped", record.cells_popped);
+  json->KeyValue("segments_popped", record.segments_popped);
+  json->KeyValue("segments_seen", record.segments_seen);
+  json->KeyValue("segments_finalized", record.segments_finalized);
+  json->KeyValue("poi_distance_checks", record.poi_distance_checks);
+  json->KeyValue("cache_hit", record.cache_hit);
+  json->KeyValue("coalesced", record.coalesced);
+  json->KeyValue("status", StatusCodeToString(record.status));
+  json->EndObject();
+}
+
+void DumpState(JsonWriter* json) {
+  json->BeginObject();
+  json->KeyValue("version", int64_t{1});
+  json->KeyValue("observability_enabled", kEnabled);
+
+  json->Key("metrics");
+  WriteMetricsJson(Registry::Global().Snapshot(), json);
+
+  json->Key("flight_recorder");
+  json->BeginObject();
+  FlightRecorder::Snapshot flights = FlightRecorder::Global().Snap();
+  json->KeyValue("last_query_id", flights.last_query_id);
+  json->KeyValue("total_recorded", flights.total_recorded);
+  json->KeyValue("dropped", flights.dropped);
+  json->Key("recent");
+  json->BeginArray();
+  for (const QueryRecord& record : flights.recent) {
+    WriteQueryRecordJson(record, json);
+  }
+  json->EndArray();
+  json->Key("slowest");
+  json->BeginArray();
+  for (const QueryRecord& record : flights.slowest) {
+    WriteQueryRecordJson(record, json);
+  }
+  json->EndArray();
+  json->EndObject();
+
+  json->EndObject();
+}
+
+std::string DumpStateJson() {
+  std::ostringstream out;
+  JsonWriter json(&out);
+  DumpState(&json);
+  return out.str();
+}
+
+Status WriteStateFile(const std::string& path) {
+  std::ofstream file(path);
+  if (!file.good()) {
+    return Status::IOError("cannot write state file " + path);
+  }
+  JsonWriter json(&file);
+  DumpState(&json);
+  file << "\n";
+  file.flush();
+  if (!json.done() || !file.good()) {
+    return Status::IOError("failed writing state file " + path);
+  }
+  return Status::OK();
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+Status InstallSignalDump(const std::string& path) {
+  static Mutex install_mutex;
+  static bool installed = false;
+  MutexLock lock(install_mutex);
+  if (installed) {
+    return Status::AlreadyExists("SIGUSR1 dump hook already installed");
+  }
+
+  // Writing JSON from an async signal handler would not be
+  // signal-safe, so the signal is consumed synchronously: block SIGUSR1
+  // in this thread (and, by mask inheritance, every thread created
+  // after), park a no-op disposition so a stray delivery to an
+  // already-running unblocked thread cannot terminate the process, and
+  // let a dedicated watcher thread sigwait and write the dump.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGUSR1);
+  struct sigaction action = {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  if (sigaction(SIGUSR1, &action, nullptr) != 0) {
+    return Status::Internal("sigaction(SIGUSR1) failed");
+  }
+  if (pthread_sigmask(SIG_BLOCK, &set, nullptr) != 0) {
+    return Status::Internal("pthread_sigmask(SIG_BLOCK, SIGUSR1) failed");
+  }
+
+  std::thread watcher([set, path] {
+    while (true) {
+      int signal_number = 0;
+      if (sigwait(&set, &signal_number) != 0) return;
+      // Best-effort by design: a failed dump (disk full, unlinkable
+      // path) must never take down the serving process.
+      (void)WriteStateFile(path);
+    }
+  });
+  watcher.detach();
+  installed = true;
+  return Status::OK();
+}
+
+#else  // !(__unix__ || __APPLE__)
+
+Status InstallSignalDump(const std::string& path) {
+  (void)path;
+  return Status::Internal(
+      "SIGUSR1 dump hook requires a POSIX signal interface");
+}
+
+#endif
+
+}  // namespace obs
+}  // namespace soi

@@ -1,0 +1,121 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace soi {
+namespace obs {
+
+namespace {
+
+// Min-heap comparator: the heap front is the *fastest* of the retained
+// slowest queries, i.e. the next evictee. Ties break on descending
+// query_id so the front (evictee) is the newest of the tied records and
+// the oldest survives — deterministic under any arrival order.
+bool SlowerThan(const QueryRecord& a, const QueryRecord& b) {
+  if (a.total_seconds != b.total_seconds) {
+    return a.total_seconds > b.total_seconds;
+  }
+  return a.query_id < b.query_id;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t recent_per_shard,
+                               size_t slowest_capacity)
+    : recent_per_shard_(recent_per_shard),
+      slowest_capacity_(slowest_capacity) {
+  SOI_CHECK(recent_per_shard_ >= 1) << "recent_per_shard must be >= 1";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked on purpose, like Registry::Global(): the serving path may
+  // still record during static destruction of other translation units.
+  // soi-lint: naked-new (intentionally leaked singleton)
+  static FlightRecorder* const global = new FlightRecorder();
+  return *global;
+}
+
+void FlightRecorder::Record(const QueryRecord& record) {
+  Shard& shard = shards_[internal_metrics::ThreadShard()];
+  {
+    MutexLock lock(shard.mutex);
+    if (shard.ring.size() < recent_per_shard_) {
+      shard.ring.push_back(record);
+    } else {
+      shard.ring[shard.next] = record;
+      ++shard.dropped;
+    }
+    shard.next = (shard.next + 1) % recent_per_shard_;
+    ++shard.total;
+  }
+
+  if (slowest_capacity_ == 0) return;
+  // Lock-cheap admission: once the reservoir is full, queries at or
+  // below the floor (the M-th slowest so far) skip the mutex entirely —
+  // the steady-state common case.
+  if (record.total_seconds <=
+      slowest_floor_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  MutexLock lock(slowest_mutex_);
+  slowest_.push_back(record);
+  std::push_heap(slowest_.begin(), slowest_.end(), SlowerThan);
+  if (slowest_.size() > slowest_capacity_) {
+    std::pop_heap(slowest_.begin(), slowest_.end(), SlowerThan);
+    slowest_.pop_back();
+  }
+  if (slowest_.size() == slowest_capacity_) {
+    slowest_floor_.store(slowest_.front().total_seconds,
+                         std::memory_order_relaxed);
+  }
+}
+
+const QueryRecord* FlightRecorder::Snapshot::Find(uint64_t query_id) const {
+  for (const QueryRecord& record : recent) {
+    if (record.query_id == query_id) return &record;
+  }
+  for (const QueryRecord& record : slowest) {
+    if (record.query_id == query_id) return &record;
+  }
+  return nullptr;
+}
+
+FlightRecorder::Snapshot FlightRecorder::Snap() const {
+  Snapshot snapshot;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    snapshot.recent.insert(snapshot.recent.end(), shard.ring.begin(),
+                           shard.ring.end());
+    snapshot.total_recorded += shard.total;
+    snapshot.dropped += shard.dropped;
+  }
+  std::sort(snapshot.recent.begin(), snapshot.recent.end(),
+            [](const QueryRecord& a, const QueryRecord& b) {
+              return a.query_id < b.query_id;
+            });
+  {
+    MutexLock lock(slowest_mutex_);
+    snapshot.slowest = slowest_;
+  }
+  std::sort(snapshot.slowest.begin(), snapshot.slowest.end(), SlowerThan);
+  snapshot.last_query_id = last_query_id();
+  return snapshot;
+}
+
+void FlightRecorder::Reset() {
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    shard.ring.clear();
+    shard.next = 0;
+    shard.total = 0;
+    shard.dropped = 0;
+  }
+  MutexLock lock(slowest_mutex_);
+  slowest_.clear();
+  slowest_floor_.store(-1.0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace soi

@@ -34,6 +34,12 @@ void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter* json) {
       json->KeyValue("p50", histogram.Quantile(0.5));
       json->KeyValue("p90", histogram.Quantile(0.9));
       json->KeyValue("p99", histogram.Quantile(0.99));
+      // The flight-recorder query id behind the p99 bucket (0 = the
+      // bucket's samples carried no exemplars).
+      uint64_t p99_exemplar = histogram.ExemplarForQuantile(0.99);
+      if (p99_exemplar != 0) {
+        json->KeyValue("p99_exemplar_query_id", p99_exemplar);
+      }
       json->Key("buckets");
       json->BeginArray();
       int64_t cumulative = 0;
@@ -48,6 +54,9 @@ void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter* json) {
           json->KeyValue("le", "+inf");
         }
         json->KeyValue("count", cumulative);
+        if (i < histogram.exemplars.size() && histogram.exemplars[i] != 0) {
+          json->KeyValue("exemplar_query_id", histogram.exemplars[i]);
+        }
         json->EndObject();
       }
       json->EndArray();

@@ -50,9 +50,11 @@ Histogram::Histogram(std::string name, std::vector<double> bounds)
   SOI_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
       << "histogram bounds must be ascending";
   for (Shard& shard : shards_) shard.Init(bounds_.size() + 1);
+  exemplars_.reset(new std::atomic<uint64_t>[bounds_.size() + 1]);
+  for (size_t i = 0; i <= bounds_.size(); ++i) exemplars_[i].store(0);
 }
 
-void Histogram::Observe(double value) {
+void Histogram::ObserveImpl(double value, uint64_t exemplar_query_id) {
   size_t bucket = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin());
@@ -61,6 +63,9 @@ void Histogram::Observe(double value) {
   double sum = shard.sum.load(std::memory_order_relaxed);
   while (!shard.sum.compare_exchange_weak(sum, sum + value,
                                           std::memory_order_relaxed)) {
+  }
+  if (exemplar_query_id != 0) {
+    exemplars_[bucket].store(exemplar_query_id, std::memory_order_relaxed);
   }
 }
 
@@ -76,6 +81,10 @@ Histogram::Snapshot Histogram::Snap() const {
     snapshot.sum += shard.sum.load(std::memory_order_relaxed);
   }
   for (int64_t count : snapshot.counts) snapshot.total_count += count;
+  snapshot.exemplars.resize(bounds_.size() + 1, 0);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snapshot.exemplars[i] = exemplars_[i].load(std::memory_order_relaxed);
+  }
   return snapshot;
 }
 
@@ -102,6 +111,44 @@ double Histogram::Snapshot::Quantile(double q) const {
   return bounds.back();
 }
 
+uint64_t Histogram::Snapshot::ExemplarForQuantile(double q) const {
+  if (total_count <= 0 || exemplars.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(total_count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) return exemplars[i];
+  }
+  return exemplars.back();
+}
+
+Histogram::Snapshot Histogram::Snapshot::Since(
+    const Snapshot& earlier) const {
+  SOI_CHECK(bounds == earlier.bounds)
+      << "Histogram::Snapshot::Since: '" << name << "' and '"
+      << earlier.name << "' have different bounds";
+  Snapshot delta = *this;
+  delta.total_count = 0;
+  for (size_t i = 0; i < delta.counts.size(); ++i) {
+    delta.counts[i] -= earlier.counts[i];
+    if (delta.counts[i] < 0) {
+      delta.counts[i] = 0;
+      delta.clamped = true;
+    }
+    delta.total_count += delta.counts[i];
+  }
+  delta.sum -= earlier.sum;
+  if (delta.sum < 0.0) {
+    delta.sum = 0.0;
+    delta.clamped = true;
+  }
+  // Exemplars are levels (the most recent stamp), not sums: keep this
+  // snapshot's.
+  return delta;
+}
+
 int64_t MetricsSnapshot::CounterOr0(const std::string& name) const {
   for (const CounterValue& counter : counters) {
     if (counter.name == name) return counter.value;
@@ -122,15 +169,19 @@ MetricsSnapshot MetricsSnapshot::Since(
   MetricsSnapshot delta = *this;
   for (CounterValue& counter : delta.counters) {
     counter.value -= earlier.CounterOr0(counter.name);
+    // A later snapshot below an earlier one means the registry was
+    // Reset() (or otherwise re-used) between the two: clamp and flag
+    // instead of reporting a negative "delta" downstream.
+    if (counter.value < 0) {
+      counter.value = 0;
+      delta.clamped = true;
+    }
   }
   for (Histogram::Snapshot& histogram : delta.histograms) {
     const Histogram::Snapshot* base = earlier.FindHistogram(histogram.name);
     if (base == nullptr || base->bounds != histogram.bounds) continue;
-    for (size_t i = 0; i < histogram.counts.size(); ++i) {
-      histogram.counts[i] -= base->counts[i];
-    }
-    histogram.total_count -= base->total_count;
-    histogram.sum -= base->sum;
+    histogram = histogram.Since(*base);
+    if (histogram.clamped) delta.clamped = true;
   }
   return delta;
 }
@@ -230,6 +281,9 @@ void Registry::Reset() {
         shard.counts[i].store(0, std::memory_order_relaxed);
       }
       shard.sum.store(0.0, std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i <= histogram->bounds_.size(); ++i) {
+      histogram->exemplars_[i].store(0, std::memory_order_relaxed);
     }
   }
 }

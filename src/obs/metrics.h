@@ -92,7 +92,16 @@ const std::vector<double>& DefaultLatencyBounds();
 /// into the shard's running sum.
 class Histogram {
  public:
-  void Observe(double value);
+  void Observe(double value) { ObserveImpl(value, 0); }
+
+  /// Observe with an exemplar: additionally stamps `exemplar_query_id`
+  /// (a FlightRecorder query id; 0 = none) as the bucket's most recent
+  /// sample, so a snapshot's p99 bucket links back to a concrete
+  /// replayable QueryRecord. The stamp is one relaxed last-write-wins
+  /// store on top of the wait-free Observe.
+  void Observe(double value, uint64_t exemplar_query_id) {
+    ObserveImpl(value, exemplar_query_id);
+  }
 
   /// Point-in-time read of one histogram. Each shard is read once with
   /// relaxed loads; because writers only add, every field is a lower
@@ -105,6 +114,13 @@ class Histogram {
     std::vector<int64_t> counts;
     int64_t total_count = 0;
     double sum = 0.0;
+    /// Per-bucket exemplar: the query id of the most recent sample
+    /// observed with one (exemplars.size() == counts.size(); 0 = the
+    /// bucket never saw an exemplar-carrying sample).
+    std::vector<uint64_t> exemplars;
+    /// Set by Since() when a negative interval delta was clamped (the
+    /// registry was Reset() between the two snapshots).
+    bool clamped = false;
 
     double Mean() const {
       return total_count > 0 ? sum / static_cast<double>(total_count) : 0.0;
@@ -113,6 +129,18 @@ class Histogram {
     /// (q in [0, 1]); observations in the overflow bucket clamp to the
     /// last finite bound.
     double Quantile(double q) const;
+    /// The exemplar query id of the bucket the q-quantile falls in
+    /// (0 when that bucket carries none — e.g. all samples were
+    /// observed without exemplars).
+    uint64_t ExemplarForQuantile(double q) const;
+
+    /// This snapshot minus `earlier`: the observations of the interval
+    /// between the two. Bucket counts, total_count, and sum subtract;
+    /// exemplars keep this snapshot's stamps (an exemplar is a level,
+    /// not a sum). Negative deltas — the registry was Reset() and
+    /// re-used between the snapshots — clamp to zero and set `clamped`
+    /// instead of silently underflowing. Requires equal bounds.
+    Snapshot Since(const Snapshot& earlier) const;
   };
   Snapshot Snap() const;
 
@@ -122,6 +150,8 @@ class Histogram {
  private:
   friend class Registry;
   Histogram(std::string name, std::vector<double> bounds);
+
+  void ObserveImpl(double value, uint64_t exemplar_query_id);
 
   struct alignas(64) Shard {
     void Init(size_t num_buckets) {
@@ -135,6 +165,10 @@ class Histogram {
   std::string name_;
   std::vector<double> bounds_;
   Shard shards_[kNumShards];
+  // Unsharded, deliberately: an exemplar is a last-write-wins level
+  // (like a Gauge), not a sum — sharding it would leave "most recent"
+  // unanswerable. One relaxed store per exemplar-carrying observation.
+  std::unique_ptr<std::atomic<uint64_t>[]> exemplars_;
 };
 
 /// A consistent point-in-time view of every metric in a Registry, sorted
@@ -158,6 +192,13 @@ struct MetricsSnapshot {
   std::vector<GaugeValue> gauges;
   std::vector<Histogram::Snapshot> histograms;
 
+  /// Set by Since() when any negative interval delta was clamped: the
+  /// registry was Reset() (or otherwise re-used) between the snapshots,
+  /// so the interval is not a pure delta. Consumers (bench gates) should
+  /// treat a clamped interval as suspect rather than silently reporting
+  /// underflowed counters.
+  bool clamped = false;
+
   /// The counter's value, or 0 if absent.
   int64_t CounterOr0(const std::string& name) const;
   /// The histogram snapshot, or nullptr if absent.
@@ -166,7 +207,8 @@ struct MetricsSnapshot {
   /// This snapshot minus `earlier` (counters and histogram counts/sums
   /// subtract; gauges keep this snapshot's level): the metric activity of
   /// the interval between the two snapshots. Metrics absent from
-  /// `earlier` pass through unchanged.
+  /// `earlier` pass through unchanged. Negative deltas clamp to zero and
+  /// set `clamped` (see above) instead of silently underflowing.
   MetricsSnapshot Since(const MetricsSnapshot& earlier) const;
 };
 

@@ -21,6 +21,7 @@
 /// metric subsystem segment: "soi.query" > "soi.lists" / "soi.filter" /
 /// "soi.refine", "cache.build_maps", "div.st_rel_div", ...
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -89,6 +90,28 @@ inline constexpr bool kEnabled = SOI_OBS_ENABLED != 0;
     soi_obs_histogram_->Observe(value);                             \
   } while (false)
 
+/// SOI_OBS_HISTOGRAM_OBSERVE plus an exemplar stamp: `query_id` (a
+/// FlightRecorder query id; 0 = none) becomes the bucket's most recent
+/// sample, linking the latency bucket to a replayable QueryRecord.
+#define SOI_OBS_HISTOGRAM_OBSERVE_EXEMPLAR(name, value, query_id)   \
+  do {                                                              \
+    static ::soi::obs::Histogram* const soi_obs_histogram_ =        \
+        ::soi::obs::Registry::Global().GetHistogram(name);          \
+    soi_obs_histogram_->Observe(value, query_id);                   \
+  } while (false)
+
+/// Draws the next process-monotone query id from the global
+/// FlightRecorder (0 under SOI_OBSERVABILITY=OFF, the "unset" id).
+#define SOI_OBS_NEXT_QUERY_ID() \
+  (::soi::obs::FlightRecorder::Global().NextQueryId())
+
+/// Appends a completed ::soi::obs::QueryRecord to the global
+/// FlightRecorder.
+#define SOI_OBS_FLIGHT_RECORD(record)                         \
+  do {                                                        \
+    ::soi::obs::FlightRecorder::Global().Record(record);      \
+  } while (false)
+
 #else  // !SOI_OBS_ENABLED
 
 #define SOI_TRACE_SPAN(name) \
@@ -105,6 +128,13 @@ inline constexpr bool kEnabled = SOI_OBS_ENABLED != 0;
   } while (false)
 #define SOI_OBS_HISTOGRAM_OBSERVE(name, value) \
   do {                                         \
+  } while (false)
+#define SOI_OBS_HISTOGRAM_OBSERVE_EXEMPLAR(name, value, query_id) \
+  do {                                                            \
+  } while (false)
+#define SOI_OBS_NEXT_QUERY_ID() (::std::uint64_t{0})
+#define SOI_OBS_FLIGHT_RECORD(record) \
+  do {                                \
   } while (false)
 
 #endif  // SOI_OBS_ENABLED

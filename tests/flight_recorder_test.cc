@@ -1,0 +1,185 @@
+// Flight-recorder correctness: ring retention, slowest-reservoir
+// ordering, exact accounting under concurrent appenders (run with
+// SOI_SANITIZE=thread to verify the sharded paths are race-free), and
+// snapshot consistency while writers are active. Uses local FlightRecorder
+// instances so tests do not interfere with the process-global recorder.
+
+#include "obs/flight_recorder.h"
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace soi {
+namespace obs {
+namespace {
+
+QueryRecord MakeRecord(uint64_t query_id, double total_seconds) {
+  QueryRecord record;
+  record.query_id = query_id;
+  record.total_seconds = total_seconds;
+  record.psi_size = 2;
+  record.k = 10;
+  record.eps = 0.0005;
+  return record;
+}
+
+TEST(FlightRecorderTest, NextQueryIdIsMonotoneFromOne) {
+  FlightRecorder recorder;
+  EXPECT_EQ(recorder.last_query_id(), 0u);
+  EXPECT_EQ(recorder.NextQueryId(), 1u);
+  EXPECT_EQ(recorder.NextQueryId(), 2u);
+  EXPECT_EQ(recorder.last_query_id(), 2u);
+}
+
+TEST(FlightRecorderTest, RecordsAppearInSnapshot) {
+  FlightRecorder recorder;
+  recorder.Record(MakeRecord(recorder.NextQueryId(), 0.010));
+  recorder.Record(MakeRecord(recorder.NextQueryId(), 0.020));
+  FlightRecorder::Snapshot snap = recorder.Snap();
+  ASSERT_EQ(snap.recent.size(), 2u);
+  EXPECT_EQ(snap.total_recorded, 2);
+  EXPECT_EQ(snap.dropped, 0);
+  // Recent records sort by query id ascending.
+  EXPECT_EQ(snap.recent[0].query_id, 1u);
+  EXPECT_EQ(snap.recent[1].query_id, 2u);
+  EXPECT_EQ(snap.last_query_id, 2u);
+}
+
+TEST(FlightRecorderTest, FindResolvesRecentAndSlowest) {
+  FlightRecorder recorder;
+  recorder.Record(MakeRecord(recorder.NextQueryId(), 0.010));
+  FlightRecorder::Snapshot snap = recorder.Snap();
+  const QueryRecord* found = snap.Find(1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->total_seconds, 0.010);
+  EXPECT_EQ(snap.Find(999), nullptr);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestAndCountsDrops) {
+  // Single-threaded, so every record lands in one shard's ring of
+  // capacity 4: ids 1..10 leave exactly the last 4.
+  FlightRecorder recorder(/*recent_per_shard=*/4, /*slowest_capacity=*/0);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(MakeRecord(recorder.NextQueryId(), 0.001));
+  }
+  FlightRecorder::Snapshot snap = recorder.Snap();
+  ASSERT_EQ(snap.recent.size(), 4u);
+  EXPECT_EQ(snap.recent[0].query_id, 7u);
+  EXPECT_EQ(snap.recent[3].query_id, 10u);
+  EXPECT_EQ(snap.total_recorded, 10);
+  EXPECT_EQ(snap.dropped, 6);
+}
+
+TEST(FlightRecorderTest, SlowestReservoirKeepsTheSlowest) {
+  FlightRecorder recorder(/*recent_per_shard=*/2, /*slowest_capacity=*/3);
+  // Latencies 1ms..10ms in an order that exercises both admission paths
+  // (floor unset, then floor risen past the fast ones).
+  const double kSeconds[] = {0.004, 0.001, 0.010, 0.002, 0.007,
+                             0.003, 0.009, 0.005, 0.006, 0.008};
+  for (double seconds : kSeconds) {
+    recorder.Record(MakeRecord(recorder.NextQueryId(), seconds));
+  }
+  FlightRecorder::Snapshot snap = recorder.Snap();
+  ASSERT_EQ(snap.slowest.size(), 3u);
+  // Slowest first: 10ms, 9ms, 8ms survived; everything faster evicted,
+  // even records long since rotated out of the recent ring.
+  EXPECT_DOUBLE_EQ(snap.slowest[0].total_seconds, 0.010);
+  EXPECT_DOUBLE_EQ(snap.slowest[1].total_seconds, 0.009);
+  EXPECT_DOUBLE_EQ(snap.slowest[2].total_seconds, 0.008);
+  // The 10ms record (id 3) fell out of the tiny recent ring but stays
+  // resolvable through the reservoir.
+  EXPECT_NE(snap.Find(3), nullptr);
+}
+
+TEST(FlightRecorderTest, ConcurrentAppendLosesNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  // Rings large enough that nothing is dropped even if every thread
+  // lands in the same shard.
+  FlightRecorder recorder(/*recent_per_shard=*/kThreads * kPerThread,
+                          /*slowest_capacity=*/16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < kPerThread; ++i) {
+        uint64_t id = recorder.NextQueryId();
+        recorder.Record(
+            MakeRecord(id, static_cast<double>(id) * 1e-6));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  FlightRecorder::Snapshot snap = recorder.Snap();
+  // Exact accounting: every append retained, every id unique.
+  EXPECT_EQ(snap.total_recorded, int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(snap.dropped, 0);
+  ASSERT_EQ(snap.recent.size(), size_t{kThreads} * kPerThread);
+  std::set<uint64_t> ids;
+  for (const QueryRecord& record : snap.recent) ids.insert(record.query_id);
+  EXPECT_EQ(ids.size(), size_t{kThreads} * kPerThread);
+  // The reservoir holds exactly the 16 largest latencies (ids are the
+  // latencies here), slowest first.
+  ASSERT_EQ(snap.slowest.size(), 16u);
+  uint64_t expected = uint64_t{kThreads} * kPerThread;
+  for (const QueryRecord& record : snap.slowest) {
+    EXPECT_EQ(record.query_id, expected);
+    --expected;
+  }
+}
+
+TEST(FlightRecorderTest, SnapshotIsConsistentUnderConcurrentAppend) {
+  FlightRecorder recorder(/*recent_per_shard=*/64, /*slowest_capacity=*/8);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t id = recorder.NextQueryId();
+        recorder.Record(MakeRecord(id, static_cast<double>(id % 97) * 1e-5));
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    FlightRecorder::Snapshot snap = recorder.Snap();
+    // Internal consistency of every mid-flight snapshot: sorted recent,
+    // no duplicate ids, sorted reservoir, sane accounting.
+    for (size_t r = 1; r < snap.recent.size(); ++r) {
+      EXPECT_LT(snap.recent[r - 1].query_id, snap.recent[r].query_id);
+    }
+    for (size_t r = 1; r < snap.slowest.size(); ++r) {
+      EXPECT_GE(snap.slowest[r - 1].total_seconds,
+                snap.slowest[r].total_seconds);
+    }
+    EXPECT_GE(snap.total_recorded,
+              static_cast<int64_t>(snap.recent.size()));
+    EXPECT_EQ(snap.total_recorded - snap.dropped,
+              static_cast<int64_t>(snap.recent.size()));
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+}
+
+TEST(FlightRecorderTest, ResetClearsEverything) {
+  FlightRecorder recorder(/*recent_per_shard=*/8, /*slowest_capacity=*/4);
+  for (int i = 0; i < 20; ++i) {
+    recorder.Record(MakeRecord(recorder.NextQueryId(), 0.001 * (i + 1)));
+  }
+  recorder.Reset();
+  FlightRecorder::Snapshot snap = recorder.Snap();
+  EXPECT_TRUE(snap.recent.empty());
+  EXPECT_TRUE(snap.slowest.empty());
+  EXPECT_EQ(snap.total_recorded, 0);
+  EXPECT_EQ(snap.dropped, 0);
+  // The reservoir floor must re-open after Reset: a now-fast record is
+  // admitted again.
+  recorder.Record(MakeRecord(recorder.NextQueryId(), 1e-9));
+  EXPECT_EQ(recorder.Snap().slowest.size(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace soi

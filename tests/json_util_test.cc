@@ -1,0 +1,90 @@
+// ValidateJson: strict RFC 8259 acceptance and rejection. The validator
+// guards the introspection artifacts (SOI_STATE*.json, BENCH_*.json), so
+// the rejection cases matter as much as the acceptance ones — a lax
+// validator would wave broken dumps through `soi_obs check`.
+
+#include "common/json_util.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace soi {
+namespace {
+
+TEST(ValidateJsonTest, AcceptsCanonicalDocuments) {
+  const char* kValid[] = {
+      "{}",
+      "[]",
+      "null",
+      "true",
+      "false",
+      "0",
+      "-0.5e10",
+      "1e-3",
+      "\"\"",
+      "\"escape \\\" \\\\ \\/ \\b \\f \\n \\r \\t \\u00e9\"",
+      "[1, 2.5, -3, \"x\", null, true, [\"nested\"], {\"k\": []}]",
+      "{\"a\": {\"b\": {\"c\": [1, {\"d\": null}]}}}",
+      "  {\"padded\"  :  1 }  ",
+  };
+  for (const char* text : kValid) {
+    EXPECT_TRUE(ValidateJson(text).ok()) << text;
+  }
+}
+
+TEST(ValidateJsonTest, RejectsMalformedDocuments) {
+  const char* kInvalid[] = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[1,]",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{a: 1}",
+      "{'a': 1}",
+      "[1 2]",
+      "01",
+      "1.",
+      ".5",
+      "+1",
+      "1e",
+      "--1",
+      "tru",
+      "nul",
+      "True",
+      "\"unterminated",
+      "\"bad escape \\x\"",
+      "\"bad unicode \\u12g4\"",
+      "\"control \x01 char\"",
+      "{} extra",
+      "[1] [2]",
+      "{\"dup\": 1,}",
+  };
+  for (const char* text : kInvalid) {
+    EXPECT_FALSE(ValidateJson(text).ok()) << text;
+  }
+}
+
+TEST(ValidateJsonTest, ErrorCarriesByteOffset) {
+  Status status = ValidateJson("{\"a\": 1,}");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("at byte"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ValidateJsonTest, RejectsRunawayNesting) {
+  // Depth guard: 300 nested arrays exceed the validator's limit; a
+  // malicious or corrupted dump cannot blow the stack.
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(ValidateJson(deep).ok());
+  std::string fine(100, '[');
+  fine += std::string(100, ']');
+  EXPECT_TRUE(ValidateJson(fine).ok());
+}
+
+}  // namespace
+}  // namespace soi

@@ -1,0 +1,6 @@
+// Fixture: exactly one `io-stream` violation through the extended
+// surface (std::clog diagnostics, not just cout/cerr/printf). Library
+// diagnostics belong in metrics, the flight recorder, or a Status.
+#include <iostream>
+
+void Whisper() { std::clog << "debug: cache rebuilt\n"; }

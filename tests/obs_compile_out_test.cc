@@ -51,6 +51,25 @@ TEST(ObsCompileOutTest, TraceSpanMacroRecordsNothing) {
   EXPECT_TRUE(recorder.Collect().empty());
 }
 
+TEST(ObsCompileOutTest, FlightRecorderMacrosAreNoops) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  uint64_t baseline = recorder.last_query_id();
+  // Disabled TU: no id is allocated and nothing is recorded.
+  uint64_t id = SOI_OBS_NEXT_QUERY_ID();
+  EXPECT_EQ(id, 0u);
+  QueryRecord record;
+  record.query_id = 12345;
+  record.total_seconds = 9.9;
+  SOI_OBS_FLIGHT_RECORD(record);
+  SOI_OBS_HISTOGRAM_OBSERVE_EXEMPLAR("compile_out.should_never_exist.e",
+                                     0.5, 42);
+  EXPECT_EQ(recorder.last_query_id(), baseline);
+  EXPECT_EQ(recorder.Snap().Find(12345), nullptr);
+  EXPECT_EQ(Registry::Global().Snapshot().FindHistogram(
+                "compile_out.should_never_exist.e"),
+            nullptr);
+}
+
 TEST(ObsCompileOutTest, ClassApiStillLinksAndWorks) {
   // The classes themselves stay functional in a disabled TU (exporters
   // and tests may use them directly); only the macro layer is disabled.
@@ -66,6 +85,19 @@ TEST(ObsCompileOutTest, ClassApiStillLinksAndWorks) {
   recorder.Stop();
   ASSERT_EQ(recorder.Collect().size(), 1u);
   EXPECT_STREQ(recorder.Collect()[0].name, "direct.span");
+
+  // The flight recorder class is likewise fully functional when driven
+  // directly — identical layout and behavior in both modes.
+  FlightRecorder flights(/*recent_per_shard=*/4, /*slowest_capacity=*/2);
+  QueryRecord record;
+  record.query_id = flights.NextQueryId();
+  record.total_seconds = 0.25;
+  flights.Record(record);
+  FlightRecorder::Snapshot snap = flights.Snap();
+  ASSERT_EQ(snap.recent.size(), 1u);
+  EXPECT_EQ(snap.recent[0].query_id, 1u);
+  ASSERT_EQ(snap.slowest.size(), 1u);
+  EXPECT_NE(snap.Find(1), nullptr);
 }
 
 }  // namespace

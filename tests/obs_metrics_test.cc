@@ -115,6 +115,123 @@ TEST(HistogramTest, ConcurrentObserversCountExactly) {
   EXPECT_DOUBLE_EQ(snap.sum, 4 * kObsPerThread * 0.5 + 4 * kObsPerThread * 5.0);
 }
 
+TEST(HistogramTest, ExemplarsStampBucketsLastWriteWins) {
+  Registry registry;
+  Histogram* histogram =
+      registry.GetHistogram("test.exemplar", {0.001, 0.01, 0.1});
+  histogram->Observe(0.0005, /*exemplar_query_id=*/7);
+  histogram->Observe(0.05, /*exemplar_query_id=*/11);
+  histogram->Observe(0.05, /*exemplar_query_id=*/12);  // overwrites 11
+  histogram->Observe(5.0, /*exemplar_query_id=*/13);   // overflow bucket
+  histogram->Observe(0.005);  // plain Observe: no exemplar, bucket 1 stays 0
+  Histogram::Snapshot snap = histogram->Snap();
+  ASSERT_EQ(snap.exemplars.size(), snap.counts.size());
+  EXPECT_EQ(snap.exemplars[0], 7u);
+  EXPECT_EQ(snap.exemplars[1], 0u);  // never stamped
+  EXPECT_EQ(snap.exemplars[2], 12u);
+  EXPECT_EQ(snap.exemplars[3], 13u);
+}
+
+TEST(HistogramTest, ExemplarIdZeroDoesNotErase) {
+  Registry registry;
+  Histogram* histogram = registry.GetHistogram("test.exemplar0", {1.0});
+  histogram->Observe(0.5, /*exemplar_query_id=*/42);
+  // Id 0 means "no exemplar carried": the sample counts but must not
+  // clear the bucket's existing stamp.
+  histogram->Observe(0.5, /*exemplar_query_id=*/0);
+  Histogram::Snapshot snap = histogram->Snap();
+  EXPECT_EQ(snap.counts[0], 2);
+  EXPECT_EQ(snap.exemplars[0], 42u);
+}
+
+TEST(HistogramTest, ExemplarForQuantileFindsTheTargetBucket) {
+  Registry registry;
+  Histogram* histogram =
+      registry.GetHistogram("test.exemplar_q", {0.001, 0.01, 0.1});
+  // 98 fast samples, 2 slow ones: the p99 target lands in the slow
+  // bucket, whose stamp is the most recent slow query.
+  for (int i = 0; i < 98; ++i) {
+    histogram->Observe(0.0005, /*exemplar_query_id=*/100 + i);
+  }
+  histogram->Observe(0.05, /*exemplar_query_id=*/900);
+  histogram->Observe(0.05, /*exemplar_query_id=*/901);
+  Histogram::Snapshot snap = histogram->Snap();
+  EXPECT_EQ(snap.ExemplarForQuantile(0.99), 901u);
+  EXPECT_EQ(snap.ExemplarForQuantile(0.5), 197u);
+  Histogram::Snapshot empty =
+      registry.GetHistogram("test.exemplar_empty", {1.0})->Snap();
+  EXPECT_EQ(empty.ExemplarForQuantile(0.99), 0u);
+}
+
+TEST(HistogramTest, ResetClearsExemplars) {
+  Registry registry;
+  Histogram* histogram = registry.GetHistogram("test.exemplar_reset", {1.0});
+  histogram->Observe(0.5, /*exemplar_query_id=*/5);
+  registry.Reset();
+  Histogram::Snapshot snap = histogram->Snap();
+  EXPECT_EQ(snap.total_count, 0);
+  EXPECT_EQ(snap.exemplars[0], 0u);
+}
+
+// Regression: a Registry::Reset between two snapshots (registry re-use
+// across bench runs) used to make Since produce negative deltas, which
+// poisoned every downstream rate and JSON artifact. Deltas now clamp to
+// zero and the snapshot is flagged.
+TEST(RegistryTest, SinceClampsNegativeCounterDeltas) {
+  Registry registry;
+  registry.GetCounter("c")->Add(10);
+  MetricsSnapshot before = registry.Snapshot();
+  registry.Reset();
+  registry.GetCounter("c")->Add(3);  // 3 < 10: raw delta would be -7
+  MetricsSnapshot delta = registry.Snapshot().Since(before);
+  EXPECT_EQ(delta.CounterOr0("c"), 0);
+  EXPECT_TRUE(delta.clamped);
+}
+
+TEST(RegistryTest, SinceWithoutResetIsNotClamped) {
+  Registry registry;
+  registry.GetCounter("c")->Add(10);
+  MetricsSnapshot before = registry.Snapshot();
+  registry.GetCounter("c")->Add(5);
+  MetricsSnapshot delta = registry.Snapshot().Since(before);
+  EXPECT_EQ(delta.CounterOr0("c"), 5);
+  EXPECT_FALSE(delta.clamped);
+}
+
+TEST(HistogramTest, SinceClampsNegativeBucketDeltas) {
+  Registry registry;
+  Histogram* histogram = registry.GetHistogram("h", {1.0, 10.0});
+  for (int i = 0; i < 5; ++i) histogram->Observe(0.5);
+  Histogram::Snapshot before = histogram->Snap();
+  registry.Reset();
+  histogram->Observe(0.5);
+  histogram->Observe(5.0);
+  Histogram::Snapshot delta = histogram->Snap().Since(before);
+  EXPECT_TRUE(delta.clamped);
+  // Bucket 0 went 5 -> 1 (clamped to 0); bucket 1 went 0 -> 1 (real).
+  EXPECT_EQ(delta.counts[0], 0);
+  EXPECT_EQ(delta.counts[1], 1);
+  // total_count is recomputed from the clamped buckets, not subtracted
+  // independently — the snapshot stays internally consistent.
+  EXPECT_EQ(delta.total_count, 1);
+  EXPECT_GE(delta.sum, 0.0);
+}
+
+TEST(RegistryTest, SincePropagatesHistogramClampFlag) {
+  Registry registry;
+  Histogram* histogram = registry.GetHistogram("h", {1.0});
+  for (int i = 0; i < 4; ++i) histogram->Observe(0.5);
+  MetricsSnapshot before = registry.Snapshot();
+  registry.Reset();
+  histogram->Observe(0.5);
+  MetricsSnapshot delta = registry.Snapshot().Since(before);
+  const Histogram::Snapshot* h = delta.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total_count, 0);
+  EXPECT_TRUE(h->clamped);
+  EXPECT_TRUE(delta.clamped);
+}
+
 TEST(RegistryTest, SameNameReturnsSamePointer) {
   Registry registry;
   EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));

@@ -32,6 +32,16 @@ done
 echo "==== [fault-snapshot] test ===="
 ctest --preset fault-snapshot -j "$JOBS" --output-on-failure
 
+# Observability suite, same rationale: the flight-recorder / dump /
+# exemplar tests get a guaranteed pass in the default build and a
+# guaranteed race check under TSan (concurrent append and snapshot
+# consistency are exactly the paths a data race would hide in), even
+# when extra ctest args filtered them out of the main sweeps.
+echo "==== [obs] test ===="
+ctest --preset obs -j "$JOBS" --output-on-failure
+echo "==== [tsan-obs] test ===="
+ctest --preset tsan-obs -j "$JOBS" --output-on-failure
+
 # Perf smoke, same rationale: guaranteed one run in the un-sanitized
 # default build with its scaling gates evaluated, even when extra ctest
 # args filtered it above. Run serially — a parallel ctest sweep would

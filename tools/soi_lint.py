@@ -17,9 +17,12 @@ float-eq      No raw ==/!= against a floating-point literal. Exact
               PR-1 FP-argmax defect; the blessed patterns are comparing
               through an epsilon, or an explicitly suppressed exact
               sentinel check.
-io-stream     Library code (src/) must not write to std::cout/std::cerr
-              or C stdio: obs/ and common/json_writer own all output, so
-              embedding libsoi never spams a host process's streams.
+io-stream     Library code (src/) must not write to the standard streams
+              (std::cout/cerr/clog and wide variants, std::print[ln]) or
+              C stdio (printf/fprintf/puts/fputs/fputc/putchar/perror):
+              obs/ and common/json_writer own all output, so embedding
+              libsoi never spams a host process's streams. Diagnostics
+              belong in metrics, the flight recorder, or a Status.
               (check.h's fatal-error reporter is allowlisted.)
 naked-new     Every `new` must transfer ownership on the same statement
               (std::unique_ptr/std::shared_ptr construction or .reset).
@@ -104,8 +107,11 @@ RULE_PATTERNS = {
         r"|" + _FLOAT_LITERAL + r"\s*(?:==|!=)(?!=)"
     ),
     "io-stream": re.compile(
-        r"std::cout|std::cerr|(?<![\w:])printf\s*\("
-        r"|\bfprintf\s*\(|(?<![\w:])puts\s*\("
+        r"std::(?:cout|cerr|clog|wcout|wcerr|wclog)"
+        r"|std::print(?:ln)?\s*\("
+        r"|(?<![\w:])printf\s*\(|\bfprintf\s*\("
+        r"|(?<![\w:])puts\s*\(|\bfputs\s*\(|\bfputc\s*\("
+        r"|(?<![\w:])putchar\s*\(|\bperror\s*\("
     ),
     "naked-new": re.compile(r"\bnew\b(?:\s*\(\s*std::nothrow\s*\))?\s*[\w:<(]"),
     "nested-vector": re.compile(r"std::\s*vector\s*<\s*std::\s*vector\s*<"),

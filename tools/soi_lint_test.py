@@ -31,6 +31,7 @@ class TextRuleTest(unittest.TestCase):
         ("bad_determinism.cc", "determinism", 5),
         ("bad_float_eq.cc", "float-eq", 6),
         ("bad_io_stream.cc", "io-stream", 5),
+        ("bad_io_stream_diag.cc", "io-stream", 6),
         ("bad_naked_new.cc", "naked-new", 5),
         ("bad_nested_vector.h", "nested-vector", 10),
     ]

@@ -1,0 +1,188 @@
+// Introspection CLI for the per-query observability plane (DESIGN.md
+// "Observability"): exercises obs::DumpState end to end and validates
+// the state files it (or the SIGUSR1 hook of any serving process)
+// produces.
+//
+//   soi_obs dump [--city=Vienna] [--scale=0.05] [--threads=4]
+//                [--batches=1] [--out=SOI_STATE.json]
+//       Generates the named preset city, serves a mixed query workload
+//       through a QueryEngine, and writes the DumpState JSON — metrics
+//       with exemplar-stamped latency histograms plus the flight
+//       recorder's recent/slowest QueryRecords. The SIGUSR1 dump hook is
+//       installed on the same path, so signalling a long `--batches` run
+//       mid-flight snapshots its live state:
+//
+//         soi_obs dump --batches=500 & kill -USR1 $!
+//
+//   soi_obs check <path>
+//       Validates that <path> is well-formed JSON (exit 0 iff valid) and
+//       prints a one-line summary. Works on SOI_STATE*.json and any
+//       BENCH_*.json.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_util.h"
+#include "common/string_util.h"
+#include "core/query_engine.h"
+#include "datagen/city_profile.h"
+#include "datagen/dataset.h"
+#include "obs/dump.h"
+#include "obs/obs.h"
+
+namespace soi {
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  soi_obs dump [--city=Vienna] [--scale=0.05] [--threads=4]\n"
+         "               [--batches=1] [--out=SOI_STATE.json]\n"
+         "  soi_obs check <path>\n";
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::cerr << "soi_obs: " << status.ToString() << "\n";
+  return 1;
+}
+
+struct DumpOptions {
+  std::string city = "Vienna";
+  double scale = 0.05;
+  int threads = 4;
+  int batches = 1;
+  std::string out = "SOI_STATE.json";
+};
+
+// The throughput bench's mixed workload shape, at CLI scale: every
+// combination of eps x k x |Psi| once per batch.
+std::vector<SoiQuery> MakeBatch(const Dataset& dataset) {
+  static const char* kTable4Keywords[] = {"religion", "education", "food",
+                                          "services"};
+  std::vector<SoiQuery> batch;
+  for (double eps : {0.0004, 0.0005, 0.0007}) {
+    for (int32_t k : {10, 50}) {
+      for (int psi = 1; psi <= 4; ++psi) {
+        std::vector<KeywordId> ids;
+        for (int i = 0; i < psi; ++i) {
+          KeywordId id = dataset.vocabulary.Find(kTable4Keywords[i]);
+          if (id != kInvalidKeyword) ids.push_back(id);
+        }
+        if (ids.empty()) continue;
+        SoiQuery query;
+        query.keywords = KeywordSet(std::move(ids));
+        query.k = k;
+        query.eps = eps;
+        batch.push_back(std::move(query));
+      }
+    }
+  }
+  return batch;
+}
+
+int RunDump(const std::vector<std::string>& args) {
+  DumpOptions options;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--city=", 0) == 0) {
+      options.city = arg.substr(7);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      auto value = ParseDouble(arg.substr(8));
+      if (!value.ok()) return Fail(value.status());
+      options.scale = value.ValueOrDie();
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--batches=", 0) == 0) {
+      options.batches = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      options.out = arg.substr(6);
+    } else {
+      return Usage();
+    }
+  }
+  if (options.threads < 1 || options.batches < 1) return Usage();
+
+  // Live introspection while the workload runs: SIGUSR1 -> state file.
+  Status hook = obs::InstallSignalDump(options.out);
+  if (!hook.ok()) return Fail(hook);
+
+  const CityProfile* profile = nullptr;
+  std::vector<CityProfile> profiles = AllCityProfiles(options.scale);
+  for (const CityProfile& candidate : profiles) {
+    if (candidate.name == options.city) profile = &candidate;
+  }
+  if (profile == nullptr) {
+    return Fail(Status::InvalidArgument("unknown city " + options.city));
+  }
+  std::cerr << "[soi_obs] generating " << options.city
+            << " (scale=" << options.scale << ")...\n";
+  Result<Dataset> dataset = GenerateCity(*profile);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::unique_ptr<DatasetIndexes> indexes =
+      BuildIndexes(dataset.ValueOrDie(), 0.0005);
+
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = options.threads;
+  QueryEngine engine(dataset.ValueOrDie().network, indexes->poi_grid,
+                     indexes->global_index, indexes->segment_cells,
+                     engine_options);
+  std::vector<SoiQuery> batch = MakeBatch(dataset.ValueOrDie());
+  if (batch.empty()) {
+    return Fail(Status::Internal("generated city lacks Table 4 keywords"));
+  }
+  std::cerr << "[soi_obs] serving " << options.batches << " batch(es) of "
+            << batch.size() << " queries...\n";
+  for (int i = 0; i < options.batches; ++i) {
+    std::vector<Result<SoiResult>> results = engine.TryRunBatch(batch);
+    for (const Result<SoiResult>& result : results) {
+      if (!result.ok()) return Fail(result.status());
+    }
+  }
+
+  Status written = obs::WriteStateFile(options.out);
+  if (!written.ok()) return Fail(written);
+  std::cerr << "[soi_obs] wrote " << options.out << "\n";
+  return 0;
+}
+
+int RunCheck(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.good()) {
+    return Fail(Status::IOError("cannot read " + path));
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  std::string text = content.str();
+  Status valid = ValidateJson(text);
+  if (!valid.ok()) return Fail(valid);
+  size_t records = 0;
+  for (size_t pos = text.find("\"query_id\""); pos != std::string::npos;
+       pos = text.find("\"query_id\"", pos + 1)) {
+    ++records;
+  }
+  std::cout << path << ": valid JSON, " << text.size() << " bytes, "
+            << records << " query record(s)\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  if (args[0] == "dump") {
+    return RunDump({args.begin() + 1, args.end()});
+  }
+  if (args[0] == "check" && args.size() == 2) {
+    return RunCheck(args[1]);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace soi
+
+int main(int argc, char** argv) { return soi::Main(argc, argv); }
