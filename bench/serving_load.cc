@@ -1,0 +1,346 @@
+// Open-loop load generator for the soid serving front-end: a fixed
+// arrival schedule (--rate requests/sec for --seconds, round-robin over
+// --connections persistent client connections) is driven against an
+// in-process SoidServer, per city. Latency is measured against each
+// request's SCHEDULED send time, not its actual one — the open-loop
+// discipline that keeps queueing delay visible instead of silently
+// absorbing it into a slower request stream (coordinated omission).
+//
+// Reports, into BENCH_soi_serving.json (standard envelope with the
+// build_info provenance block):
+//  - client-observed p50/p99/p999/max wall-clock per request, exact
+//    nearest-rank percentiles over every completed request;
+//  - server-side engine percentiles over the same window, derived from
+//    the flight recorder like BENCH_soi_throughput.json (empty when
+//    observability is compiled out);
+//  - the overload ledger: responses by status code, queue sheds, slow
+//    evictions, and the drain outcome.
+//
+// The bench is also a GATE: every response must be OK or carry a typed
+// Status from the documented taxonomy (SOI_CHECK aborts otherwise), and
+// the final drain must complete cleanly.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/query_engine.h"
+#include "eval/table_printer.h"
+#include "obs/flight_recorder.h"
+#include "obs/obs.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace soi {
+namespace {
+
+struct LoadOptions {
+  double rate = 200.0;        // scheduled arrivals per second
+  double seconds = 4.0;       // schedule length
+  int connections = 8;        // persistent client connections
+  bool smoke = false;
+};
+
+struct Outcome {
+  std::vector<double> latencies;  // completed requests, any response
+  int64_t ok = 0;
+  int64_t resource_exhausted = 0;
+  int64_t other_typed = 0;
+  int64_t untyped = 0;
+};
+
+// Exact percentile of a sorted sample set (nearest-rank method).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double rank = q * static_cast<double>(sorted.size());
+  size_t index = static_cast<size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+bool IsTyped(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIOError:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// The serving workload: the throughput bench's mixed (eps, k, |Psi|)
+// recipe, shuffled once so the arrival order interleaves eps values.
+std::vector<SoiQuery> MakeWorkload(const Dataset& dataset) {
+  constexpr double kEpsValues[] = {0.0004, 0.0005, 0.0007};
+  constexpr int32_t kKValues[] = {10, 50};
+  std::vector<SoiQuery> pool;
+  for (double eps : kEpsValues) {
+    for (int32_t k : kKValues) {
+      for (int psi = 1; psi <= 4; ++psi) {
+        SoiQuery query;
+        query.keywords = bench_util::AccumulatedQueryKeywords(dataset, psi);
+        query.k = k;
+        query.eps = eps;
+        pool.push_back(query);
+      }
+    }
+  }
+  Rng rng(20260808);
+  rng.Shuffle(&pool);
+  return pool;
+}
+
+/// Drives `total` requests at `rate`/sec split round-robin across
+/// `connections` clients; request k is scheduled at start + k/rate and
+/// its latency runs from that instant to its response.
+Outcome RunOpenLoop(int port, const std::vector<SoiQuery>& pool,
+                    const LoadOptions& load, int64_t total) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<Outcome> per_thread(
+      static_cast<size_t>(load.connections));
+  const Clock::time_point start =
+      Clock::now() + std::chrono::milliseconds(50);
+  std::vector<std::thread> threads;
+  threads.reserve(per_thread.size());
+  for (int t = 0; t < load.connections; ++t) {
+    threads.emplace_back([&, t] {
+      serve::SoidClientOptions client_options;
+      client_options.port = port;
+      client_options.max_attempts = 1;   // open loop: no retries
+      client_options.io_timeout_seconds = 60.0;  // overload is data, not
+                                                 // a transport failure
+      serve::SoidClient client(client_options);
+      Outcome& mine = per_thread[static_cast<size_t>(t)];
+      for (int64_t k = t; k < total; k += load.connections) {
+        const Clock::time_point scheduled =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(k) / load.rate));
+        std::this_thread::sleep_until(scheduled);
+        Result<serve::QueryResponse> response =
+            client.Query(pool[static_cast<size_t>(k) % pool.size()]);
+        const double latency =
+            std::chrono::duration<double>(Clock::now() - scheduled)
+                .count();
+        mine.latencies.push_back(latency);
+        if (response.ok()) {
+          ++mine.ok;
+        } else {
+          StatusCode code = response.status().code();
+          SOI_CHECK(IsTyped(code))
+              << "untyped serving failure: " << response.status().ToString();
+          if (code == StatusCode::kResourceExhausted) {
+            ++mine.resource_exhausted;
+          } else {
+            ++mine.other_typed;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  Outcome merged;
+  for (Outcome& part : per_thread) {
+    merged.latencies.insert(merged.latencies.end(), part.latencies.begin(),
+                            part.latencies.end());
+    merged.ok += part.ok;
+    merged.resource_exhausted += part.resource_exhausted;
+    merged.other_typed += part.other_typed;
+    merged.untyped += part.untyped;
+  }
+  std::sort(merged.latencies.begin(), merged.latencies.end());
+  return merged;
+}
+
+struct CityServingRun {
+  std::string city;
+  int64_t requests = 0;
+  Outcome outcome;
+  std::vector<double> engine_latencies;  // flight recorder, sorted
+  serve::SoidServer::Stats server_stats;
+  Status drain_status = Status::OK();
+};
+
+CityServingRun ServeCity(const bench_util::CityContext& city,
+                         const LoadOptions& load) {
+  CityServingRun out;
+  out.city = city.profile.name;
+
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 4;
+  QueryEngine engine(city.dataset.network, city.indexes->poi_grid,
+                     city.indexes->global_index, city.indexes->segment_cells,
+                     engine_options);
+  serve::SoidServerOptions server_options;
+  server_options.num_workers = 4;
+  server_options.queue_capacity = 128;
+  server_options.drain_deadline_seconds = 30.0;
+  serve::SoidServer server(&engine, server_options);
+  Status started = server.Start();
+  SOI_CHECK(started.ok()) << started.ToString();
+
+  uint64_t flight_watermark = 0;
+  if (obs::kEnabled) {
+    obs::FlightRecorder::Snapshot before =
+        obs::FlightRecorder::Global().Snap();
+    if (!before.recent.empty()) {
+      flight_watermark = before.recent.back().query_id;
+    }
+  }
+
+  std::vector<SoiQuery> pool = MakeWorkload(city.dataset);
+  out.requests = static_cast<int64_t>(load.rate * load.seconds);
+  out.outcome = RunOpenLoop(server.port(), pool, load, out.requests);
+
+  if (obs::kEnabled) {
+    obs::FlightRecorder::Snapshot flights =
+        obs::FlightRecorder::Global().Snap();
+    for (const obs::QueryRecord& record : flights.recent) {
+      if (record.query_id > flight_watermark && !record.coalesced) {
+        out.engine_latencies.push_back(record.total_seconds);
+      }
+    }
+    std::sort(out.engine_latencies.begin(), out.engine_latencies.end());
+  }
+
+  server.RequestDrain();
+  out.drain_status = server.Wait();
+  SOI_CHECK(out.drain_status.ok()) << out.drain_status.ToString();
+  out.server_stats = server.stats();
+  return out;
+}
+
+void WriteCityJson(JsonWriter* json, const CityServingRun& run,
+                   const LoadOptions& load) {
+  json->BeginObject();
+  json->KeyValue("city", run.city);
+  json->KeyValue("rate_per_second", load.rate);
+  json->KeyValue("duration_seconds", load.seconds);
+  json->KeyValue("connections", int64_t{load.connections});
+  json->KeyValue("requests_scheduled", run.requests);
+  json->KeyValue("responses_ok", run.outcome.ok);
+  json->KeyValue("shed_resource_exhausted", run.outcome.resource_exhausted);
+  json->KeyValue("other_typed_errors", run.outcome.other_typed);
+
+  // Client-observed latency from the scheduled send instant (includes
+  // server queueing and any schedule slip — the open-loop contract).
+  json->Key("client_latency_seconds");
+  json->BeginObject();
+  json->KeyValue("samples",
+                 static_cast<int64_t>(run.outcome.latencies.size()));
+  json->KeyValue("p50_seconds", Percentile(run.outcome.latencies, 0.50));
+  json->KeyValue("p99_seconds", Percentile(run.outcome.latencies, 0.99));
+  json->KeyValue("p999_seconds", Percentile(run.outcome.latencies, 0.999));
+  json->KeyValue("max_seconds", run.outcome.latencies.empty()
+                                    ? 0.0
+                                    : run.outcome.latencies.back());
+  json->EndObject();
+
+  // Server-side engine time per admitted query, from the flight
+  // recorder (the same source BENCH_soi_throughput.json uses). The
+  // recent ring is bounded, so under long runs this is the latest
+  // window, not every request.
+  json->Key("engine_latency_seconds");
+  json->BeginObject();
+  json->KeyValue("samples",
+                 static_cast<int64_t>(run.engine_latencies.size()));
+  json->KeyValue("p50_seconds", Percentile(run.engine_latencies, 0.50));
+  json->KeyValue("p99_seconds", Percentile(run.engine_latencies, 0.99));
+  json->KeyValue("p999_seconds", Percentile(run.engine_latencies, 0.999));
+  json->EndObject();
+
+  const serve::SoidServer::Stats& stats = run.server_stats;
+  json->Key("server_stats");
+  json->BeginObject();
+  json->KeyValue("accepted", stats.accepted);
+  json->KeyValue("requests", stats.requests);
+  json->KeyValue("responses_ok", stats.responses_ok);
+  json->KeyValue("responses_error", stats.responses_error);
+  json->KeyValue("shed_queue_full", stats.shed_queue_full);
+  json->KeyValue("expired_at_admission", stats.expired_at_admission);
+  json->KeyValue("evicted_slow", stats.evicted_slow);
+  json->KeyValue("bad_frames", stats.bad_frames);
+  json->KeyValue("drain_cancelled", stats.drain_cancelled);
+  json->EndObject();
+  json->KeyValue("drain_clean", run.drain_status.ok());
+  json->EndObject();
+}
+
+int Main(int argc, char** argv) {
+  LoadOptions load;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--rate=", 0) == 0) {
+      load.rate = ParseDouble(arg.substr(7)).ValueOrDie();
+      SOI_CHECK(load.rate > 0) << "--rate must be positive";
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      load.seconds = ParseDouble(arg.substr(10)).ValueOrDie();
+      SOI_CHECK(load.seconds > 0) << "--seconds must be positive";
+    } else if (arg.rfind("--connections=", 0) == 0) {
+      load.connections =
+          static_cast<int>(ParseDouble(arg.substr(14)).ValueOrDie());
+      SOI_CHECK(load.connections > 0) << "--connections must be positive";
+    } else if (arg == "--smoke") {
+      load.smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (load.smoke) {
+    load.rate = 150.0;
+    load.seconds = 1.0;
+    load.connections = 4;
+  }
+  bench_util::BenchOptions options = bench_util::ParseBenchOptions(
+      static_cast<int>(passthrough.size()), passthrough.data());
+
+  std::vector<std::unique_ptr<bench_util::CityContext>> cities =
+      bench_util::LoadCities(options);
+  std::vector<CityServingRun> runs;
+  TablePrinter table({"city", "requests", "ok", "shed", "p50 ms", "p99 ms",
+                      "p999 ms"});
+  for (const auto& city : cities) {
+    CityServingRun run = ServeCity(*city, load);
+    table.AddRow(
+        {run.city, std::to_string(run.requests),
+         std::to_string(run.outcome.ok),
+         std::to_string(run.outcome.resource_exhausted),
+         std::to_string(Percentile(run.outcome.latencies, 0.50) * 1e3),
+         std::to_string(Percentile(run.outcome.latencies, 0.99) * 1e3),
+         std::to_string(Percentile(run.outcome.latencies, 0.999) * 1e3)});
+    runs.push_back(std::move(run));
+  }
+  table.Print(&std::cout);
+
+  bench_util::BenchJsonFile out("soi_serving", options,
+                                "BENCH_soi_serving.json");
+  JsonWriter* json = out.json();
+  json->KeyValue("smoke", load.smoke);
+  json->Key("cities");
+  json->BeginArray();
+  for (const CityServingRun& run : runs) WriteCityJson(json, run, load);
+  json->EndArray();
+  out.Close();
+  std::cout << "wrote BENCH_soi_serving.json\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace soi
+
+int main(int argc, char** argv) { return soi::Main(argc, argv); }

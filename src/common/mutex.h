@@ -1,6 +1,7 @@
 #ifndef SOI_COMMON_MUTEX_H_
 #define SOI_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -76,6 +77,22 @@ class CondVar {
     std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Wait() with a timeout: returns false if `seconds` elapsed without a
+  /// notification (the mutex is reacquired either way). Callers re-check
+  /// their predicate on both outcomes, exactly as with Wait() — the
+  /// return value only tells them whether to also re-check their clock.
+  /// Used by the serving drain path (src/serve) to bound how long it
+  /// waits for in-flight work.
+  bool WaitFor(Mutex& mutex, double seconds) SOI_REQUIRES(mutex)
+      SOI_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    std::cv_status status = cv_.wait_for(
+        native, std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds)));
+    native.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

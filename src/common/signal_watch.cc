@@ -1,0 +1,88 @@
+#include "common/signal_watch.h"
+
+#include <set>
+#include <string>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#include <signal.h>
+
+#include <thread>
+#endif
+
+#include "common/mutex.h"
+
+namespace soi {
+
+#if defined(__unix__) || defined(__APPLE__)
+
+Status WatchSignal(int signo, std::function<void()> on_signal) {
+  static Mutex install_mutex;
+  static std::set<int>* const installed =
+      new std::set<int>();  // soi-lint: naked-new (process-lifetime registry)
+  MutexLock lock(install_mutex);
+  if (installed->count(signo) != 0) {
+    return Status::AlreadyExists("signal " + std::to_string(signo) +
+                                 " already has a watcher installed");
+  }
+
+  // Running arbitrary code from an async signal handler would not be
+  // signal-safe, so the signal is consumed synchronously: block it in
+  // this thread (inherited by threads created after), park a no-op
+  // disposition for stray deliveries to pre-existing unblocked threads,
+  // and sigwait on a dedicated watcher thread.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, signo);
+  struct sigaction action = {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  if (sigaction(signo, &action, nullptr) != 0) {
+    return Status::Internal("sigaction(" + std::to_string(signo) +
+                            ") failed");
+  }
+  if (pthread_sigmask(SIG_BLOCK, &set, nullptr) != 0) {
+    return Status::Internal("pthread_sigmask(SIG_BLOCK, " +
+                            std::to_string(signo) + ") failed");
+  }
+
+  // The watcher consumes its own signal via sigwait, but it must never
+  // be a delivery target for any OTHER watched signal: a thread with
+  // signal B unblocked can have a process-directed B land in it and die
+  // in the no-op disposition, starving B's own watcher. Spawn with
+  // everything blocked (inherited from a temporarily all-blocked mask)
+  // and restore this thread's mask afterwards.
+  sigset_t all_blocked;
+  sigset_t previous;
+  sigfillset(&all_blocked);
+  if (pthread_sigmask(SIG_SETMASK, &all_blocked, &previous) != 0) {
+    return Status::Internal("pthread_sigmask(SIG_SETMASK) failed");
+  }
+  std::thread watcher([set, callback = std::move(on_signal)] {
+    while (true) {
+      int signal_number = 0;
+      if (sigwait(&set, &signal_number) != 0) return;
+      callback();
+    }
+  });
+  watcher.detach();
+  if (pthread_sigmask(SIG_SETMASK, &previous, nullptr) != 0) {
+    return Status::Internal("pthread_sigmask restore failed");
+  }
+  installed->insert(signo);
+  return Status::OK();
+}
+
+#else  // !(__unix__ || __APPLE__)
+
+Status WatchSignal(int signo, std::function<void()> on_signal) {
+  (void)signo;
+  (void)on_signal;
+  return Status::Internal(
+      "signal watchers require a POSIX signal interface");
+}
+
+#endif
+
+}  // namespace soi

@@ -1,0 +1,39 @@
+#ifndef SOI_COMMON_SIGNAL_WATCH_H_
+#define SOI_COMMON_SIGNAL_WATCH_H_
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace soi {
+
+/// The one signal-mask setup path of the process (DESIGN.md "Serving &
+/// overload"): blocks `signo` in the calling thread — and, by mask
+/// inheritance, in every thread created afterwards — parks a no-op
+/// disposition so a stray delivery to an older unblocked thread cannot
+/// terminate the process, and spawns a detached watcher thread that
+/// consumes the signal with sigwait and runs `on_signal` once per
+/// delivery.
+///
+/// Both consumers of process signals route through here so their mask
+/// setups compose instead of clobbering each other: obs::
+/// InstallSignalDump (SIGUSR1 -> state dump) and the soid serving
+/// binary's SIGTERM -> graceful drain hook. Each call owns exactly one
+/// signal; installing the same signal twice returns kAlreadyExists, and
+/// distinct signals coexist freely in one process (regression-tested by
+/// tests/signal_coexist_test.cc).
+///
+/// Call early in main(), before worker threads exist: threads created
+/// before the mask change still have the signal unblocked and may
+/// consume a delivery as a no-op instead of the watcher seeing it.
+///
+/// `on_signal` runs on the watcher thread (an ordinary thread, not a
+/// signal handler — no async-signal-safety constraints), must not
+/// throw, and must tolerate being called repeatedly. The watcher is
+/// detached and lives for the process. Returns kInternal on a non-POSIX
+/// platform or a failed sigaction/pthread_sigmask.
+[[nodiscard]] Status WatchSignal(int signo, std::function<void()> on_signal);
+
+}  // namespace soi
+
+#endif  // SOI_COMMON_SIGNAL_WATCH_H_

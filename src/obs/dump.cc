@@ -5,13 +5,10 @@
 #include <utility>
 
 #if defined(__unix__) || defined(__APPLE__)
-#include <pthread.h>
 #include <signal.h>
-
-#include <thread>
 #endif
 
-#include "common/mutex.h"
+#include "common/signal_watch.h"
 #include "obs/json_export.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -101,44 +98,15 @@ Status WriteStateFile(const std::string& path) {
 #if defined(__unix__) || defined(__APPLE__)
 
 Status InstallSignalDump(const std::string& path) {
-  static Mutex install_mutex;
-  static bool installed = false;
-  MutexLock lock(install_mutex);
-  if (installed) {
-    return Status::AlreadyExists("SIGUSR1 dump hook already installed");
-  }
-
-  // Writing JSON from an async signal handler would not be
-  // signal-safe, so the signal is consumed synchronously: block SIGUSR1
-  // in this thread (and, by mask inheritance, every thread created
-  // after), park a no-op disposition so a stray delivery to an
-  // already-running unblocked thread cannot terminate the process, and
-  // let a dedicated watcher thread sigwait and write the dump.
-  sigset_t set;
-  sigemptyset(&set);
-  sigaddset(&set, SIGUSR1);
-  struct sigaction action = {};
-  action.sa_handler = [](int) {};
-  sigemptyset(&action.sa_mask);
-  if (sigaction(SIGUSR1, &action, nullptr) != 0) {
-    return Status::Internal("sigaction(SIGUSR1) failed");
-  }
-  if (pthread_sigmask(SIG_BLOCK, &set, nullptr) != 0) {
-    return Status::Internal("pthread_sigmask(SIG_BLOCK, SIGUSR1) failed");
-  }
-
-  std::thread watcher([set, path] {
-    while (true) {
-      int signal_number = 0;
-      if (sigwait(&set, &signal_number) != 0) return;
-      // Best-effort by design: a failed dump (disk full, unlinkable
-      // path) must never take down the serving process.
-      (void)WriteStateFile(path);
-    }
+  // All mask manipulation lives in common/signal_watch.cc so this hook
+  // and soid's SIGTERM drain watcher compose in one process instead of
+  // clobbering each other's setup; WatchSignal rejects a second SIGUSR1
+  // installation with kAlreadyExists.
+  return WatchSignal(SIGUSR1, [path] {
+    // Best-effort by design: a failed dump (disk full, unlinkable
+    // path) must never take down the serving process.
+    (void)WriteStateFile(path);
   });
-  watcher.detach();
-  installed = true;
-  return Status::OK();
 }
 
 #else  // !(__unix__ || __APPLE__)

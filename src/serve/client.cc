@@ -1,0 +1,148 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace soi {
+namespace serve {
+
+namespace {
+
+bool IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Transport failures invalidate the stream (a frame may be half-read);
+/// typed error frames arrive on a healthy stream and keep it.
+bool NeedsReconnect(const Status& status) {
+  return status.code() == StatusCode::kIOError;
+}
+
+}  // namespace
+
+void SoidClient::Disconnect() {
+  socket_.Close();
+  connected_ = false;
+}
+
+Status SoidClient::EnsureConnected() {
+  if (connected_) return Status::OK();
+  SOI_ASSIGN_OR_RETURN(socket_,
+                       Socket::Connect(options_.host, options_.port,
+                                       options_.connect_timeout_seconds));
+  SOI_RETURN_NOT_OK(socket_.SetIoTimeouts(options_.io_timeout_seconds,
+                                          options_.io_timeout_seconds));
+  connected_ = true;
+  ++stats_.reconnects;
+  return Status::OK();
+}
+
+Status SoidClient::ReadFrame(FrameHeader* header, std::string* payload) {
+  std::string header_bytes;
+  bool clean_eof = false;
+  SOI_RETURN_NOT_OK(
+      socket_.RecvExact(kFrameHeaderBytes, &header_bytes, &clean_eof));
+  if (clean_eof) {
+    return Status::IOError("server closed the connection before replying");
+  }
+  SOI_RETURN_NOT_OK(DecodeFrameHeader(header_bytes, header));
+  payload->clear();
+  if (header->payload_bytes > 0) {
+    SOI_RETURN_NOT_OK(
+        socket_.RecvExact(header->payload_bytes, payload, &clean_eof));
+    if (clean_eof) {
+      return Status::IOError("server closed the connection mid-frame");
+    }
+  }
+  return Status::OK();
+}
+
+Result<QueryResponse> SoidClient::QueryOnce(const QueryRequest& request) {
+  SOI_RETURN_NOT_OK(EnsureConnected());
+  Status status = socket_.SendAll(EncodeQueryFrame(request));
+  if (!status.ok()) {
+    // A send timeout means the server will not drain our bytes — at the
+    // transport level that is indistinguishable from a dead peer, so it
+    // retries like one rather than surfacing as a (non-retryable)
+    // deadline error.
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      return Status::IOError("send stalled: " + status.message());
+    }
+    return status;
+  }
+  FrameHeader header;
+  std::string payload;
+  SOI_RETURN_NOT_OK(ReadFrame(&header, &payload));
+  switch (header.type) {
+    case FrameType::kResult: {
+      QueryResponse response;
+      SOI_RETURN_NOT_OK(DecodeResultPayload(payload, &response));
+      if (response.request_id != request.request_id) {
+        return Status::IOError(
+            "response stream desynchronized: got result for request " +
+            std::to_string(response.request_id) + ", expected " +
+            std::to_string(request.request_id));
+      }
+      return response;
+    }
+    case FrameType::kError: {
+      ErrorResponse error;
+      SOI_RETURN_NOT_OK(DecodeErrorPayload(payload, &error));
+      // request_id 0 marks a connection-scoped error (malformed frame,
+      // connection cap); anything else must match.
+      if (error.request_id != 0 &&
+          error.request_id != request.request_id) {
+        return Status::IOError(
+            "response stream desynchronized: got error for request " +
+            std::to_string(error.request_id) + ", expected " +
+            std::to_string(request.request_id));
+      }
+      return error.status;
+    }
+    case FrameType::kQuery:
+      return Status::IOError("server sent a Query frame");
+  }
+  return Status::IOError("unreachable frame type");
+}
+
+Result<QueryResponse> SoidClient::QueryWithBudget(const SoiQuery& query,
+                                                  bool has_deadline,
+                                                  double deadline_seconds) {
+  Status last = Status::Internal("no attempt made");
+  double backoff = options_.initial_backoff_seconds;
+  int attempts = std::max(1, options_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * options_.backoff_multiplier,
+                         options_.max_backoff_seconds);
+    }
+    QueryRequest request;
+    // A fresh id per attempt: a stale response to a timed-out earlier
+    // attempt can then never be mistaken for this one's answer.
+    request.request_id = next_request_id_++;
+    request.query = query;
+    request.has_deadline = has_deadline;
+    request.deadline_seconds = deadline_seconds;
+    ++stats_.attempts;
+    Result<QueryResponse> result = QueryOnce(request);
+    if (result.ok()) return result;
+    last = result.status();
+    if (NeedsReconnect(last)) Disconnect();
+    if (!IsRetryable(last)) return last;
+  }
+  return last;
+}
+
+}  // namespace serve
+}  // namespace soi

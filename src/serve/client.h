@@ -1,0 +1,101 @@
+#ifndef SOI_SERVE_CLIENT_H_
+#define SOI_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/soi_query.h"
+#include "serve/net.h"
+#include "serve/protocol.h"
+
+namespace soi {
+namespace serve {
+
+struct SoidClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  double connect_timeout_seconds = 5.0;
+  /// Per-syscall receive/send timeout on the client's socket.
+  double io_timeout_seconds = 10.0;
+  /// Total tries per Query() call (first attempt included). 1 disables
+  /// retry.
+  int max_attempts = 4;
+  /// Deterministic exponential backoff between retries:
+  /// initial * multiplier^(attempt-1), capped at max. No jitter by
+  /// design — the library forbids ambient randomness (determinism rule,
+  /// tools/soi_lint.py), and reproducible retry schedules are worth more
+  /// to this codebase than thundering-herd smoothing.
+  double initial_backoff_seconds = 0.01;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.25;
+};
+
+/// Synchronous client for the soid wire protocol, with the retry policy
+/// the server's failure taxonomy is designed around (DESIGN.md "Serving
+/// & overload"):
+///
+///   retried (after reconnect + backoff):
+///     - transport failures (kIOError): connection refused/reset, EOF
+///       mid-frame, response desync — the connection is torn down first;
+///     - kResourceExhausted error frames: the server's explicit
+///       backpressure signal, answered by backing off (same connection);
+///     - kInternal error frames: transient server-side faults.
+///   NOT retried (returned to the caller verbatim):
+///     - kInvalidArgument: retrying a malformed query cannot help;
+///     - kDeadlineExceeded: the budget is spent, server- or client-side;
+///     - kCancelled: the server is draining; the caller picks a new
+///       backend.
+///
+/// Not thread-safe; use one SoidClient per thread.
+class SoidClient {
+ public:
+  explicit SoidClient(SoidClientOptions options)
+      : options_(std::move(options)) {}
+
+  /// Retry/backoff accounting, for tests and the load generator.
+  struct Stats {
+    int64_t attempts = 0;
+    int64_t retries = 0;
+    int64_t reconnects = 0;
+  };
+
+  /// One query with no deadline.
+  [[nodiscard]] Result<QueryResponse> Query(const SoiQuery& query) {
+    return QueryWithBudget(query, false, 0.0);
+  }
+
+  /// One query carrying a latency budget (seconds, relative to server
+  /// receipt) on the wire. A non-positive budget is sent as-is: the
+  /// server sheds it at admission with kDeadlineExceeded.
+  [[nodiscard]] Result<QueryResponse> Query(const SoiQuery& query,
+                                            double deadline_seconds) {
+    return QueryWithBudget(query, true, deadline_seconds);
+  }
+
+  /// Drops the connection; the next Query() reconnects.
+  void Disconnect();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Result<QueryResponse> QueryWithBudget(const SoiQuery& query,
+                                        bool has_deadline,
+                                        double deadline_seconds);
+  /// One attempt on the current (or a fresh) connection.
+  Result<QueryResponse> QueryOnce(const QueryRequest& request);
+  Status EnsureConnected();
+  /// Reads one full frame (header + payload) off the connection.
+  Status ReadFrame(FrameHeader* header, std::string* payload);
+
+  const SoidClientOptions options_;
+  Socket socket_;
+  bool connected_ = false;
+  uint64_t next_request_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace soi
+
+#endif  // SOI_SERVE_CLIENT_H_

@@ -1,0 +1,270 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <utility>
+
+namespace soi {
+namespace serve {
+
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::string(strerror(errno)));
+}
+
+bool IsTimeoutErrno() {
+  return errno == EAGAIN || errno == EWOULDBLOCK || errno == ETIMEDOUT;
+}
+
+struct timeval ToTimeval(double seconds) {
+  struct timeval tv = {};
+  if (seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - std::floor(seconds)) * 1e6);
+    // A strictly positive timeout must not truncate to {0,0}, which the
+    // kernel reads as "block forever".
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  return tv;
+}
+
+Status ParseAddress(const std::string& host, int port,
+                    struct sockaddr_in* out) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  }
+  *out = {};
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, int port,
+                               double timeout_seconds) {
+  struct sockaddr_in address;
+  SOI_RETURN_NOT_OK(ParseAddress(host, port, &address));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return Errno("socket()");
+
+  // Bounded connect: go non-blocking for the handshake, then restore.
+  int flags = fcntl(socket.fd(), F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  int rc = ::connect(socket.fd(),
+                     reinterpret_cast<struct sockaddr*>(&address),
+                     sizeof(address));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return Errno("connect()");
+    struct pollfd pfd = {};
+    pfd.fd = socket.fd();
+    pfd.events = POLLOUT;
+    int timeout_ms = timeout_seconds > 0
+                         ? static_cast<int>(timeout_seconds * 1000.0)
+                         : -1;
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) return Errno("poll(connect)");
+    if (ready == 0) {
+      return Status::DeadlineExceeded("connect to " + host + ":" +
+                                      std::to_string(port) + " timed out");
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &so_error, &len) !=
+        0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (so_error != 0) {
+      errno = so_error;
+      return Errno("connect to " + host + ":" + std::to_string(port));
+    }
+  }
+  if (fcntl(socket.fd(), F_SETFL, flags) != 0) {
+    return Errno("fcntl(F_SETFL, restore)");
+  }
+  int one = 1;
+  // Best-effort latency knob; a kernel refusing it is not an error.
+  (void)setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                   sizeof(one));
+  return socket;
+}
+
+Status Socket::SetIoTimeouts(double recv_seconds, double send_seconds) {
+  struct timeval recv_tv = ToTimeval(recv_seconds);
+  struct timeval send_tv = ToTimeval(send_seconds);
+  if (setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &recv_tv,
+                 sizeof(recv_tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  if (setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &send_tv,
+                 sizeof(send_tv)) != 0) {
+    return Errno("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::OK();
+}
+
+Status Socket::SendAll(std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       kSendFlags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (IsTimeoutErrno()) {
+        return Status::DeadlineExceeded(
+            "send timed out after " + std::to_string(sent) + "/" +
+            std::to_string(data.size()) + " bytes");
+      }
+      return Errno("send()");
+    }
+    if (n == 0) return Status::IOError("send() made no progress");
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvExact(size_t bytes, std::string* out, bool* clean_eof) {
+  *clean_eof = false;
+  out->clear();
+  out->resize(bytes);
+  size_t received = 0;
+  while (received < bytes) {
+    ssize_t n =
+        ::recv(fd_, out->data() + received, bytes - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (IsTimeoutErrno()) {
+        return Status::DeadlineExceeded(
+            "recv timed out after " + std::to_string(received) + "/" +
+            std::to_string(bytes) + " bytes");
+      }
+      return Errno("recv()");
+    }
+    if (n == 0) {
+      if (received == 0) {
+        out->clear();
+        *clean_eof = true;
+        return Status::OK();
+      }
+      return Status::IOError("peer closed after " +
+                             std::to_string(received) + "/" +
+                             std::to_string(bytes) + " bytes of a frame");
+    }
+    received += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Listener> Listener::Bind(const std::string& host, int port,
+                                int backlog) {
+  struct sockaddr_in address;
+  SOI_RETURN_NOT_OK(ParseAddress(host, port, &address));
+  Listener listener;
+  listener.socket_ = Socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listener.socket_.valid()) return Errno("socket()");
+  int one = 1;
+  if (setsockopt(listener.socket_.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(listener.socket_.fd(),
+             reinterpret_cast<struct sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return Errno("bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(listener.socket_.fd(), backlog) != 0) {
+    return Errno("listen()");
+  }
+  struct sockaddr_in bound = {};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listener.socket_.fd(),
+                  reinterpret_cast<struct sockaddr*>(&bound), &len) != 0) {
+    return Errno("getsockname()");
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<Socket> Listener::Accept(double timeout_seconds) {
+  struct pollfd pfd = {};
+  pfd.fd = socket_.fd();
+  pfd.events = POLLIN;
+  int timeout_ms = timeout_seconds > 0
+                       ? static_cast<int>(timeout_seconds * 1000.0)
+                       : -1;
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) {
+      return Status::DeadlineExceeded("accept interrupted");
+    }
+    return Errno("poll(accept)");
+  }
+  if (ready == 0) {
+    return Status::DeadlineExceeded("no connection within accept timeout");
+  }
+  if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+    return Status::Cancelled("listener closed");
+  }
+  Socket conn(::accept(socket_.fd(), nullptr, nullptr));
+  if (!conn.valid()) {
+    if (errno == EINTR || IsTimeoutErrno()) {
+      return Status::DeadlineExceeded("accept raced a vanished client");
+    }
+    return Errno("accept()");
+  }
+  int one = 1;
+  (void)setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+}  // namespace serve
+}  // namespace soi

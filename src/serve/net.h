@@ -1,0 +1,104 @@
+#ifndef SOI_SERVE_NET_H_
+#define SOI_SERVE_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace soi {
+namespace serve {
+
+/// Thin RAII + Status layer over POSIX TCP sockets — the only place in
+/// src/serve/ that touches raw send/recv (enforced by soi-lint's
+/// unchecked-io rule: every syscall return value here is checked and
+/// converted to a typed Status). Timeouts map to kDeadlineExceeded, the
+/// peer vanishing mid-byte-stream and every other socket failure to
+/// kIOError; neither ever surfaces as a crash or a silent partial
+/// transfer. SIGPIPE is suppressed per-send (MSG_NOSIGNAL), so a peer
+/// closing mid-write is an error return, not process death.
+class Socket {
+ public:
+  /// An invalid (fd-less) socket.
+  Socket() = default;
+  /// Adopts an already-open fd.
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Connects to host:port with a bounded connect timeout.
+  [[nodiscard]] static Result<Socket> Connect(const std::string& host,
+                                              int port,
+                                              double timeout_seconds);
+
+  /// Per-call receive/send timeouts (SO_RCVTIMEO / SO_SNDTIMEO);
+  /// <= 0 means block indefinitely.
+  [[nodiscard]] Status SetIoTimeouts(double recv_seconds,
+                                     double send_seconds);
+
+  /// Sends all of `data`. kDeadlineExceeded if the send timeout elapses
+  /// mid-transfer, kIOError on any other failure.
+  [[nodiscard]] Status SendAll(std::string_view data);
+
+  /// Receives exactly `bytes` into `out` (resized). Outcomes:
+  ///  - OK, *clean_eof=false: buffer filled;
+  ///  - OK, *clean_eof=true: the peer closed before the first byte
+  ///    (out is cleared) — the normal end of a connection;
+  ///  - kDeadlineExceeded: the receive timeout elapsed;
+  ///  - kIOError: EOF mid-buffer or a socket error.
+  [[nodiscard]] Status RecvExact(size_t bytes, std::string* out,
+                                 bool* clean_eof);
+
+  /// Half-closes the read side: a peer (or our own reader thread) blocked
+  /// in recv on this socket observes EOF. Used by graceful drain to stop
+  /// accepting new requests while responses still flow out.
+  void ShutdownRead();
+  /// Full shutdown (both directions); used by slow-client eviction.
+  void ShutdownBoth();
+
+  /// Closes the fd (idempotent).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound, listening TCP socket.
+class Listener {
+ public:
+  Listener() = default;
+
+  /// Binds host:port (port 0 = kernel-assigned ephemeral, readable via
+  /// port() afterwards) and listens.
+  [[nodiscard]] static Result<Listener> Bind(const std::string& host,
+                                             int port, int backlog);
+
+  /// Accepts one connection, waiting at most `timeout_seconds` (so the
+  /// accept loop can poll a drain flag): OK with a valid socket, or
+  /// kDeadlineExceeded when the timeout elapses with nobody waiting,
+  /// kCancelled when the listener was closed under it, kIOError
+  /// otherwise.
+  [[nodiscard]] Result<Socket> Accept(double timeout_seconds);
+
+  bool valid() const { return socket_.valid(); }
+  int port() const { return port_; }
+
+  void Close() { socket_.Close(); }
+
+ private:
+  Socket socket_;
+  int port_ = 0;
+};
+
+}  // namespace serve
+}  // namespace soi
+
+#endif  // SOI_SERVE_NET_H_

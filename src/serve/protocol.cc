@@ -1,0 +1,235 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <utility>
+
+#include "snapshot/byte_io.h"
+
+namespace soi {
+namespace serve {
+
+namespace {
+
+/// Status codes cross the wire as their enum value; decode re-validates
+/// the range so a corrupt byte can never materialize an out-of-enum
+/// StatusCode in the client.
+Status DecodeStatusCode(uint32_t raw, StatusCode* out) {
+  if (raw >= static_cast<uint32_t>(kNumStatusCodes)) {
+    return Status::InvalidArgument("error frame carries unknown status code " +
+                                   std::to_string(raw));
+  }
+  *out = static_cast<StatusCode>(raw);
+  return Status::OK();
+}
+
+/// ByteReader reports truncation as kIOError (it serves snapshot file
+/// parsing first); on the wire a short or overlong payload is a
+/// malformed frame, so every decoder normalizes to kInvalidArgument —
+/// the fail-closed contract tests/serve_protocol_test.cc pins down.
+Status AsFrameError(Status status) {
+  if (status.ok() || status.code() == StatusCode::kInvalidArgument) {
+    return status;
+  }
+  return Status::InvalidArgument(status.message());
+}
+
+std::string WrapFrame(FrameType type, std::string payload) {
+  SOI_CHECK(payload.size() <= kMaxFramePayloadBytes)
+      << "encoder produced an oversized frame";
+  ByteWriter header;
+  header.PutU32(kFrameMagic);
+  header.PutU8(kProtocolVersion);
+  header.PutU8(static_cast<uint8_t>(type));
+  header.PutU8(0);  // reserved
+  header.PutU8(0);  // reserved
+  header.PutU32(static_cast<uint32_t>(payload.size()));
+  std::string frame = header.TakeData();
+  frame += payload;
+  return frame;
+}
+
+}  // namespace
+
+std::string EncodeQueryFrame(const QueryRequest& request) {
+  ByteWriter w;
+  w.PutU64(request.request_id);
+  w.PutU8(request.has_deadline ? 1 : 0);
+  w.PutDouble(request.deadline_seconds);
+  w.PutI32(request.query.k);
+  w.PutDouble(request.query.eps);
+  const std::vector<KeywordId>& ids = request.query.keywords.ids();
+  w.PutU32(static_cast<uint32_t>(ids.size()));
+  for (KeywordId id : ids) w.PutI32(id);
+  return WrapFrame(FrameType::kQuery, w.TakeData());
+}
+
+std::string EncodeResultFrame(const QueryResponse& response) {
+  ByteWriter w;
+  w.PutU64(response.request_id);
+  w.PutU32(static_cast<uint32_t>(response.streets.size()));
+  for (const RankedStreet& street : response.streets) {
+    w.PutI32(street.street);
+    w.PutDouble(street.interest);
+    w.PutI32(street.best_segment);
+  }
+  return WrapFrame(FrameType::kResult, w.TakeData());
+}
+
+std::string EncodeErrorFrame(const ErrorResponse& error) {
+  ByteWriter w;
+  w.PutU64(error.request_id);
+  w.PutU32(static_cast<uint32_t>(error.status.code()));
+  w.PutString(error.status.message());
+  return WrapFrame(FrameType::kError, w.TakeData());
+}
+
+Status DecodeFrameHeader(std::string_view data, FrameHeader* out) {
+  if (data.size() != kFrameHeaderBytes) {
+    return Status::InvalidArgument("frame header must be " +
+                                   std::to_string(kFrameHeaderBytes) +
+                                   " bytes, got " +
+                                   std::to_string(data.size()));
+  }
+  ByteReader r(data);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+  uint8_t reserved0 = 0;
+  uint8_t reserved1 = 0;
+  uint32_t payload_bytes = 0;
+  SOI_RETURN_NOT_OK(r.ReadU32(&magic));
+  SOI_RETURN_NOT_OK(r.ReadU8(&version));
+  SOI_RETURN_NOT_OK(r.ReadU8(&type));
+  SOI_RETURN_NOT_OK(r.ReadU8(&reserved0));
+  SOI_RETURN_NOT_OK(r.ReadU8(&reserved1));
+  SOI_RETURN_NOT_OK(r.ReadU32(&payload_bytes));
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  if (reserved0 != 0 || reserved1 != 0) {
+    return Status::InvalidArgument("nonzero reserved frame header bytes");
+  }
+  if (type != static_cast<uint8_t>(FrameType::kQuery) &&
+      type != static_cast<uint8_t>(FrameType::kResult) &&
+      type != static_cast<uint8_t>(FrameType::kError)) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  if (payload_bytes > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload_bytes) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayloadBytes) +
+        "-byte cap");
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload_bytes = payload_bytes;
+  return Status::OK();
+}
+
+Status DecodeQueryPayloadImpl(std::string_view payload, QueryRequest* out) {
+  ByteReader r(payload);
+  QueryRequest request;
+  uint8_t has_deadline = 0;
+  SOI_RETURN_NOT_OK(r.ReadU64(&request.request_id));
+  SOI_RETURN_NOT_OK(r.ReadU8(&has_deadline));
+  if (has_deadline > 1) {
+    return Status::InvalidArgument("query frame has_deadline must be 0/1");
+  }
+  request.has_deadline = has_deadline == 1;
+  SOI_RETURN_NOT_OK(r.ReadDouble(&request.deadline_seconds));
+  if (request.has_deadline && !std::isfinite(request.deadline_seconds)) {
+    return Status::InvalidArgument(
+        "query frame carries a non-finite deadline");
+  }
+  SOI_RETURN_NOT_OK(r.ReadI32(&request.query.k));
+  SOI_RETURN_NOT_OK(r.ReadDouble(&request.query.eps));
+  uint32_t num_keywords = 0;
+  SOI_RETURN_NOT_OK(r.ReadU32(&num_keywords));
+  if (num_keywords > kMaxQueryKeywords) {
+    return Status::InvalidArgument(
+        "query frame carries " + std::to_string(num_keywords) +
+        " keywords, above the " + std::to_string(kMaxQueryKeywords) + " cap");
+  }
+  std::vector<KeywordId> ids;
+  ids.reserve(num_keywords);
+  for (uint32_t i = 0; i < num_keywords; ++i) {
+    int32_t id = 0;
+    SOI_RETURN_NOT_OK(r.ReadI32(&id));
+    ids.push_back(id);
+  }
+  request.query.keywords = KeywordSet(std::move(ids));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("query frame has trailing bytes");
+  }
+  // Semantic validation (NaN eps, k <= 0, ...) stays with
+  // SoiQuery::Validate() at admission, so wire and in-process queries
+  // fail with identical messages.
+  *out = std::move(request);
+  return Status::OK();
+}
+
+Status DecodeResultPayloadImpl(std::string_view payload, QueryResponse* out) {
+  ByteReader r(payload);
+  QueryResponse response;
+  SOI_RETURN_NOT_OK(r.ReadU64(&response.request_id));
+  uint32_t num_streets = 0;
+  SOI_RETURN_NOT_OK(r.ReadU32(&num_streets));
+  if (num_streets > kMaxResultStreets) {
+    return Status::InvalidArgument(
+        "result frame carries " + std::to_string(num_streets) +
+        " streets, above the " + std::to_string(kMaxResultStreets) + " cap");
+  }
+  response.streets.reserve(num_streets);
+  for (uint32_t i = 0; i < num_streets; ++i) {
+    RankedStreet street;
+    SOI_RETURN_NOT_OK(r.ReadI32(&street.street));
+    SOI_RETURN_NOT_OK(r.ReadDouble(&street.interest));
+    SOI_RETURN_NOT_OK(r.ReadI32(&street.best_segment));
+    response.streets.push_back(street);
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("result frame has trailing bytes");
+  }
+  *out = std::move(response);
+  return Status::OK();
+}
+
+Status DecodeErrorPayloadImpl(std::string_view payload, ErrorResponse* out) {
+  ByteReader r(payload);
+  ErrorResponse error;
+  SOI_RETURN_NOT_OK(r.ReadU64(&error.request_id));
+  uint32_t raw_code = 0;
+  std::string message;
+  SOI_RETURN_NOT_OK(r.ReadU32(&raw_code));
+  SOI_RETURN_NOT_OK(r.ReadString(&message));
+  StatusCode code = StatusCode::kOk;
+  SOI_RETURN_NOT_OK(DecodeStatusCode(raw_code, &code));
+  if (code == StatusCode::kOk) {
+    return Status::InvalidArgument("error frame carries an OK status");
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("error frame has trailing bytes");
+  }
+  error.status = Status(code, std::move(message));
+  *out = std::move(error);
+  return Status::OK();
+}
+
+Status DecodeQueryPayload(std::string_view payload, QueryRequest* out) {
+  return AsFrameError(DecodeQueryPayloadImpl(payload, out));
+}
+
+Status DecodeResultPayload(std::string_view payload, QueryResponse* out) {
+  return AsFrameError(DecodeResultPayloadImpl(payload, out));
+}
+
+Status DecodeErrorPayload(std::string_view payload, ErrorResponse* out) {
+  return AsFrameError(DecodeErrorPayloadImpl(payload, out));
+}
+
+}  // namespace serve
+}  // namespace soi

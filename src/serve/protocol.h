@@ -1,0 +1,117 @@
+#ifndef SOI_SERVE_PROTOCOL_H_
+#define SOI_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/soi_query.h"
+
+namespace soi {
+namespace serve {
+
+/// The soid wire protocol (DESIGN.md "Serving & overload"): length-
+/// prefixed binary frames over a TCP stream, little-endian, doubles as
+/// IEEE-754 bit patterns (snapshot/byte_io.h primitives) so a result
+/// round-trips bit-exactly — the property the chaos harness's
+/// bit-identity gate rests on.
+///
+/// Frame layout (12-byte header + payload):
+///
+///   u32 magic = kFrameMagic          fail closed on anything else
+///   u8  version = kProtocolVersion   fail closed on anything else
+///   u8  type                         FrameType below
+///   u16 reserved = 0                 fail closed on nonzero
+///   u32 payload_bytes                <= kMaxFramePayloadBytes
+///   payload_bytes x u8
+///
+/// Every decode is bounds-checked and size-capped: garbage on the wire
+/// (wrong magic, future version, oversized or truncated payload, trailing
+/// bytes, out-of-range enum values) surfaces as a typed kInvalidArgument
+/// Status, never a crash or an unbounded allocation. The server answers a
+/// malformed frame with one Error frame and closes the connection — a
+/// client that cannot frame correctly cannot be trusted to resynchronize
+/// mid-stream.
+///
+/// Exchange model: the client sends Query frames and receives exactly one
+/// Result or Error frame per query, stamped with the query's request_id
+/// (client-chosen, echoed verbatim) so a pipelining client can match
+/// responses out of order.
+
+inline constexpr uint32_t kFrameMagic = 0x51494F53;  // "SOIQ" little-endian
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint32_t kFrameHeaderBytes = 12;
+/// Caps both sides' frame allocations. Generous for real payloads (a
+/// 10k-street result is ~160 KiB) while bounding what a hostile or
+/// corrupt length prefix can make a peer allocate.
+inline constexpr uint32_t kMaxFramePayloadBytes = 4u << 20;
+/// Caps the keyword count a Query frame may carry (validation happens
+/// before the vector is reserved).
+inline constexpr uint32_t kMaxQueryKeywords = 1u << 16;
+/// Caps the street count a Result frame may carry.
+inline constexpr uint32_t kMaxResultStreets = 1u << 20;
+
+enum class FrameType : uint8_t {
+  kQuery = 1,
+  kResult = 2,
+  kError = 3,
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kQuery;
+  uint32_t payload_bytes = 0;
+};
+
+/// One query as sent on the wire. `deadline_seconds` is the client's
+/// remaining latency budget, relative to frame receipt: NaN/infinite
+/// budgets are rejected at decode; a non-positive budget is valid on the
+/// wire and means "already expired" — the server sheds it at admission
+/// with kDeadlineExceeded before any engine work (the wire-deadline edge
+/// case pinned by tests/serve_server_test.cc). has_deadline=false serves
+/// with no deadline.
+struct QueryRequest {
+  uint64_t request_id = 0;
+  SoiQuery query;
+  bool has_deadline = false;
+  double deadline_seconds = 0.0;
+};
+
+/// A successful answer: the ranked streets, bit-exact.
+struct QueryResponse {
+  uint64_t request_id = 0;
+  std::vector<RankedStreet> streets;
+};
+
+/// A typed failure: the Status taxonomy of DESIGN.md "Serving &
+/// overload" (kInvalidArgument / kResourceExhausted / kDeadlineExceeded /
+/// kCancelled / kInternal / kIOError), never a torn or silent drop.
+struct ErrorResponse {
+  uint64_t request_id = 0;
+  Status status;
+};
+
+/// Encodes header + payload as one contiguous byte string ready to send.
+std::string EncodeQueryFrame(const QueryRequest& request);
+std::string EncodeResultFrame(const QueryResponse& response);
+std::string EncodeErrorFrame(const ErrorResponse& error);
+
+/// Decodes the 12-byte header (fail closed: magic, version, reserved,
+/// size cap all checked). `data` must be exactly kFrameHeaderBytes long.
+[[nodiscard]] Status DecodeFrameHeader(std::string_view data,
+                                       FrameHeader* out);
+
+/// Payload decoders for each frame type; the payload must consume
+/// exactly, with no trailing bytes.
+[[nodiscard]] Status DecodeQueryPayload(std::string_view payload,
+                                        QueryRequest* out);
+[[nodiscard]] Status DecodeResultPayload(std::string_view payload,
+                                         QueryResponse* out);
+[[nodiscard]] Status DecodeErrorPayload(std::string_view payload,
+                                        ErrorResponse* out);
+
+}  // namespace serve
+}  // namespace soi
+
+#endif  // SOI_SERVE_PROTOCOL_H_

@@ -1,0 +1,560 @@
+#include "serve/server.h"
+
+#include <signal.h>
+
+#include <memory>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/signal_watch.h"
+#include "common/stopwatch.h"
+#include "core/query_engine.h"
+#include "obs/dump.h"
+#include "obs/obs.h"
+
+namespace soi {
+namespace serve {
+
+namespace {
+
+/// How often the accept loop re-checks the drain flag while idle; the
+/// upper bound on how long a SIGTERM waits before new accepts stop.
+constexpr double kAcceptTickSeconds = 0.05;
+
+/// Converts a fired fault point into a typed Status at the serve
+/// boundary, mirroring how QueryEngine::TryRun catches FaultInjectedError
+/// — a fault inside soid must surface as an error frame or a closed
+/// connection, never an escaping exception.
+[[nodiscard]] Status CheckFaultPoint([[maybe_unused]] const char* site) {
+  if (fault::kEnabled) {
+    try {
+      SOI_FAULT_POINT(site);
+    } catch (const fault::FaultInjectedError& e) {
+      return Status::Internal(e.what());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+struct SoidServer::Connection {
+  uint64_t id = 0;
+  Socket socket;
+  /// Serializes frame writes: worker responses and reader-side admission
+  /// errors interleave on one stream, and a torn frame would desync the
+  /// peer permanently.
+  Mutex write_mutex;
+  /// Set on eviction or write failure; writers drop frames for a dead
+  /// connection instead of blocking on a corpse.
+  std::atomic<bool> dead{false};
+};
+
+struct SoidServer::AtomicStats {
+  std::atomic<int64_t> accepted{0};
+  std::atomic<int64_t> connections_rejected{0};
+  std::atomic<int64_t> requests{0};
+  std::atomic<int64_t> responses_ok{0};
+  std::atomic<int64_t> responses_error{0};
+  std::atomic<int64_t> bad_frames{0};
+  std::atomic<int64_t> shed_queue_full{0};
+  std::atomic<int64_t> expired_at_admission{0};
+  std::atomic<int64_t> evicted_slow{0};
+  std::atomic<int64_t> drain_cancelled{0};
+  std::atomic<int64_t> faults_injected{0};
+};
+
+SoidServer::SoidServer(QueryEngine* engine, SoidServerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      stats_(std::make_unique<AtomicStats>()) {}
+
+SoidServer::~SoidServer() {
+  if (state() != State::kIdle && state() != State::kStopped) {
+    RequestDrain();
+    (void)Wait();
+  }
+}
+
+Status SoidServer::Start() {
+  if (state() != State::kIdle) {
+    return Status::InvalidArgument("Start() called twice");
+  }
+  if (options_.num_workers <= 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  if (options_.queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be positive");
+  }
+  SOI_ASSIGN_OR_RETURN(
+      listener_, Listener::Bind(options_.host, options_.port,
+                                static_cast<int>(options_.max_connections)));
+  port_ = listener_.port();
+  state_.store(State::kServing, std::memory_order_release);
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SoidServer::RequestDrain() {
+  bool expected = false;
+  if (!drain_requested_.compare_exchange_strong(expected, true)) return;
+  stop_accepting_.store(true, std::memory_order_release);
+  MutexLock lock(queue_mutex_);
+  drain_request_cv_.NotifyAll();
+}
+
+Status SoidServer::Wait() {
+  {
+    MutexLock lock(queue_mutex_);
+    while (!drain_requested_.load(std::memory_order_acquire)) {
+      drain_request_cv_.Wait(queue_mutex_);
+    }
+  }
+  state_.store(State::kDraining, std::memory_order_release);
+
+  // 1. Stop accepting: the loop observes stop_accepting_ within one tick.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
+  // 2. Stop reading: half-close every connection, so blocked readers see
+  // EOF and no new requests are admitted, while responses still flow out.
+  {
+    MutexLock lock(conns_mutex_);
+    for (auto& [id, conn] : conns_) conn->socket.ShutdownRead();
+  }
+
+  // 3. Give queued + executing requests the drain budget.
+  bool clean = true;
+  {
+    Stopwatch timer;
+    MutexLock lock(queue_mutex_);
+    while (outstanding_ > 0) {
+      double remaining =
+          options_.drain_deadline_seconds - timer.ElapsedSeconds();
+      if (remaining <= 0) {
+        clean = false;
+        break;
+      }
+      (void)drain_cv_.WaitFor(queue_mutex_, remaining);
+    }
+  }
+
+  // 4. Deadline blown: cancel in-flight tokens (engine loops observe the
+  // flag at cell/segment granularity and return kCancelled promptly) and
+  // have workers answer still-queued requests without touching the
+  // engine. Then wait for the stragglers — bounded by the cancellation
+  // check cadence plus the write timeout.
+  int64_t cancelled = 0;
+  if (!clean) {
+    state_.store(State::kCancelling, std::memory_order_release);
+    cancel_queued_.store(true, std::memory_order_release);
+    {
+      MutexLock lock(tokens_mutex_);
+      cancelled = static_cast<int64_t>(inflight_tokens_.size());
+      for (auto& [serial, token] : inflight_tokens_) token.Cancel();
+    }
+    MutexLock lock(queue_mutex_);
+    cancelled += static_cast<int64_t>(queue_.size());
+    while (outstanding_ > 0) drain_cv_.Wait(queue_mutex_);
+  }
+
+  // 5. Stop the queue and join the workers.
+  {
+    MutexLock lock(queue_mutex_);
+    queue_stopped_ = true;
+    queue_cv_.NotifyAll();
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  // 6. Wait for reader threads (unblocked by the half-close in step 2).
+  {
+    MutexLock lock(conns_mutex_);
+    while (readers_active_ > 0) readers_cv_.Wait(conns_mutex_);
+    conns_.clear();
+  }
+  state_.store(State::kStopped, std::memory_order_release);
+
+  // 7. Flush the post-mortem state file — the last act of the drain, so
+  // it reflects every counter above.
+  Status file_status;
+  if (!options_.drain_state_path.empty()) {
+    file_status = obs::WriteStateFile(options_.drain_state_path);
+  }
+  SOI_RETURN_NOT_OK(file_status);
+  if (!clean) {
+    return Status::DeadlineExceeded(
+        "drain deadline of " +
+        std::to_string(options_.drain_deadline_seconds) + "s elapsed; " +
+        std::to_string(cancelled) + " in-flight requests cancelled");
+  }
+  return Status::OK();
+}
+
+SoidServer::Stats SoidServer::stats() const {
+  Stats out;
+  out.accepted = stats_->accepted.load(std::memory_order_relaxed);
+  out.connections_rejected =
+      stats_->connections_rejected.load(std::memory_order_relaxed);
+  out.requests = stats_->requests.load(std::memory_order_relaxed);
+  out.responses_ok = stats_->responses_ok.load(std::memory_order_relaxed);
+  out.responses_error =
+      stats_->responses_error.load(std::memory_order_relaxed);
+  out.bad_frames = stats_->bad_frames.load(std::memory_order_relaxed);
+  out.shed_queue_full =
+      stats_->shed_queue_full.load(std::memory_order_relaxed);
+  out.expired_at_admission =
+      stats_->expired_at_admission.load(std::memory_order_relaxed);
+  out.evicted_slow = stats_->evicted_slow.load(std::memory_order_relaxed);
+  out.drain_cancelled =
+      stats_->drain_cancelled.load(std::memory_order_relaxed);
+  out.faults_injected =
+      stats_->faults_injected.load(std::memory_order_relaxed);
+  return out;
+}
+
+void SoidServer::AcceptLoop() {
+  while (!stop_accepting_.load(std::memory_order_acquire)) {
+    Result<Socket> accepted = listener_.Accept(kAcceptTickSeconds);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // idle tick; re-check the drain flag
+      }
+      if (stop_accepting_.load(std::memory_order_acquire)) break;
+      continue;  // transient accept failure; the client will retry
+    }
+    Socket socket = std::move(accepted).ValueOrDie();
+    if (Status fault = CheckFaultPoint("serve.accept"); !fault.ok()) {
+      // Simulated accept failure: drop the connection (the socket closes
+      // on scope exit); the client observes a transport error and
+      // retries.
+      stats_->faults_injected.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!socket.SetIoTimeouts(options_.read_timeout_seconds,
+                              options_.write_timeout_seconds)
+             .ok()) {
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    bool over_cap = false;
+    {
+      MutexLock lock(conns_mutex_);
+      if (conns_.size() >= options_.max_connections) {
+        over_cap = true;
+      } else {
+        conn->id = next_conn_id_++;
+        conn->socket = std::move(socket);
+        conns_.emplace(conn->id, conn);
+        ++readers_active_;
+      }
+    }
+    if (over_cap) {
+      // Over the connection cap: fail closed but typed — one best-effort
+      // kResourceExhausted error frame (sent outside conns_mutex_ so a
+      // slow reject cannot stall readers or drain), then close.
+      stats_->connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      SOI_OBS_COUNTER_ADD("soi.serve.conn_rejected", 1);
+      (void)socket.SendAll(EncodeErrorFrame(
+          {0, Status::ResourceExhausted(
+                  "connection limit of " +
+                  std::to_string(options_.max_connections) + " reached")}));
+      continue;
+    }
+    stats_->accepted.fetch_add(1, std::memory_order_relaxed);
+    SOI_OBS_COUNTER_ADD("soi.serve.accepted", 1);
+    std::thread reader([this, conn]() mutable { ReaderLoop(std::move(conn)); });
+    reader.detach();
+  }
+}
+
+void SoidServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  while (!conn->dead.load(std::memory_order_acquire)) {
+    if (!ServeOneFrame(conn)) break;
+  }
+  uint64_t id = conn->id;
+  conn.reset();
+  MutexLock lock(conns_mutex_);
+  conns_.erase(id);
+  --readers_active_;
+  readers_cv_.NotifyAll();
+}
+
+bool SoidServer::ServeOneFrame(const std::shared_ptr<Connection>& conn) {
+  // First byte separately: a timeout here is an *idle* connection (no
+  // frame in progress), which is not an offense — loop and re-check
+  // liveness. Once a frame has started, every further timeout is a
+  // stalled client and grounds for eviction.
+  std::string first;
+  bool clean_eof = false;
+  Status status = conn->socket.RecvExact(1, &first, &clean_eof);
+  if (clean_eof) return false;  // normal close (or drain's half-close)
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kDeadlineExceeded) return true;
+    return false;
+  }
+  std::string rest;
+  status = conn->socket.RecvExact(kFrameHeaderBytes - 1, &rest, &clean_eof);
+  if (!status.ok() || clean_eof) {
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      stats_->evicted_slow.fetch_add(1, std::memory_order_relaxed);
+      SOI_OBS_COUNTER_ADD("soi.serve.evicted_slow", 1);
+      EvictConnection(conn, "stalled mid-header");
+    }
+    return false;
+  }
+  if (Status fault = CheckFaultPoint("serve.read"); !fault.ok()) {
+    // Simulated read failure: the stream position can no longer be
+    // trusted, so fail closed exactly like a real torn read.
+    stats_->faults_injected.fetch_add(1, std::memory_order_relaxed);
+    EvictConnection(conn, "injected read fault");
+    return false;
+  }
+  FrameHeader header;
+  status = DecodeFrameHeader(first + rest, &header);
+  if (!status.ok()) {
+    stats_->bad_frames.fetch_add(1, std::memory_order_relaxed);
+    SOI_OBS_COUNTER_ADD("soi.serve.bad_frame", 1);
+    WriteError(conn, 0, status);
+    EvictConnection(conn, "malformed frame header");
+    return false;
+  }
+  std::string payload;
+  if (header.payload_bytes > 0) {
+    status = conn->socket.RecvExact(header.payload_bytes, &payload,
+                                    &clean_eof);
+    if (!status.ok() || clean_eof) {
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        stats_->evicted_slow.fetch_add(1, std::memory_order_relaxed);
+        SOI_OBS_COUNTER_ADD("soi.serve.evicted_slow", 1);
+        EvictConnection(conn, "stalled mid-payload");
+      }
+      return false;
+    }
+  }
+  if (header.type != FrameType::kQuery) {
+    // Result/Error frames flow server->client only.
+    stats_->bad_frames.fetch_add(1, std::memory_order_relaxed);
+    SOI_OBS_COUNTER_ADD("soi.serve.bad_frame", 1);
+    WriteError(conn, 0,
+               Status::InvalidArgument(
+                   "only Query frames are valid client->server"));
+    EvictConnection(conn, "non-query frame");
+    return false;
+  }
+  QueryRequest request;
+  status = DecodeQueryPayload(payload, &request);
+  if (!status.ok()) {
+    stats_->bad_frames.fetch_add(1, std::memory_order_relaxed);
+    SOI_OBS_COUNTER_ADD("soi.serve.bad_frame", 1);
+    WriteError(conn, 0, status);
+    EvictConnection(conn, "malformed query payload");
+    return false;
+  }
+  HandleQuery(conn, std::move(request));
+  return true;
+}
+
+void SoidServer::HandleQuery(const std::shared_ptr<Connection>& conn,
+                             QueryRequest request) {
+  stats_->requests.fetch_add(1, std::memory_order_relaxed);
+  SOI_OBS_COUNTER_ADD("soi.serve.requests", 1);
+
+  // Admission validation: identical Status to a direct engine call, but
+  // without burning a queue slot on a request that cannot run.
+  if (Status invalid = request.query.Validate(); !invalid.ok()) {
+    stats_->responses_error.fetch_add(1, std::memory_order_relaxed);
+    WriteError(conn, request.request_id, invalid);
+    return;
+  }
+
+  Request admitted;
+  admitted.conn = conn;
+  admitted.serial = next_serial_.fetch_add(1, std::memory_order_relaxed);
+  admitted.token = request.has_deadline
+                       ? CancellationToken::WithDeadline(
+                             request.deadline_seconds)
+                       : CancellationToken::Cancellable();
+  admitted.wire = std::move(request);
+
+  // Wire-deadline admission check: a budget that is already spent (the
+  // client sent a non-positive remainder, or the frame sat in the socket
+  // buffer past it) is shed here, before any engine work.
+  if (Status expired = admitted.token.Check(); !expired.ok()) {
+    stats_->expired_at_admission.fetch_add(1, std::memory_order_relaxed);
+    SOI_OBS_COUNTER_ADD("soi.serve.expired_at_admission", 1);
+    stats_->responses_error.fetch_add(1, std::memory_order_relaxed);
+    WriteError(conn, admitted.wire.request_id, expired);
+    return;
+  }
+
+  if (Status fault = CheckFaultPoint("serve.enqueue"); !fault.ok()) {
+    stats_->faults_injected.fetch_add(1, std::memory_order_relaxed);
+    stats_->responses_error.fetch_add(1, std::memory_order_relaxed);
+    WriteError(conn, admitted.wire.request_id, fault);
+    return;
+  }
+
+  uint64_t request_id = admitted.wire.request_id;
+  if (Status enqueue = TryEnqueue(std::move(admitted)); !enqueue.ok()) {
+    if (enqueue.code() == StatusCode::kResourceExhausted) {
+      stats_->shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+      SOI_OBS_COUNTER_ADD("soi.serve.shed_queue_full", 1);
+    }
+    stats_->responses_error.fetch_add(1, std::memory_order_relaxed);
+    WriteError(conn, request_id, enqueue);
+  }
+}
+
+Status SoidServer::TryEnqueue(Request request) {
+  MutexLock lock(queue_mutex_);
+  if (queue_stopped_ || cancel_queued_.load(std::memory_order_acquire)) {
+    return Status::Cancelled("server is draining");
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    // The backpressure valve: reject now, with a typed error the client's
+    // backoff understands, instead of queueing into unbounded latency.
+    return Status::ResourceExhausted(
+        "request queue full (" + std::to_string(options_.queue_capacity) +
+        " deep); retry with backoff");
+  }
+  queue_.push_back(std::move(request));
+  ++outstanding_;
+  SOI_OBS_GAUGE_SET("soi.serve.queue_depth",
+                    static_cast<double>(queue_.size()));
+  SOI_OBS_GAUGE_SET("soi.serve.inflight", static_cast<double>(outstanding_));
+  queue_cv_.NotifyOne();
+  return Status::OK();
+}
+
+bool SoidServer::PopRequest(Request* out) {
+  MutexLock lock(queue_mutex_);
+  while (queue_.empty() && !queue_stopped_) {
+    queue_cv_.Wait(queue_mutex_);
+  }
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  SOI_OBS_GAUGE_SET("soi.serve.queue_depth",
+                    static_cast<double>(queue_.size()));
+  return true;
+}
+
+void SoidServer::WorkerLoop() {
+  Request request;
+  while (PopRequest(&request)) {
+    ExecuteRequest(request);
+    request = Request();  // release the connection before blocking again
+    FinishRequest();
+  }
+}
+
+void SoidServer::ExecuteRequest(const Request& request) {
+  Stopwatch timer;
+  if (cancel_queued_.load(std::memory_order_acquire)) {
+    // Drain deadline fired while this request sat queued: answer without
+    // touching the engine.
+    stats_->drain_cancelled.fetch_add(1, std::memory_order_relaxed);
+    SOI_OBS_COUNTER_ADD("soi.serve.drain_cancelled", 1);
+    stats_->responses_error.fetch_add(1, std::memory_order_relaxed);
+    WriteError(request.conn, request.wire.request_id,
+               Status::Cancelled("server draining: request cancelled before "
+                                 "execution"));
+    return;
+  }
+  RegisterToken(request.serial, request.token);
+  Result<SoiResult> result =
+      engine_->TryRun(request.wire.query, request.token);
+  ReleaseToken(request.serial);
+  if (result.ok()) {
+    QueryResponse response;
+    response.request_id = request.wire.request_id;
+    response.streets = std::move(result).ValueOrDie().streets;
+    std::string frame = EncodeResultFrame(response);
+    if (Status fault = CheckFaultPoint("serve.write"); !fault.ok()) {
+      // Simulated write failure: a response frame may be torn, so the
+      // connection must die rather than desync the peer.
+      stats_->faults_injected.fetch_add(1, std::memory_order_relaxed);
+      EvictConnection(request.conn, "injected write fault");
+      return;
+    }
+    stats_->responses_ok.fetch_add(1, std::memory_order_relaxed);
+    SOI_OBS_COUNTER_ADD("soi.serve.responses_ok", 1);
+    WriteFrame(request.conn, frame);
+  } else {
+    if (request.token.IsCancelled() &&
+        cancel_queued_.load(std::memory_order_acquire)) {
+      stats_->drain_cancelled.fetch_add(1, std::memory_order_relaxed);
+      SOI_OBS_COUNTER_ADD("soi.serve.drain_cancelled", 1);
+    }
+    stats_->responses_error.fetch_add(1, std::memory_order_relaxed);
+    SOI_OBS_COUNTER_ADD("soi.serve.responses_error", 1);
+    WriteError(request.conn, request.wire.request_id, result.status());
+  }
+  SOI_OBS_HISTOGRAM_OBSERVE("soi.serve.request_seconds",
+                            timer.ElapsedSeconds());
+}
+
+void SoidServer::WriteFrame(const std::shared_ptr<Connection>& conn,
+                            const std::string& frame) {
+  MutexLock lock(conn->write_mutex);
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  Status status = conn->socket.SendAll(frame);
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      // Slow client: it will not drain its responses within the write
+      // timeout, so it does not get to pin a worker thread.
+      stats_->evicted_slow.fetch_add(1, std::memory_order_relaxed);
+      SOI_OBS_COUNTER_ADD("soi.serve.evicted_slow", 1);
+    }
+    conn->dead.store(true, std::memory_order_release);
+    conn->socket.ShutdownBoth();
+  }
+}
+
+void SoidServer::WriteError(const std::shared_ptr<Connection>& conn,
+                            uint64_t request_id, const Status& status) {
+  WriteFrame(conn, EncodeErrorFrame({request_id, status}));
+}
+
+void SoidServer::EvictConnection(const std::shared_ptr<Connection>& conn,
+                                 const char* why) {
+  (void)why;
+  bool expected = false;
+  if (!conn->dead.compare_exchange_strong(expected, true)) return;
+  conn->socket.ShutdownBoth();
+}
+
+void SoidServer::RegisterToken(uint64_t serial,
+                               const CancellationToken& token) {
+  MutexLock lock(tokens_mutex_);
+  inflight_tokens_.emplace(serial, token);
+}
+
+void SoidServer::ReleaseToken(uint64_t serial) {
+  MutexLock lock(tokens_mutex_);
+  inflight_tokens_.erase(serial);
+}
+
+void SoidServer::FinishRequest() {
+  MutexLock lock(queue_mutex_);
+  --outstanding_;
+  SOI_OBS_GAUGE_SET("soi.serve.inflight", static_cast<double>(outstanding_));
+  if (outstanding_ == 0) drain_cv_.NotifyAll();
+}
+
+Status InstallSigtermDrain(SoidServer* server) {
+#ifdef SIGTERM
+  return WatchSignal(SIGTERM, [server] { server->RequestDrain(); });
+#else
+  (void)server;
+  return Status::Internal("SIGTERM unavailable on this platform");
+#endif
+}
+
+}  // namespace serve
+}  // namespace soi

@@ -1,6 +1,12 @@
 #include "snapshot/snapshot.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include <bit>
+#include <cstdio>
 #include <cmath>
 #include <fstream>
 #include <istream>
@@ -698,13 +704,64 @@ Status SaveSnapshot(const SnapshotContents& contents, std::ostream* out) {
   return Status::OK();
 }
 
+namespace {
+
+/// fsync a file by path (POSIX). Durability matters here: an atomic
+/// rename without a preceding fsync can leave a zero-length or torn file
+/// after a crash on journaled filesystems — exactly the failure the
+/// temp+rename dance exists to prevent.
+Status SyncFile(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot reopen for fsync: " + path);
+  }
+  int rc = ::fsync(fd);
+  (void)::close(fd);
+  if (rc != 0) return Status::IOError("fsync failed: " + path);
+#else
+  (void)path;  // best effort: no fsync on this platform
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
 Status SaveSnapshotToFile(const SnapshotContents& contents,
                           const std::string& path) {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file.is_open()) {
-    return Status::IOError("cannot open for writing: " + path);
+  // Crash-safe save: write a temp file in the *target* directory (rename
+  // is only atomic within one filesystem), fsync it, then rename over
+  // the destination. Every failure path removes the temp file and leaves
+  // any existing snapshot at `path` untouched — a crash or injected
+  // fault mid-save can never destroy the last good snapshot
+  // (tests/snapshot_fault_test.cc pins this).
+  const std::string temp_path = path + ".tmp";
+  {
+    std::ofstream file(temp_path, std::ios::binary | std::ios::trunc);
+    if (!file.is_open()) {
+      return Status::IOError("cannot open for writing: " + temp_path);
+    }
+    Status saved = SaveSnapshot(contents, &file);
+    if (!saved.ok()) {
+      file.close();
+      (void)std::remove(temp_path.c_str());
+      return saved;
+    }
+    file.close();
+    if (!file.good()) {
+      (void)std::remove(temp_path.c_str());
+      return Status::IOError("failed closing " + temp_path);
+    }
   }
-  return SaveSnapshot(contents, &file);
+  if (Status synced = SyncFile(temp_path); !synced.ok()) {
+    (void)std::remove(temp_path.c_str());
+    return synced;
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    (void)std::remove(temp_path.c_str());
+    return Status::IOError("cannot rename " + temp_path + " -> " + path);
+  }
+  return Status::OK();
 }
 
 Result<LoadedSnapshot> LoadSnapshot(std::istream* in, ThreadPool* pool) {

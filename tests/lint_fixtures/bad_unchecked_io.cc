@@ -1,0 +1,18 @@
+// Fixture: exactly one `unchecked-io` violation (a send whose return
+// value is discarded on its own statement). The checked forms below —
+// assignment, condition, continuation — must NOT fire.
+#include <sys/socket.h>
+#include <unistd.h>
+
+void LeakShortWrite(int fd, const char* buf) {
+  send(fd, buf, 4, 0);
+}
+
+long CheckedSend(int fd, const char* buf) { return ::send(fd, buf, 4, 0); }
+
+bool CheckedRecv(int fd, char* buf) {
+  long n =
+      ::recv(fd, buf, 4, 0);
+  if (::read(fd, buf, 1) < 0) return false;
+  return n == 4;
+}

@@ -21,3 +21,8 @@ void Shout() {
 int* Leak() {
   return new int(42);  // soi-lint: naked-new (fixture)
 }
+
+void FireAndForget(int fd, const char* buf, long (*send)(int, const char*)) {
+  (void)buf;
+  send(fd, "x");  // soi-lint: unchecked-io (fixture)
+}

@@ -1,0 +1,236 @@
+// Chaos soak of the soid serving front-end (the acceptance gate of
+// DESIGN.md "Serving & overload"): concurrent client traffic against a
+// live server while deterministic faults fire at every serve.* site
+// (accept/read/write/enqueue) and inside the engine (refinement
+// finalization, eps-cache builds). The invariants, asserted under the
+// default, tsan, and fault (+ASan) presets:
+//
+//   1. zero crashes — every failure is absorbed or surfaced as Status;
+//   2. typed errors only — clients observe codes from the documented
+//      taxonomy, never garbage frames or silent drops;
+//   3. bit-identical answers — every successful response equals the
+//      direct QueryEngine::TryRun answer for that query, bit for bit,
+//      faults or not.
+//
+// Under -DSOI_FAULT_INJECTION=ON the soak also asserts the serve.*
+// sites actually fired; elsewhere it degrades to a pure concurrency
+// soak (same traffic, no injected faults).
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/query_engine.h"
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "test_util.h"
+
+namespace soi {
+namespace serve {
+namespace {
+
+struct Instance {
+  RoadNetwork network;
+  Vocabulary vocabulary;
+  std::vector<Poi> pois;
+  GridGeometry geometry;
+  PoiGridIndex grid;
+  GlobalInvertedIndex global_index;
+  SegmentCellIndex segment_cells;
+
+  Instance()
+      : network(testing_util::MakeGridNetwork(5, 5, 0.01)),
+        pois(MakePois(11, 400, 12, &vocabulary)),
+        geometry(network.bounds().Expanded(0.005), 0.002),
+        grid(geometry.bounds(), 0.002, pois),
+        global_index(grid),
+        segment_cells(network, geometry) {}
+
+  static std::vector<Poi> MakePois(uint64_t seed, int64_t n,
+                                   int32_t vocab_size,
+                                   Vocabulary* vocabulary) {
+    Rng rng(seed);
+    Box box = Box::FromCorners(Point{-0.004, -0.004}, Point{0.044, 0.044});
+    return testing_util::RandomPois(box, n, vocab_size, vocabulary, &rng);
+  }
+};
+
+/// The soak's query pool: a deterministic mix of eps / k / keyword
+/// shapes, cycled by every client thread.
+std::vector<SoiQuery> MakeQueryPool() {
+  std::vector<SoiQuery> pool;
+  for (double eps : {0.001, 0.002, 0.004}) {
+    for (int32_t k : {1, 5, 50}) {
+      for (const std::vector<KeywordId>& ids :
+           {std::vector<KeywordId>{0}, std::vector<KeywordId>{0, 1},
+            std::vector<KeywordId>{2, 3, 5}}) {
+        SoiQuery query;
+        query.keywords = KeywordSet(ids);
+        query.k = k;
+        query.eps = eps;
+        pool.push_back(std::move(query));
+      }
+    }
+  }
+  return pool;
+}
+
+bool BitIdentical(const std::vector<RankedStreet>& got,
+                  const std::vector<RankedStreet>& want) {
+  if (got.size() != want.size()) return false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].street != want[i].street ||
+        std::bit_cast<uint64_t>(got[i].interest) !=
+            std::bit_cast<uint64_t>(want[i].interest) ||
+        got[i].best_segment != want[i].best_segment) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Codes a client may legitimately observe during the soak. Transport
+/// kIOError appears when an injected accept/read/write fault (or an
+/// eviction) kills a connection mid-exchange and retries run out.
+bool IsAllowedFailure(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIOError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TEST(ServeChaosTest, SoakWithFaultsYieldsTypedErrorsAndBitIdenticalAnswers) {
+  Instance instance;
+  // The reference engine computes ground truth with no faults armed and
+  // no serving stack in the way.
+  QueryEngineOptions reference_options;
+  reference_options.num_threads = 2;
+  QueryEngine reference(instance.network, instance.grid,
+                        instance.global_index, instance.segment_cells,
+                        reference_options);
+  std::vector<SoiQuery> pool = MakeQueryPool();
+  std::vector<Result<SoiResult>> truth;
+  truth.reserve(pool.size());
+  for (const SoiQuery& query : pool) {
+    truth.push_back(reference.TryRun(query));
+    ASSERT_TRUE(truth.back().ok());
+  }
+
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 4;
+  QueryEngine engine(instance.network, instance.grid, instance.global_index,
+                     instance.segment_cells, engine_options);
+  SoidServerOptions server_options;
+  server_options.num_workers = 4;
+  server_options.queue_capacity = 16;
+  server_options.drain_deadline_seconds = 30.0;
+  SoidServer server(&engine, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Arm the chaos: every serve.* site plus the engine's refinement and
+  // cache-build sites, firing with low deterministic probability for the
+  // whole soak (count=0 -> unlimited).
+  std::vector<std::unique_ptr<fault::ScopedFault>> armed;
+  if (fault::kEnabled) {
+    auto arm = [&armed](const char* site, double probability,
+                        uint64_t seed) {
+      armed.push_back(std::make_unique<fault::ScopedFault>(
+          site, fault::FaultPlan{.count = 0,
+                                 .probability = probability,
+                                 .seed = seed}));
+    };
+    arm("serve.accept", 0.05, 101);
+    arm("serve.read", 0.01, 102);
+    arm("serve.write", 0.01, 103);
+    arm("serve.enqueue", 0.02, 104);
+    arm("soi.refine.finalize", 0.005, 105);
+    arm("cache.build_maps", 0.02, 106);
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 60;
+  std::atomic<int64_t> ok_answers{0};
+  std::atomic<int64_t> typed_failures{0};
+  std::atomic<int64_t> mismatches{0};
+  std::atomic<int64_t> untyped_failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      SoidClientOptions client_options;
+      client_options.port = server.port();
+      client_options.max_attempts = 6;
+      client_options.initial_backoff_seconds = 0.002;
+      client_options.io_timeout_seconds = 30.0;
+      SoidClient client(client_options);
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        size_t pick = static_cast<size_t>(c * 31 + i) % pool.size();
+        Result<QueryResponse> result = client.Query(pool[pick]);
+        if (result.ok()) {
+          if (BitIdentical(result.ValueOrDie().streets,
+                           truth[pick].ValueOrDie().streets)) {
+            ++ok_answers;
+          } else {
+            ++mismatches;
+          }
+        } else if (IsAllowedFailure(result.status().code())) {
+          ++typed_failures;
+        } else {
+          ++untyped_failures;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  // Disarm before drain so teardown is not itself chaos.
+  armed.clear();
+  server.RequestDrain();
+  Status drained = server.Wait();
+  EXPECT_TRUE(drained.ok() ||
+              drained.code() == StatusCode::kDeadlineExceeded)
+      << drained.ToString();
+
+  // Invariant 3: every successful response was bit-identical.
+  EXPECT_EQ(mismatches.load(), 0);
+  // Invariant 2: every failure was typed from the documented taxonomy.
+  EXPECT_EQ(untyped_failures.load(), 0);
+  // The soak did real work: with retries, the overwhelming majority of
+  // queries must succeed even under fault fire.
+  EXPECT_EQ(ok_answers.load() + typed_failures.load(),
+            int64_t{kClients} * kQueriesPerClient);
+  EXPECT_GT(ok_answers.load(), int64_t{kClients} * kQueriesPerClient / 2);
+
+  if (fault::kEnabled) {
+    // The chaos actually happened: every serve.* site was exercised.
+    fault::Registry& registry = fault::Registry::Global();
+    EXPECT_GT(registry.HitCount("serve.accept"), 0);
+    EXPECT_GT(registry.HitCount("serve.read"), 0);
+    EXPECT_GT(registry.HitCount("serve.write"), 0);
+    EXPECT_GT(registry.HitCount("serve.enqueue"), 0);
+    int64_t serve_fires = registry.FireCount("serve.accept") +
+                          registry.FireCount("serve.read") +
+                          registry.FireCount("serve.write") +
+                          registry.FireCount("serve.enqueue");
+    EXPECT_GT(serve_fires, 0);
+    EXPECT_EQ(server.stats().faults_injected, serve_fires);
+  }
+  // Invariant 1 (zero crashes) is the test reaching this line — under
+  // ASan/TSan in the fault and tsan presets respectively.
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace soi

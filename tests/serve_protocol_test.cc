@@ -1,0 +1,239 @@
+// Wire-protocol unit tests (DESIGN.md "Serving & overload"): every frame
+// type must round-trip bit-exactly, and every class of garbage — wrong
+// magic, future version, reserved bits, unknown types, oversized or
+// trailing payloads, out-of-range enum values — must decode to a typed
+// kInvalidArgument, never a crash or an unbounded allocation.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "serve/protocol.h"
+#include "snapshot/byte_io.h"
+
+namespace soi {
+namespace serve {
+namespace {
+
+QueryRequest MakeRequest() {
+  QueryRequest request;
+  request.request_id = 42;
+  request.query.keywords = KeywordSet({3, 1, 7});
+  request.query.k = 5;
+  request.query.eps = 0.0007;
+  request.has_deadline = true;
+  request.deadline_seconds = 1.5;
+  return request;
+}
+
+/// Splits an encoded frame into (header, payload) and checks the header.
+void SplitFrame(const std::string& frame, FrameType want_type,
+                FrameHeader* header, std::string* payload) {
+  ASSERT_GE(frame.size(), kFrameHeaderBytes);
+  Status decoded =
+      DecodeFrameHeader(frame.substr(0, kFrameHeaderBytes), header);
+  ASSERT_TRUE(decoded.ok()) << decoded.ToString();
+  EXPECT_EQ(header->type, want_type);
+  *payload = frame.substr(kFrameHeaderBytes);
+  ASSERT_EQ(payload->size(), header->payload_bytes);
+}
+
+TEST(ServeProtocolTest, QueryFrameRoundTrips) {
+  QueryRequest request = MakeRequest();
+  std::string frame = EncodeQueryFrame(request);
+  FrameHeader header;
+  std::string payload;
+  SplitFrame(frame, FrameType::kQuery, &header, &payload);
+  QueryRequest decoded;
+  ASSERT_TRUE(DecodeQueryPayload(payload, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.query.keywords.ids(), request.query.keywords.ids());
+  EXPECT_EQ(decoded.query.k, request.query.k);
+  EXPECT_EQ(decoded.query.eps, request.query.eps);
+  EXPECT_TRUE(decoded.has_deadline);
+  EXPECT_EQ(decoded.deadline_seconds, request.deadline_seconds);
+}
+
+TEST(ServeProtocolTest, ResultFrameRoundTripsBitExactly) {
+  QueryResponse response;
+  response.request_id = 7;
+  // Interests exercise the doubles-as-bit-patterns path: a subnormal, a
+  // negative zero, and an ordinary value must all survive verbatim.
+  response.streets.push_back({11, 0.123456789012345678, 3});
+  response.streets.push_back({-1, -0.0, -1});
+  response.streets.push_back({2, std::numeric_limits<double>::denorm_min(), 0});
+  std::string frame = EncodeResultFrame(response);
+  FrameHeader header;
+  std::string payload;
+  SplitFrame(frame, FrameType::kResult, &header, &payload);
+  QueryResponse decoded;
+  ASSERT_TRUE(DecodeResultPayload(payload, &decoded).ok());
+  ASSERT_EQ(decoded.streets.size(), response.streets.size());
+  for (size_t i = 0; i < decoded.streets.size(); ++i) {
+    EXPECT_EQ(decoded.streets[i].street, response.streets[i].street);
+    // Bit-level comparison, not ==: -0.0 and NaN-adjacent patterns must
+    // survive the wire exactly.
+    EXPECT_EQ(std::bit_cast<uint64_t>(decoded.streets[i].interest),
+              std::bit_cast<uint64_t>(response.streets[i].interest));
+    EXPECT_EQ(decoded.streets[i].best_segment,
+              response.streets[i].best_segment);
+  }
+}
+
+TEST(ServeProtocolTest, ErrorFrameRoundTrips) {
+  ErrorResponse error;
+  error.request_id = 9;
+  error.status = Status::ResourceExhausted("queue full");
+  std::string frame = EncodeErrorFrame(error);
+  FrameHeader header;
+  std::string payload;
+  SplitFrame(frame, FrameType::kError, &header, &payload);
+  ErrorResponse decoded;
+  ASSERT_TRUE(DecodeErrorPayload(payload, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, error.request_id);
+  EXPECT_EQ(decoded.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded.status.message(), "queue full");
+}
+
+std::string ValidHeaderBytes() {
+  return EncodeQueryFrame(MakeRequest()).substr(0, kFrameHeaderBytes);
+}
+
+TEST(ServeProtocolTest, HeaderRejectsBadMagic) {
+  std::string header = ValidHeaderBytes();
+  header[0] ^= 0x01;
+  FrameHeader out;
+  EXPECT_EQ(DecodeFrameHeader(header, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, HeaderRejectsFutureVersion) {
+  std::string header = ValidHeaderBytes();
+  header[4] = static_cast<char>(kProtocolVersion + 1);
+  FrameHeader out;
+  EXPECT_EQ(DecodeFrameHeader(header, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, HeaderRejectsReservedBits) {
+  std::string header = ValidHeaderBytes();
+  header[6] = 1;
+  FrameHeader out;
+  EXPECT_EQ(DecodeFrameHeader(header, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, HeaderRejectsUnknownType) {
+  std::string header = ValidHeaderBytes();
+  header[5] = 77;
+  FrameHeader out;
+  EXPECT_EQ(DecodeFrameHeader(header, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, HeaderRejectsOversizedPayload) {
+  // A hostile length prefix must be rejected before anyone allocates.
+  ByteWriter w;
+  w.PutU32(kFrameMagic);
+  w.PutU8(kProtocolVersion);
+  w.PutU8(static_cast<uint8_t>(FrameType::kQuery));
+  w.PutU8(0);
+  w.PutU8(0);
+  w.PutU32(kMaxFramePayloadBytes + 1);
+  FrameHeader out;
+  EXPECT_EQ(DecodeFrameHeader(w.TakeData(), &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, HeaderRejectsWrongLength) {
+  FrameHeader out;
+  EXPECT_EQ(DecodeFrameHeader("short", &out).code(),
+            StatusCode::kInvalidArgument);
+  std::string long_header = ValidHeaderBytes() + "x";
+  EXPECT_EQ(DecodeFrameHeader(long_header, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, QueryPayloadRejectsTruncationAndTrailingBytes) {
+  std::string payload =
+      EncodeQueryFrame(MakeRequest()).substr(kFrameHeaderBytes);
+  QueryRequest out;
+  EXPECT_EQ(
+      DecodeQueryPayload(payload.substr(0, payload.size() - 1), &out).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeQueryPayload(payload + "x", &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, QueryPayloadRejectsKeywordCountAboveCap) {
+  // Claim 2^16+1 keywords but supply none: the cap check must fire
+  // before any reserve.
+  ByteWriter w;
+  w.PutU64(1);
+  w.PutU8(0);
+  w.PutDouble(0.0);
+  w.PutI32(10);
+  w.PutDouble(0.0005);
+  w.PutU32(kMaxQueryKeywords + 1);
+  QueryRequest out;
+  EXPECT_EQ(DecodeQueryPayload(w.TakeData(), &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, QueryPayloadRejectsNonFiniteDeadline) {
+  QueryRequest request = MakeRequest();
+  request.deadline_seconds = std::nan("");
+  std::string payload =
+      EncodeQueryFrame(request).substr(kFrameHeaderBytes);
+  QueryRequest out;
+  EXPECT_EQ(DecodeQueryPayload(payload, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, QueryPayloadAcceptsNonPositiveDeadline) {
+  // "Already expired" is valid on the wire — the server sheds it at
+  // admission, the decoder must not.
+  QueryRequest request = MakeRequest();
+  request.deadline_seconds = -3.0;
+  std::string payload =
+      EncodeQueryFrame(request).substr(kFrameHeaderBytes);
+  QueryRequest out;
+  ASSERT_TRUE(DecodeQueryPayload(payload, &out).ok());
+  EXPECT_EQ(out.deadline_seconds, -3.0);
+}
+
+TEST(ServeProtocolTest, ResultPayloadRejectsStreetCountAboveCap) {
+  ByteWriter w;
+  w.PutU64(1);
+  w.PutU32(kMaxResultStreets + 1);
+  QueryResponse out;
+  EXPECT_EQ(DecodeResultPayload(w.TakeData(), &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, ErrorPayloadRejectsUnknownCodeAndOkStatus) {
+  ErrorResponse out;
+  {
+    ByteWriter w;
+    w.PutU64(1);
+    w.PutU32(250);  // no such StatusCode
+    w.PutString("??");
+    EXPECT_EQ(DecodeErrorPayload(w.TakeData(), &out).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    ByteWriter w;
+    w.PutU64(1);
+    w.PutU32(static_cast<uint32_t>(StatusCode::kOk));
+    w.PutString("not an error");
+    EXPECT_EQ(DecodeErrorPayload(w.TakeData(), &out).code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace soi

@@ -1,0 +1,119 @@
+// Crash-safe snapshot save (DESIGN.md "Persistence & warm start"):
+// SaveSnapshotToFile writes a temp file in the target directory, fsyncs,
+// and renames into place — so a save that dies mid-write (here: the
+// "snapshot.write_section" fault point, standing in for a crash or a
+// full disk) must leave a previously saved snapshot byte-identical and
+// loadable, and must not litter the directory with temp files. The
+// injected-fault case runs fully under the `fault` preset and degrades
+// to the happy-path atomicity checks elsewhere.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "datagen/dataset.h"
+#include "gtest/gtest.h"
+#include "snapshot/snapshot.h"
+#include "test_util.h"
+
+namespace soi {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  return std::move(bytes).str();
+}
+
+/// Files currently present in `dir` — used to prove a failed save cleans
+/// up after itself (no orphaned *.tmp).
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    names.push_back(entry.path().filename().string());
+  }
+  return names;
+}
+
+TEST(SnapshotFaultTest, FailedSaveLeavesExistingSnapshotIntact) {
+  CityProfile profile = testing_util::TinyCityProfile(7);
+  Dataset dataset = GenerateCity(profile).ValueOrDie();
+  std::unique_ptr<DatasetIndexes> indexes = BuildIndexes(dataset, 0.0005);
+  SnapshotContents contents;
+  contents.dataset = &dataset;
+  contents.indexes = indexes.get();
+
+  const std::string dir =
+      ::testing::TempDir() + "soi_snapshot_fault_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directory(dir));
+  const std::string path = dir + "/city.snap";
+
+  // A good save first: this is the survivor the failed overwrite below
+  // must not damage.
+  ASSERT_TRUE(SaveSnapshotToFile(contents, path).ok());
+  const std::string good_bytes = ReadFileBytes(path);
+  ASSERT_FALSE(good_bytes.empty());
+  ASSERT_EQ(ListDir(dir), std::vector<std::string>{"city.snap"});
+
+  if (fault::kEnabled) {
+    // Kill the very first section write of the re-save. The temp file
+    // dies mid-write; the rename never happens.
+    fault::ScopedFault armed("snapshot.write_section",
+                             fault::FaultPlan{.count = 1});
+    Status failed = SaveSnapshotToFile(contents, path);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kInternal);
+    EXPECT_GT(fault::Registry::Global().FireCount("snapshot.write_section"),
+              0);
+  } else {
+    // No fault machinery in this build: overwrite succeeds, which must
+    // be just as atomic (same temp+rename path).
+    ASSERT_TRUE(SaveSnapshotToFile(contents, path).ok());
+  }
+
+  // The original snapshot survived byte-identical, still loads, and the
+  // failed attempt left no temp debris behind.
+  EXPECT_EQ(ReadFileBytes(path), good_bytes);
+  EXPECT_EQ(ListDir(dir), std::vector<std::string>{"city.snap"});
+  Result<LoadedSnapshot> loaded = LoadSnapshotFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().dataset->pois.size(), dataset.pois.size());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotFaultTest, FirstSaveFailureLeavesNoFileAtAll) {
+  if (!fault::kEnabled) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  CityProfile profile = testing_util::TinyCityProfile(7);
+  Dataset dataset = GenerateCity(profile).ValueOrDie();
+  std::unique_ptr<DatasetIndexes> indexes = BuildIndexes(dataset, 0.0005);
+  SnapshotContents contents;
+  contents.dataset = &dataset;
+  contents.indexes = indexes.get();
+
+  const std::string dir =
+      ::testing::TempDir() + "soi_snapshot_fault_first";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directory(dir));
+  const std::string path = dir + "/city.snap";
+
+  fault::ScopedFault armed("snapshot.write_section",
+                           fault::FaultPlan{.count = 1});
+  Status failed = SaveSnapshotToFile(contents, path);
+  ASSERT_FALSE(failed.ok());
+  // Failure is all-or-nothing: no partial snapshot, no temp file.
+  EXPECT_TRUE(ListDir(dir).empty());
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace soi

@@ -9,6 +9,8 @@
 #   tsan    — the full suite under ThreadSanitizer (perf smoke excluded:
 #             sanitizer timings would trip the scaling floors),
 #   fault   — fault-injection hooks armed under ASan+UBSan (ditto).
+# Afterwards it re-runs the snapshot, obs, and serving labels under the
+# builds that give each suite its strongest guarantee (see below).
 # Usage: tools/check.sh [extra ctest args...]
 set -euo pipefail
 
@@ -41,6 +43,19 @@ echo "==== [obs] test ===="
 ctest --preset obs -j "$JOBS" --output-on-failure
 echo "==== [tsan-obs] test ===="
 ctest --preset tsan-obs -j "$JOBS" --output-on-failure
+
+# Serving suite, same rationale, across three builds: plain (protocol /
+# backpressure / drain semantics), TSan (the accept/reader/worker/drain
+# thread choreography is exactly where a data race would hide), and
+# fault (the chaos soak with serve.* fault points actually armed, under
+# ASan). Guaranteed passes even when extra ctest args filtered the
+# label out of the main sweeps.
+echo "==== [serving] test ===="
+ctest --preset serving -j "$JOBS" --output-on-failure
+echo "==== [tsan-serving] test ===="
+ctest --preset tsan-serving -j "$JOBS" --output-on-failure
+echo "==== [fault-serving] test ===="
+ctest --preset fault-serving -j "$JOBS" --output-on-failure
 
 # Perf smoke, same rationale: guaranteed one run in the un-sanitized
 # default build with its scaling gates evaluated, even when extra ctest

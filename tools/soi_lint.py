@@ -27,6 +27,13 @@ io-stream     Library code (src/) must not write to the standard streams
 naked-new     Every `new` must transfer ownership on the same statement
               (std::unique_ptr/std::shared_ptr construction or .reset).
               Intentionally leaked singletons carry a suppression.
+unchecked-io  Serving code (src/serve/) must not discard the return
+              value of the raw socket syscalls send/recv/read/write —
+              a short write silently truncates a frame and a short read
+              silently desyncs the stream. Call through Socket::SendAll
+              / Socket::RecvExact (serve/net.h), which loop and return
+              a typed Status; a (void)-cast discard counts as a
+              violation too.
 nested-vector Grid-index headers (src/grid/*.h) must not declare
               std::vector<std::vector<...>> members: the serving indexes
               store flat CSR arenas (common/csr.h), and a nested-vector
@@ -64,6 +71,7 @@ RULE_SCOPE = {
     "float-eq": ("src", "bench", "tests", "examples"),
     "io-stream": ("src",),
     "naked-new": ("src",),
+    "unchecked-io": ("src/serve",),
     "nested-vector": ("src/grid",),
 }
 
@@ -81,6 +89,7 @@ ALLOWLIST = {
     "io-stream": ["src/common/check.h"],
     "float-eq": [],
     "naked-new": [],
+    "unchecked-io": [],
     "nested-vector": [],
 }
 
@@ -114,6 +123,12 @@ RULE_PATTERNS = {
         r"|(?<![\w:])putchar\s*\(|\bperror\s*\("
     ),
     "naked-new": re.compile(r"\bnew\b(?:\s*\(\s*std::nothrow\s*\))?\s*[\w:<(]"),
+    # Case-sensitive and statement-anchored: Socket::SendAll/RecvExact
+    # never match, and a call whose value feeds an assignment, condition,
+    # or return is a continuation the prev-line check below recognizes.
+    "unchecked-io": re.compile(
+        r"^\s*(?:\(void\)\s*)?(?:::)?(?:send|recv|read|write)\s*\("
+    ),
     "nested-vector": re.compile(r"std::\s*vector\s*<\s*std::\s*vector\s*<"),
 }
 
@@ -135,6 +150,11 @@ RULE_MESSAGES = {
         "naked new; transfer ownership on the same statement "
         "(make_unique / unique_ptr(new ...) / .reset(new ...))"
     ),
+    "unchecked-io": (
+        "unchecked send/recv/read/write return value; short I/O "
+        "truncates or desyncs the stream — use Socket::SendAll / "
+        "Socket::RecvExact (serve/net.h) or handle the count"
+    ),
     "nested-vector": (
         "nested-vector storage in a grid-index header; serving indexes "
         "use flat CSR arenas (common/csr.h) — stage nested rows only in "
@@ -144,6 +164,10 @@ RULE_MESSAGES = {
 
 # A `new` is owned if the statement context shows an immediate wrapper.
 _OWNED_NEW = re.compile(r"unique_ptr\s*<|shared_ptr\s*<|\.reset\s*\(")
+
+# A syscall starting a line is still value-checked when it continues the
+# previous line (assignment, condition, argument list, return, ...).
+_CONTINUATION_PREV = re.compile(r"(?:[=(,?:+\-*/%<>|&!]|\breturn)\s*$")
 
 
 def strip_comments_and_strings(text):
@@ -227,6 +251,10 @@ def lint_file(path, rel_path, rules):
             if rule == "naked-new":
                 prev = code_lines[i - 1] if i > 0 else ""
                 if _OWNED_NEW.search(prev + " " + line):
+                    continue
+            if rule == "unchecked-io":
+                prev = code_lines[i - 1] if i > 0 else ""
+                if _CONTINUATION_PREV.search(prev):
                     continue
             if is_suppressed(raw_lines, i, rule):
                 continue

@@ -33,6 +33,7 @@ class TextRuleTest(unittest.TestCase):
         ("bad_io_stream.cc", "io-stream", 5),
         ("bad_io_stream_diag.cc", "io-stream", 6),
         ("bad_naked_new.cc", "naked-new", 5),
+        ("bad_unchecked_io.cc", "unchecked-io", 8),
         ("bad_nested_vector.h", "nested-vector", 10),
     ]
 

@@ -1,0 +1,221 @@
+// soid — the fault-tolerant serving front-end (DESIGN.md "Serving &
+// overload"): a TCP server speaking the serve/protocol.h binary framing
+// over one warm-started QueryEngine.
+//
+//   soid --snapshot=PATH [--host=127.0.0.1] [--port=0] [--workers=4]
+//        [--queue=64] [--max-conns=64] [--read-timeout=10]
+//        [--write-timeout=10] [--drain-deadline=5]
+//        [--state-file=SOI_SERVE_STATE.json]
+//   soid --city=Vienna [--scale=0.05] [...same serving flags]
+//
+// Crash-safe startup: with --snapshot, the index suite and eps cache are
+// restored from the file and the engine warm-starts; a corrupt or
+// unreadable snapshot refuses to serve with a typed exit (code 3), it
+// never serves partial state. --city generates a synthetic city instead
+// (for manual poking without a snapshot on hand).
+//
+// Signals: SIGTERM begins a graceful drain (stop accepting, finish or
+// cancel in-flight work within --drain-deadline, flush the obs state
+// file); SIGUSR1 dumps live obs state to the same file mid-serve. Both
+// hooks ride the shared common/signal_watch.h mask, so they coexist in
+// one process.
+//
+// Exit codes: 0 clean drain; 1 drain cancelled in-flight work or another
+// runtime error; 2 usage; 3 snapshot corrupt/unreadable.
+
+#include <signal.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/signal_watch.h"
+#include "common/string_util.h"
+#include "core/query_engine.h"
+#include "datagen/city_profile.h"
+#include "datagen/dataset.h"
+#include "obs/dump.h"
+#include "serve/server.h"
+#include "snapshot/snapshot.h"
+
+namespace soi {
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadSnapshot = 3;
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  soid --snapshot=PATH | --city=NAME [--scale=0.05]\n"
+         "       [--host=127.0.0.1] [--port=0] [--workers=4] [--queue=64]\n"
+         "       [--max-conns=64] [--read-timeout=10] [--write-timeout=10]\n"
+         "       [--drain-deadline=5] [--state-file=SOI_SERVE_STATE.json]\n";
+  return kExitUsage;
+}
+
+int Fail(int code, const Status& status) {
+  std::cerr << "soid: " << status.ToString() << "\n";
+  return code;
+}
+
+struct SoidOptions {
+  std::string snapshot;
+  std::string city;
+  double scale = 0.05;
+  serve::SoidServerOptions server;
+};
+
+Result<double> FlagDouble(const std::string& arg, size_t prefix) {
+  return ParseDouble(arg.substr(prefix));
+}
+
+bool ParseArgs(const std::vector<std::string>& args, SoidOptions* out) {
+  out->server.drain_state_path = "SOI_SERVE_STATE.json";
+  for (const std::string& arg : args) {
+    if (arg.rfind("--snapshot=", 0) == 0) {
+      out->snapshot = arg.substr(11);
+    } else if (arg.rfind("--city=", 0) == 0) {
+      out->city = arg.substr(7);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      auto value = FlagDouble(arg, 8);
+      if (!value.ok()) return false;
+      out->scale = value.ValueOrDie();
+    } else if (arg.rfind("--host=", 0) == 0) {
+      out->server.host = arg.substr(7);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      out->server.port = std::stoi(arg.substr(7));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      out->server.num_workers = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--queue=", 0) == 0) {
+      out->server.queue_capacity =
+          static_cast<size_t>(std::stoi(arg.substr(8)));
+    } else if (arg.rfind("--max-conns=", 0) == 0) {
+      out->server.max_connections =
+          static_cast<size_t>(std::stoi(arg.substr(12)));
+    } else if (arg.rfind("--read-timeout=", 0) == 0) {
+      auto value = FlagDouble(arg, 15);
+      if (!value.ok()) return false;
+      out->server.read_timeout_seconds = value.ValueOrDie();
+    } else if (arg.rfind("--write-timeout=", 0) == 0) {
+      auto value = FlagDouble(arg, 16);
+      if (!value.ok()) return false;
+      out->server.write_timeout_seconds = value.ValueOrDie();
+    } else if (arg.rfind("--drain-deadline=", 0) == 0) {
+      auto value = FlagDouble(arg, 17);
+      if (!value.ok()) return false;
+      out->server.drain_deadline_seconds = value.ValueOrDie();
+    } else if (arg.rfind("--state-file=", 0) == 0) {
+      out->server.drain_state_path = arg.substr(13);
+    } else {
+      return false;
+    }
+  }
+  // Exactly one data source.
+  return out->snapshot.empty() != out->city.empty();
+}
+
+/// The drain hook's target, latched once the server exists. SIGTERM
+/// before then exits the process directly.
+std::atomic<serve::SoidServer*> live_server{nullptr};
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  SoidOptions options;
+  if (!ParseArgs(args, &options)) return Usage();
+
+  // Signal hooks first, before any other thread exists (the engine's
+  // pool included), so every later thread inherits the blocked mask and
+  // delivery always lands in the sigwait watchers (common/signal_watch.h
+  // contract). The server is constructed only after the data loads, so
+  // the drain hook dereferences the latch at signal time.
+  if (Status hook = WatchSignal(SIGTERM,
+                                [] {
+                                  serve::SoidServer* server =
+                                      live_server.load();
+                                  if (server != nullptr) {
+                                    server->RequestDrain();
+                                  } else {
+                                    std::_Exit(kExitOk);
+                                  }
+                                });
+      !hook.ok()) {
+    return Fail(kExitRuntime, hook);
+  }
+  if (Status hook = obs::InstallSignalDump(options.server.drain_state_path);
+      !hook.ok()) {
+    return Fail(kExitRuntime, hook);
+  }
+
+  // Data plane: snapshot warm start (the production path) or a generated
+  // city (the kick-the-tires path).
+  std::unique_ptr<Dataset> dataset;
+  std::unique_ptr<DatasetIndexes> indexes;
+  std::vector<std::shared_ptr<const EpsAugmentedMaps>> preloaded;
+  if (!options.snapshot.empty()) {
+    std::cerr << "[soid] restoring snapshot " << options.snapshot << "\n";
+    Result<LoadedSnapshot> loaded = LoadSnapshotFromFile(options.snapshot);
+    if (!loaded.ok()) {
+      // Refuse to serve on a corrupt snapshot: a typed exit beats serving
+      // partial or silently-wrong state.
+      return Fail(kExitBadSnapshot, loaded.status());
+    }
+    LoadedSnapshot snapshot = std::move(loaded).ValueOrDie();
+    dataset = std::move(snapshot.dataset);
+    indexes = std::move(snapshot.indexes);
+    preloaded = std::move(snapshot.eps_maps);
+  } else {
+    const CityProfile* profile = nullptr;
+    std::vector<CityProfile> profiles = AllCityProfiles(options.scale);
+    for (const CityProfile& candidate : profiles) {
+      if (candidate.name == options.city) profile = &candidate;
+    }
+    if (profile == nullptr) {
+      return Fail(kExitUsage,
+                  Status::InvalidArgument("unknown city " + options.city));
+    }
+    std::cerr << "[soid] generating " << options.city
+              << " (scale=" << options.scale << ")\n";
+    Result<Dataset> generated = GenerateCity(*profile);
+    if (!generated.ok()) return Fail(kExitRuntime, generated.status());
+    dataset = std::make_unique<Dataset>(std::move(generated).ValueOrDie());
+    indexes = BuildIndexes(*dataset, 0.0005);
+  }
+
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = options.server.num_workers;
+  QueryEngine engine(dataset->network, indexes->poi_grid,
+                     indexes->global_index, indexes->segment_cells,
+                     engine_options, std::move(preloaded));
+
+  serve::SoidServer server(&engine, options.server);
+  live_server.store(&server);
+
+  if (Status started = server.Start(); !started.ok()) {
+    return Fail(kExitRuntime, started);
+  }
+  std::cerr << "[soid] serving on " << options.server.host << ":"
+            << server.port() << " (" << options.server.num_workers
+            << " workers, queue " << options.server.queue_capacity
+            << "); SIGTERM drains\n";
+  Status drained = server.Wait();
+  live_server.store(nullptr);  // a late SIGTERM now exits directly
+  serve::SoidServer::Stats stats = server.stats();
+  std::cerr << "[soid] drained: accepted=" << stats.accepted
+            << " requests=" << stats.requests << " ok=" << stats.responses_ok
+            << " errors=" << stats.responses_error
+            << " shed=" << stats.shed_queue_full
+            << " cancelled=" << stats.drain_cancelled << "\n";
+  if (!drained.ok()) return Fail(kExitRuntime, drained);
+  return kExitOk;
+}
+
+}  // namespace
+}  // namespace soi
+
+int main(int argc, char** argv) { return soi::Main(argc, argv); }
