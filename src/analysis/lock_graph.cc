@@ -1,0 +1,280 @@
+#include "analysis/lock_graph.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace soi {
+namespace lock_graph {
+
+const char* ViolationKindName(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kCycle:
+      return "cycle";
+    case Violation::Kind::kRankInversion:
+      return "rank-inversion";
+    case Violation::Kind::kSelfDeadlock:
+      return "self-deadlock";
+  }
+  return "unknown";
+}
+
+LockGraph& LockGraph::Global() {
+  // Leaked: threads may release locks during static teardown, after a
+  // function-local static would have been destroyed.
+  static LockGraph* const global = new LockGraph();  // soi-lint: naked-new
+  return *global;
+}
+
+const LockNode* LockGraph::RegisterNode(const char* name, int rank) {
+  std::string key(name == nullptr ? "" : name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = name_to_id_.find(key);
+  if (it != name_to_id_.end()) {
+    LockNode* node = nodes_[static_cast<std::size_t>(it->second)].get();
+    if (node->rank == kNoRank && rank != kNoRank) {
+      node->rank = rank;
+    } else if (rank != kNoRank && rank != node->rank) {
+      Violation violation;
+      violation.kind = Violation::Kind::kRankInversion;
+      violation.summary = "conflicting rank declaration for lock class '" +
+                          key + "': registered " +
+                          std::to_string(node->rank) + ", redeclared " +
+                          std::to_string(rank) +
+                          " (one name must mean one place in the order)";
+      ReportLocked(std::move(violation));
+    }
+    return node;
+  }
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::make_unique<LockNode>(LockNode{key, rank, id}));
+  name_to_id_.emplace(std::move(key), id);
+  adj_.emplace_back();
+  return nodes_.back().get();
+}
+
+std::string LockGraph::HeldStackString(const ThreadState& thread) const {
+  std::string out = "[";
+  for (int i = 0; i < thread.depth; ++i) {
+    if (i > 0) out += ", ";
+    out += thread.held[i].node->name;
+  }
+  out += "]";
+  return out;
+}
+
+void LockGraph::RecordAcquire(ThreadState& thread, const void* instance,
+                              const LockNode* node, bool blocking) {
+  if (node == nullptr) return;
+  if (blocking && thread.depth > 0) {
+    std::string context;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < thread.depth; ++i) {
+      const ThreadState::Held& held = thread.held[i];
+      if (held.node == node) {
+        if (held.instance == instance &&
+            reported_self_.insert(node->id).second) {
+          Violation violation;
+          violation.kind = Violation::Kind::kSelfDeadlock;
+          violation.summary = "mutex '" + node->name +
+                              "' acquired twice by the same thread "
+                              "(guaranteed deadlock on std::mutex)";
+          violation.edges.push_back(node->name + " -> " + node->name +
+                                    " (held stack " +
+                                    HeldStackString(thread) + ")");
+          ReportLocked(std::move(violation));
+        }
+        // Two *instances* of one class nesting (e.g. two ForkJoinStates)
+        // would need per-instance ordering to model; not flagged.
+        continue;
+      }
+      if (context.empty()) {
+        context = "acquired '" + node->name + "' while holding " +
+                  HeldStackString(thread);
+      }
+      AddEdgeLocked(held.node, node, context);
+    }
+  }
+  if (thread.depth < ThreadState::kMaxHeld) {
+    thread.held[thread.depth].instance = instance;
+    thread.held[thread.depth].node = node;
+    ++thread.depth;
+  } else {
+    ++thread.overflowed;
+  }
+}
+
+void LockGraph::RecordRelease(ThreadState& thread, const void* instance) {
+  // Scan from the top: releases are usually LIFO, but CondVar::Wait and
+  // hand-over-hand patterns may release out of order.
+  for (int i = thread.depth - 1; i >= 0; --i) {
+    if (thread.held[i].instance != instance) continue;
+    for (int j = i; j + 1 < thread.depth; ++j) {
+      thread.held[j] = thread.held[j + 1];
+    }
+    --thread.depth;
+    return;
+  }
+  // Untracked (stack overflowed at acquire, or an unnamed mutex): ignore.
+}
+
+void LockGraph::AddEdgeLocked(const LockNode* from, const LockNode* to,
+                              const std::string& context) {
+  std::pair<int, int> key(from->id, to->id);
+  bool inserted = edges_.emplace(key, EdgeInfo{context}).second;
+  if (inserted) {
+    adj_[static_cast<std::size_t>(from->id)].push_back(to->id);
+  }
+
+  // Rank discipline: acquisition order must strictly ascend, so a
+  // same-or-lower-ranked lock under a held one is an inversion even if
+  // no second thread ever takes the reversed order.
+  if (from->rank != kNoRank && to->rank != kNoRank && to->rank <= from->rank &&
+      reported_ranks_.insert(key).second) {
+    Violation violation;
+    violation.kind = Violation::Kind::kRankInversion;
+    violation.summary = "rank inversion: acquired '" + to->name + "' (rank " +
+                        std::to_string(to->rank) + ") while holding '" +
+                        from->name + "' (rank " + std::to_string(from->rank) +
+                        "); ranks must strictly increase";
+    violation.edges.push_back(from->name + " -> " + to->name + " (" + context +
+                              ")");
+    ReportLocked(std::move(violation));
+  }
+
+  if (!inserted) return;
+  // The new edge from -> to closes a cycle iff `from` is reachable from
+  // `to` along existing edges. Report each closing pair once.
+  std::vector<int> path;
+  if (!FindPathLocked(to->id, from->id, &path)) return;
+  if (!reported_cycles_.insert(key).second) return;
+  Violation violation;
+  violation.kind = Violation::Kind::kCycle;
+  std::string names = from->name + " -> " + to->name;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    names += " -> " + nodes_[static_cast<std::size_t>(path[i])]->name;
+  }
+  violation.summary =
+      "lock-order cycle (potential deadlock): " + names;
+  violation.edges.push_back(from->name + " -> " + to->name + " (" + context +
+                            ")");
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    std::pair<int, int> leg(path[i], path[i + 1]);
+    auto it = edges_.find(leg);
+    std::string leg_context = it == edges_.end() ? "" : it->second.context;
+    violation.edges.push_back(
+        nodes_[static_cast<std::size_t>(leg.first)]->name + " -> " +
+        nodes_[static_cast<std::size_t>(leg.second)]->name + " (" +
+        leg_context + ")");
+  }
+  ReportLocked(std::move(violation));
+}
+
+bool LockGraph::FindPathLocked(int from, int to,
+                               std::vector<int>* path) const {
+  // Iterative DFS recording parents so the cycle report can name every
+  // edge on the path.
+  std::vector<int> parent(nodes_.size(), -1);
+  std::vector<bool> visited(nodes_.size(), false);
+  std::vector<int> stack;
+  stack.push_back(from);
+  visited[static_cast<std::size_t>(from)] = true;
+  while (!stack.empty()) {
+    int current = stack.back();
+    stack.pop_back();
+    if (current == to) {
+      std::vector<int> reversed;
+      for (int walk = to; walk != -1; walk = parent[static_cast<std::size_t>(walk)]) {
+        reversed.push_back(walk);
+      }
+      path->assign(reversed.rbegin(), reversed.rend());
+      return true;
+    }
+    for (int next : adj_[static_cast<std::size_t>(current)]) {
+      if (visited[static_cast<std::size_t>(next)]) continue;
+      visited[static_cast<std::size_t>(next)] = true;
+      parent[static_cast<std::size_t>(next)] = current;
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+void LockGraph::ReportLocked(Violation violation) {
+  violations_.push_back(violation);
+  if (!fatal_on_violation_) return;
+  // Fatal report on the violating thread, while the evidence is fresh.
+  // Raw stderr (allowlisted for the io-stream lint rule, like
+  // common/check.h): the obs dump path takes locks of its own, which a
+  // lock-discipline reporter must not depend on.
+  std::fprintf(stderr, "lock_graph: FATAL %s: %s\n",
+               ViolationKindName(violation.kind), violation.summary.c_str());
+  for (const std::string& edge : violation.edges) {
+    std::fprintf(stderr, "lock_graph:   edge %s\n", edge.c_str());
+  }
+  std::fprintf(stderr,
+               "lock_graph: build with -DSOI_DEADLOCK_DETECT=OFF to compile "
+               "the detector out, or SetFatalOnViolation(false) to collect "
+               "reports instead\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+GraphSnapshot LockGraph::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GraphSnapshot snapshot;
+  snapshot.nodes.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    snapshot.nodes.push_back(NodeSnapshot{node->name, node->rank});
+  }
+  snapshot.edges.reserve(edges_.size());
+  for (const auto& [key, info] : edges_) {
+    snapshot.edges.push_back(
+        EdgeSnapshot{nodes_[static_cast<std::size_t>(key.first)]->name,
+                     nodes_[static_cast<std::size_t>(key.second)]->name,
+                     info.context});
+  }
+  snapshot.violations = violations_;
+  return snapshot;
+}
+
+std::size_t LockGraph::violation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_.size();
+}
+
+void LockGraph::SetFatalOnViolation(bool fatal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fatal_on_violation_ = fatal;
+}
+
+void LockGraph::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& neighbors : adj_) neighbors.clear();
+  edges_.clear();
+  reported_cycles_.clear();
+  reported_ranks_.clear();
+  reported_self_.clear();
+  violations_.clear();
+}
+
+ThreadState& CurrentThreadState() {
+  thread_local ThreadState state;
+  return state;
+}
+
+void OnMutexAcquire(const void* instance, const LockNode* node) {
+  LockGraph::Global().RecordAcquire(CurrentThreadState(), instance, node,
+                                    /*blocking=*/true);
+}
+
+void OnMutexTryAcquired(const void* instance, const LockNode* node) {
+  LockGraph::Global().RecordAcquire(CurrentThreadState(), instance, node,
+                                    /*blocking=*/false);
+}
+
+void OnMutexRelease(const void* instance) {
+  LockGraph::Global().RecordRelease(CurrentThreadState(), instance);
+}
+
+}  // namespace lock_graph
+}  // namespace soi

@@ -1,0 +1,205 @@
+#ifndef SOI_ANALYSIS_LOCK_GRAPH_H_
+#define SOI_ANALYSIS_LOCK_GRAPH_H_
+
+/// Runtime lock-order deadlock detection (the "lock graph").
+///
+/// Every named soi::Mutex registers a *lock class* node here keyed by its
+/// name (not its address, so short-lived locks like the per-ParallelFor
+/// ForkJoinState share one node). Each thread tracks the stack of locks
+/// it currently holds; whenever a thread acquires lock B while holding
+/// lock A, the directed edge A -> B is added to a process-global graph.
+/// A cycle in that graph is a *potential* deadlock — two threads taking
+/// the same pair of locks in opposite orders can deadlock on some
+/// interleaving even if this run never did — and is reported on the
+/// first acquisition that closes the cycle, with the held-lock stack
+/// captured when each participating edge was first recorded.
+///
+/// Locks may additionally declare a *rank*: acquisition order must be
+/// strictly increasing in rank, so a rank violation is reported even
+/// before a second thread ever takes the reversed order. Leaf locks
+/// (never held across another acquisition) share the highest rank; see
+/// DESIGN.md "Lock ordering & layering" for the rank table.
+///
+/// Compile-out contract (mirrors obs/obs.h): the soi::Mutex hooks that
+/// feed this registry are compiled in only under -DSOI_DEADLOCK_DETECT=ON
+/// (the `deadlock` preset), which defines SOI_DEADLOCK_DETECT_ENABLED.
+/// In a default build the hooks vanish, sizeof(soi::Mutex) equals
+/// sizeof(std::mutex), and nothing registers — guarded by
+/// tests/deadlock_compile_out_test.cc. The registry classes themselves
+/// compile in every build so tests can drive the detector directly.
+///
+/// Layering: this header is the instrumentation substrate below
+/// common/ (common/mutex.h includes it), so it depends on the C++
+/// standard library only. The registry's own lock is a raw std::mutex —
+/// instrumenting the instrumenter would recurse — which is allowlisted
+/// for the lock-hygiene lint rule.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace soi {
+namespace lock_graph {
+
+#ifdef SOI_DEADLOCK_DETECT_ENABLED
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Rank ladder for the named locks in this codebase. Acquisition order
+/// must strictly ascend, so a lock may only be taken while holding locks
+/// of *lower* rank; two locks of equal rank must never nest. kRankLeaf
+/// marks locks that never have another lock acquired under them.
+/// kNoRank opts a lock out of rank checking (cycle detection still
+/// applies). The full table lives in DESIGN.md "Lock ordering &
+/// layering".
+inline constexpr int kNoRank = -1;
+inline constexpr int kRankServe = 10;        // soid queue/conns/tokens
+inline constexpr int kRankThreadPool = 20;   // pool work queue
+inline constexpr int kRankObsOuter = 30;     // TraceRecorder buffer list
+inline constexpr int kRankObsRegistry = 40;  // metrics Registry maps
+inline constexpr int kRankLeaf = 50;         // terminal locks
+
+/// One lock class. Stable address for the lifetime of the process
+/// (owned by the LockGraph that registered it).
+struct LockNode {
+  std::string name;
+  int rank = kNoRank;
+  int id = 0;
+};
+
+/// Per-thread held-lock stack. Fixed-size POD so the thread_local
+/// instance is trivially destructible (no TLS destruction-order hazard
+/// when threads exit during static teardown). Tests construct their own
+/// instances to simulate threads deterministically.
+struct ThreadState {
+  static constexpr int kMaxHeld = 32;
+  struct Held {
+    const void* instance;
+    const LockNode* node;
+  };
+  Held held[kMaxHeld];
+  int depth = 0;
+  // Acquisitions not tracked because the stack was full; release of an
+  // untracked lock is ignored.
+  int64_t overflowed = 0;
+};
+
+/// A detected lock-discipline violation. `edges` carries one line per
+/// participating edge, each with the held-lock stack captured when that
+/// edge was first recorded — for a cycle this names both (all)
+/// acquisition sites of the potential deadlock.
+struct Violation {
+  enum class Kind { kCycle, kRankInversion, kSelfDeadlock };
+  Kind kind = Kind::kCycle;
+  std::string summary;
+  std::vector<std::string> edges;
+};
+
+const char* ViolationKindName(Violation::Kind kind);
+
+struct NodeSnapshot {
+  std::string name;
+  int rank = kNoRank;
+};
+
+struct EdgeSnapshot {
+  std::string from;
+  std::string to;
+  // Held-lock stack of the thread that first recorded the edge.
+  std::string context;
+};
+
+struct GraphSnapshot {
+  std::vector<NodeSnapshot> nodes;
+  std::vector<EdgeSnapshot> edges;
+  std::vector<Violation> violations;
+};
+
+/// The lock-order graph. Instrumented soi::Mutex hooks feed Global()
+/// through the free functions below; tests instantiate their own graph
+/// and drive RecordAcquire/RecordRelease with synthetic ThreadStates.
+/// All methods are thread-safe.
+class LockGraph {
+ public:
+  LockGraph() = default;
+  LockGraph(const LockGraph&) = delete;
+  LockGraph& operator=(const LockGraph&) = delete;
+
+  /// The process-wide graph the Mutex instrumentation reports into.
+  static LockGraph& Global();
+
+  /// Interns the lock class `name`, returning its stable node. The first
+  /// registration wins; a later registration with a different explicit
+  /// rank records a rank-conflict violation (one name must mean one
+  /// place in the order).
+  const LockNode* RegisterNode(const char* name, int rank);
+
+  /// Records `thread` acquiring `node` on mutex instance `instance`:
+  /// adds held -> node edges, runs rank and cycle checks, and pushes the
+  /// hold. `blocking` is false for a successful try_lock, which cannot
+  /// deadlock and therefore records the hold without adding edges.
+  void RecordAcquire(ThreadState& thread, const void* instance,
+                     const LockNode* node, bool blocking = true);
+
+  /// Pops the hold for `instance` from `thread` (no-op if untracked).
+  void RecordRelease(ThreadState& thread, const void* instance);
+
+  GraphSnapshot Snapshot() const;
+  std::size_t violation_count() const;
+
+  /// When fatal (the default), any violation prints a full report to
+  /// stderr and aborts — this is what makes "the suite runs report-clean
+  /// under the deadlock preset" an enforced property rather than a log
+  /// to remember to read. Tests that plant violations turn it off.
+  void SetFatalOnViolation(bool fatal);
+
+  /// Clears edges and violations but keeps registered nodes (live
+  /// Mutexes hold node pointers). Test-only.
+  void ResetForTest();
+
+ private:
+  struct EdgeInfo {
+    std::string context;
+  };
+
+  void AddEdgeLocked(const LockNode* from, const LockNode* to,
+                     const std::string& context);
+  bool FindPathLocked(int from, int to, std::vector<int>* path) const;
+  void ReportLocked(Violation violation);
+  std::string HeldStackString(const ThreadState& thread) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<LockNode>> nodes_;
+  std::map<std::string, int> name_to_id_;
+  // Adjacency by node id, plus first-recording context per edge.
+  std::vector<std::vector<int>> adj_;
+  std::map<std::pair<int, int>, EdgeInfo> edges_;
+  // Each (from, to) pair reports a cycle / rank inversion at most once.
+  std::set<std::pair<int, int>> reported_cycles_;
+  std::set<std::pair<int, int>> reported_ranks_;
+  std::set<int> reported_self_;
+  std::vector<Violation> violations_;
+  bool fatal_on_violation_ = true;
+};
+
+/// The calling thread's held-lock stack (thread_local, trivially
+/// destructible).
+ThreadState& CurrentThreadState();
+
+/// Hooks called by the instrumented soi::Mutex / CondVar (only under
+/// SOI_DEADLOCK_DETECT_ENABLED); they report into LockGraph::Global().
+void OnMutexAcquire(const void* instance, const LockNode* node);
+void OnMutexTryAcquired(const void* instance, const LockNode* node);
+void OnMutexRelease(const void* instance);
+
+}  // namespace lock_graph
+}  // namespace soi
+
+#endif  // SOI_ANALYSIS_LOCK_GRAPH_H_

@@ -110,7 +110,8 @@ class Registry {
     uint64_t fires = 0;
   };
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"common.FaultRegistry.points",
+                       lock_graph::kRankLeaf};
   std::map<std::string, Site> sites_ SOI_GUARDED_BY(mutex_);
 };
 

@@ -2,9 +2,11 @@
 #define SOI_COMMON_MUTEX_H_
 
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
 
+#include "analysis/lock_graph.h"
 #include "common/thread_annotations.h"
 
 namespace soi {
@@ -19,19 +21,67 @@ namespace soi {
 /// Lock through MutexLock; the std-style lock()/unlock() names keep the
 /// type BasicLockable for the rare call site that needs std::scoped_lock
 /// semantics.
+///
+/// A Mutex constructed with a name (and optionally a rank from
+/// analysis/lock_graph.h) participates in runtime lock-order deadlock
+/// detection under the `deadlock` preset (-DSOI_DEADLOCK_DETECT=ON):
+/// every held -> acquired pair feeds the global lock graph, where a
+/// cycle or rank inversion is reported as a potential deadlock. Name
+/// every long-lived Mutex; the name keys a lock *class*, so short-lived
+/// instances (one per ParallelFor, say) share a single node. In default
+/// builds the name is ignored, the hooks compile out, and the layout is
+/// exactly std::mutex (guarded by tests/deadlock_compile_out_test.cc).
 class SOI_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+#ifdef SOI_DEADLOCK_DETECT_ENABLED
+  explicit Mutex(const char* name, int rank = lock_graph::kNoRank)
+      : node_(lock_graph::LockGraph::Global().RegisterNode(name, rank)) {}
+#else
+  explicit Mutex(const char* /*name*/, int /*rank*/ = lock_graph::kNoRank) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() SOI_ACQUIRE() { mutex_.lock(); }
-  void unlock() SOI_RELEASE() { mutex_.unlock(); }
-  bool try_lock() SOI_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+  void lock() SOI_ACQUIRE() {
+#ifdef SOI_DEADLOCK_DETECT_ENABLED
+    // Hook before blocking: the edge (and any cycle it closes) must be
+    // reported even on an interleaving that actually deadlocks here.
+    if (node_ != nullptr) lock_graph::OnMutexAcquire(this, node_);
+#endif
+    mutex_.lock();
+  }
+  void unlock() SOI_RELEASE() {
+#ifdef SOI_DEADLOCK_DETECT_ENABLED
+    // Hook BEFORE the native unlock: the unlock may be the last licit
+    // touch of this object. A stack-allocated mutex (ForkJoinState) can
+    // be destroyed by the thread the unlock releases the moment
+    // mutex_.unlock() returns, so reading node_ afterwards is a
+    // use-after-free and a missed pop strands the lock class on this
+    // thread's held stack. Popping early is safe: the stack is
+    // thread-local and this thread acquires nothing before the unlock.
+    if (node_ != nullptr) lock_graph::OnMutexRelease(this);
+#endif
+    mutex_.unlock();
+  }
+  bool try_lock() SOI_TRY_ACQUIRE(true) {
+    bool acquired = mutex_.try_lock();
+#ifdef SOI_DEADLOCK_DETECT_ENABLED
+    // A try_lock cannot block, hence cannot deadlock: record the hold
+    // (locks acquired under it still get edges) but add no edges for it.
+    if (acquired && node_ != nullptr) {
+      lock_graph::OnMutexTryAcquired(this, node_);
+    }
+#endif
+    return acquired;
+  }
 
  private:
   friend class CondVar;
   std::mutex mutex_;
+#ifdef SOI_DEADLOCK_DETECT_ENABLED
+  const lock_graph::LockNode* node_ = nullptr;
+#endif
 };
 
 /// RAII lock of a Mutex, visible to the thread-safety analysis (a
@@ -71,12 +121,21 @@ class CondVar {
   /// Atomically releases `mutex`, blocks until notified (or spuriously
   /// woken), and reacquires `mutex` before returning.
   void Wait(Mutex& mutex) SOI_REQUIRES(mutex) SOI_NO_THREAD_SAFETY_ANALYSIS {
+#ifdef SOI_DEADLOCK_DETECT_ENABLED
+    // The wait releases the mutex, so the held-lock stack must not show
+    // it while blocked; the reacquisition re-records it (with edges from
+    // whatever else the waiter still holds).
+    if (mutex.node_ != nullptr) lock_graph::OnMutexRelease(&mutex);
+#endif
     // Adopt the already-held native mutex so the plain (fast)
     // std::condition_variable can be used, then release the unique_lock
     // so ownership stays with the caller's MutexLock.
     std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+#ifdef SOI_DEADLOCK_DETECT_ENABLED
+    if (mutex.node_ != nullptr) lock_graph::OnMutexAcquire(&mutex, mutex.node_);
+#endif
   }
 
   /// Wait() with a timeout: returns false if `seconds` elapsed without a
@@ -85,13 +144,31 @@ class CondVar {
   /// return value only tells them whether to also re-check their clock.
   /// Used by the serving drain path (src/serve) to bound how long it
   /// waits for in-flight work.
+  ///
+  /// A non-finite or non-positive `seconds` (NaN, ±inf, an elapsed
+  /// deadline's negative remainder) reports an immediate timeout with
+  /// the mutex still held — those values must not reach the duration
+  /// cast below, where NaN converts to an arbitrary tick count and an
+  /// out-of-range double is undefined behavior.
   bool WaitFor(Mutex& mutex, double seconds) SOI_REQUIRES(mutex)
       SOI_NO_THREAD_SAFETY_ANALYSIS {
+    if (!std::isfinite(seconds) || seconds <= 0.0) return false;
+    // Cap at a year so a huge finite timeout cannot overflow the
+    // steady_clock tick count either; callers looping on a predicate
+    // observe a spurious-wakeup-shaped retry, not a behavior change.
+    constexpr double kMaxWaitSeconds = 31557600.0;
+    if (seconds > kMaxWaitSeconds) seconds = kMaxWaitSeconds;
+#ifdef SOI_DEADLOCK_DETECT_ENABLED
+    if (mutex.node_ != nullptr) lock_graph::OnMutexRelease(&mutex);
+#endif
     std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
     std::cv_status status = cv_.wait_for(
         native, std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                     std::chrono::duration<double>(seconds)));
     native.release();
+#ifdef SOI_DEADLOCK_DETECT_ENABLED
+    if (mutex.node_ != nullptr) lock_graph::OnMutexAcquire(&mutex, mutex.node_);
+#endif
     return status == std::cv_status::no_timeout;
   }
 

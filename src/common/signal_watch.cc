@@ -18,7 +18,8 @@ namespace soi {
 #if defined(__unix__) || defined(__APPLE__)
 
 Status WatchSignal(int signo, std::function<void()> on_signal) {
-  static Mutex install_mutex;
+  static Mutex install_mutex{"common.SignalWatch.install",
+                             lock_graph::kRankLeaf};
   static std::set<int>* const installed =
       new std::set<int>();  // soi-lint: naked-new (process-lifetime registry)
   MutexLock lock(install_mutex);

@@ -60,7 +60,7 @@ class ThreadPool {
  private:
   void WorkerLoop() SOI_EXCLUDES(mutex_);
 
-  Mutex mutex_;
+  Mutex mutex_{"common.ThreadPool.queue", lock_graph::kRankThreadPool};
   CondVar wake_;
   std::deque<std::function<void()>> queue_ SOI_GUARDED_BY(mutex_);
   bool stop_ SOI_GUARDED_BY(mutex_) = false;
@@ -81,7 +81,7 @@ class ParallelRegionGuard {
 
 /// Shared completion/error state of one ParallelFor call.
 struct ForkJoinState {
-  Mutex mutex;
+  Mutex mutex{"common.ForkJoinState.state", lock_graph::kRankLeaf};
   CondVar done;
   int64_t remaining SOI_GUARDED_BY(mutex) = 0;
   // First exception wins, the rest are dropped.

@@ -304,7 +304,8 @@ class QueryEngine {
   // outside the lock), and never takes another engine lock. Builds and
   // observability exports happen outside the critical sections, which
   // are limited to map bookkeeping.
-  mutable Mutex cache_mutex_;
+  mutable Mutex cache_mutex_{"core.QueryEngine.eps_cache",
+                             lock_graph::kRankLeaf};
   std::unordered_map<double, CacheEntry> cache_ SOI_GUARDED_BY(cache_mutex_);
   // Fast-path view: the current hit-table generation (null until the
   // first entry completes). Points into hit_table_storage_, whose last

@@ -104,7 +104,7 @@ struct SoiScratchPool {
   }
 
  private:
-  Mutex mutex_;
+  Mutex mutex_{"core.SoiScratchPool.pool", lock_graph::kRankLeaf};
   std::vector<std::unique_ptr<QueryScratch>> free_ SOI_GUARDED_BY(mutex_);
 };
 

@@ -8,6 +8,7 @@
 #include <signal.h>
 #endif
 
+#include "analysis/lock_graph.h"
 #include "common/signal_watch.h"
 #include "obs/json_export.h"
 #include "obs/metrics.h"
@@ -66,6 +67,49 @@ void DumpState(JsonWriter* json) {
   json->BeginArray();
   for (const QueryRecord& record : flights.slowest) {
     WriteQueryRecordJson(record, json);
+  }
+  json->EndArray();
+  json->EndObject();
+
+  // The lock-order graph (analysis/lock_graph.h). Empty with the
+  // detector compiled out (the default); under the `deadlock` preset it
+  // carries every named mutex, every held->acquired edge observed, and
+  // any discipline violations — so a SIGUSR1 state dump from a wedged
+  // soid shows which lock orders the process has actually exercised.
+  json->Key("lock_graph");
+  json->BeginObject();
+  json->KeyValue("enabled", lock_graph::kEnabled);
+  lock_graph::GraphSnapshot graph = lock_graph::LockGraph::Global().Snapshot();
+  json->Key("nodes");
+  json->BeginArray();
+  for (const lock_graph::NodeSnapshot& node : graph.nodes) {
+    json->BeginObject();
+    json->KeyValue("name", node.name);
+    json->KeyValue("rank", int64_t{node.rank});
+    json->EndObject();
+  }
+  json->EndArray();
+  json->Key("edges");
+  json->BeginArray();
+  for (const lock_graph::EdgeSnapshot& edge : graph.edges) {
+    json->BeginObject();
+    json->KeyValue("from", edge.from);
+    json->KeyValue("to", edge.to);
+    json->KeyValue("context", edge.context);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->Key("violations");
+  json->BeginArray();
+  for (const lock_graph::Violation& violation : graph.violations) {
+    json->BeginObject();
+    json->KeyValue("kind", lock_graph::ViolationKindName(violation.kind));
+    json->KeyValue("summary", violation.summary);
+    json->Key("edges");
+    json->BeginArray();
+    for (const std::string& edge : violation.edges) json->String(edge);
+    json->EndArray();
+    json->EndObject();
   }
   json->EndArray();
   json->EndObject();

@@ -24,13 +24,19 @@ void WriteQueryRecordJson(const QueryRecord& record, JsonWriter* json);
 ///                soi.scratch.free, histogram exemplar query ids},
 ///    "flight_recorder": {last_query_id, total_recorded, dropped,
 ///                        "recent": [QueryRecord...],
-///                        "slowest": [QueryRecord...]}}
+///                        "slowest": [QueryRecord...]},
+///    "lock_graph": {enabled,
+///                   "nodes": [{name, rank}...],
+///                   "edges": [{from, to, context}...],
+///                   "violations": [{kind, summary, edges}...]}}
 ///
 /// This is the exact component the soid serving binary mounts behind an
 /// HTTP endpoint; until then it is reachable in-process, through the
 /// soi_obs tool, and via the SIGUSR1 hook below. Under
 /// SOI_OBSERVABILITY=OFF the document keeps its shape with empty
-/// metric/recorder sections.
+/// metric/recorder sections. The lock_graph section (DESIGN.md "Lock
+/// ordering & layering") is likewise empty unless the build compiled
+/// the detector in (SOI_DEADLOCK_DETECT=ON, the `deadlock` preset).
 void DumpState(JsonWriter* json);
 
 /// DumpState into a string.

@@ -146,7 +146,7 @@ class FlightRecorder {
 
  private:
   struct alignas(64) Shard {
-    mutable Mutex mutex;
+    mutable Mutex mutex{"obs.FlightRecorder.ring", lock_graph::kRankLeaf};
     /// Ring storage; grows to recent_per_shard_ then wraps.
     std::vector<QueryRecord> ring SOI_GUARDED_BY(mutex);
     size_t next SOI_GUARDED_BY(mutex) = 0;  // next write position
@@ -165,7 +165,8 @@ class FlightRecorder {
   /// stale read only costs one extra mutex acquisition — admission is
   /// re-checked under the lock.
   std::atomic<double> slowest_floor_{-1.0};
-  mutable Mutex slowest_mutex_;
+  mutable Mutex slowest_mutex_{"obs.FlightRecorder.slowest",
+                               lock_graph::kRankLeaf};
   /// Min-heap on total_seconds (front = evictee).
   std::vector<QueryRecord> slowest_ SOI_GUARDED_BY(slowest_mutex_);
 };

@@ -248,7 +248,8 @@ class Registry {
   void Reset() SOI_EXCLUDES(mutex_);
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"obs.Registry.metrics",
+                       lock_graph::kRankObsRegistry};
   // std::map: snapshot order == lexicographic name order, stable JSON.
   // The metric objects themselves are internally thread-safe; the mutex
   // guards the name -> object maps (registration and iteration).

@@ -79,7 +79,7 @@ class TraceRecorder {
   friend class ScopedSpan;
 
   struct ThreadBuffer {
-    mutable Mutex mutex;
+    mutable Mutex mutex{"obs.TraceRecorder.ring", lock_graph::kRankLeaf};
     // Assigned once at registration (under the recorder's mutex_), then
     // read-only; not guarded.
     int32_t thread_id = 0;
@@ -104,7 +104,10 @@ class TraceRecorder {
   std::atomic<int64_t> epoch_ns_{0};  // steady_clock epoch of the session
   std::atomic<size_t> capacity_{1 << 14};
 
-  mutable Mutex mutex_;  // guards buffers_ registration/iteration
+  // Guards buffers_ registration/iteration; held across the per-buffer
+  // ring locks in Collect(), hence the lower rank.
+  mutable Mutex mutex_{"obs.TraceRecorder.buffers",
+                       lock_graph::kRankObsOuter};
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ SOI_GUARDED_BY(mutex_);
 };
 

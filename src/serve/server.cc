@@ -44,7 +44,7 @@ struct SoidServer::Connection {
   /// Serializes frame writes: worker responses and reader-side admission
   /// errors interleave on one stream, and a torn frame would desync the
   /// peer permanently.
-  Mutex write_mutex;
+  Mutex write_mutex{"serve.Connection.write", lock_graph::kRankLeaf};
   /// Set on eviction or write failure; writers drop frames for a dead
   /// connection instead of blocking on a corpse.
   std::atomic<bool> dead{false};

@@ -182,7 +182,8 @@ class SoidServer {
   /// instead of evaluating them.
   std::atomic<bool> cancel_queued_{false};
 
-  mutable Mutex queue_mutex_;
+  mutable Mutex queue_mutex_{"serve.SoidServer.queue",
+                             lock_graph::kRankServe};
   CondVar queue_cv_;
   std::deque<Request> queue_ SOI_GUARDED_BY(queue_mutex_);
   bool queue_stopped_ SOI_GUARDED_BY(queue_mutex_) = false;
@@ -192,7 +193,8 @@ class SoidServer {
   CondVar drain_cv_;  // signalled when outstanding_ hits zero
   CondVar drain_request_cv_;  // signalled by RequestDrain
 
-  mutable Mutex conns_mutex_;
+  mutable Mutex conns_mutex_{"serve.SoidServer.conns",
+                             lock_graph::kRankServe};
   std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_
       SOI_GUARDED_BY(conns_mutex_);
   uint64_t next_conn_id_ SOI_GUARDED_BY(conns_mutex_) = 0;
@@ -200,7 +202,8 @@ class SoidServer {
   int64_t readers_active_ SOI_GUARDED_BY(conns_mutex_) = 0;
   CondVar readers_cv_;
 
-  mutable Mutex tokens_mutex_;
+  mutable Mutex tokens_mutex_{"serve.SoidServer.tokens",
+                              lock_graph::kRankServe};
   std::unordered_map<uint64_t, CancellationToken> inflight_tokens_
       SOI_GUARDED_BY(tokens_mutex_);
   std::atomic<uint64_t> next_serial_{0};

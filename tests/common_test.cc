@@ -1,8 +1,11 @@
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <set>
+#include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -323,6 +326,56 @@ TEST(StringUtilTest, FormatDoubleHandlesNonFinite) {
   EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN()), "nan");
   EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "inf");
   EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+// A pathological WaitFor timeout (NaN from a 0/0 deadline computation, a
+// negative remainder from an already-elapsed deadline, or ±inf) must
+// report an immediate timeout instead of reaching the duration cast,
+// where NaN converts to an arbitrary tick count and an out-of-range
+// double is undefined behavior. "Immediate" is asserted with a generous
+// bound so a loaded CI machine cannot flake the test.
+TEST(CondVarTest, WaitForClampsPathologicalTimeouts) {
+  Mutex mutex;
+  CondVar cv;
+  const double pathological[] = {
+      std::numeric_limits<double>::quiet_NaN(),
+      -1.0,
+      0.0,
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity(),
+  };
+  for (double seconds : pathological) {
+    SCOPED_TRACE(seconds);
+    MutexLock lock(mutex);
+    auto start = std::chrono::steady_clock::now();
+    bool notified = cv.WaitFor(mutex, seconds);
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_FALSE(notified);
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+  }
+}
+
+TEST(CondVarTest, WaitForStillWaitsForRealTimeouts) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready = false;
+  std::thread notifier([&] {
+    MutexLock lock(mutex);
+    ready = true;
+    cv.NotifyOne();
+  });
+  bool notified = false;
+  {
+    MutexLock lock(mutex);
+    while (!ready) {
+      // Looped like every production caller: a spurious wakeup or a
+      // timeout both re-check the predicate.
+      notified = cv.WaitFor(mutex, 30.0);
+      if (!notified && !ready) break;
+    }
+  }
+  notifier.join();
+  EXPECT_TRUE(ready);
 }
 
 }  // namespace

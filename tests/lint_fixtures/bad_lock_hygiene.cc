@@ -1,0 +1,8 @@
+// Fixture: raw std:: synchronization primitive outside common/mutex.h.
+#include <mutex>
+
+namespace fixture {
+std::mutex g_raw_mutex;  // line 5: the planted lock-hygiene violation
+
+void Touch() { g_raw_mutex.lock(); }
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: the synthetic core -> serve inversion the layering audit
+// must reject (serve sits on top of core in the declared DAG).
+#include "serve/api.h"
+
+namespace fixture {
+ServeApi MakeApi() { return ServeApi{}; }
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Fixture: one half of a same-layer include cycle.
+#ifndef FIXTURE_GRID_CYCLE_A_H_
+#define FIXTURE_GRID_CYCLE_A_H_
+#include "grid/cycle_b.h"
+#endif  // FIXTURE_GRID_CYCLE_A_H_

@@ -1,0 +1,5 @@
+// Fixture: the other half of the include cycle.
+#ifndef FIXTURE_GRID_CYCLE_B_H_
+#define FIXTURE_GRID_CYCLE_B_H_
+#include "grid/cycle_a.h"
+#endif  // FIXTURE_GRID_CYCLE_B_H_

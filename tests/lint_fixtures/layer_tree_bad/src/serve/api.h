@@ -1,0 +1,7 @@
+// Fixture: top-layer header a lower layer must never include.
+#ifndef FIXTURE_SERVE_API_H_
+#define FIXTURE_SERVE_API_H_
+namespace fixture {
+struct ServeApi {};
+}  // namespace fixture
+#endif  // FIXTURE_SERVE_API_H_

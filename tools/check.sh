@@ -1,48 +1,94 @@
 #!/usr/bin/env bash
-# The one-command pre-merge gate: configures, builds, and tests the
-# `default`, `check`, `tsan`, and `fault` presets in sequence, failing
-# on the first error. Covers, in order:
-#   default — the tier-1 suite plus soi-lint (ctest -L lint runs inside),
-#   check   — the static-analysis build (Clang thread-safety as -Werror;
-#             on non-Clang compilers the annotations are no-ops and the
-#             preset degrades to a plain rebuild),
-#   tsan    — the full suite under ThreadSanitizer (perf smoke excluded:
-#             sanitizer timings would trip the scaling floors),
-#   fault   — fault-injection hooks armed under ASan+UBSan (ditto).
-# Afterwards it re-runs the snapshot, obs, and serving labels under the
-# builds that give each suite its strongest guarantee (see below).
+# The one-command pre-merge gate: configures, builds, and tests every
+# gate preset in sequence, then re-runs the label suites under the
+# builds that give each its strongest guarantee. Presets, in order:
+#   default       — the tier-1 suite plus soi-lint (ctest -L lint runs
+#                   inside),
+#   check         — the static-analysis build (Clang thread-safety as
+#                   -Werror; on non-Clang compilers the annotations are
+#                   no-ops and the preset degrades to a plain rebuild),
+#   ubsan         — the full suite under UBSan with
+#                   -fno-sanitize-recover=all (any finding aborts),
+#   tsan          — the full suite under ThreadSanitizer (perf smoke
+#                   excluded: sanitizer timings would trip the scaling
+#                   floors),
+#   fault         — fault-injection hooks armed under ASan+UBSan,
+#   deadlock      — the full suite with the runtime lock-order graph
+#                   armed and fatal-on-violation (the report-clean gate),
+#   tsan-deadlock — the same suite with TSan watching the lock-graph
+#                   instrumentation itself for races.
+#
+# Every step streams its output and also logs to $LOG_DIR/<step>.log.
+# On the first failing step the script prints the pass/fail summary
+# table and the failing step's log path, then exits with that step's
+# status — explicitly, not via `set -e` fallout, so the table and the
+# pointer always appear.
 # Usage: tools/check.sh [extra ctest args...]
-set -euo pipefail
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+LOG_DIR="${SOI_CHECK_LOG_DIR:-.check-logs}"
+mkdir -p "$LOG_DIR"
 
-for preset in default check tsan fault; do
-  echo "==== [$preset] configure ===="
-  cmake --preset "$preset"
-  echo "==== [$preset] build ===="
-  cmake --build --preset "$preset" -j "$JOBS"
-  echo "==== [$preset] test ===="
-  ctest --preset "$preset" -j "$JOBS" --output-on-failure "$@"
+EXTRA_CTEST_ARGS=("$@")
+
+STEP_NAMES=()
+STEP_RESULTS=()
+
+print_summary() {
+  echo
+  echo "==== check.sh summary ===="
+  printf '%-28s %s\n' "step" "result"
+  printf '%-28s %s\n' "----" "------"
+  local i
+  for i in "${!STEP_NAMES[@]}"; do
+    printf '%-28s %s\n' "${STEP_NAMES[$i]}" "${STEP_RESULTS[$i]}"
+  done
+}
+
+run_step() {
+  local name="$1"
+  shift
+  local log="$LOG_DIR/$name.log"
+  echo "==== [$name] ===="
+  local status=0
+  "$@" 2>&1 | tee "$log" || status=$?
+  if [ "$status" -eq 0 ]; then
+    STEP_NAMES+=("$name")
+    STEP_RESULTS+=("pass")
+  else
+    STEP_NAMES+=("$name")
+    STEP_RESULTS+=("FAIL (exit $status)")
+    print_summary
+    echo
+    echo "check.sh: FAILED at step '$name'; full log: $log" >&2
+    exit "$status"
+  fi
+}
+
+for preset in default check ubsan tsan fault deadlock tsan-deadlock; do
+  run_step "$preset-configure" cmake --preset "$preset"
+  run_step "$preset-build" cmake --build --preset "$preset" -j "$JOBS"
+  run_step "$preset-test" ctest --preset "$preset" -j "$JOBS" \
+      --output-on-failure ${EXTRA_CTEST_ARGS[@]+"${EXTRA_CTEST_ARGS[@]}"}
 done
 
 # The snapshot suite runs inside the full sweeps above; re-run it by
 # label under the fault build so persistence corruption handling is
 # exercised with fault points armed-able even when extra ctest args
 # filtered it out of the main pass.
-echo "==== [fault-snapshot] test ===="
-ctest --preset fault-snapshot -j "$JOBS" --output-on-failure
+run_step fault-snapshot ctest --preset fault-snapshot -j "$JOBS" \
+    --output-on-failure
 
 # Observability suite, same rationale: the flight-recorder / dump /
 # exemplar tests get a guaranteed pass in the default build and a
 # guaranteed race check under TSan (concurrent append and snapshot
 # consistency are exactly the paths a data race would hide in), even
 # when extra ctest args filtered them out of the main sweeps.
-echo "==== [obs] test ===="
-ctest --preset obs -j "$JOBS" --output-on-failure
-echo "==== [tsan-obs] test ===="
-ctest --preset tsan-obs -j "$JOBS" --output-on-failure
+run_step obs ctest --preset obs -j "$JOBS" --output-on-failure
+run_step tsan-obs ctest --preset tsan-obs -j "$JOBS" --output-on-failure
 
 # Serving suite, same rationale, across three builds: plain (protocol /
 # backpressure / drain semantics), TSan (the accept/reader/worker/drain
@@ -50,18 +96,18 @@ ctest --preset tsan-obs -j "$JOBS" --output-on-failure
 # fault (the chaos soak with serve.* fault points actually armed, under
 # ASan). Guaranteed passes even when extra ctest args filtered the
 # label out of the main sweeps.
-echo "==== [serving] test ===="
-ctest --preset serving -j "$JOBS" --output-on-failure
-echo "==== [tsan-serving] test ===="
-ctest --preset tsan-serving -j "$JOBS" --output-on-failure
-echo "==== [fault-serving] test ===="
-ctest --preset fault-serving -j "$JOBS" --output-on-failure
+run_step serving ctest --preset serving -j "$JOBS" --output-on-failure
+run_step tsan-serving ctest --preset tsan-serving -j "$JOBS" \
+    --output-on-failure
+run_step fault-serving ctest --preset fault-serving -j "$JOBS" \
+    --output-on-failure
 
 # Perf smoke, same rationale: guaranteed one run in the un-sanitized
 # default build with its scaling gates evaluated, even when extra ctest
 # args filtered it above. Run serially — a parallel ctest sweep would
 # perturb the timings the gates check.
-echo "==== [perf] test ===="
-ctest --preset perf --output-on-failure
+run_step perf ctest --preset perf --output-on-failure
 
+print_summary
+echo
 echo "==== all presets green ===="

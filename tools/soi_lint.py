@@ -39,6 +39,26 @@ nested-vector Grid-index headers (src/grid/*.h) must not declare
               store flat CSR arenas (common/csr.h), and a nested-vector
               member reintroduces the per-row heap blocks the layout
               work removed. Build-time staging in .cc files is fine.
+lock-hygiene  No raw std::mutex / std::lock_guard / std::unique_lock /
+              std::scoped_lock / std::condition_variable (or the shared/
+              timed/recursive variants) outside common/mutex.h: all
+              locking flows through soi::Mutex/MutexLock/CondVar so it
+              is visible to both the Clang thread-safety analysis and
+              the runtime lock-order graph (analysis/lock_graph.h — its
+              own registry lock is the allowlisted exception, since
+              instrumenting the instrumenter would recurse).
+layering      The src/ include graph must follow the declared layer DAG
+              (LAYER_DEPS below): common sits above the analysis
+              instrumentation substrate, the domain layers (geometry,
+              grid, network, objects, text) above common, core/obs/
+              snapshot above those, serve on top. A header including
+              upward (core -> serve, say) couples subsystems the
+              architecture keeps composable. Exception: any .cc file
+              may include the cross-cutting instrumentation layers
+              (obs, analysis), whose compile-out contracts keep them
+              dependency-safe; headers get no such exception.
+include-cycle No cycle in the file-level `#include "..."` graph under
+              src/ — a cycle means include order decides what compiles.
 headers       (--headers mode) Every src/**/*.h compiles standalone via
               a generated single-include TU, so include order never
               matters and no header leans on a transitive include.
@@ -59,6 +79,7 @@ Exit status: 0 clean, 1 findings, 2 usage/environment error.
 import argparse
 import concurrent.futures
 import fnmatch
+import json
 import os
 import re
 import subprocess
@@ -73,6 +94,7 @@ RULE_SCOPE = {
     "naked-new": ("src",),
     "unchecked-io": ("src/serve",),
     "nested-vector": ("src/grid",),
+    "lock-hygiene": ("src",),
 }
 
 # Per-rule basename glob: the rule only applies to matching files (both
@@ -86,11 +108,21 @@ RULE_FILE_GLOB = {
 # relative to --root). The allowlisted owner of each invariant.
 ALLOWLIST = {
     "determinism": ["src/common/random.cc"],
-    "io-stream": ["src/common/check.h"],
+    # check.h's fatal-error reporter, and the lock-order detector's
+    # fatal violation report (which must not depend on the obs dump
+    # path: that path takes locks of its own).
+    "io-stream": ["src/common/check.h", "src/analysis/lock_graph.cc"],
     "float-eq": [],
     "naked-new": [],
     "unchecked-io": [],
     "nested-vector": [],
+    # mutex.h is the blessed wrapper; lock_graph.{h,cc} implement the
+    # detector it reports into and must not instrument themselves.
+    "lock-hygiene": [
+        "src/common/mutex.h",
+        "src/analysis/lock_graph.h",
+        "src/analysis/lock_graph.cc",
+    ],
 }
 
 # Never scanned: lint self-test fixtures (they plant violations).
@@ -130,6 +162,11 @@ RULE_PATTERNS = {
         r"^\s*(?:\(void\)\s*)?(?:::)?(?:send|recv|read|write)\s*\("
     ),
     "nested-vector": re.compile(r"std::\s*vector\s*<\s*std::\s*vector\s*<"),
+    "lock-hygiene": re.compile(
+        r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+        r"|shared_mutex|shared_timed_mutex|lock_guard|scoped_lock"
+        r"|unique_lock|shared_lock|condition_variable(?:_any)?)\b"
+    ),
 }
 
 RULE_MESSAGES = {
@@ -160,7 +197,51 @@ RULE_MESSAGES = {
         "use flat CSR arenas (common/csr.h) — stage nested rows only in "
         "the .cc build path"
     ),
+    "lock-hygiene": (
+        "raw std:: synchronization primitive; lock through soi::Mutex / "
+        "MutexLock / CondVar (common/mutex.h) so the critical section is "
+        "visible to the thread-safety analysis and the lock-order graph"
+    ),
 }
+
+# The declared layer DAG over src/ subdirectories: layer -> layers it
+# may include (transitively closed, so membership is one lookup). The
+# `analysis` layer is the instrumentation substrate *below* common —
+# common/mutex.h includes analysis/lock_graph.h — and depends on the
+# C++ standard library only. Adding a new src/ directory requires
+# declaring it here; an undeclared layer is itself a finding.
+LAYER_DEPS = {
+    "analysis": set(),
+    "common": {"analysis"},
+    "geometry": {"analysis", "common"},
+    "text": {"analysis", "common"},
+    "obs": {"analysis", "common"},
+    "network": {"analysis", "common", "geometry"},
+    "objects": {"analysis", "common", "geometry", "text"},
+    "grid": {"analysis", "common", "geometry", "network", "objects", "text"},
+    "core": {"analysis", "common", "geometry", "grid", "network", "objects",
+             "obs", "text"},
+    "datagen": {"analysis", "common", "geometry", "grid", "network",
+                "objects", "text"},
+    "snapshot": {"analysis", "common", "datagen", "geometry", "grid",
+                 "network", "objects", "obs", "text"},
+    "eval": {"analysis", "common", "core", "geometry", "grid", "network",
+             "objects", "obs", "text"},
+    "serve": {"analysis", "common", "core", "datagen", "geometry", "grid",
+              "network", "objects", "obs", "snapshot", "text"},
+}
+
+# Cross-cutting instrumentation layers any .cc file may include: their
+# compile-out contracts (obs/obs.h, analysis/lock_graph.h) keep them
+# dependency-safe, and instrumenting a low layer (thread_pool.cc's queue
+# gauges, say) must not force that layer above obs in the DAG. Headers
+# get no such exception — a header include is an interface dependency.
+INSTRUMENTATION_LAYERS = ("analysis", "obs")
+
+_INCLUDE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+# Laxer form for comment-stripped lines (the stripper blanks the quoted
+# path, closing quote included).
+_INCLUDE_DIRECTIVE = re.compile(r'^\s*#\s*include\s*"')
 
 # A `new` is owned if the statement context shows an immediate wrapper.
 _OWNED_NEW = re.compile(r"unique_ptr\s*<|shared_ptr\s*<|\.reset\s*\(")
@@ -302,6 +383,120 @@ def run_text_rules(root, explicit_paths=None, rules=None):
     return sorted(findings)
 
 
+def _src_include_graph(root):
+    """Extracts the `#include "..."` graph under root/src.
+
+    Returns (nodes, includes) where nodes maps each source file's
+    src-relative path (e.g. "core/query_engine.cc") to its absolute
+    path, and includes maps it to a list of (line_number, target)
+    pairs for every quoted include that resolves to a file under src/.
+    Comments and strings are stripped first, so a commented-out include
+    never counts.
+    """
+    src_root = os.path.join(root, "src")
+    nodes = {}
+    includes = {}
+    for path in iter_source_files(root, ("src",)):
+        rel = os.path.relpath(path, src_root).replace(os.sep, "/")
+        nodes[rel] = path
+    for rel, path in nodes.items():
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError:
+            continue
+        targets = []
+        stripped = strip_comments_and_strings(text).splitlines()
+        for i, line in enumerate(text.splitlines()):
+            # The include path itself is a string literal, so the target
+            # must come from the raw line; the stripped line (quoted
+            # content blanked, directive kept) gates out commented-out
+            # includes.
+            match = _INCLUDE.match(line)
+            if not match:
+                continue
+            if i >= len(stripped) or not _INCLUDE_DIRECTIVE.match(stripped[i]):
+                continue
+            target = match.group(1)
+            if target in nodes:
+                targets.append((i + 1, target))
+        includes[rel] = targets
+    return nodes, includes
+
+
+def _layer_of(rel):
+    """Layer of a src-relative path: its first directory component."""
+    return rel.split("/", 1)[0] if "/" in rel else ""
+
+
+def run_layering_rules(root):
+    """Enforces the layer DAG and rejects file-level include cycles over
+    root/src; returns findings shaped like the text rules'."""
+    nodes, includes = _src_include_graph(root)
+    findings = []
+
+    for rel in sorted(includes):
+        layer = _layer_of(rel)
+        allowed = LAYER_DEPS.get(layer)
+        src_rel = "src/" + rel
+        if allowed is None:
+            findings.append((
+                src_rel,
+                1,
+                "layering",
+                "layer '%s' is not declared in the layer DAG "
+                "(tools/soi_lint.py LAYER_DEPS); declare its allowed "
+                "dependencies before adding code to it" % layer,
+            ))
+            continue
+        for line, target in includes[rel]:
+            target_layer = _layer_of(target)
+            if target_layer == layer or target_layer in allowed:
+                continue
+            if rel.endswith(".cc") and target_layer in INSTRUMENTATION_LAYERS:
+                continue
+            findings.append((
+                src_rel,
+                line,
+                "layering",
+                "layer '%s' must not include layer '%s' (%s); the "
+                "declared DAG is in tools/soi_lint.py LAYER_DEPS"
+                % (layer, target_layer, target),
+            ))
+
+    # File-level include cycles, reported once per cycle on its first
+    # file in path order. Colors: 0 unvisited, 1 on the DFS stack,
+    # 2 finished.
+    color = {}
+    stack_pos = {}
+
+    def visit(rel, stack):
+        color[rel] = 1
+        stack_pos[rel] = len(stack)
+        stack.append(rel)
+        for _, target in includes.get(rel, ()):
+            state = color.get(target, 0)
+            if state == 0:
+                visit(target, stack)
+            elif state == 1:
+                cycle = stack[stack_pos[target]:] + [target]
+                anchor = min(cycle[:-1])
+                findings.append((
+                    "src/" + anchor,
+                    1,
+                    "include-cycle",
+                    "include cycle: " + " -> ".join(cycle),
+                ))
+        stack.pop()
+        del stack_pos[rel]
+        color[rel] = 2
+
+    for rel in sorted(includes):
+        if color.get(rel, 0) == 0:
+            visit(rel, [])
+    return sorted(set(findings))
+
+
 def check_header(compiler, std, include_dir, root, header):
     """Compiles one header standalone; returns a finding or None."""
     rel = os.path.relpath(header, root).replace(os.sep, "/")
@@ -384,6 +579,13 @@ def main(argv=None):
         "--std", default="c++20", help="-std= value for --headers"
     )
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON array of {rule, file, line, message} "
+        "objects (machine-readable for check.sh / CI diffing); exit "
+        "status is unchanged",
+    )
+    parser.add_argument(
         "paths",
         nargs="*",
         help="explicit files to lint with every text rule (default: the "
@@ -395,22 +597,56 @@ def main(argv=None):
         print("soi-lint: no such root: %s" % root, file=sys.stderr)
         return 2
 
+    structural_rules = ("layering", "include-cycle")
     if args.headers:
         findings = run_header_rule(root, args.compiler, args.std)
     else:
         rules = args.rules.split(",") if args.rules else None
+        structural = list(structural_rules)
         if rules:
-            unknown = [r for r in rules if r not in RULE_PATTERNS]
+            unknown = [
+                r
+                for r in rules
+                if r not in RULE_PATTERNS and r not in structural_rules
+            ]
             if unknown:
                 print(
                     "soi-lint: unknown rules: %s" % ", ".join(unknown),
                     file=sys.stderr,
                 )
                 return 2
-        findings = run_text_rules(root, args.paths or None, rules)
+            structural = [r for r in rules if r in structural_rules]
+            rules = [r for r in rules if r in RULE_PATTERNS] or None
+            if rules is None and structural:
+                findings = []
+            else:
+                findings = run_text_rules(root, args.paths or None, rules)
+        else:
+            findings = run_text_rules(root, args.paths or None, None)
+        # The structural audit covers the whole src/ tree; explicit-path
+        # invocations are file-scoped by construction and skip it.
+        if not args.paths and structural:
+            layer_findings = run_layering_rules(root)
+            findings = sorted(
+                findings
+                + [f for f in layer_findings if f[2] in structural]
+            )
 
-    for rel, line, rule, message in findings:
-        print("%s:%d: [%s] %s" % (rel, line, rule, message))
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {"rule": rule, "file": rel, "line": line,
+                     "message": message}
+                    for rel, line, rule, message in findings
+                ],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for rel, line, rule, message in findings:
+            print("%s:%d: [%s] %s" % (rel, line, rule, message))
     if findings:
         print(
             "soi-lint: %d finding(s); see tools/soi_lint.py docstring "

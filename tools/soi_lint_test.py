@@ -2,12 +2,17 @@
 """Self-test for tools/soi_lint.py against tests/lint_fixtures/.
 
 Asserts, rule by rule, that each planted violation fires, that the
-inline suppression marker and the file allowlist silence findings, and
-that the header self-containment mode rejects the non-self-contained
+inline suppression marker and the file allowlist silence findings, that
+the layering/include-cycle audit rejects the synthetic bad layer tree
+while passing the real one, that --json emits machine-readable findings,
+and that the header self-containment mode rejects the non-self-contained
 fixture while accepting the good one. Registered in ctest as
 `soi_lint_selftest` under the `lint` label.
 """
 
+import contextlib
+import io
+import json
 import os
 import shutil
 import sys
@@ -35,6 +40,7 @@ class TextRuleTest(unittest.TestCase):
         ("bad_naked_new.cc", "naked-new", 5),
         ("bad_unchecked_io.cc", "unchecked-io", 8),
         ("bad_nested_vector.h", "nested-vector", 10),
+        ("bad_lock_hygiene.cc", "lock-hygiene", 5),
     ]
 
     def test_each_rule_fires_once_on_its_fixture(self):
@@ -83,6 +89,79 @@ class TextRuleTest(unittest.TestCase):
         # The tree itself must lint clean, and the fixtures directory
         # must be excluded from that scan.
         self.assertEqual(soi_lint.run_text_rules(ROOT), [])
+
+
+class LayeringRuleTest(unittest.TestCase):
+    BAD_TREE = os.path.join(FIXTURES, "layer_tree_bad")
+
+    def test_core_including_serve_is_rejected(self):
+        findings = soi_lint.run_layering_rules(self.BAD_TREE)
+        layering = [f for f in findings if f[2] == "layering"]
+        self.assertEqual(len(layering), 1, findings)
+        path, line, _, message = layering[0]
+        self.assertEqual(path, "src/core/uses_serve.cc")
+        self.assertEqual(line, 3)
+        self.assertIn("'core'", message)
+        self.assertIn("'serve'", message)
+
+    def test_include_cycle_is_rejected(self):
+        findings = soi_lint.run_layering_rules(self.BAD_TREE)
+        cycles = [f for f in findings if f[2] == "include-cycle"]
+        self.assertEqual(len(cycles), 1, findings)
+        self.assertEqual(cycles[0][0], "src/grid/cycle_a.h")
+        self.assertIn(
+            "grid/cycle_a.h -> grid/cycle_b.h -> grid/cycle_a.h",
+            cycles[0][3],
+        )
+
+    def test_real_tree_passes(self):
+        # The acceptance gate: the audit must hold on the actual src/
+        # include graph (the .cc instrumentation exception included).
+        self.assertEqual(soi_lint.run_layering_rules(ROOT), [])
+
+    def test_declared_dag_is_acyclic_and_closed(self):
+        deps = soi_lint.LAYER_DEPS
+        for layer, allowed in deps.items():
+            for dep in allowed:
+                self.assertIn(dep, deps, "undeclared layer " + dep)
+                self.assertNotIn(
+                    layer,
+                    deps[dep],
+                    "LAYER_DEPS cycle between %s and %s" % (layer, dep),
+                )
+                # Transitive closure: anything a dependency may include,
+                # the dependent may too, so membership is one lookup.
+                self.assertTrue(
+                    deps[dep] <= allowed,
+                    "LAYER_DEPS[%r] not transitively closed over %r"
+                    % (layer, dep),
+                )
+
+
+class JsonOutputTest(unittest.TestCase):
+    def run_main(self, argv):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            status = soi_lint.main(argv)
+        return status, out.getvalue()
+
+    def test_findings_are_machine_readable(self):
+        fixture = os.path.join(FIXTURES, "bad_lock_hygiene.cc")
+        status, out = self.run_main(["--root", ROOT, "--json", fixture])
+        self.assertEqual(status, 1)
+        findings = json.loads(out)
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(
+            sorted(findings[0]), ["file", "line", "message", "rule"]
+        )
+        self.assertEqual(findings[0]["rule"], "lock-hygiene")
+        self.assertEqual(findings[0]["line"], 5)
+        self.assertTrue(findings[0]["file"].endswith("bad_lock_hygiene.cc"))
+
+    def test_clean_scan_is_an_empty_array(self):
+        status, out = self.run_main(["--root", ROOT, "--json"])
+        self.assertEqual(status, 0)
+        self.assertEqual(json.loads(out), [])
 
 
 class HeaderRuleTest(unittest.TestCase):
