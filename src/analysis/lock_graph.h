@@ -61,6 +61,7 @@ inline constexpr bool kEnabled = false;
 /// layering".
 inline constexpr int kNoRank = -1;
 inline constexpr int kRankServe = 10;        // soid queue/conns/tokens
+inline constexpr int kRankIngest = 15;       // LiveWorld writer/compactor
 inline constexpr int kRankThreadPool = 20;   // pool work queue
 inline constexpr int kRankObsOuter = 30;     // TraceRecorder buffer list
 inline constexpr int kRankObsRegistry = 40;  // metrics Registry maps

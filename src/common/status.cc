@@ -5,7 +5,7 @@ namespace soi {
 // Forces kNumStatusCodes (and with it the runtime exhaustiveness test in
 // tests/common_test.cc) to track the enum; the switch below additionally
 // fails to compile (-Wswitch -Werror) when a case is missing.
-static_assert(static_cast<int>(StatusCode::kResourceExhausted) + 1 ==
+static_assert(static_cast<int>(StatusCode::kUnavailable) + 1 ==
                   kNumStatusCodes,
               "update kNumStatusCodes (and StatusCodeToString) when adding "
               "a StatusCode");
@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

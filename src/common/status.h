@@ -25,12 +25,17 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kResourceExhausted,
+  // The endpoint is temporarily not taking new work (a draining soid
+  // instance); retrying against another replica — or the same one after
+  // it restarts — is expected to succeed. Distinct from kCancelled
+  // (work that was admitted and then abandoned).
+  kUnavailable,
 };
 
 /// Number of StatusCode enumerators. Keep in sync when adding codes; the
 /// static_assert in status.cc and the exhaustiveness test in
 /// tests/common_test.cc both key off this.
-inline constexpr int kNumStatusCodes = 10;
+inline constexpr int kNumStatusCodes = 11;
 
 /// Returns a human-readable name for a status code ("Invalid argument", ...).
 const char* StatusCodeToString(StatusCode code);
@@ -79,6 +84,9 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "core/query_engine.h"
 
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <unordered_map>
@@ -12,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "grid/live_poi_view.h"
 #include "obs/json_export.h"
 #include "obs/obs.h"
 
@@ -402,6 +404,12 @@ Result<SoiResult> QueryEngine::TryRun(const SoiQuery& query) {
 
 Result<SoiResult> QueryEngine::TryRun(const SoiQuery& query,
                                       const CancellationToken& cancel) {
+  return TryRunCounted(query, cancel, /*preadmitted=*/false);
+}
+
+Result<SoiResult> QueryEngine::TryRunCounted(const SoiQuery& query,
+                                             const CancellationToken& cancel,
+                                             bool preadmitted) {
   // The observability envelope around the evaluation: every TryRun —
   // success, invalid, shed, expired, faulted — leaves one QueryRecord
   // in the flight recorder, and successful queries additionally stamp
@@ -411,7 +419,8 @@ Result<SoiResult> QueryEngine::TryRun(const SoiQuery& query,
   obs::QueryRecord record;
   if (obs::kEnabled) record = MakeQueryRecord(query);
   Stopwatch timer;
-  Result<SoiResult> result = TryRunInternal(query, cancel, &record);
+  Result<SoiResult> result =
+      TryRunInternal(query, cancel, &record, preadmitted);
   if (obs::kEnabled) {
     record.total_seconds = timer.ElapsedSeconds();
     record.status =
@@ -428,22 +437,28 @@ Result<SoiResult> QueryEngine::TryRun(const SoiQuery& query,
 
 Result<SoiResult> QueryEngine::TryRunInternal(
     const SoiQuery& query, const CancellationToken& cancel,
-    obs::QueryRecord* record) {
+    obs::QueryRecord* record, bool preadmitted) {
   // Validation precedes every other step — in particular the eps cache
   // lookup, so a NaN eps (NaN != NaN would miss and insert on every
   // call) can never become a cache key.
   SOI_RETURN_NOT_OK(query.Validate());
 
-  int64_t inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
-  SOI_OBS_GAUGE_SET("soi.engine.inflight", inflight);
-  InflightGuard guard(&inflight_);
-  if (options_.max_inflight_queries > 0 &&
-      inflight > static_cast<int64_t>(options_.max_inflight_queries)) {
-    SOI_OBS_COUNTER_ADD("soi.engine.shed", 1);
-    return Status::ResourceExhausted(
-        "query shed: " + std::to_string(inflight) + " in-flight queries "
-        "exceeds max_inflight_queries=" +
-        std::to_string(options_.max_inflight_queries));
+  // Admission control — unless the caller (a coalesced TryRunBatch
+  // group) already charged one slot per logical query it represents.
+  std::optional<InflightGuard> guard;
+  if (!preadmitted) {
+    int64_t inflight =
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    SOI_OBS_GAUGE_SET("soi.engine.inflight", inflight);
+    guard.emplace(&inflight_);
+    if (options_.max_inflight_queries > 0 &&
+        inflight > static_cast<int64_t>(options_.max_inflight_queries)) {
+      SOI_OBS_COUNTER_ADD("soi.engine.shed", 1);
+      return Status::ResourceExhausted(
+          "query shed: " + std::to_string(inflight) +
+          " in-flight queries exceeds max_inflight_queries=" +
+          std::to_string(options_.max_inflight_queries));
+    }
   }
 
   SOI_TRACE_SPAN("engine.query");
@@ -461,8 +476,24 @@ Result<SoiResult> QueryEngine::TryRunInternal(
     maps = std::move(maps_result).ValueOrDie();
   }
 
+  // Live ingest: pin one epoch for the whole evaluation. The snapshot's
+  // shared_ptr (and through it the overlay / compacted arenas) stays
+  // alive until this frame returns, so the view's borrowed pointers are
+  // valid for every read the algorithm performs. Pinned after admission
+  // so shed queries never delay overlay reclamation.
+  std::shared_ptr<const PoiEpochSnapshot> epoch;
+  std::optional<LivePoiView> live_view;
+  if (options_.epoch_source != nullptr) {
+    epoch = options_.epoch_source->Pin();
+    live_view.emplace(epoch->View());
+    record->ingest_epoch = epoch->epoch;
+  }
+
   SoiAlgorithmOptions algorithm_options = options_.algorithm;
   algorithm_options.cancel = cancel;
+  if (live_view.has_value()) {
+    algorithm_options.live_view = &*live_view;
+  }
   // Exemplar attribution for the per-phase latency histograms (plain
   // data; 0 under SOI_OBSERVABILITY=OFF).
   algorithm_options.query_id = record->query_id;
@@ -539,6 +570,13 @@ std::vector<Result<SoiResult>> QueryEngine::TryRunBatch(
   if (coalesced > 0) {
     SOI_OBS_COUNTER_ADD("soi.engine.batch_coalesced", coalesced);
   }
+  // Members of each coalesced group, ascending (a leader's own index
+  // comes first). Admission control charges per member below.
+  std::vector<std::vector<int64_t>> group_members(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    group_members[static_cast<size_t>(leader[i])].push_back(
+        static_cast<int64_t>(i));
+  }
 
   std::vector<Result<SoiResult>> results(
       queries.size(),
@@ -551,30 +589,90 @@ std::vector<Result<SoiResult>> QueryEngine::TryRunBatch(
     // one slow query serializes every query behind it in that chunk.
     // Each entry writes only results[i], so the timing-dependent claim
     // order cannot affect the (bit-identical) per-query results.
-    ParallelForDynamic(pool_.get(), 0,
-                       static_cast<int64_t>(queries.size()),
-                       [&](int64_t i) {
-                         size_t idx = static_cast<size_t>(i);
-                         if (leader[idx] != i) return;  // coalesced dup
-                         const CancellationToken& cancel =
-                             cancels.empty() ? options_.algorithm.cancel
-                                             : cancels[idx];
-                         results[idx] = TryRun(queries[idx], cancel);
-                       });
+    ParallelForDynamic(
+        pool_.get(), 0, static_cast<int64_t>(queries.size()),
+        [&](int64_t i) {
+          size_t idx = static_cast<size_t>(i);
+          if (leader[idx] != i) return;  // coalesced dup
+          const CancellationToken& cancel =
+              cancels.empty() ? options_.algorithm.cancel : cancels[idx];
+          const std::vector<int64_t>& group = group_members[idx];
+          if (group.size() == 1) {
+            // No duplicates: the single-query path (admission inside).
+            results[idx] = TryRun(queries[idx], cancel);
+            return;
+          }
+          // Coalesced group under a bounded engine: admission control is
+          // per *logical query* — each duplicate occupies one in-flight
+          // slot for the duration of the shared evaluation, exactly as
+          // if it had been submitted alone. Slots are claimed in input
+          // order; a member that finds the engine full is shed
+          // individually while admitted members still share the one
+          // evaluation.
+          std::vector<char> shed;
+          size_t num_admitted = group.size();
+          if (options_.max_inflight_queries > 0) {
+            shed.assign(group.size(), 0);
+            num_admitted = 0;
+            for (size_t g = 0; g < group.size(); ++g) {
+              int64_t inflight =
+                  inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+              SOI_OBS_GAUGE_SET("soi.engine.inflight", inflight);
+              if (inflight > static_cast<int64_t>(
+                                 options_.max_inflight_queries)) {
+                inflight_.fetch_sub(1, std::memory_order_relaxed);
+                shed[g] = 1;
+                SOI_OBS_COUNTER_ADD("soi.engine.shed", 1);
+              } else {
+                ++num_admitted;
+              }
+            }
+          }
+          Result<SoiResult> eval = Result<SoiResult>(
+              Status::ResourceExhausted(
+                  "query shed: coalesced batch group exceeds "
+                  "max_inflight_queries=" +
+                  std::to_string(options_.max_inflight_queries)));
+          if (num_admitted > 0) {
+            // preadmitted when this group claimed slots above.
+            eval = TryRunCounted(queries[idx], cancel,
+                                 /*preadmitted=*/!shed.empty());
+          }
+          if (!shed.empty() && num_admitted > 0) {
+            inflight_.fetch_sub(static_cast<int64_t>(num_admitted),
+                                std::memory_order_relaxed);
+            SOI_OBS_GAUGE_SET(
+                "soi.engine.inflight",
+                inflight_.load(std::memory_order_relaxed));
+          }
+          for (size_t g = 0; g < group.size(); ++g) {
+            if (!shed.empty() && shed[g]) {
+              results[static_cast<size_t>(group[g])] =
+                  Result<SoiResult>(Status::ResourceExhausted(
+                      "query shed: " +
+                      std::to_string(options_.max_inflight_queries) +
+                      " in-flight queries exceeds "
+                      "max_inflight_queries=" +
+                      std::to_string(options_.max_inflight_queries)));
+            } else {
+              results[static_cast<size_t>(group[g])] = eval;
+            }
+          }
+        });
   } catch (const std::exception&) {
     // Only reachable when an injected "pool.run_chunk" fault hits the
     // batch's own outer loop: TryRun itself never throws. The loop's
     // unevaluated entries keep their placeholder Internal status;
     // entries evaluated by sibling participants are unaffected.
   }
-  // Fan the leader results back out to their coalesced duplicates
-  // (Result<SoiResult> is copyable; an aborted leader propagates its
-  // placeholder status). Each duplicate still gets its own flight
-  // record — marked coalesced, carrying the leader's phase stats (the
-  // evaluation that served it) but no wall time of its own.
+  // Flight records for the coalesced duplicates. The group lambda
+  // already assigned every member's result (the shared evaluation, or a
+  // per-member shed status; a group aborted by a pool fault leaves all
+  // its members on the placeholder). Each duplicate gets its own record
+  // — marked coalesced, carrying the phase stats of the evaluation that
+  // served it but no wall time of its own.
   for (size_t i = 0; i < queries.size(); ++i) {
     if (leader[i] != static_cast<int64_t>(i)) {
-      results[i] = results[static_cast<size_t>(leader[i])];
       if (obs::kEnabled) {
         obs::QueryRecord record = MakeQueryRecord(queries[i]);
         record.coalesced = true;

@@ -18,6 +18,7 @@
 
 namespace soi {
 
+class PoiEpochSource;
 class ThreadPool;
 
 namespace obs {
@@ -56,6 +57,15 @@ struct QueryEngineOptions {
   /// Per-query algorithm options. The `pool` field is overridden by the
   /// engine's own pool.
   SoiAlgorithmOptions algorithm;
+
+  /// Live-ingest integration (grid/live_poi_view.h): when set, every
+  /// admitted query pins one epoch from this source for its whole
+  /// evaluation — Pin() is wait-free, the pinned snapshot is released
+  /// when the query finishes, and the query's POI reads all see that
+  /// epoch's index state. Null (default) = the static indexes the
+  /// engine was constructed over. Not owned; must outlive the engine.
+  /// Overrides algorithm.live_view per query when set.
+  const PoiEpochSource* epoch_source = nullptr;
 
   /// Test/diagnostic hook: invoked outside the cache lock at the start
   /// of every eps-maps cache build, with the eps being built. The
@@ -284,14 +294,24 @@ class QueryEngine {
   /// Republishes hit_table_ from the completed entries of cache_.
   void RebuildHitTableLocked() SOI_REQUIRES(cache_mutex_);
 
-  /// TryRun's body. `record` (never null; ignored when observability is
-  /// compiled out) accumulates the per-query flight-recorder fields the
-  /// evaluation path knows — cache hit/miss and the phase stats — while
-  /// the caller owns identity, total wall time, final status, and
-  /// publication to the FlightRecorder.
+  /// TryRun with an explicit admission mode: the shared body behind the
+  /// public TryRun (preadmitted = false, admission control inside) and
+  /// TryRunBatch's coalesced groups (preadmitted = true — the batch has
+  /// already charged one in-flight slot per coalesced logical query, so
+  /// the evaluation itself must not charge again).
+  Result<SoiResult> TryRunCounted(const SoiQuery& query,
+                                  const CancellationToken& cancel,
+                                  bool preadmitted);
+
+  /// TryRunCounted's body. `record` (never null; ignored when
+  /// observability is compiled out) accumulates the per-query
+  /// flight-recorder fields the evaluation path knows — cache hit/miss
+  /// and the phase stats — while the caller owns identity, total wall
+  /// time, final status, and publication to the FlightRecorder.
   Result<SoiResult> TryRunInternal(const SoiQuery& query,
                                    const CancellationToken& cancel,
-                                   obs::QueryRecord* record);
+                                   obs::QueryRecord* record,
+                                   bool preadmitted);
 
   const SegmentCellIndex* segment_cells_;
   QueryEngineOptions options_;

@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "core/interest.h"
 #include "core/soi_baseline.h"
+#include "grid/live_poi_view.h"
 #include "obs/obs.h"
 
 namespace soi {
@@ -239,7 +240,9 @@ class Run {
       SoiScratchPool::QueryScratch* scratch)
       : network_(network),
         grid_(grid),
-        global_index_(global_index),
+        view_(options.live_view != nullptr
+                  ? *options.live_view
+                  : LivePoiView(grid, global_index)),
         sl3_(segments_by_length),
         query_(query),
         maps_(maps),
@@ -303,7 +306,11 @@ class Run {
 
   const RoadNetwork& network_;
   const PoiGridIndex& grid_;
-  const GlobalInvertedIndex& global_index_;
+  // Every POI-side read of the run goes through this view: the static
+  // path wraps grid_/global_index_ with no overlay, the ingest path is
+  // options.live_view's pinned epoch. Geometry stays grid_'s — it is
+  // invariant across epochs (ingest rejects out-of-bounds inserts).
+  const LivePoiView view_;
   const std::vector<SegmentId>& sl3_;
   const SoiQuery& query_;
   const EpsAugmentedMaps& maps_;
@@ -366,9 +373,9 @@ void Run::UpdateStreetBest(StreetId street, double lower_bound) {
 double Run::CellMass(const Segment& geometry, CellId cell,
                      int64_t* distance_checks) const {
   double mass = 0.0;
-  grid_.ForEachRelevantInCell(cell, query_.keywords, [&](PoiId poi) {
+  view_.ForEachRelevantInCell(cell, query_.keywords, [&](PoiId poi) {
     ++*distance_checks;
-    const Poi& p = grid_.pois()[static_cast<size_t>(poi)];
+    const Poi& p = view_.PoiById(poi);
     if (geometry.DistanceTo(p.position) <= query_.eps) {
       mass += p.weight;
     }
@@ -443,8 +450,7 @@ void Run::FinalizeSegment(SegmentId id) {
 }
 
 void Run::BuildSourceLists() {
-  global_index_.BuildQueryCellList(query_.keywords, grid_, &s_.cell_list,
-                                   &sl1_);
+  view_.BuildQueryCellList(query_.keywords, &s_.cell_list, &sl1_);
   cell_relevant_bound_.assign(
       static_cast<size_t>(grid_.geometry().num_cells()), 0.0);
   for (const GlobalInvertedIndex::Entry& entry : sl1_) {

@@ -14,6 +14,7 @@
 
 namespace soi {
 
+class LivePoiView;
 class ThreadPool;
 
 /// Pool of reusable per-query scratch arenas (dense per-segment /
@@ -74,6 +75,16 @@ struct SoiAlgorithmOptions {
   /// treats firing as a fatal error — serve cancellable queries through
   /// TryTopK / QueryEngine::TryRun.
   CancellationToken cancel;
+
+  /// Epoch-pinned POI read surface for this evaluation (grid/live_poi_view.h).
+  /// When null the run reads the indexes the SoiAlgorithm was constructed
+  /// over — the static path. When set, every POI-side read (cell buckets,
+  /// posting merges, SL1) goes through the view instead, so live-ingest
+  /// callers (QueryEngine over an ingest::LiveWorld) evaluate against one
+  /// consistent epoch. The view's base indexes must share the constructed
+  /// grid's geometry; the caller keeps the view's targets alive for the
+  /// duration of the call.
+  const LivePoiView* live_view = nullptr;
 
   /// Test/diagnostic hook invoked once per filtering iteration, after the
   /// bounds are recomputed and before the termination check.

@@ -2,20 +2,17 @@
 
 #include <algorithm>
 
+#include "grid/live_poi_view.h"
+
 namespace soi {
 
-namespace {
-
-void SortByWeightDesc(std::vector<GlobalInvertedIndex::Entry>* entries) {
+void GlobalInvertedIndex::SortByWeightDesc(std::vector<Entry>* entries) {
   std::sort(entries->begin(), entries->end(),
-            [](const GlobalInvertedIndex::Entry& a,
-               const GlobalInvertedIndex::Entry& b) {
+            [](const Entry& a, const Entry& b) {
               if (a.weight != b.weight) return a.weight > b.weight;
               return a.cell < b.cell;  // Deterministic tie-break.
             });
 }
-
-}  // namespace
 
 GlobalInvertedIndex::GlobalInvertedIndex(const PoiGridIndex& grid) {
   const std::vector<Poi>& pois = grid.pois();
@@ -63,48 +60,10 @@ GlobalInvertedIndex::BuildQueryCellList(const KeywordSet& query,
 void GlobalInvertedIndex::BuildQueryCellList(
     const KeywordSet& query, const PoiGridIndex& grid,
     QueryCellScratch* scratch, std::vector<Entry>* result) const {
-  const size_t num_cells =
-      static_cast<size_t>(grid.geometry().num_cells());
-  if (scratch->counts.size() < num_cells) {
-    scratch->counts.assign(num_cells, 0);
-    scratch->weights.assign(num_cells, 0.0);
-  }
-  scratch->touched.clear();
-  // Per-cell accumulation visits (keyword, entry) pairs in exactly the
-  // order the nested-map implementation did, so the summed doubles are
-  // bit-identical. Every entry has num_pois >= 1, so a zero count marks
-  // a first touch.
-  for (KeywordId keyword : query.ids()) {
-    for (const Entry& entry : Entries(keyword)) {
-      const size_t cell = static_cast<size_t>(entry.cell);
-      if (scratch->counts[cell] == 0) {
-        scratch->touched.push_back(entry.cell);
-      }
-      scratch->counts[cell] += entry.num_pois;
-      scratch->weights[cell] += entry.weight;
-    }
-  }
-  const std::vector<Poi>& pois = grid.pois();
-  result->clear();
-  result->reserve(scratch->touched.size());
-  for (CellId cell : scratch->touched) {
-    // min(per-keyword sum, whole-cell total) is a valid upper bound for
-    // counts and weights alike.
-    double cell_weight = 0.0;
-    const PoiGridIndex::Cell* bucket = grid.FindCell(cell);
-    for (PoiId id : bucket->pois) {
-      cell_weight += pois[static_cast<size_t>(id)].weight;
-    }
-    const size_t c = static_cast<size_t>(cell);
-    result->push_back(Entry{cell,
-                            std::min(scratch->counts[c],
-                                     grid.NumPoisInCell(cell)),
-                            std::min(scratch->weights[c], cell_weight)});
-    // Restore the all-zero invariant for the next query.
-    scratch->counts[c] = 0;
-    scratch->weights[c] = 0.0;
-  }
-  SortByWeightDesc(result);
+  // The static path is the null-overlay special case of the live view;
+  // delegating keeps the two read paths one implementation (and so
+  // trivially bit-identical to each other).
+  LivePoiView(grid, *this).BuildQueryCellList(query, scratch, result);
 }
 
 }  // namespace soi

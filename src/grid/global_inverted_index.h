@@ -87,6 +87,14 @@ class GlobalInvertedIndex {
                           QueryCellScratch* scratch,
                           std::vector<Entry>* result) const;
 
+  /// Sorts a row into the canonical order every reader assumes: weight
+  /// descending, ascending cell id as the tie-break. Cells are unique
+  /// within a row, so this is a strict total order — two inputs with the
+  /// same entry set always sort to the same sequence, which is what lets
+  /// the ingest overlay rebuild a dirty row and land bit-identical to a
+  /// cold rebuild (grid/live_poi_view.h).
+  static void SortByWeightDesc(std::vector<Entry>* entries);
+
   /// Number of distinct keywords with at least one entry.
   int64_t num_keywords() const { return num_nonempty_; }
 

@@ -64,22 +64,24 @@ class PoiGridIndex {
                              Fn&& fn) const {
     const Cell* c = FindCell(cell);
     if (c == nullptr) return;
-    MergeRelevant(*c, query, fn);
+    MergeRelevantInCell(*c, query, fn);
   }
 
  private:
-  template <typename Fn>
-  void MergeRelevant(const Cell& cell, const KeywordSet& query,
-                     Fn&& fn) const;
-
   GridGeometry geometry_;
   const std::vector<Poi>* pois_;
   std::unordered_map<CellId, Cell> cells_;
 };
 
+/// The shared posting-list merge behind ForEachRelevantInCell: invokes
+/// `fn(PoiId)` once per POI of `cell` carrying at least one keyword of
+/// `query`, ascending by id. A free function (not a PoiGridIndex method)
+/// so overlay readers (grid/live_poi_view.h) run the identical merge —
+/// same cursor order, same emission order — on delta-replacement cells,
+/// which is what keeps live reads bit-identical to a cold rebuild.
 template <typename Fn>
-void PoiGridIndex::MergeRelevant(const Cell& cell, const KeywordSet& query,
-                                 Fn&& fn) const {
+void MergeRelevantInCell(const PoiGridIndex::Cell& cell,
+                         const KeywordSet& query, Fn&& fn) {
   // k-way merge over the (sorted) posting lists of the query keywords,
   // emitting each POI id exactly once. Query keyword counts are tiny
   // (|Psi| <= ~4 in the paper), so a fixed-size cursor array scan beats a

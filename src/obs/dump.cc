@@ -39,6 +39,7 @@ void WriteQueryRecordJson(const QueryRecord& record, JsonWriter* json) {
   json->KeyValue("poi_distance_checks", record.poi_distance_checks);
   json->KeyValue("cache_hit", record.cache_hit);
   json->KeyValue("coalesced", record.coalesced);
+  json->KeyValue("ingest_epoch", record.ingest_epoch);
   json->KeyValue("status", StatusCodeToString(record.status));
   json->EndObject();
 }

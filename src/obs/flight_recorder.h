@@ -59,6 +59,10 @@ struct QueryRecord {
   /// timings but zero total_seconds of their own.
   bool coalesced = false;
 
+  /// Ingest epoch the query was pinned to (0 when the engine serves the
+  /// static indexes — no epoch source configured).
+  uint64_t ingest_epoch = 0;
+
   /// kOk on success; kInvalidArgument / kResourceExhausted (shed) /
   /// kDeadlineExceeded / kCancelled / kInternal mirror the TryRun
   /// failure taxonomy (DESIGN.md "Failure model").

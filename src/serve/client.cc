@@ -15,6 +15,10 @@ bool IsRetryable(const Status& status) {
     case StatusCode::kIOError:
     case StatusCode::kResourceExhausted:
     case StatusCode::kInternal:
+    // A draining server answers with kUnavailable until it stops; the
+    // retry either lands after a restart or turns into a (retryable)
+    // transport error once the listener closes.
+    case StatusCode::kUnavailable:
       return true;
     default:
       return false;

@@ -58,8 +58,10 @@ class Socket {
                                  bool* clean_eof);
 
   /// Half-closes the read side: a peer (or our own reader thread) blocked
-  /// in recv on this socket observes EOF. Used by graceful drain to stop
-  /// accepting new requests while responses still flow out.
+  /// in recv on this socket observes EOF. Note that buffered-but-unread
+  /// inbound bytes are discarded — which is why graceful drain answers
+  /// raced-in frames explicitly instead of half-closing (the drain-race
+  /// guarantee: a typed error frame, never a silent drop).
   void ShutdownRead();
   /// Full shutdown (both directions); used by slow-client eviction.
   void ShutdownBoth();

@@ -21,6 +21,14 @@ namespace {
 /// upper bound on how long a SIGTERM waits before new accepts stop.
 constexpr double kAcceptTickSeconds = 0.05;
 
+/// First-byte receive tick for reader threads. Short so an idle reader
+/// notices draining_reads_ promptly (the old half-close-on-drain design
+/// silently discarded frames already sitting in the socket buffer —
+/// this poll keeps them readable so they can be answered with a typed
+/// kUnavailable frame). Once a frame has started, reads switch back to
+/// the configured read timeout.
+constexpr double kReadTickSeconds = 0.05;
+
 /// Converts a fired fault point into a typed Status at the serve
 /// boundary, mirroring how QueryEngine::TryRun catches FaultInjectedError
 /// — a fault inside soid must surface as an error frame or a closed
@@ -60,6 +68,7 @@ struct SoidServer::AtomicStats {
   std::atomic<int64_t> shed_queue_full{0};
   std::atomic<int64_t> expired_at_admission{0};
   std::atomic<int64_t> evicted_slow{0};
+  std::atomic<int64_t> rejected_draining{0};
   std::atomic<int64_t> drain_cancelled{0};
   std::atomic<int64_t> faults_injected{0};
 };
@@ -114,18 +123,21 @@ Status SoidServer::Wait() {
       drain_request_cv_.Wait(queue_mutex_);
     }
   }
+  // Stop admitting before the state flips: readers observe
+  // draining_reads_ on their first-byte tick, so once state() reads
+  // kDraining the no-new-admissions guarantee already holds. Idle
+  // connections close within one tick; a frame already accepted into a
+  // socket buffer (e.g. sent just before the SIGTERM) is still read in
+  // full and answered with a typed kUnavailable error frame — never a
+  // silently dropped connection. (An earlier design half-closed every
+  // socket here instead; ShutdownRead discards buffered inbound bytes,
+  // which is exactly the silent drop the drain-race guarantee forbids.)
+  draining_reads_.store(true, std::memory_order_release);
   state_.store(State::kDraining, std::memory_order_release);
 
   // 1. Stop accepting: the loop observes stop_accepting_ within one tick.
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
-
-  // 2. Stop reading: half-close every connection, so blocked readers see
-  // EOF and no new requests are admitted, while responses still flow out.
-  {
-    MutexLock lock(conns_mutex_);
-    for (auto& [id, conn] : conns_) conn->socket.ShutdownRead();
-  }
 
   // 3. Give queued + executing requests the drain budget.
   bool clean = true;
@@ -210,6 +222,8 @@ SoidServer::Stats SoidServer::stats() const {
   out.expired_at_admission =
       stats_->expired_at_admission.load(std::memory_order_relaxed);
   out.evicted_slow = stats_->evicted_slow.load(std::memory_order_relaxed);
+  out.rejected_draining =
+      stats_->rejected_draining.load(std::memory_order_relaxed);
   out.drain_cancelled =
       stats_->drain_cancelled.load(std::memory_order_relaxed);
   out.faults_injected =
@@ -285,16 +299,32 @@ void SoidServer::ReaderLoop(std::shared_ptr<Connection> conn) {
 }
 
 bool SoidServer::ServeOneFrame(const std::shared_ptr<Connection>& conn) {
-  // First byte separately: a timeout here is an *idle* connection (no
-  // frame in progress), which is not an offense — loop and re-check
-  // liveness. Once a frame has started, every further timeout is a
-  // stalled client and grounds for eviction.
+  // First byte separately, on a short tick: a timeout here is an *idle*
+  // connection (no frame in progress), which is not an offense — loop
+  // and re-check liveness and the drain flag. Once a frame has started,
+  // reads run under the configured read timeout, and every further
+  // timeout is a stalled client and grounds for eviction.
+  if (!conn->socket
+           .SetIoTimeouts(kReadTickSeconds, options_.write_timeout_seconds)
+           .ok()) {
+    return false;
+  }
   std::string first;
   bool clean_eof = false;
   Status status = conn->socket.RecvExact(1, &first, &clean_eof);
-  if (clean_eof) return false;  // normal close (or drain's half-close)
+  if (clean_eof) return false;  // normal close
   if (!status.ok()) {
-    if (status.code() == StatusCode::kDeadlineExceeded) return true;
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      // Idle tick: keep serving unless the drain has begun, in which
+      // case this connection has no frame in flight and can close.
+      return !draining_reads_.load(std::memory_order_acquire);
+    }
+    return false;
+  }
+  if (!conn->socket
+           .SetIoTimeouts(options_.read_timeout_seconds,
+                          options_.write_timeout_seconds)
+           .ok()) {
     return false;
   }
   std::string rest;
@@ -355,6 +385,23 @@ bool SoidServer::ServeOneFrame(const std::shared_ptr<Connection>& conn) {
     EvictConnection(conn, "malformed query payload");
     return false;
   }
+  if (draining_reads_.load(std::memory_order_acquire)) {
+    // Drain race: the frame was accepted (sent, buffered) before the
+    // drain transition but read after it. The client gets a typed
+    // retry-against-another-replica answer, then the connection closes.
+    // Counted as a request so the every-request-answered invariant
+    // (responses_ok + responses_error == requests) holds through drain.
+    stats_->requests.fetch_add(1, std::memory_order_relaxed);
+    SOI_OBS_COUNTER_ADD("soi.serve.requests", 1);
+    stats_->rejected_draining.fetch_add(1, std::memory_order_relaxed);
+    SOI_OBS_COUNTER_ADD("soi.serve.rejected_draining", 1);
+    stats_->responses_error.fetch_add(1, std::memory_order_relaxed);
+    WriteError(conn, request.request_id,
+               Status::Unavailable(
+                   "server draining: request not admitted; retry against "
+                   "another replica"));
+    return false;
+  }
   HandleQuery(conn, std::move(request));
   return true;
 }
@@ -413,7 +460,9 @@ void SoidServer::HandleQuery(const std::shared_ptr<Connection>& conn,
 Status SoidServer::TryEnqueue(Request request) {
   MutexLock lock(queue_mutex_);
   if (queue_stopped_ || cancel_queued_.load(std::memory_order_acquire)) {
-    return Status::Cancelled("server is draining");
+    return Status::Unavailable(
+        "server draining: request not admitted; retry against another "
+        "replica");
   }
   if (queue_.size() >= options_.queue_capacity) {
     // The backpressure valve: reject now, with a typed error the client's

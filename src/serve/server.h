@@ -70,10 +70,13 @@ struct SoidServerOptions {
 /// silent drop (chaos-gated by tests/serve_chaos_test.cc).
 ///
 /// Drain state machine: kServing -> (RequestDrain, e.g. SIGTERM) ->
-/// kDraining (listener closed, connection reads half-shut — no new
-/// requests) -> [drain deadline elapses] kCancelling (in-flight tokens
-/// cancelled, queued requests answered kCancelled) -> kStopped (workers
-/// joined, readers exited, obs state file flushed).
+/// kDraining (listener closed; readers keep reading, and any complete
+/// frame that arrives after the transition — including one that raced
+/// the SIGTERM in a socket buffer — is answered with a typed
+/// kUnavailable error frame before the connection closes, never a
+/// silent drop) -> [drain deadline elapses] kCancelling (in-flight
+/// tokens cancelled, queued requests answered kCancelled) -> kStopped
+/// (workers joined, readers exited, obs state file flushed).
 class SoidServer {
  public:
   enum class State { kIdle, kServing, kDraining, kCancelling, kStopped };
@@ -91,6 +94,9 @@ class SoidServer {
     int64_t shed_queue_full = 0;
     int64_t expired_at_admission = 0;
     int64_t evicted_slow = 0;
+    /// Complete frames read after the drain transition and answered with
+    /// a kUnavailable error frame (the drain-race guarantee).
+    int64_t rejected_draining = 0;
     int64_t drain_cancelled = 0;
     int64_t faults_injected = 0;
   };
@@ -178,6 +184,11 @@ class SoidServer {
 
   std::atomic<bool> drain_requested_{false};
   std::atomic<bool> stop_accepting_{false};
+  /// Set at the kServing -> kDraining transition. Readers poll it on a
+  /// short first-byte tick: an idle connection closes promptly, while a
+  /// frame already in the socket buffer is still read in full and
+  /// answered with kUnavailable instead of being silently dropped.
+  std::atomic<bool> draining_reads_{false};
   /// Set in kCancelling: workers answer queued requests with kCancelled
   /// instead of evaluating them.
   std::atomic<bool> cancel_queued_{false};

@@ -76,6 +76,9 @@ struct Meta {
   uint64_t num_photos = 0;
   uint64_t num_keywords = 0;
   uint64_t num_eps_maps = 0;
+  // Format v2 trailing fields (zero when reading a v1 file).
+  uint64_t ingest_epoch = 0;
+  uint64_t ingest_applied_ops = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -92,6 +95,9 @@ std::string EncodeMeta(const SnapshotContents& contents) {
   w.PutU64(dataset.photos.size());
   w.PutU64(static_cast<uint64_t>(dataset.vocabulary.size()));
   w.PutU64(contents.eps_maps.size());
+  // v2 trailing fields; writers always emit the current version.
+  w.PutU64(contents.ingest_epoch);
+  w.PutU64(contents.ingest_applied_ops);
   return w.TakeData();
 }
 
@@ -223,7 +229,7 @@ Status SectionError(uint32_t id, const std::string& detail) {
                          SectionName(id) + "': " + detail);
 }
 
-Status DecodeMeta(ByteReader* r, Meta* meta) {
+Status DecodeMeta(ByteReader* r, uint32_t format_version, Meta* meta) {
   SOI_RETURN_NOT_OK(r->ReadString(&meta->name));
   SOI_RETURN_NOT_OK(r->ReadU64(&meta->num_vertices));
   SOI_RETURN_NOT_OK(r->ReadU64(&meta->num_segments));
@@ -232,6 +238,12 @@ Status DecodeMeta(ByteReader* r, Meta* meta) {
   SOI_RETURN_NOT_OK(r->ReadU64(&meta->num_photos));
   SOI_RETURN_NOT_OK(r->ReadU64(&meta->num_keywords));
   SOI_RETURN_NOT_OK(r->ReadU64(&meta->num_eps_maps));
+  if (format_version >= 2) {
+    SOI_RETURN_NOT_OK(r->ReadU64(&meta->ingest_epoch));
+    SOI_RETURN_NOT_OK(r->ReadU64(&meta->ingest_applied_ops));
+  }
+  // Strict per-version length check: a v1 meta with v2 trailing bytes
+  // (or any extra bytes) is corruption, not forward compat.
   if (!r->AtEnd()) return SectionError(kSectionMeta, "trailing bytes");
   return Status::OK();
 }
@@ -607,10 +619,12 @@ Status ReadFileHeader(std::istream* in, uint32_t* version,
   ByteReader r(rest);
   SOI_RETURN_NOT_OK(r.ReadU32(version));
   SOI_RETURN_NOT_OK(r.ReadU32(section_count));
-  if (*version != kSnapshotFormatVersion) {
+  if (*version < kMinSnapshotFormatVersion ||
+      *version > kSnapshotFormatVersion) {
     return Status::InvalidArgument(
         "unsupported snapshot format version " + std::to_string(*version) +
-        " (this build reads version " +
+        " (this build reads versions " +
+        std::to_string(kMinSnapshotFormatVersion) + ".." +
         std::to_string(kSnapshotFormatVersion) +
         "); regenerate the snapshot");
   }
@@ -804,7 +818,7 @@ Result<LoadedSnapshot> LoadSnapshot(std::istream* in, ThreadPool* pool) {
       ByteReader r(payload);
       switch (header.id) {
         case kSectionMeta:
-          SOI_RETURN_NOT_OK(DecodeMeta(&r, &meta));
+          SOI_RETURN_NOT_OK(DecodeMeta(&r, version, &meta));
           dataset->name = meta.name;
           if (section_count !=
               kNumFixedSections + meta.num_eps_maps) {
@@ -882,6 +896,8 @@ Result<LoadedSnapshot> LoadSnapshot(std::istream* in, ThreadPool* pool) {
   PointGrid<PhotoId> photo_grid(*geometry, photo_positions);
 
   LoadedSnapshot loaded;
+  loaded.ingest_epoch = meta.ingest_epoch;
+  loaded.ingest_applied_ops = meta.ingest_applied_ops;
   loaded.dataset = std::move(dataset);
   loaded.indexes = std::make_unique<DatasetIndexes>(DatasetIndexes{
       *geometry, std::move(poi_grid), std::move(global_index),
@@ -930,7 +946,7 @@ Result<SnapshotInfo> InspectSnapshot(std::istream* in) {
       info.total_bytes += 16 + payload.size();
       ByteReader r(payload);
       if (header.id == kSectionMeta) {
-        SOI_RETURN_NOT_OK(DecodeMeta(&r, &meta));
+        SOI_RETURN_NOT_OK(DecodeMeta(&r, info.format_version, &meta));
         info.dataset_name = meta.name;
         info.num_vertices = meta.num_vertices;
         info.num_segments = meta.num_segments;
@@ -938,6 +954,8 @@ Result<SnapshotInfo> InspectSnapshot(std::istream* in) {
         info.num_pois = meta.num_pois;
         info.num_photos = meta.num_photos;
         info.num_keywords = meta.num_keywords;
+        info.ingest_epoch = meta.ingest_epoch;
+        info.ingest_applied_ops = meta.ingest_applied_ops;
       } else if (header.id == kSectionEpsMaps) {
         double eps = 0.0;
         SOI_RETURN_NOT_OK(r.ReadDouble(&eps));

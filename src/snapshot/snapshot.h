@@ -37,15 +37,21 @@ class ThreadPool;
 /// (kIOError for structural damage, kInvalidArgument for semantic
 /// violations such as duplicate records), never a crash.
 ///
-/// Versioning/compat policy: readers accept exactly
-/// kSnapshotFormatVersion and fail closed on anything else (including
-/// unknown section ids); any format change bumps the version. Snapshots
-/// are rebuildable artifacts — on mismatch, regenerate from source data
-/// rather than migrating in place.
+/// Versioning/compat policy: writers always emit kSnapshotFormatVersion;
+/// readers accept any version in [kMinSnapshotFormatVersion,
+/// kSnapshotFormatVersion] and fail closed on anything else (including
+/// unknown section ids). Version history:
+///   1 — original format.
+///   2 — meta section gains two trailing u64s (ingest_epoch,
+///       ingest_applied_ops) stamped by LiveWorld::Save; absent in v1
+///       files, which load with both fields zero.
+/// Snapshots are rebuildable artifacts — on a version this build cannot
+/// read, regenerate from source data rather than migrating in place.
 
 inline constexpr char kSnapshotMagic[8] = {'S', 'O', 'I', 'S',
                                            'N', 'A', 'P', '1'};
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kMinSnapshotFormatVersion = 1;
 
 /// What SaveSnapshot serializes: one dataset, its offline index suite,
 /// and any eps-augmented maps worth shipping to pre-seed the serving
@@ -56,6 +62,10 @@ struct SnapshotContents {
   const Dataset* dataset = nullptr;
   const DatasetIndexes* indexes = nullptr;
   std::vector<const EpsAugmentedMaps*> eps_maps;
+  /// Ingest provenance (format v2): the LiveWorld epoch and applied-op
+  /// count at save time. Zero for cold (never-mutated) snapshots.
+  uint64_t ingest_epoch = 0;
+  uint64_t ingest_applied_ops = 0;
 };
 
 /// What LoadSnapshot restores. `indexes` holds pointers into `*dataset`
@@ -67,6 +77,10 @@ struct LoadedSnapshot {
   std::unique_ptr<Dataset> dataset;
   std::unique_ptr<DatasetIndexes> indexes;
   std::vector<std::shared_ptr<const EpsAugmentedMaps>> eps_maps;
+  /// Ingest provenance from the meta section (zero for v1 files and for
+  /// cold snapshots).
+  uint64_t ingest_epoch = 0;
+  uint64_t ingest_applied_ops = 0;
 };
 
 /// One section's entry in SnapshotInfo.
@@ -88,6 +102,8 @@ struct SnapshotInfo {
   uint64_t num_pois = 0;
   uint64_t num_photos = 0;
   uint64_t num_keywords = 0;
+  uint64_t ingest_epoch = 0;        // zero for v1 files
+  uint64_t ingest_applied_ops = 0;  // zero for v1 files
   std::vector<double> eps_values;
   std::vector<SnapshotSectionInfo> sections;
   uint64_t total_bytes = 0;

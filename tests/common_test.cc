@@ -42,6 +42,17 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, UnavailableIsTypedForDrainRejections) {
+  // The code a draining soid answers raced-in requests with (see
+  // serve/server.h): retryable-elsewhere, distinct from kCancelled.
+  Status status = Status::Unavailable("server draining");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.ToString(), "Unavailable: server draining");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable),
+               "Unavailable");
 }
 
 TEST(StatusTest, StatusCodeToStringIsExhaustive) {

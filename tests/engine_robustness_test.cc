@@ -194,7 +194,15 @@ TEST(EngineRobustnessTest, SheddingBeyondMaxInflight) {
   QueryEngine engine(instance.network, instance.grid, instance.global_index,
                      instance.segment_cells, options);
 
-  std::vector<SoiQuery> batch(8, ValidQuery());
+  // Distinct queries (distinct k) so none coalesce: admission is pure
+  // first-come-first-served racing, not the per-logical-query group
+  // charge (that path has its own test in query_engine_test.cc).
+  std::vector<SoiQuery> batch;
+  for (int i = 0; i < 8; ++i) {
+    SoiQuery query = ValidQuery();
+    query.k = 1 + i;
+    batch.push_back(query);
+  }
   std::vector<Result<SoiResult>> results = engine.TryRunBatch(batch);
   ASSERT_EQ(results.size(), batch.size());
   int ok = 0, shed = 0;
@@ -212,7 +220,8 @@ TEST(EngineRobustnessTest, SheddingBeyondMaxInflight) {
   EXPECT_GE(ok, 1);
   EXPECT_EQ(ok + shed, static_cast<int>(batch.size()));
 
-  // A sequential engine under the same bound never sheds.
+  // A sequential engine under the same bound never sheds distinct
+  // queries: they run one at a time, each within the in-flight limit.
   QueryEngineOptions sequential_options;
   sequential_options.max_inflight_queries = 1;
   QueryEngine sequential_engine(instance.network, instance.grid,

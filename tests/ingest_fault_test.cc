@@ -1,0 +1,120 @@
+// Fault-injection gate of the ingest publish protocol: a failed
+// ApplyBatch ("ingest.apply_delta") or compaction ("ingest.compact")
+// must publish NOTHING — the epoch, the live counters, the overlay, and
+// every pinned reader stay exactly as they were, and the next attempt
+// succeeds from clean state. Runs armed under the `fault` preset
+// (-DSOI_FAULT_INJECTION=ON); elsewhere the same scenarios degrade to
+// happy-path checks, so the test is present in every suite.
+
+#include <memory>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "datagen/dataset.h"
+#include "grid/live_poi_view.h"
+#include "gtest/gtest.h"
+#include "ingest/live_world.h"
+#include "test_util.h"
+
+namespace soi {
+namespace ingest {
+namespace {
+
+constexpr double kCellSize = 0.002;
+
+Dataset MakeDataset(uint64_t seed) {
+  Dataset dataset;
+  dataset.name = "ingest-fault-fixture";
+  dataset.network = testing_util::MakeGridNetwork(4, 4, 0.01);
+  Rng rng(seed);
+  Box box = Box::FromCorners(Point{-0.004, -0.004}, Point{0.034, 0.034});
+  dataset.pois =
+      testing_util::RandomPois(box, 150, 10, &dataset.vocabulary, &rng);
+  dataset.photos =
+      testing_util::RandomPhotos(box, 20, 6, &dataset.vocabulary, &rng);
+  return dataset;
+}
+
+UpdateBatch MakeBatch(uint64_t seed) {
+  Rng rng(seed);
+  Box box = Box::FromCorners(Point{-0.004, -0.004}, Point{0.034, 0.034});
+  UpdateBatch batch;
+  for (int i = 0; i < 8; ++i) {
+    Poi poi;
+    poi.position = Point{rng.UniformDouble(box.min.x, box.max.x),
+                         rng.UniformDouble(box.min.y, box.max.y)};
+    poi.keywords = KeywordSet(
+        {static_cast<KeywordId>(rng.UniformInt(0, 9))});
+    poi.weight = rng.UniformDouble(0.5, 2.0);
+    batch.poi_inserts.push_back(std::move(poi));
+  }
+  batch.poi_deletes.push_back(static_cast<PoiId>(seed % 150));
+  return batch;
+}
+
+TEST(IngestFaultTest, FailedApplyPublishesNothingAndRetrySucceeds) {
+  LiveWorld world(MakeDataset(41), kCellSize);
+  std::shared_ptr<const PoiEpochSnapshot> pin = world.Pin();
+  const uint64_t epoch = world.epoch();
+  const int64_t live_pois = world.num_live_pois();
+  const uint64_t applied = world.applied_ops();
+
+  if (fault::kEnabled) {
+    fault::ScopedFault armed("ingest.apply_delta",
+                             fault::FaultPlan{.count = 1});
+    Status status = world.ApplyBatch(MakeBatch(1));
+    EXPECT_EQ(status.code(), StatusCode::kInternal) << status.ToString();
+    EXPECT_GT(fault::Registry::Global().FireCount("ingest.apply_delta"),
+              0);
+    // Nothing was published: epoch, counters, and the pinned reader's
+    // snapshot are untouched.
+    EXPECT_EQ(world.epoch(), epoch);
+    EXPECT_EQ(world.num_live_pois(), live_pois);
+    EXPECT_EQ(world.applied_ops(), applied);
+    EXPECT_EQ(world.Pin()->epoch, epoch);
+    EXPECT_EQ(pin->epoch, epoch);
+  }
+
+  // With the fault disarmed (or in non-fault builds) the same batch
+  // applies cleanly from the unpoisoned state.
+  ASSERT_TRUE(world.ApplyBatch(MakeBatch(1)).ok());
+  EXPECT_EQ(world.epoch(), epoch + 1);
+  EXPECT_EQ(world.num_live_pois(), live_pois + 8 - 1);
+  EXPECT_EQ(world.applied_ops(), applied + 9);
+}
+
+TEST(IngestFaultTest, FailedCompactionKeepsTheOverlayForRetry) {
+  LiveWorld world(MakeDataset(42), kCellSize);
+  ASSERT_TRUE(world.ApplyBatch(MakeBatch(2)).ok());
+  const uint64_t epoch = world.epoch();
+  const int64_t live_pois = world.num_live_pois();
+  ASSERT_NE(world.Pin()->overlay, nullptr);
+
+  if (fault::kEnabled) {
+    fault::ScopedFault armed("ingest.compact",
+                             fault::FaultPlan{.count = 1});
+    Status status = world.Compact();
+    EXPECT_EQ(status.code(), StatusCode::kInternal) << status.ToString();
+    EXPECT_GT(fault::Registry::Global().FireCount("ingest.compact"), 0);
+    // The failed fold published nothing: readers stay on the overlay
+    // epoch and the overlay remains intact for the retry.
+    std::shared_ptr<const PoiEpochSnapshot> pin = world.Pin();
+    EXPECT_EQ(pin->epoch, epoch);
+    EXPECT_NE(pin->overlay, nullptr);
+    EXPECT_EQ(world.num_live_pois(), live_pois);
+  }
+
+  // Retry after disarm folds cleanly.
+  ASSERT_TRUE(world.Compact().ok());
+  std::shared_ptr<const PoiEpochSnapshot> pin = world.Pin();
+  EXPECT_EQ(pin->epoch, epoch + 1);
+  EXPECT_EQ(pin->overlay, nullptr);
+  EXPECT_EQ(world.num_live_pois(), live_pois);
+  EXPECT_EQ(static_cast<int64_t>(pin->grid->pois().size()), live_pois);
+}
+
+}  // namespace
+}  // namespace ingest
+}  // namespace soi

@@ -330,6 +330,38 @@ TEST(QueryEngineTest, WarmStartSeedsTheCacheWithoutCountingMisses) {
   EXPECT_EQ(engine.GetMaps(0.001).get(), a.get());
 }
 
+// Pins the warm-start eviction order deterministically: untouched
+// pre-seeded entries are evictable in seeding (insertion) order — the
+// first-seeded map is the LRU entry the first capacity miss pushes out,
+// while later seeds and any subsequently-touched entries survive.
+TEST(QueryEngineTest, WarmStartSeedsEvictInInsertionOrderWhenUntouched) {
+  Instance instance(35, 0.003, 300, 6);
+  auto a = std::make_shared<const EpsAugmentedMaps>(instance.segment_cells,
+                                                    0.001);
+  auto b = std::make_shared<const EpsAugmentedMaps>(instance.segment_cells,
+                                                    0.002);
+  auto c = std::make_shared<const EpsAugmentedMaps>(instance.segment_cells,
+                                                    0.003);
+  QueryEngineOptions options;
+  options.eps_cache_capacity = 3;
+  QueryEngine engine(instance.network, instance.grid, instance.global_index,
+                     instance.segment_cells, options, {a, b, c});
+  EXPECT_EQ(engine.cache_size(), 3u);
+
+  // One capacity miss with every seed untouched: exactly the
+  // first-seeded entry (a) is evicted.
+  engine.GetMaps(0.004);
+  EXPECT_EQ(engine.cache_stats().evictions, 1);
+  EXPECT_EQ(engine.GetMaps(0.002).get(), b.get());
+  EXPECT_EQ(engine.GetMaps(0.003).get(), c.get());
+  // a is gone: the same eps now rebuilds a fresh object (a second
+  // eviction — of the now-LRU 0.004 entry — makes room).
+  EXPECT_NE(engine.GetMaps(0.001).get(), a.get());
+  EXPECT_EQ(engine.cache_stats().evictions, 2);
+  // The evicted seed handed out at construction stays valid for holders.
+  EXPECT_EQ(a->eps(), 0.001);
+}
+
 TEST(QueryEngineTest, WarmStartServesBitIdenticalToColdEngine) {
   Instance instance(19, 0.003, 400, 6);
   std::vector<SoiQuery> batch = MakeBatch(29, 12);
@@ -388,6 +420,62 @@ TEST(QueryEngineTest, BatchCoalescesDuplicatesBitIdentically) {
     // 7 entries, 3 unique: 4 coalesced duplicates.
     EXPECT_EQ(delta.CounterOr0("soi.engine.batch_coalesced"), 4);
   }
+}
+
+// Regression test for coalesced-group admission: a coalesced duplicate
+// used to ride its leader's single in-flight slot, so a batch of N
+// identical queries only charged 1 against max_inflight_queries —
+// letting a bounded engine evaluate unbounded logical load. Admission is
+// now per logical query: each duplicate claims its own slot (in input
+// order) for the duration of the shared evaluation, and members beyond
+// the bound are shed individually with kResourceExhausted while the
+// admitted ones still share one evaluation.
+TEST(QueryEngineTest, CoalescedGroupsChargeAdmissionPerLogicalQuery) {
+  Instance instance(33, 0.003, 300, 6);
+  QueryEngineOptions options;
+  options.num_threads = 2;
+  options.max_inflight_queries = 3;
+  std::atomic<int> builds{0};
+  options.build_observer = [&](double) { builds.fetch_add(1); };
+  QueryEngine engine(instance.network, instance.grid, instance.global_index,
+                     instance.segment_cells, options);
+
+  SoiQuery query;
+  query.keywords = KeywordSet({0, 1});
+  query.k = 5;
+  query.eps = 0.002;
+
+  // Exactly at the bound: all three logical queries fit, nothing is
+  // shed, and the group still evaluates (and builds) only once.
+  std::vector<SoiQuery> at_bound(3, query);
+  std::vector<Result<SoiResult>> got = engine.TryRunBatch(at_bound);
+  ASSERT_EQ(got.size(), 3u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].ok()) << "query " << i << ": "
+                             << got[i].status().ToString();
+  }
+  EXPECT_EQ(builds.load(), 1);
+  SoiResult want = got[0].ValueOrDie();
+
+  // Above the bound: the first three members (input order) are admitted
+  // and share the evaluation; the fourth and fifth are shed with the
+  // typed admission error — not silently admitted for free.
+  std::vector<SoiQuery> over_bound(5, query);
+  got = engine.TryRunBatch(over_bound);
+  ASSERT_EQ(got.size(), 5u);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(got[i].ok()) << "query " << i << ": "
+                             << got[i].status().ToString();
+    ExpectIdenticalResults(got[i].ValueOrDie(), want,
+                           ("admitted=" + std::to_string(i)).c_str());
+  }
+  for (size_t i = 3; i < 5; ++i) {
+    ASSERT_FALSE(got[i].ok()) << "query " << i;
+    EXPECT_EQ(got[i].status().code(), StatusCode::kResourceExhausted)
+        << "query " << i;
+  }
+  // The shared evaluation served from the warm cache: still one build.
+  EXPECT_EQ(builds.load(), 1);
 }
 
 TEST(QueryEngineTest, PerQueryTokensDisableCoalescing) {

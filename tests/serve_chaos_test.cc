@@ -105,6 +105,7 @@ bool IsAllowedFailure(StatusCode code) {
     case StatusCode::kDeadlineExceeded:
     case StatusCode::kCancelled:
     case StatusCode::kInternal:
+    case StatusCode::kUnavailable:  // typed drain rejection
       return true;
     default:
       return false;

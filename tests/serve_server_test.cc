@@ -387,9 +387,10 @@ TEST(ServeServerTest, GracefulDrainFinishesInFlightAndFlushesState) {
                                         fixture.server().port(), 0.5);
   EXPECT_FALSE(late.ok());
 
-  // Every request admitted before the drain's read half-close was
-  // answered (responses = requests seen; the half-close may have cut the
-  // burst short, but nothing admitted was dropped).
+  // Every request seen was answered — evaluated if it was read before
+  // the drain transition, rejected with a typed kUnavailable frame if it
+  // raced in after (the burst may be cut short at the first rejection,
+  // but nothing read is ever silently dropped).
   SoidServer::Stats stats = fixture.server().stats();
   EXPECT_EQ(stats.responses_ok + stats.responses_error, stats.requests);
   EXPECT_EQ(stats.drain_cancelled, 0);
@@ -401,6 +402,85 @@ TEST(ServeServerTest, GracefulDrainFinishesInFlightAndFlushesState) {
   content << file.rdbuf();
   EXPECT_TRUE(ValidateJson(content.str()).ok());
   (void)std::remove(state_path.c_str());
+}
+
+// The drain race: a request accepted by the kernel (sent, buffered, or
+// even mid-frame on the wire) before the drain transition but read by
+// the server after kServing -> kDraining must get a typed kUnavailable
+// error frame — not the silently dropped connection the old
+// half-close-on-drain design produced when it discarded buffered
+// inbound bytes.
+TEST(ServeServerTest, RequestRacingDrainGetsTypedUnavailableNotSilentDrop) {
+  SoidServerOptions options;
+  options.drain_deadline_seconds = 30.0;
+  ServerFixture fixture(options);
+  Result<Socket> raw = Socket::Connect("127.0.0.1",
+                                       fixture.server().port(), 5.0);
+  ASSERT_TRUE(raw.ok());
+  Socket socket = std::move(raw).ValueOrDie();
+  ASSERT_TRUE(socket.SetIoTimeouts(30.0, 30.0).ok());
+
+  // Frame 1 establishes the connection and is answered normally.
+  ASSERT_TRUE(socket.SendAll(EncodeQueryFrame({1, MakeQuery(), false, 0.0}))
+                  .ok());
+  auto read_frame = [&socket](FrameHeader* header, std::string* payload) {
+    std::string header_bytes;
+    bool clean_eof = false;
+    Status status =
+        socket.RecvExact(kFrameHeaderBytes, &header_bytes, &clean_eof);
+    if (!status.ok() || clean_eof) return false;
+    if (!DecodeFrameHeader(header_bytes, header).ok()) return false;
+    payload->clear();
+    if (header->payload_bytes > 0 &&
+        (!socket.RecvExact(header->payload_bytes, payload, &clean_eof)
+              .ok() ||
+         clean_eof)) {
+      return false;
+    }
+    return true;
+  };
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(read_frame(&header, &payload));
+  ASSERT_EQ(header.type, FrameType::kResult);
+
+  // Frame 2 races the drain: its first byte is on the wire before the
+  // transition, the rest arrives only after the server is draining.
+  std::string frame = EncodeQueryFrame({2, MakeQuery(), false, 0.0});
+  ASSERT_TRUE(socket.SendAll(frame.substr(0, 1)).ok());
+  fixture.server().RequestDrain();
+  std::thread waiter([&fixture] {
+    Status drained = fixture.server().Wait();
+    EXPECT_TRUE(drained.ok()) << drained.ToString();
+  });
+  // draining_reads_ is published before the kDraining state, so once the
+  // state reads kDraining the frame below is guaranteed to hit the
+  // drain-rejection path.
+  while (fixture.server().state() != SoidServer::State::kDraining) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(socket.SendAll(frame.substr(1)).ok());
+
+  // The answer must be a typed kUnavailable error frame for request 2 —
+  // an EOF here is the silent drop this test exists to forbid.
+  ASSERT_TRUE(read_frame(&header, &payload))
+      << "connection dropped without a typed drain rejection";
+  ASSERT_EQ(header.type, FrameType::kError);
+  ErrorResponse error;
+  ASSERT_TRUE(DecodeErrorPayload(payload, &error).ok());
+  EXPECT_EQ(error.request_id, 2u);
+  EXPECT_EQ(error.status.code(), StatusCode::kUnavailable)
+      << error.status.ToString();
+  // After the typed answer the connection closes.
+  std::string rest;
+  bool clean_eof = false;
+  Status eof = socket.RecvExact(1, &rest, &clean_eof);
+  EXPECT_TRUE(clean_eof || !eof.ok());
+  waiter.join();
+  SoidServer::Stats stats = fixture.server().stats();
+  EXPECT_EQ(stats.rejected_draining, 1);
+  EXPECT_EQ(stats.responses_ok, 1);
+  EXPECT_EQ(stats.responses_ok + stats.responses_error, stats.requests);
 }
 
 TEST(ServeServerTest, DrainDeadlineCancelsQueuedWorkWithTypedErrors) {

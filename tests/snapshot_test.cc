@@ -258,6 +258,83 @@ TEST_F(SnapshotTest, UnsupportedVersionFailsTyped) {
   EXPECT_NE(loaded.status().ToString().find("version"), std::string::npos);
 }
 
+TEST_F(SnapshotTest, IngestMetaFieldsRoundTripThroughSaveLoadInspect) {
+  SnapshotContents contents;
+  contents.dataset = dataset_;
+  contents.indexes = indexes_;
+  contents.ingest_epoch = 7;
+  contents.ingest_applied_ops = 42;
+  std::ostringstream out;
+  ASSERT_TRUE(SaveSnapshot(contents, &out).ok());
+  std::string bytes = std::move(out).str();
+
+  Result<LoadedSnapshot> loaded = Decode(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().ingest_epoch, 7u);
+  EXPECT_EQ(loaded.ValueOrDie().ingest_applied_ops, 42u);
+
+  std::istringstream in(bytes);
+  Result<SnapshotInfo> info = InspectSnapshot(&in);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.ValueOrDie().format_version, kSnapshotFormatVersion);
+  EXPECT_EQ(info.ValueOrDie().ingest_epoch, 7u);
+  EXPECT_EQ(info.ValueOrDie().ingest_applied_ops, 42u);
+}
+
+/// Rewrites a current-version snapshot into a byte-exact v1 file: patch
+/// the header version and strip the meta section's 16 trailing ingest
+/// bytes (re-CRC'd). Returns the original bytes' meta payload length via
+/// `meta_len` for the negative variant below.
+std::string RewriteAsVersionOne(std::string bytes, bool strip_ingest) {
+  // Header: magic(8) + version u32 + section count u32.
+  bytes[8] = 1;
+  bytes[9] = 0;
+  bytes[10] = 0;
+  bytes[11] = 0;
+  if (!strip_ingest) return bytes;
+  // The meta section leads at offset 16: u32 id, u64 bytes, u32 crc.
+  ByteReader r(std::string_view(bytes).substr(16, 16));
+  uint32_t id = 0;
+  uint64_t len = 0;
+  SOI_CHECK(r.ReadU32(&id).ok() && id == 1);
+  SOI_CHECK(r.ReadU64(&len).ok() && len >= 16);
+  std::string v1_meta = bytes.substr(32, static_cast<size_t>(len) - 16);
+  ByteWriter header;
+  header.PutU32(id);
+  header.PutU64(v1_meta.size());
+  header.PutU32(Crc32(v1_meta));
+  return bytes.substr(0, 16) + header.data() + v1_meta +
+         bytes.substr(32 + static_cast<size_t>(len));
+}
+
+TEST_F(SnapshotTest, VersionOneFilesStillLoadWithZeroIngestFields) {
+  std::string v1 = RewriteAsVersionOne(Encode(), /*strip_ingest=*/true);
+  Result<LoadedSnapshot> loaded = Decode(v1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().ingest_epoch, 0u);
+  EXPECT_EQ(loaded.ValueOrDie().ingest_applied_ops, 0u);
+  EXPECT_EQ(loaded.ValueOrDie().dataset->pois.size(),
+            dataset_->pois.size());
+
+  std::istringstream in(v1);
+  Result<SnapshotInfo> info = InspectSnapshot(&in);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.ValueOrDie().format_version, 1u);
+  EXPECT_EQ(info.ValueOrDie().ingest_epoch, 0u);
+}
+
+TEST_F(SnapshotTest, VersionOneMetaWithTrailingBytesFailsTyped) {
+  // A "v1" file whose meta still carries the v2 trailing fields is
+  // corruption under the strict per-version length check — never a
+  // silent partial decode.
+  std::string bad = RewriteAsVersionOne(Encode(), /*strip_ingest=*/false);
+  Result<LoadedSnapshot> loaded = Decode(bad);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().ToString().find("trailing"),
+            std::string::npos);
+}
+
 TEST_F(SnapshotTest, EveryTruncationFailsTyped) {
   std::string bytes = Encode();
   // Every prefix is invalid; probe a spread of lengths (every byte would

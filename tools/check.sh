@@ -102,6 +102,19 @@ run_step tsan-serving ctest --preset tsan-serving -j "$JOBS" \
 run_step fault-serving ctest --preset fault-serving -j "$JOBS" \
     --output-on-failure
 
+# Ingest suite, same rationale, across the same three builds: plain
+# (epoch visibility, whole-batch validation, bit-identity vs cold
+# rebuilds), TSan (the writer/compactor/reader RCU choreography is
+# exactly where a publication race would hide), and fault (the
+# failed-publish cases — "ingest.apply_delta" / "ingest.compact" —
+# actually armed, under ASan). Guaranteed passes even when extra ctest
+# args filtered the label out of the main sweeps.
+run_step ingest ctest --preset ingest -j "$JOBS" --output-on-failure
+run_step tsan-ingest ctest --preset tsan-ingest -j "$JOBS" \
+    --output-on-failure
+run_step fault-ingest ctest --preset fault-ingest -j "$JOBS" \
+    --output-on-failure
+
 # Perf smoke, same rationale: guaranteed one run in the un-sanitized
 # default build with its scaling gates evaluated, even when extra ctest
 # args filtered it above. Run serially — a parallel ctest sweep would

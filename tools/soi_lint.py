@@ -229,6 +229,8 @@ LAYER_DEPS = {
              "objects", "obs", "text"},
     "serve": {"analysis", "common", "core", "datagen", "geometry", "grid",
               "network", "objects", "obs", "snapshot", "text"},
+    "ingest": {"analysis", "common", "datagen", "geometry", "grid",
+               "network", "objects", "obs", "snapshot", "text"},
 }
 
 # Cross-cutting instrumentation layers any .cc file may include: their

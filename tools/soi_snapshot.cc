@@ -139,6 +139,8 @@ int RunInspect(const std::string& path) {
   json.KeyValue("num_pois", info.num_pois);
   json.KeyValue("num_photos", info.num_photos);
   json.KeyValue("num_keywords", info.num_keywords);
+  json.KeyValue("ingest_epoch", info.ingest_epoch);
+  json.KeyValue("ingest_applied_ops", info.ingest_applied_ops);
   json.Key("eps_values");
   json.BeginArray();
   for (double eps : info.eps_values) json.Double(eps);
